@@ -1,0 +1,66 @@
+"""Runtime scaling of the core algorithms (not tied to a paper figure).
+
+These benchmarks time the algorithms themselves (SBO_delta, RLS_delta, the
+single-objective sub-solvers, the simulator) at a realistic instance size so
+regressions in algorithmic complexity are caught.  The paper states the
+complexities: SBO is dominated by its sub-solvers; RLS_delta is O(n^2 m).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.lpt import lpt_schedule
+from repro.algorithms.multifit import multifit_schedule
+from repro.algorithms.ptas import ptas_schedule
+from repro.core.rls import rls
+from repro.core.sbo import sbo
+from repro.core.trio import tri_objective_schedule
+from repro.dag.generators import layered_dag
+from repro.simulator.executor import simulate_schedule
+from repro.workloads.independent import uniform_instance
+
+_INSTANCE = uniform_instance(300, 8, seed=0)
+_SMALL = uniform_instance(100, 8, seed=1)
+_DAG = layered_dag(12, 8, m=8, seed=0)
+
+
+def test_bench_lpt(benchmark):
+    schedule = benchmark(lambda: lpt_schedule(_INSTANCE))
+    assert schedule.cmax > 0
+
+
+def test_bench_multifit(benchmark):
+    schedule = benchmark(lambda: multifit_schedule(_INSTANCE))
+    assert schedule.cmax > 0
+
+
+def test_bench_ptas(benchmark):
+    result = benchmark(lambda: ptas_schedule(_SMALL, epsilon=0.2))
+    assert result.schedule.cmax > 0
+
+
+def test_bench_sbo(benchmark):
+    result = benchmark(lambda: sbo(_INSTANCE, delta=1.0))
+    assert result.cmax > 0
+
+
+def test_bench_rls_independent(benchmark):
+    result = benchmark(lambda: rls(_SMALL, delta=3.0))
+    assert result.cmax > 0
+
+
+def test_bench_rls_dag(benchmark):
+    result = benchmark(lambda: rls(_DAG, delta=3.0, order="bottom-level"))
+    assert result.cmax > 0
+
+
+def test_bench_tri_objective(benchmark):
+    result = benchmark(lambda: tri_objective_schedule(_SMALL, delta=3.0))
+    assert result.cmax > 0
+
+
+def test_bench_simulator(benchmark):
+    schedule = sbo(_INSTANCE, delta=1.0).schedule
+    report = benchmark(lambda: simulate_schedule(schedule))
+    assert report.ok

@@ -1,0 +1,17 @@
+"""EXT-T4 benchmark: resolving the storage-constrained problem via the delta parameter (§7)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.constrained_study import run_constrained_study
+
+
+def test_bench_constrained(benchmark):
+    """Capacity-slack sweep: success rate and makespan degradation."""
+    run_experiment_benchmark(
+        benchmark,
+        lambda: run_constrained_study(
+            capacity_factors=(1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0), n=40, m=4, seeds=(0, 1, 2)
+        ),
+    )

@@ -1,0 +1,16 @@
+"""FIG-1 benchmark: regenerate the Pareto front of the §4.1 instance (paper Figure 1)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_bench_figure1(benchmark):
+    """Exact Pareto enumeration of the first inapproximability instance."""
+    result = run_experiment_benchmark(benchmark, lambda: run_figure1(epsilon=1e-3))
+    # Paper values: the two Pareto-optimal schedules are (1, 2) and (3/2, 1+eps).
+    values = sorted((row["Cmax"], row["Mmax"]) for row in result.rows)
+    assert values[0] == (1.0, 2.0)
+    assert abs(values[1][0] - 1.5) < 1e-9

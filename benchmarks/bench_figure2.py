@@ -1,0 +1,13 @@
+"""FIG-2 benchmark: regenerate the Pareto front of the §4.3 instance (paper Figure 2)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_bench_figure2(benchmark):
+    """Exact Pareto enumeration of the second inapproximability instance."""
+    result = run_experiment_benchmark(benchmark, lambda: run_figure2(epsilon=0.25))
+    assert len(result.rows) == 3

@@ -1,0 +1,18 @@
+"""FIG-3 benchmark: regenerate the impossibility domain and the SBO trade-off curve (paper Figure 3)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.figure3 import run_figure3
+
+
+def test_bench_figure3(benchmark):
+    """Lemma 2 staircases for m=2..6, the Lemma 3 point, and the dashed SBO curve."""
+    result = run_experiment_benchmark(
+        benchmark, lambda: run_figure3(m_values=(2, 3, 4, 5, 6), k=32)
+    )
+    series = {row["series"] for row in result.rows}
+    assert "lemma3 point" in series
+    assert any(s.startswith("lemma2 staircase") for s in series)
+    assert any(s.startswith("SBO curve") for s in series)

@@ -1,0 +1,14 @@
+"""EXT-A4 benchmark: approximate Pareto sets from the delta sweep."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.pareto_approx_study import run_pareto_approx_study
+
+
+def test_bench_pareto_approx(benchmark):
+    """Delta-sweep Pareto sets: coverage of the exact front and trade-off spread."""
+    run_experiment_benchmark(
+        benchmark, lambda: run_pareto_approx_study(epsilon=0.25, seeds=(0, 1))
+    )

@@ -1,0 +1,20 @@
+"""EXT-A2 benchmark: RLS_delta tie-breaking order ablation and delta sensitivity."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.rls_ablation import run_rls_ablation
+
+
+def test_bench_rls_ablation(benchmark):
+    """Priority-order ablation plus the feasibility cliff below delta = 2."""
+    run_experiment_benchmark(
+        benchmark,
+        lambda: run_rls_ablation(
+            orders=("arbitrary", "spt", "lpt", "bottom-level"),
+            deltas=(1.5, 1.8, 2.0, 2.2, 2.5, 3.0, 4.0),
+            m=4,
+            seeds=(0, 1),
+        ),
+    )

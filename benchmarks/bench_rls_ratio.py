@@ -1,0 +1,15 @@
+"""EXT-T2 benchmark: empirical RLS_delta ratios on the DAG suite vs the Corollary 3 guarantees."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.rls_ratio import run_rls_ratio
+
+
+def test_bench_rls_ratio(benchmark):
+    """DAG family x m x delta sweep."""
+    run_experiment_benchmark(
+        benchmark,
+        lambda: run_rls_ratio(deltas=(2.5, 3.0, 4.0, 6.0), m_values=(2, 4, 8), seeds=(0, 1)),
+    )

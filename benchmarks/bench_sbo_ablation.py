@@ -1,0 +1,15 @@
+"""EXT-A1 benchmark: ablation of the single-objective sub-solver inside SBO_delta."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.sbo_ablation import run_sbo_ablation
+
+
+def test_bench_sbo_ablation(benchmark):
+    """List scheduling vs LPT vs MULTIFIT vs PTAS as the rho-approximation."""
+    run_experiment_benchmark(
+        benchmark,
+        lambda: run_sbo_ablation(solvers=("list", "lpt", "multifit", "ptas"), n=60, seeds=(0, 1, 2)),
+    )

@@ -1,0 +1,17 @@
+"""EXT-T1 benchmark: empirical SBO_delta ratios vs the Properties 1-2 guarantees."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.sbo_ratio import run_sbo_ratio
+
+
+def test_bench_sbo_ratio(benchmark):
+    """Delta sweep over the workload suite, exact references on small instances."""
+    run_experiment_benchmark(
+        benchmark,
+        lambda: run_sbo_ratio(
+            deltas=(0.25, 0.5, 1.0, 2.0, 4.0), n_small=10, n_large=120, seeds=(0, 1, 2)
+        ),
+    )

@@ -1,0 +1,14 @@
+"""EXT-A3 benchmark: simulator replay of every algorithm's schedules."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.simulation_validation import run_simulation_validation
+
+
+def test_bench_simulation_validation(benchmark):
+    """Discrete-event replay must reproduce the analytical objective values."""
+    run_experiment_benchmark(
+        benchmark, lambda: run_simulation_validation(n=40, m=4, seeds=(0, 1))
+    )

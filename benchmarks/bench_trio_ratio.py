@@ -1,0 +1,15 @@
+"""EXT-T3 benchmark: tri-objective RLS_delta (SPT ties) vs the Corollary 4 guarantees."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.trio_ratio import run_trio_ratio
+
+
+def test_bench_trio_ratio(benchmark):
+    """(Cmax, Mmax, sum Ci) ratios over independent-task workloads."""
+    run_experiment_benchmark(
+        benchmark,
+        lambda: run_trio_ratio(deltas=(2.5, 3.0, 4.0, 8.0), n=80, m_values=(2, 4, 8, 16), seeds=(0, 1, 2)),
+    )

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one figure/table of the DESIGN.md experiment
+index, asserts its shape checks, and prints the reproduced rows/series so
+the output can be compared against the paper (and pasted into
+EXPERIMENTS.md).  Timings reported by pytest-benchmark measure the cost of
+regenerating the experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.harness import ExperimentResult
+
+
+def run_experiment_benchmark(benchmark, runner: Callable[[], ExperimentResult]) -> ExperimentResult:
+    """Run an experiment once under pytest-benchmark and print its report."""
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    assert result.all_checks_pass, f"shape checks failed: {result.failed_checks()}"
+    return result

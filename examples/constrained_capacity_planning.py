@@ -1,0 +1,60 @@
+"""Capacity planning: how much per-processor memory does a deadline need?
+
+The original industrial question of the paper (§2.2/§7): given a hard
+per-processor storage capacity M, find the best achievable makespan — and
+conversely, how much capacity must be provisioned before the makespan stops
+suffering.  This example sweeps the capacity from "barely enough for the
+largest task" to "effectively unlimited" and reports the feasibility and
+makespan the §7 resolution achieves at every point, for both an
+independent-task batch and a task graph.
+
+Run with::
+
+    python examples/constrained_capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import solve_constrained
+from repro.core.bounds import mmax_lower_bound
+from repro.dag import gaussian_elimination_dag
+from repro.utils.tables import format_table
+from repro.workloads import bimodal_instance
+
+
+def sweep(instance, label: str) -> None:
+    lb = mmax_lower_bound(instance)
+    print(f"{label}: n={instance.n}, m={instance.m}, memory lower bound LB={lb:.1f}")
+    rows = []
+    for factor in (1.0, 1.2, 1.5, 2.0, 2.5, 3.0, 5.0):
+        capacity = factor * lb
+        outcome = solve_constrained(instance, capacity)
+        rows.append([
+            f"{factor:.1f} x LB",
+            "yes" if outcome.feasible else "NO",
+            f"{outcome.cmax:.1f}" if outcome.feasible else "-",
+            f"{outcome.mmax:.1f}" if outcome.feasible else "-",
+            f"{outcome.cmax_guarantee:.2f}" if outcome.cmax_guarantee != float("inf") else "none",
+            outcome.strategy or "-",
+        ])
+    print(format_table(
+        ["capacity", "feasible", "Cmax", "Mmax", "Cmax guarantee", "strategy"], rows,
+    ))
+    print()
+
+
+def main() -> None:
+    batch = bimodal_instance(n=60, m=6, seed=3)
+    sweep(batch, "independent batch (bimodal jobs)")
+
+    dag = gaussian_elimination_dag(matrix_size=7, m=6, seed=3)
+    sweep(dag, "task graph (Gaussian elimination, 7x7)")
+
+    print("Reading the tables: below LB nothing can fit (certified infeasible);")
+    print("between LB and 2xLB the solver may still find schedules but without guarantees;")
+    print("from 2xLB upwards feasibility is guaranteed and the makespan guarantee tightens")
+    print("as the capacity slack grows (Corollary 3 read at delta = M / LB).")
+
+
+if __name__ == "__main__":
+    main()

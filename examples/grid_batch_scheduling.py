@@ -1,0 +1,74 @@
+"""Grid batch scheduling: makespan, result-storage and early feedback.
+
+The paper's grid motivation (large physics productions): a batch of
+independent analysis jobs must be spread over a site's worker nodes.  Each
+job produces output files that stay on the node's scratch disk until the
+batch completes (cumulative storage), and users want early partial results
+(small mean completion time) on top of a short batch and balanced disks.
+
+This example uses the tri-objective extension of the paper (RLS_delta with
+SPT tie-breaking) and compares it against SBO_delta and the corner
+baselines on a realistic anti-correlated workload (quick filter jobs with
+huge outputs, long simulation jobs with small outputs).
+
+Run with::
+
+    python examples/grid_batch_scheduling.py
+"""
+
+from __future__ import annotations
+
+from repro import sbo, tri_objective_schedule
+from repro.algorithms import memory_oblivious_schedule, spt_schedule
+from repro.core.bounds import cmax_lower_bound, mmax_lower_bound, sum_ci_lower_bound
+from repro.utils.tables import format_table
+from repro.workloads import anti_correlated_instance
+
+
+def main() -> None:
+    # 120 jobs on 8 worker nodes; long jobs have small outputs and vice versa.
+    batch = anti_correlated_instance(n=120, m=8, seed=42, correlation=0.9)
+    lb_c = cmax_lower_bound(batch)
+    lb_m = mmax_lower_bound(batch)
+    opt_sum_ci = sum_ci_lower_bound(batch)
+    print(f"batch: {batch.name}  (Cmax >= {lb_c:.1f}, disk >= {lb_m:.1f}, "
+          f"optimal sum Ci = {opt_sum_ci:.0f})")
+    print()
+
+    rows = []
+
+    # Corner baselines.
+    lpt = memory_oblivious_schedule(batch)
+    spt = spt_schedule(batch)
+    rows.append(["LPT (makespan only)", lpt.cmax / lb_c, lpt.mmax / lb_m, lpt.sum_ci / opt_sum_ci])
+    rows.append(["SPT (mean completion only)", spt.cmax / lb_c, spt.mmax / lb_m, spt.sum_ci / opt_sum_ci])
+
+    # SBO_delta: bi-objective, no sum-Ci guarantee.
+    for delta in (0.5, 1.0, 2.0):
+        res = sbo(batch, delta=delta)
+        rows.append([f"SBO(delta={delta})", res.cmax / lb_c, res.mmax / lb_m,
+                     res.schedule.sum_ci / opt_sum_ci])
+
+    # Tri-objective RLS_delta + SPT: guarantees on all three objectives.
+    for delta in (2.5, 3.0, 4.0):
+        res = tri_objective_schedule(batch, delta=delta)
+        g_c, g_m, g_s = res.guarantees
+        rows.append([
+            f"tri-objective RLS(delta={delta}) guarantees=({g_c:.2f},{g_m:.2f},{g_s:.2f})",
+            res.cmax / lb_c,
+            res.mmax / lb_m,
+            res.sum_ci / res.sum_ci_optimal,
+        ])
+
+    print(format_table(
+        ["policy", "Cmax / LB", "disk / LB", "sum Ci / optimal"],
+        [[name, f"{c:.3f}", f"{m:.3f}", f"{s:.3f}"] for name, c, m, s in rows],
+    ))
+    print()
+    print("Reading the table: LPT wins on makespan but can pile outputs on one node;")
+    print("SPT wins on mean completion time but ignores both other objectives;")
+    print("the paper's algorithms trade a bounded factor on each objective instead.")
+
+
+if __name__ == "__main__":
+    main()

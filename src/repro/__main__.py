@@ -1,0 +1,8 @@
+"""``python -m repro`` dispatches to the command-line interface."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""Baseline heuristics: the single-objective corner points and naive policies.
+
+``SBO_Δ`` interpolates between two corner points: a schedule that only cares
+about the makespan and one that only cares about memory.  These corners —
+and a couple of naive policies (round robin, uniform random) — are the
+baselines every experiment compares against:
+
+* :func:`memory_oblivious_schedule` — LPT on processing times, ignoring
+  ``s_i`` entirely; excellent ``Cmax``, unbounded ``Mmax`` ratio.
+* :func:`makespan_oblivious_schedule` — LPT on storage sizes, ignoring
+  ``p_i``; excellent ``Mmax``, unbounded ``Cmax`` ratio.
+* :func:`round_robin_schedule` — tasks dealt to processors cyclically.
+* :func:`random_schedule` — uniform random assignment (seeded).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.algorithms.lpt import lpt_schedule
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+
+__all__ = [
+    "memory_oblivious_schedule",
+    "makespan_oblivious_schedule",
+    "round_robin_schedule",
+    "random_schedule",
+]
+
+
+def memory_oblivious_schedule(instance: Instance) -> Schedule:
+    """Schedule optimizing only the makespan (LPT on ``p``), blind to memory."""
+    return lpt_schedule(instance, objective="time")
+
+
+def makespan_oblivious_schedule(instance: Instance) -> Schedule:
+    """Schedule optimizing only the memory (LPT on ``s``), blind to processing time."""
+    return lpt_schedule(instance, objective="memory")
+
+
+def round_robin_schedule(instance: Instance) -> Schedule:
+    """Deal the tasks to processors cyclically in instance order."""
+    assignment: Dict[object, int] = {}
+    for idx, task in enumerate(instance.tasks):
+        assignment[task.id] = idx % instance.m
+    return Schedule(instance, assignment)
+
+
+def random_schedule(instance: Instance, seed: Optional[int] = None) -> Schedule:
+    """Uniform random assignment of tasks to processors (reproducible via ``seed``)."""
+    rng = np.random.default_rng(seed)
+    assignment: Dict[object, int] = {}
+    for task in instance.tasks:
+        assignment[task.id] = int(rng.integers(0, instance.m))
+    return Schedule(instance, assignment)

@@ -1,0 +1,233 @@
+"""Exact solvers for small instances.
+
+The paper's inapproximability arguments (§4) rely on exhaustively knowing
+the Pareto-optimal schedules of small instances, and the experiment harness
+measures *empirical* approximation ratios against true optima whenever the
+instance is small enough.  This module provides:
+
+* :func:`exact_cmax` / :func:`exact_mmax` — optimal single-objective values
+  via depth-first branch and bound with symmetry breaking;
+* :func:`exact_schedule` — an optimal single-objective schedule;
+* :func:`pareto_front_exact` — the exact Pareto front of ``(Cmax, Mmax)``
+  (optionally with representative schedules), via exhaustive assignment
+  enumeration with dominance-aware pruning;
+* :func:`exact_constrained_cmax` — optimal ``Cmax`` subject to
+  ``Mmax <= capacity`` (the original problem of §2.2), used to judge the
+  constrained-resolution heuristics of §7.
+
+All of these are exponential-time by nature (the problems are strongly
+NP-hard) and guarded by an instance-size limit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.instance import Instance
+from repro.core.pareto import ParetoFront
+from repro.core.schedule import Schedule
+from repro.core.task import Task
+
+__all__ = [
+    "ExactSizeError",
+    "exact_cmax",
+    "exact_mmax",
+    "exact_schedule",
+    "exact_constrained_cmax",
+    "pareto_front_exact",
+]
+
+#: Default hard cap on the number of tasks accepted by the exact solvers.
+DEFAULT_MAX_TASKS = 20
+#: Default cap for the exhaustive Pareto enumeration (m**n assignments).
+DEFAULT_MAX_PARETO_TASKS = 14
+
+
+class ExactSizeError(ValueError):
+    """Raised when an instance is too large for the exact solvers."""
+
+
+def _weights(instance: Instance, objective: str) -> List[float]:
+    if objective == "time":
+        return [t.p for t in instance.tasks]
+    if objective == "memory":
+        return [t.s for t in instance.tasks]
+    raise ValueError(f"unknown objective {objective!r}; expected 'time' or 'memory'")
+
+
+def _check_size(instance: Instance, max_tasks: int) -> None:
+    if instance.n > max_tasks:
+        raise ExactSizeError(
+            f"instance has {instance.n} tasks; the exact solver accepts at most {max_tasks} "
+            f"(raise max_tasks explicitly if you really want to wait)"
+        )
+
+
+def _branch_and_bound_partition(
+    weights: Sequence[float], m: int, upper_hint: Optional[float] = None
+) -> Tuple[float, List[int]]:
+    """Minimize the maximum bin load of a partition of ``weights`` into ``m`` bins.
+
+    Returns ``(optimal value, assignment)`` where ``assignment[i]`` is the
+    bin of item ``i``.  Classic DFS with decreasing-weight ordering,
+    identical-load symmetry breaking, and area/max lower-bound pruning.
+    """
+    n = len(weights)
+    if n == 0:
+        return 0.0, []
+    order = sorted(range(n), key=lambda i: -weights[i])
+    sorted_w = [weights[i] for i in order]
+    suffix_sum = [0.0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix_sum[i] = suffix_sum[i + 1] + sorted_w[i]
+    lower = max(max(weights), sum(weights) / m)
+
+    # Initial upper bound: LPT.
+    loads = [0.0] * m
+    lpt_assign = [0] * n
+    for k, w in enumerate(sorted_w):
+        j = min(range(m), key=lambda q: (loads[q], q))
+        loads[j] += w
+        lpt_assign[k] = j
+    best_value = max(loads)
+    if upper_hint is not None:
+        best_value = min(best_value, upper_hint)
+    best_assign = list(lpt_assign)
+
+    loads = [0.0] * m
+    current = [0] * n
+    eps = 1e-12 * max(1.0, best_value)
+
+    def dfs(k: int) -> None:
+        nonlocal best_value, best_assign
+        if best_value <= lower + eps:
+            return
+        if k == n:
+            value = max(loads)
+            if value < best_value - eps:
+                best_value = value
+                best_assign = list(current)
+            return
+        w = sorted_w[k]
+        # Bound: the current worst bin only grows, and even spreading the
+        # remaining work perfectly cannot beat the area lower bound.
+        remaining_avg = (sum(loads) + suffix_sum[k]) / m
+        if max(loads) >= best_value - eps or remaining_avg >= best_value - eps:
+            return
+        tried: set = set()
+        for j in range(m):
+            load = loads[j]
+            if load in tried:
+                continue
+            tried.add(load)
+            if load + w >= best_value - eps:
+                continue
+            loads[j] = load + w
+            current[k] = j
+            dfs(k + 1)
+            loads[j] = load
+        return
+
+    dfs(0)
+    assignment = [0] * n
+    for pos, original_index in enumerate(order):
+        assignment[original_index] = best_assign[pos]
+    return best_value, assignment
+
+
+def exact_cmax(instance: Instance, max_tasks: int = DEFAULT_MAX_TASKS) -> float:
+    """Optimal makespan ``C*max`` of an independent-task instance."""
+    _check_size(instance, max_tasks)
+    value, _ = _branch_and_bound_partition(_weights(instance, "time"), instance.m)
+    return value
+
+
+def exact_mmax(instance: Instance, max_tasks: int = DEFAULT_MAX_TASKS) -> float:
+    """Optimal maximum memory consumption ``M*max`` of an instance."""
+    _check_size(instance, max_tasks)
+    value, _ = _branch_and_bound_partition(_weights(instance, "memory"), instance.m)
+    return value
+
+
+def exact_schedule(
+    instance: Instance, objective: str = "time", max_tasks: int = DEFAULT_MAX_TASKS
+) -> Schedule:
+    """An optimal single-objective schedule (makespan or memory)."""
+    _check_size(instance, max_tasks)
+    _, assignment = _branch_and_bound_partition(_weights(instance, objective), instance.m)
+    ids = instance.tasks.ids
+    return Schedule(instance, {ids[i]: assignment[i] for i in range(instance.n)})
+
+
+def exact_constrained_cmax(
+    instance: Instance,
+    memory_capacity: float,
+    max_tasks: int = DEFAULT_MAX_PARETO_TASKS,
+) -> Optional[Schedule]:
+    """Optimal ``Cmax`` subject to ``Mmax <= memory_capacity`` (or ``None`` if infeasible).
+
+    This solves the original strongly NP-hard constrained problem of §2.2
+    exactly by exhaustive enumeration, and is used as the reference for the
+    §7 resolution experiments on small instances.
+    """
+    _check_size(instance, max_tasks)
+    front = pareto_front_exact(instance, max_tasks=max_tasks, keep_schedules=True)
+    best: Optional[Schedule] = None
+    eps = 1e-9 * max(1.0, memory_capacity)
+    for point in front.points():
+        cmax, mmax = point.values
+        if mmax <= memory_capacity + eps and (best is None or cmax < best.cmax):
+            best = point.payload
+    return best
+
+
+def pareto_front_exact(
+    instance: Instance,
+    max_tasks: int = DEFAULT_MAX_PARETO_TASKS,
+    keep_schedules: bool = True,
+) -> ParetoFront[Schedule]:
+    """Exact Pareto front of ``(Cmax, Mmax)`` over all assignments.
+
+    Enumerates assignments by depth-first search with first-processor
+    symmetry breaking (the first task always goes to processor 0, and a task
+    may only open processor ``q`` if processors ``0..q-1`` are already
+    used), which divides the ``m**n`` search space by up to ``m!`` without
+    losing any objective vector.
+    """
+    _check_size(instance, max_tasks)
+    tasks = instance.tasks.tasks
+    n, m = instance.n, instance.m
+    front: ParetoFront[Schedule] = ParetoFront(dim=2)
+    if n == 0:
+        empty = Schedule(instance, {})
+        front.add((0.0, 0.0), empty if keep_schedules else None)
+        return front
+
+    loads = [0.0] * m
+    mems = [0.0] * m
+    current: List[int] = [0] * n
+
+    def dfs(k: int, used: int) -> None:
+        if k == n:
+            values = (max(loads), max(mems))
+            payload = None
+            if keep_schedules:
+                payload = Schedule(
+                    instance, {tasks[i].id: current[i] for i in range(n)}
+                )
+            front.add(values, payload)
+            return
+        task = tasks[k]
+        limit = min(m, used + 1)
+        for j in range(limit):
+            loads[j] += task.p
+            mems[j] += task.s
+            current[k] = j
+            dfs(k + 1, max(used, j + 1))
+            loads[j] -= task.p
+            mems[j] -= task.s
+
+    dfs(0, 0)
+    return front

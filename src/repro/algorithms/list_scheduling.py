@@ -1,0 +1,157 @@
+"""Graham List Scheduling for independent tasks and DAGs.
+
+List Scheduling [Graham 1969] considers the tasks in a given priority order
+and greedily assigns each one to the processor on which it can start the
+earliest.  For independent tasks this is the classic ``2 - 1/m``
+approximation of ``P || Cmax``; the same guarantee extends to precedence
+constraints.  The paper uses it both as the single-objective sub-solver of
+``SBO_Δ`` (§3) and as the template that ``RLS_Δ`` restricts (§5.1).
+
+Two entry points are provided:
+
+* :func:`list_schedule` — assignment-only schedules for independent tasks,
+  with the objective switchable between processing time and memory;
+* :func:`graham_dag_schedule` — timed list schedules for DAG instances
+  (memory-oblivious; the memory-aware variant is
+  :func:`repro.core.rls.rls`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.instance import DAGInstance, Instance
+from repro.core.schedule import DAGSchedule, Schedule
+from repro.core.task import Task
+
+__all__ = ["list_schedule", "graham_dag_schedule", "resolve_order"]
+
+#: Named priority orders accepted by the list-scheduling entry points.
+_ORDERS = ("arbitrary", "spt", "lpt", "sms", "lms", "density")
+
+
+def resolve_order(
+    instance: Instance,
+    order: Union[str, Sequence[object], None],
+    objective: str = "time",
+) -> List[Task]:
+    """Resolve a priority-order specification into an explicit task list.
+
+    ``order`` may be a named policy (``"arbitrary"`` — instance order,
+    ``"spt"``, ``"lpt"``, ``"sms"`` — smallest memory size first, ``"lms"``
+    — largest memory size first, ``"density"`` — increasing ``p/s``), an
+    explicit sequence of task ids, or ``None`` (instance order).
+    """
+    if order is None or order == "arbitrary":
+        return instance.tasks.tasks
+    if isinstance(order, str):
+        if order == "spt":
+            return instance.tasks.sorted_by("p")
+        if order == "lpt":
+            return instance.tasks.sorted_by("p", reverse=True)
+        if order == "sms":
+            return instance.tasks.sorted_by("s")
+        if order == "lms":
+            return instance.tasks.sorted_by("s", reverse=True)
+        if order == "density":
+            return instance.tasks.sorted_by("density")
+        raise ValueError(f"unknown order {order!r}; expected one of {_ORDERS} or a task-id sequence")
+    tasks = [instance.task(tid) for tid in order]
+    if len(tasks) != instance.n or len({t.id for t in tasks}) != instance.n:
+        raise ValueError("explicit order must list every task id exactly once")
+    return tasks
+
+
+def _weight(task: Task, objective: str) -> float:
+    if objective == "time":
+        return task.p
+    if objective == "memory":
+        return task.s
+    raise ValueError(f"unknown objective {objective!r}; expected 'time' or 'memory'")
+
+
+def list_schedule(
+    instance: Instance,
+    order: Union[str, Sequence[object], None] = None,
+    objective: str = "time",
+) -> Schedule:
+    """Graham list scheduling of independent tasks.
+
+    Tasks are taken in the given priority order and each is placed on the
+    processor with the smallest accumulated weight, where the weight is the
+    processing time when ``objective="time"`` (minimizing ``Cmax``) or the
+    storage size when ``objective="memory"`` (minimizing ``Mmax``, the
+    symmetric problem of §2.1).
+
+    Guarantee: ``2 - 1/m`` on the chosen objective [Graham 1969]; ``4/3 -
+    1/(3m)`` when combined with the LPT/LMS order.
+    """
+    tasks = resolve_order(instance, order, objective=objective)
+    loads = [0.0] * instance.m
+    assignment: Dict[object, int] = {}
+    per_proc: Dict[int, List[object]] = {q: [] for q in range(instance.m)}
+    for task in tasks:
+        q = min(range(instance.m), key=lambda j: (loads[j], j))
+        assignment[task.id] = q
+        per_proc[q].append(task.id)
+        loads[q] += _weight(task, objective)
+    return Schedule(instance, assignment, order=per_proc)
+
+
+def graham_dag_schedule(
+    instance: Union[Instance, DAGInstance],
+    priority: Union[str, Sequence[object], None] = None,
+) -> DAGSchedule:
+    """Memory-oblivious Graham list scheduling of a DAG instance.
+
+    At every step the ready task that can start the earliest is placed on
+    the least-loaded processor; ties between tasks are broken by the given
+    priority order (the "arbitrary total ordering" of §5.1).  The resulting
+    schedule has no idle time while a task is ready, which yields the
+    classical ``2 - 1/m`` guarantee on ``Cmax`` under precedence
+    constraints.
+
+    This is exactly ``RLS_Δ`` with the memory restriction removed
+    (``Δ = ∞``); it serves as the makespan-oriented baseline of the
+    DAG experiments.
+    """
+    if not isinstance(instance, DAGInstance):
+        instance = instance.as_dag()
+    rank = {t.id: idx for idx, t in enumerate(resolve_order(instance, priority))}
+    graph = instance.graph
+    p = instance.tasks.processing_times()
+
+    load = [0.0] * instance.m
+    remaining_preds = {tid: graph.in_degree(tid) for tid in instance.tasks.ids}
+    completion: Dict[object, float] = {}
+    assignment: Dict[object, int] = {}
+    starts: Dict[object, float] = {}
+    ready = {tid for tid, deg in remaining_preds.items() if deg == 0}
+    scheduled = 0
+
+    while scheduled < instance.n:
+        # Earliest possible start of each ready task on the least-loaded processor.
+        best_task = None
+        best_key = None
+        for tid in ready:
+            release = max((completion[u] for u in graph.predecessors(tid)), default=0.0)
+            q = min(range(instance.m), key=lambda j: (load[j], j))
+            start = max(release, load[q])
+            key = (start, rank[tid])
+            if best_key is None or key < best_key:
+                best_key = key
+                best_task = (tid, q, start)
+        assert best_task is not None
+        tid, q, start = best_task
+        ready.discard(tid)
+        assignment[tid] = q
+        starts[tid] = start
+        completion[tid] = start + p[tid]
+        load[q] = completion[tid]
+        scheduled += 1
+        for succ in graph.successors(tid):
+            remaining_preds[succ] -= 1
+            if remaining_preds[succ] == 0:
+                ready.add(succ)
+
+    return DAGSchedule(instance, assignment, starts)

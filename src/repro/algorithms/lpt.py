@@ -1,0 +1,35 @@
+"""Longest Processing Time first (LPT) for ``P || Cmax`` and its memory analogue.
+
+LPT is Graham's classical heuristic: sort the tasks by decreasing weight and
+list-schedule them on the least-loaded processor.  Its approximation ratio
+on the makespan is ``4/3 - 1/(3m)``, which makes it the default
+single-objective sub-solver inside ``SBO_Δ`` when the PTAS is not needed.
+The memory analogue (largest storage size first) carries the same guarantee
+on ``Mmax`` by the symmetry of §2.1.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.list_scheduling import list_schedule
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+
+__all__ = ["lpt_schedule", "lpt_guarantee"]
+
+
+def lpt_schedule(instance: Instance, objective: str = "time") -> Schedule:
+    """LPT (``objective="time"``) or LMS (``objective="memory"``) schedule.
+
+    Sorts tasks by decreasing processing time (resp. storage size) and
+    assigns each to the processor with the smallest accumulated load
+    (resp. memory).
+    """
+    order = "lpt" if objective == "time" else "lms"
+    return list_schedule(instance, order=order, objective=objective)
+
+
+def lpt_guarantee(m: int) -> float:
+    """Worst-case approximation ratio of LPT on ``m`` processors: ``4/3 - 1/(3m)``."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    return 4.0 / 3.0 - 1.0 / (3.0 * m)

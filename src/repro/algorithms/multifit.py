@@ -1,0 +1,115 @@
+"""MULTIFIT: makespan minimization through bin-packing duality.
+
+MULTIFIT [Coffman, Garey, Johnson 1978] binary-searches a capacity ``C`` and
+asks whether First Fit Decreasing (FFD) packs all tasks into ``m`` bins of
+capacity ``C``.  The smallest capacity for which FFD succeeds is at most
+``13/11`` times the optimal makespan (after enough iterations), which makes
+MULTIFIT a tighter drop-in replacement for LPT inside ``SBO_Δ`` when a
+better ``ρ1``/``ρ2`` is wanted without paying for the PTAS.
+
+As everywhere in the library, the ``objective`` switch selects whether the
+packed weight is the processing time (``Cmax``) or the storage size
+(``Mmax``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.core.task import Task
+
+__all__ = ["multifit_schedule", "ffd_pack", "multifit_guarantee"]
+
+#: Worst-case ratio of MULTIFIT with a sufficient number of iterations.
+_MULTIFIT_RATIO = 13.0 / 11.0
+
+
+def _weight(task: Task, objective: str) -> float:
+    if objective == "time":
+        return task.p
+    if objective == "memory":
+        return task.s
+    raise ValueError(f"unknown objective {objective!r}; expected 'time' or 'memory'")
+
+
+def ffd_pack(
+    tasks: List[Task], m: int, capacity: float, objective: str = "time"
+) -> Optional[List[List[object]]]:
+    """First Fit Decreasing packing of ``tasks`` into ``m`` bins of ``capacity``.
+
+    Returns the per-bin lists of task ids on success and ``None`` when some
+    task does not fit.  Ties in the decreasing-weight order are broken by
+    instance order to keep the algorithm deterministic.
+    """
+    bins: List[float] = [0.0] * m
+    contents: List[List[object]] = [[] for _ in range(m)]
+    eps = 1e-12 * max(1.0, capacity)
+    for task in sorted(tasks, key=lambda t: -_weight(t, objective)):
+        w = _weight(task, objective)
+        placed = False
+        for j in range(m):
+            if bins[j] + w <= capacity + eps:
+                bins[j] += w
+                contents[j].append(task.id)
+                placed = True
+                break
+        if not placed:
+            return None
+    return contents
+
+
+def multifit_schedule(
+    instance: Instance,
+    objective: str = "time",
+    iterations: int = 40,
+) -> Schedule:
+    """MULTIFIT schedule of an independent-task instance.
+
+    Parameters
+    ----------
+    instance:
+        The instance to schedule.
+    objective:
+        ``"time"`` to minimize ``Cmax`` or ``"memory"`` to minimize ``Mmax``.
+    iterations:
+        Number of binary-search iterations on the capacity; the classical
+        analysis needs only ``O(log(1/ε))`` iterations and 40 reaches
+        floating-point resolution.
+    """
+    tasks = instance.tasks.tasks
+    m = instance.m
+    weights = [_weight(t, objective) for t in tasks]
+    if not tasks:
+        return Schedule(instance, {}, order={q: [] for q in range(m)})
+    total = sum(weights)
+    # Classical MULTIFIT bracket: CL <= OPT <= CU and FFD always succeeds at CU.
+    lower = max(total / m, max(weights))
+    upper = max(2.0 * total / m, max(weights))
+    best: Optional[List[List[object]]] = ffd_pack(tasks, m, upper, objective)
+    if best is None:  # pragma: no cover - the bracket guarantees success
+        upper = total + max(weights)
+        best = ffd_pack(tasks, m, upper, objective)
+        assert best is not None
+    for _ in range(iterations):
+        mid = 0.5 * (lower + upper)
+        packed = ffd_pack(tasks, m, mid, objective)
+        if packed is None:
+            lower = mid
+        else:
+            best = packed
+            upper = mid
+    return Schedule.from_processor_lists(instance, best)
+
+
+def multifit_guarantee(iterations: int = 40) -> float:
+    """Approximation ratio guaranteed by MULTIFIT after ``iterations`` halvings.
+
+    The limit ratio is ``13/11``; finitely many iterations add ``2^-k`` of
+    the initial bracket, which we fold into the returned value the standard
+    way (``13/11 + 2^-k``).
+    """
+    if iterations < 0:
+        raise ValueError("iterations must be >= 0")
+    return _MULTIFIT_RATIO + 2.0 ** (-iterations)

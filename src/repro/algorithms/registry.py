@@ -1,0 +1,79 @@
+"""A small registry of named single-objective solvers.
+
+``SBO_Δ`` and the experiment harness select their single-objective
+sub-solver by name (``"list"``, ``"lpt"``, ``"multifit"``, ``"ptas"``,
+``"exact"``).  Each registered solver is a callable
+``solver(instance, objective) -> (Schedule, rho)`` where ``rho`` is the
+approximation ratio the solver guarantees on the chosen objective for the
+instance's processor count; the guarantee is what Property 1/2 multiply by
+``(1 + Δ)`` and ``(1 + 1/Δ)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.algorithms.exact import exact_schedule
+from repro.algorithms.list_scheduling import list_schedule
+from repro.algorithms.lpt import lpt_guarantee, lpt_schedule
+from repro.algorithms.multifit import multifit_guarantee, multifit_schedule
+from repro.algorithms.ptas import ptas_schedule
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+
+__all__ = ["get_solver", "available_solvers", "SolverFn"]
+
+#: Signature of a registered solver: (instance, objective) -> (schedule, guaranteed ratio).
+SolverFn = Callable[[Instance, str], Tuple[Schedule, float]]
+
+
+def _list_solver(instance: Instance, objective: str) -> Tuple[Schedule, float]:
+    schedule = list_schedule(instance, order="arbitrary", objective=objective)
+    return schedule, 2.0 - 1.0 / instance.m
+
+
+def _lpt_solver(instance: Instance, objective: str) -> Tuple[Schedule, float]:
+    schedule = lpt_schedule(instance, objective=objective)
+    return schedule, lpt_guarantee(instance.m)
+
+
+def _multifit_solver(instance: Instance, objective: str) -> Tuple[Schedule, float]:
+    schedule = multifit_schedule(instance, objective=objective)
+    return schedule, multifit_guarantee()
+
+
+def _ptas_solver(epsilon: float) -> SolverFn:
+    def solver(instance: Instance, objective: str) -> Tuple[Schedule, float]:
+        result = ptas_schedule(instance, epsilon=epsilon, objective=objective)
+        return result.schedule, result.guarantee
+
+    return solver
+
+
+def _exact_solver(instance: Instance, objective: str) -> Tuple[Schedule, float]:
+    return exact_schedule(instance, objective=objective), 1.0
+
+
+_REGISTRY: Dict[str, SolverFn] = {
+    "list": _list_solver,
+    "lpt": _lpt_solver,
+    "multifit": _multifit_solver,
+    "ptas": _ptas_solver(epsilon=0.2),
+    "ptas-fine": _ptas_solver(epsilon=0.1),
+    "exact": _exact_solver,
+}
+
+
+def available_solvers() -> List[str]:
+    """Names of the registered single-objective solvers."""
+    return sorted(_REGISTRY)
+
+
+def get_solver(name: str) -> SolverFn:
+    """Look up a solver by name; raises :class:`KeyError` with the valid names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown solver {name!r}; available solvers: {', '.join(available_solvers())}"
+        ) from None

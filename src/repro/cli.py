@@ -1,0 +1,249 @@
+"""Command-line interface.
+
+Four sub-commands cover the typical workflows:
+
+``generate``
+    Create a synthetic instance (independent workload or DAG family) and
+    write it to a JSON file that ``schedule`` can read back.
+``schedule``
+    Run one of the paper's algorithms (or a baseline) on an instance file
+    and print the objective values, guarantees and an optional Gantt chart.
+``experiments``
+    Run one experiment of the DESIGN.md index (or all of them) and print
+    its table and shape checks.
+``report``
+    Regenerate the full EXPERIMENTS.md-style Markdown report.
+
+Examples::
+
+    python -m repro generate --kind uniform --n 50 --m 4 --seed 1 --output inst.json
+    python -m repro schedule --input inst.json --algorithm sbo --delta 1.0 --gantt
+    python -m repro schedule --input inst.json --algorithm constrained --capacity 120
+    python -m repro experiments --id FIG-3
+    python -m repro report > EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.constrained import solve_constrained
+from repro.core.instance import DAGInstance, Instance
+from repro.core.rls import rls
+from repro.core.sbo import sbo
+from repro.core.trio import tri_objective_schedule
+from repro.algorithms.lpt import lpt_schedule
+from repro.algorithms.spt import spt_schedule
+from repro.dag.generators import random_dag_suite
+from repro.simulator.executor import simulate_schedule
+from repro.simulator.trace import render_gantt
+from repro.workloads.independent import workload_suite
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- #
+# generate
+# --------------------------------------------------------------------------- #
+_INDEPENDENT_KINDS = ("uniform", "correlated", "anti-correlated", "bimodal", "heavy-tailed")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind in _INDEPENDENT_KINDS:
+        instance: Instance = workload_suite(args.n, args.m, seed=args.seed)[args.kind]
+    else:
+        suite = random_dag_suite(args.m, seed=args.seed)
+        if args.kind not in suite:
+            print(f"error: unknown instance kind {args.kind!r}", file=sys.stderr)
+            return 2
+        instance = suite[args.kind]
+    payload = instance.to_dict()
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {instance.n} tasks ({args.kind}) to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _load_instance(path: str) -> Instance:
+    data = json.loads(Path(path).read_text())
+    if data.get("kind") == "dag":
+        return DAGInstance.from_dict(data)
+    return Instance.from_dict(data)
+
+
+# --------------------------------------------------------------------------- #
+# schedule
+# --------------------------------------------------------------------------- #
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.input)
+    algorithm = args.algorithm
+    guarantees = ""
+    if algorithm == "sbo":
+        result = sbo(instance, delta=args.delta, cmax_solver=args.solver)
+        schedule = result.schedule
+        guarantees = f"guarantees: Cmax<= {result.cmax_guarantee:.3f}*OPT, Mmax<= {result.mmax_guarantee:.3f}*OPT"
+    elif algorithm == "rls":
+        result = rls(instance, delta=args.delta, order=args.order)
+        schedule = result.schedule
+        guarantees = (
+            f"guarantees: Cmax<= {result.cmax_guarantee:.3f}*OPT, Mmax<= {result.mmax_guarantee:.3f}*OPT"
+            if result.cmax_guarantee != float("inf")
+            else f"guarantees: Mmax<= {result.mmax_guarantee:.3f}*OPT (no Cmax guarantee at this delta)"
+        )
+    elif algorithm == "trio":
+        result = tri_objective_schedule(instance, delta=args.delta)
+        schedule = result.schedule
+        g = result.guarantees
+        guarantees = f"guarantees: Cmax<= {g[0]:.3f}*OPT, Mmax<= {g[1]:.3f}*OPT, sumCi<= {g[2]:.3f}*OPT"
+    elif algorithm == "constrained":
+        if args.capacity is None:
+            print("error: --capacity is required with --algorithm constrained", file=sys.stderr)
+            return 2
+        outcome = solve_constrained(instance, memory_capacity=args.capacity)
+        if not outcome.feasible:
+            reason = "certified infeasible" if outcome.certified_infeasible else "no feasible schedule found"
+            print(f"infeasible: {reason} (capacity {args.capacity:g})")
+            return 1
+        schedule = outcome.schedule
+        guarantees = f"strategy: {outcome.strategy}; delta = {outcome.delta:.3f}"
+    elif algorithm == "lpt":
+        schedule = lpt_schedule(instance.as_independent() if isinstance(instance, DAGInstance) else instance)
+    elif algorithm == "spt":
+        schedule = spt_schedule(instance.as_independent() if isinstance(instance, DAGInstance) else instance)
+    else:  # pragma: no cover - argparse choices prevent this
+        print(f"error: unknown algorithm {algorithm!r}", file=sys.stderr)
+        return 2
+
+    report = simulate_schedule(schedule)
+    print(f"instance: {instance.name or args.input} (n={instance.n}, m={instance.m})")
+    print(f"algorithm: {algorithm}")
+    print(f"Cmax = {schedule.cmax:g}")
+    print(f"Mmax = {schedule.mmax:g}")
+    print(f"sum Ci = {schedule.sum_ci:g}")
+    if guarantees:
+        print(guarantees)
+    print(f"simulation check: {'OK' if report.ok else 'VIOLATIONS: ' + '; '.join(report.violations)}")
+    if args.gantt:
+        print(render_gantt(schedule, width=args.gantt_width))
+    return 0 if report.ok else 1
+
+
+# --------------------------------------------------------------------------- #
+# experiments / report
+# --------------------------------------------------------------------------- #
+def _experiment_runners() -> Dict[str, Callable[[], object]]:
+    from repro.experiments import (
+        run_constrained_study,
+        run_figure1,
+        run_figure2,
+        run_figure3,
+        run_rls_ablation,
+        run_rls_ratio,
+        run_sbo_ablation,
+        run_sbo_ratio,
+        run_simulation_validation,
+        run_trio_ratio,
+    )
+
+    return {
+        "FIG-1": run_figure1,
+        "FIG-2": run_figure2,
+        "FIG-3": run_figure3,
+        "EXT-T1": lambda: run_sbo_ratio(seeds=(0, 1)),
+        "EXT-T2": lambda: run_rls_ratio(seeds=(0, 1)),
+        "EXT-T3": lambda: run_trio_ratio(seeds=(0, 1)),
+        "EXT-T4": lambda: run_constrained_study(seeds=(0, 1)),
+        "EXT-A1": lambda: run_sbo_ablation(seeds=(0, 1)),
+        "EXT-A2": lambda: run_rls_ablation(seeds=(0, 1)),
+        "EXT-A3": lambda: run_simulation_validation(seeds=(0, 1)),
+    }
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    runners = _experiment_runners()
+    ids = list(runners) if args.id == "all" else [args.id]
+    exit_code = 0
+    for exp_id in ids:
+        if exp_id not in runners:
+            print(f"error: unknown experiment id {exp_id!r}; known ids: {', '.join(runners)}", file=sys.stderr)
+            return 2
+        result = runners[exp_id]()
+        print(result.to_text())
+        print()
+        if not result.all_checks_pass:
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_experiments_report
+
+    text = generate_experiments_report(quick=not args.full)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bi-objective (makespan, memory) scheduling — IPDPS 2008 reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic instance as JSON")
+    gen.add_argument("--kind", default="uniform",
+                     help=f"workload family ({', '.join(_INDEPENDENT_KINDS)}) or DAG family (layered, fft, ...)")
+    gen.add_argument("--n", type=int, default=50, help="number of tasks (independent workloads only)")
+    gen.add_argument("--m", type=int, default=4, help="number of processors")
+    gen.add_argument("--seed", type=int, default=0, help="random seed")
+    gen.add_argument("--output", default=None, help="output JSON path (stdout when omitted)")
+    gen.set_defaults(func=_cmd_generate)
+
+    sch = sub.add_parser("schedule", help="schedule an instance file and print the objectives")
+    sch.add_argument("--input", required=True, help="instance JSON produced by `generate`")
+    sch.add_argument("--algorithm", default="sbo",
+                     choices=["sbo", "rls", "trio", "constrained", "lpt", "spt"])
+    sch.add_argument("--delta", type=float, default=1.0, help="delta parameter (sbo/rls/trio)")
+    sch.add_argument("--solver", default="lpt", help="SBO sub-solver (list, lpt, multifit, ptas, exact)")
+    sch.add_argument("--order", default="arbitrary", help="RLS tie-breaking order")
+    sch.add_argument("--capacity", type=float, default=None, help="memory capacity (constrained only)")
+    sch.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    sch.add_argument("--gantt-width", type=int, default=60, help="Gantt chart width in characters")
+    sch.set_defaults(func=_cmd_schedule)
+
+    exp = sub.add_parser("experiments", help="run a reproduced experiment by id")
+    exp.add_argument("--id", default="all", help="experiment id (FIG-1 ... EXT-A3) or 'all'")
+    exp.set_defaults(func=_cmd_experiments)
+
+    rep = sub.add_parser("report", help="regenerate the EXPERIMENTS.md report")
+    rep.add_argument("--output", default=None, help="write to this path instead of stdout")
+    rep.add_argument("--full", action="store_true", help="use the larger (slower) sweeps")
+    rep.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,271 @@
+"""Inapproximability constructions and bounds of Section 4.
+
+The paper proves that no algorithm returning a *single* schedule can have
+an approximation ratio pair better than a whole region of the
+``(Cmax ratio, Mmax ratio)`` plane.  The proofs are constructive: small
+instances whose exact Pareto fronts leave a gap no single solution can
+cover.  This module rebuilds those instances, their closed-form Pareto
+fronts, and the impossibility region itself (Figure 3):
+
+* :func:`instance_lemma1` and :func:`lemma1_pareto_values` — §4.1's
+  two-processor, three-task instance showing nothing beats ``(1, 2)`` /
+  ``(2, 1)``;
+* :func:`instance_lemma2` and :func:`lemma2_frontier` — §4.2's
+  generalisation to ``m`` processors and ``km + m - 1`` tasks, giving the
+  continuous staircase ``(1 + i/(km), 1 + (m-1)(1 - i/k))``;
+* :func:`instance_lemma3` and :func:`lemma3_pareto_values` — §4.3's second
+  two-processor instance proving nothing beats ``(3/2, 3/2)``;
+* :func:`impossibility_domain` and :func:`is_ratio_impossible` — the
+  union of all excluded regions, i.e. the shaded domain of Figure 3;
+* :func:`figure3_series` — the exact data series (staircases for
+  ``m = 2..6``, the Lemma 3 point, and the dashed SBO trade-off curve)
+  plotted in Figure 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.instance import Instance
+from repro.core.sbo import sbo_tradeoff_curve
+from repro.core.task import Task, TaskSet
+
+__all__ = [
+    "instance_lemma1",
+    "lemma1_pareto_values",
+    "instance_lemma2",
+    "lemma2_frontier",
+    "instance_lemma3",
+    "lemma3_pareto_values",
+    "impossibility_domain",
+    "is_ratio_impossible",
+    "figure3_series",
+]
+
+#: Default value of the vanishing parameter epsilon used by the constructions.
+DEFAULT_EPSILON = 1e-3
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 1 (§4.1): m = 2, three tasks.
+# --------------------------------------------------------------------------- #
+def instance_lemma1(epsilon: float = DEFAULT_EPSILON) -> Instance:
+    """The §4.1 instance: ``p = (1, 1/2, 1/2)``, ``s = (ε, 1, 1)``, ``m = 2``.
+
+    Its optimal makespan is 1 and optimal memory consumption is ``1 + ε``;
+    its Pareto front is ``{(1, 2), (3/2, 1 + ε)}``, so no algorithm can be
+    ``(1, 2 - δ)``- or ``(3/2 - δ, ...)``-approximate simultaneously —
+    Lemma 1 follows.
+    """
+    if not (0 < epsilon < 0.5):
+        raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
+    return Instance.from_lists(
+        p=[1.0, 0.5, 0.5],
+        s=[epsilon, 1.0, 1.0],
+        m=2,
+        name=f"lemma1(eps={epsilon:g})",
+    )
+
+
+def lemma1_pareto_values(epsilon: float = DEFAULT_EPSILON) -> List[Tuple[float, float]]:
+    """Closed-form Pareto front ``{(1, 2), (3/2, 1 + ε)}`` of the §4.1 instance."""
+    if not (0 < epsilon < 0.5):
+        raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
+    return [(1.0, 2.0), (1.5, 1.0 + epsilon)]
+
+
+def lemma1_optima(epsilon: float = DEFAULT_EPSILON) -> Tuple[float, float]:
+    """``(C*max, M*max) = (1, 1 + ε)`` for the §4.1 instance."""
+    return (1.0, 1.0 + epsilon)
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 2 (§4.2): m processors, km + m - 1 tasks.
+# --------------------------------------------------------------------------- #
+def instance_lemma2(m: int, k: int, epsilon: float = DEFAULT_EPSILON) -> Instance:
+    """The §4.2 instance for ``m`` processors and granularity ``k``.
+
+    ``m - 1`` *long* tasks (``p = 1``, ``s = ε``) and ``km`` *heavy* tasks
+    (``p = 1/(km)``, ``s = 1``).  Optimal makespan 1, optimal memory
+    ``k + ε``.
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    if not (0 < epsilon < 1):
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    tasks = []
+    for i in range(m - 1):
+        tasks.append(Task(id=f"long{i}", p=1.0, s=epsilon, label="long"))
+    for i in range(k * m):
+        tasks.append(Task(id=f"heavy{i}", p=1.0 / (k * m), s=1.0, label="heavy"))
+    return Instance(TaskSet(tasks), m=m, name=f"lemma2(m={m},k={k},eps={epsilon:g})")
+
+
+def lemma2_optima(m: int, k: int, epsilon: float = DEFAULT_EPSILON) -> Tuple[float, float]:
+    """``(C*max, M*max) = (1, k + ε)`` for the §4.2 instance."""
+    if m < 2 or k < 2:
+        raise ValueError("m and k must both be >= 2")
+    return (1.0, float(k) + epsilon)
+
+
+def lemma2_frontier(m: int, k: int) -> List[Tuple[float, float]]:
+    """The excluded-ratio staircase of Lemma 2 for given ``m`` and ``k``.
+
+    Returns the ``k + 1`` ratio pairs ``(1 + i/(km), 1 + (m-1)(1 - i/k))``
+    for ``i = 0..k``; no algorithm can beat any of them simultaneously.
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    return [
+        (1.0 + i / (k * m), 1.0 + (m - 1) * (1.0 - i / k))
+        for i in range(k + 1)
+    ]
+
+
+def lemma2_pareto_values(m: int, k: int, epsilon: float = DEFAULT_EPSILON) -> List[Tuple[float, float]]:
+    """Objective values of the ``k + 1`` Pareto-optimal schedules of the §4.2 instance.
+
+    Solution ``i`` (``i = 0..k``) schedules ``i`` heavy tasks and one long
+    task on each of the first ``m - 1`` processors and the remaining heavy
+    tasks on the last one; its makespan is ``1 + i/(km)`` and its memory is
+    ``k + (k - i)(m - 1)`` for ``i < k`` and ``k + ε`` for ``i = k``.
+    """
+    values: List[Tuple[float, float]] = []
+    for i in range(k + 1):
+        cmax = 1.0 + i / (k * m)
+        if i == k:
+            mmax = float(k) + epsilon
+        else:
+            mmax = float(k + (k - i) * (m - 1))
+        values.append((cmax, mmax))
+    return values
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 3 (§4.3): the (3/2, 3/2) bound.
+# --------------------------------------------------------------------------- #
+def instance_lemma3(epsilon: float = DEFAULT_EPSILON) -> Instance:
+    """The §4.3 instance: ``p = (1, ε, 1-ε)``, ``s = (ε, 1, 1-ε)``, ``m = 2``.
+
+    Optimal makespan and optimal memory are both 1; the Pareto front is
+    ``{(1, 2-ε), (1+ε, 1+ε), (2-ε, 1)}``.  Taking ``ε`` close to ``1/2``
+    proves Lemma 3: no algorithm beats ``(3/2, 3/2)``.
+    """
+    if not (0 < epsilon < 0.5):
+        raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
+    return Instance.from_lists(
+        p=[1.0, epsilon, 1.0 - epsilon],
+        s=[epsilon, 1.0, 1.0 - epsilon],
+        m=2,
+        name=f"lemma3(eps={epsilon:g})",
+    )
+
+
+def lemma3_pareto_values(epsilon: float = DEFAULT_EPSILON) -> List[Tuple[float, float]]:
+    """Closed-form Pareto front ``{(1, 2-ε), (1+ε, 1+ε), (2-ε, 1)}`` of the §4.3 instance."""
+    if not (0 < epsilon < 0.5):
+        raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
+    return [(1.0, 2.0 - epsilon), (1.0 + epsilon, 1.0 + epsilon), (2.0 - epsilon, 1.0)]
+
+
+def lemma3_optima(epsilon: float = DEFAULT_EPSILON) -> Tuple[float, float]:
+    """``(C*max, M*max) = (1, 1)`` for the §4.3 instance."""
+    return (1.0, 1.0)
+
+
+# --------------------------------------------------------------------------- #
+# The impossibility domain of Figure 3.
+# --------------------------------------------------------------------------- #
+def is_ratio_impossible(
+    cmax_ratio: float,
+    mmax_ratio: float,
+    m: int,
+    k_max: int = 64,
+    strict: bool = True,
+) -> bool:
+    """Whether a ``(Cmax, Mmax)`` approximation-ratio pair is proven impossible.
+
+    The pair is impossible on ``m`` processors when it (strictly) beats a
+    Lemma 2 point for some ``k <= k_max`` and ``i``, or beats the Lemma 3
+    pair ``(3/2, 3/2)`` (valid for every ``m >= 2``), or beats the Lemma 1
+    corners ``(1, 2)`` / ``(2, 1)``.  Symmetric pairs (``Cmax`` and ``Mmax``
+    ratios swapped) are also checked, since every construction can be
+    mirrored (§4.2).
+    """
+    if m < 2:
+        return False
+
+    def beats(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+        # "a beats b" = a is at least as good everywhere and strictly better
+        # somewhere (strict=True), which is what contradicts an instance whose
+        # Pareto front pins b as unbeatable.
+        if strict:
+            return a[0] <= b[0] and a[1] <= b[1] and a != b
+        return a[0] < b[0] and a[1] < b[1]
+
+    candidates = [(cmax_ratio, mmax_ratio), (mmax_ratio, cmax_ratio)]
+    for pair in candidates:
+        if beats(pair, (1.5, 1.5)):
+            return True
+        if beats(pair, (1.0, 2.0)) or beats(pair, (2.0, 1.0)):
+            return True
+        for k in range(2, k_max + 1):
+            for point in lemma2_frontier(m, k):
+                if beats(pair, point):
+                    return True
+    return False
+
+
+def impossibility_domain(
+    m: int,
+    k: int = 32,
+) -> List[Tuple[float, float]]:
+    """The boundary of the excluded region for ``m`` processors (Lemma 2 + Lemma 3).
+
+    Returns the non-dominated (from below) set of excluded ratio pairs:
+    the Lemma 2 staircase at granularity ``k`` for the given ``m``,
+    augmented with the Lemma 3 point ``(3/2, 3/2)`` and the universal
+    Lemma 1 corners.  Sorted by increasing ``Cmax`` ratio.
+    """
+    points = set(lemma2_frontier(m, k))
+    points.add((1.5, 1.5))
+    points.update({(1.0, 2.0), (2.0, 1.0)})
+    # Keep only the lower envelope (points not dominated from below by another
+    # point: q dominates-from-below p when q <= p componentwise and q != p —
+    # those q are the binding bounds).
+    envelope = []
+    for p in points:
+        if not any(q != p and q[0] <= p[0] and q[1] <= p[1] for q in points):
+            envelope.append(p)
+    return sorted(envelope)
+
+
+def figure3_series(
+    m_values: Sequence[int] = (2, 3, 4, 5, 6),
+    k: int = 32,
+    deltas: Sequence[float] = tuple(0.05 * i for i in range(2, 81)),
+) -> Dict[str, object]:
+    """All data series of Figure 3.
+
+    Returns a dictionary with:
+
+    * ``"staircases"`` — mapping ``m -> impossibility_domain(m, k)``;
+    * ``"lemma3_point"`` — the ``(3/2, 3/2)`` bound;
+    * ``"lemma1_points"`` — the ``(1, 2)`` and ``(2, 1)`` corners;
+    * ``"sbo_curve"`` — the dashed achievable curve ``(1 + Δ, 1 + 1/Δ)``
+      from Section 3 (PTAS sub-solvers, ``ε -> 0``).
+    """
+    staircases = {m: impossibility_domain(m, k) for m in m_values}
+    curve = [(c, mm) for (_, c, mm) in sbo_tradeoff_curve(list(deltas))]
+    return {
+        "staircases": staircases,
+        "lemma3_point": (1.5, 1.5),
+        "lemma1_points": [(1.0, 2.0), (2.0, 1.0)],
+        "sbo_curve": curve,
+    }

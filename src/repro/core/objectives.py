@@ -1,0 +1,97 @@
+"""Objective evaluation: ``Cmax``, ``Mmax`` and ``sum Ci``.
+
+This module provides a uniform way to evaluate any schedule object
+(:class:`~repro.core.schedule.Schedule` or
+:class:`~repro.core.schedule.DAGSchedule`) and package the three objective
+values of the paper in a single comparable record.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.core.schedule import DAGSchedule, Schedule
+
+__all__ = ["ObjectiveValues", "evaluate", "ratio_to"]
+
+AnySchedule = Union[Schedule, DAGSchedule]
+
+
+@dataclass(frozen=True)
+class ObjectiveValues:
+    """The three objective values of a schedule.
+
+    ``cmax`` and ``mmax`` are the paper's primary bi-objective pair;
+    ``sum_ci`` is the third objective of §5.2.
+    """
+
+    cmax: float
+    mmax: float
+    sum_ci: float
+
+    def as_pair(self) -> Tuple[float, float]:
+        """``(Cmax, Mmax)`` pair used for Pareto dominance."""
+        return (self.cmax, self.mmax)
+
+    def as_triple(self) -> Tuple[float, float, float]:
+        """``(Cmax, Mmax, sum Ci)`` triple."""
+        return (self.cmax, self.mmax, self.sum_ci)
+
+    def weakly_dominates(self, other: "ObjectiveValues", include_sum_ci: bool = False) -> bool:
+        """True when this point is no worse than ``other`` on every objective."""
+        ok = self.cmax <= other.cmax and self.mmax <= other.mmax
+        if include_sum_ci:
+            ok = ok and self.sum_ci <= other.sum_ci
+        return ok
+
+    def dominates(self, other: "ObjectiveValues", include_sum_ci: bool = False) -> bool:
+        """Strict Pareto dominance (no worse everywhere, better somewhere)."""
+        if not self.weakly_dominates(other, include_sum_ci=include_sum_ci):
+            return False
+        if include_sum_ci:
+            return (self.cmax, self.mmax, self.sum_ci) != (other.cmax, other.mmax, other.sum_ci)
+        return (self.cmax, self.mmax) != (other.cmax, other.mmax)
+
+    def isclose(self, other: "ObjectiveValues", rel_tol: float = 1e-9, abs_tol: float = 1e-12) -> bool:
+        """Component-wise ``math.isclose`` comparison."""
+        return (
+            math.isclose(self.cmax, other.cmax, rel_tol=rel_tol, abs_tol=abs_tol)
+            and math.isclose(self.mmax, other.mmax, rel_tol=rel_tol, abs_tol=abs_tol)
+            and math.isclose(self.sum_ci, other.sum_ci, rel_tol=rel_tol, abs_tol=abs_tol)
+        )
+
+
+def evaluate(schedule: AnySchedule) -> ObjectiveValues:
+    """Evaluate the three objectives of a schedule.
+
+    Works on both independent-task :class:`Schedule` objects (where
+    completion times follow from back-to-back execution) and timed
+    :class:`DAGSchedule` objects.
+    """
+    return ObjectiveValues(cmax=schedule.cmax, mmax=schedule.mmax, sum_ci=schedule.sum_ci)
+
+
+def ratio_to(
+    values: ObjectiveValues,
+    cmax_ref: float,
+    mmax_ref: float,
+    sum_ci_ref: Optional[float] = None,
+) -> Tuple[float, float, Optional[float]]:
+    """Performance ratios of ``values`` against reference (optimal or lower-bound) values.
+
+    A reference of ``0`` with a matching achieved value of ``0`` yields a
+    ratio of ``1`` (the schedule is trivially optimal on that objective);
+    a positive achieved value against a zero reference yields ``inf``.
+    """
+
+    def _ratio(achieved: float, ref: float) -> float:
+        if ref > 0:
+            return achieved / ref
+        return 1.0 if achieved <= 0 else math.inf
+
+    r_c = _ratio(values.cmax, cmax_ref)
+    r_m = _ratio(values.mmax, mmax_ref)
+    r_s = None if sum_ci_ref is None else _ratio(values.sum_ci, sum_ci_ref)
+    return (r_c, r_m, r_s)

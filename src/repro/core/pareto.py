@@ -1,0 +1,143 @@
+"""Pareto dominance utilities for the bi-objective ``(Cmax, Mmax)`` space.
+
+Section 4 of the paper reasons about Pareto-optimal schedules of small
+adversarial instances; the experiment harness additionally computes exact
+Pareto fronts of random instances (via :mod:`repro.algorithms.exact`) to
+measure how close the algorithms' single-solution trade-offs come to the
+front.  This module provides the dominance predicate, a front container
+that maintains only non-dominated points, and a filter for batch inputs.
+
+Points are minimization points: smaller is better on every coordinate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = ["dominates", "weakly_dominates", "pareto_filter", "ParetoPoint", "ParetoFront"]
+
+T = TypeVar("T")
+
+
+def weakly_dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse than ``b`` on every coordinate."""
+    if len(a) != len(b):
+        raise ValueError(f"points have different dimensions: {len(a)} vs {len(b)}")
+    return all(x <= y for x, y in zip(a, b))
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Strict Pareto dominance: ``a`` no worse everywhere and better somewhere."""
+    return weakly_dominates(a, b) and tuple(a) != tuple(b)
+
+
+def pareto_filter(points: Iterable[Sequence[float]]) -> List[Tuple[float, ...]]:
+    """Return the non-dominated subset of ``points`` (duplicates removed).
+
+    The result is sorted lexicographically, which for two-dimensional
+    minimization fronts means increasing first coordinate and decreasing
+    second coordinate.
+    """
+    unique = sorted({tuple(float(x) for x in p) for p in points})
+    front: List[Tuple[float, ...]] = []
+    for p in unique:
+        if not any(dominates(q, p) for q in unique if q != p):
+            front.append(p)
+    return front
+
+
+@dataclass(frozen=True)
+class ParetoPoint(Generic[T]):
+    """An objective vector together with the artefact (e.g. schedule) achieving it."""
+
+    values: Tuple[float, ...]
+    payload: Optional[T] = None
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+
+class ParetoFront(Generic[T]):
+    """An incrementally-maintained Pareto front of minimization points.
+
+    Adding a point discards it if it is dominated by an existing point and
+    evicts any existing points it dominates.  Weakly-dominated duplicates
+    (equal objective vectors) are kept only once — the first payload wins.
+    """
+
+    def __init__(self, dim: int = 2) -> None:
+        if dim < 1:
+            raise ValueError("dimension must be >= 1")
+        self._dim = dim
+        self._points: List[ParetoPoint[T]] = []
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add(self, values: Sequence[float], payload: Optional[T] = None) -> bool:
+        """Try to insert a point; returns ``True`` when it enters the front."""
+        values = tuple(float(v) for v in values)
+        if len(values) != self._dim:
+            raise ValueError(f"expected a {self._dim}-dimensional point, got {len(values)}")
+        if any(not math.isfinite(v) for v in values):
+            raise ValueError(f"point coordinates must be finite, got {values}")
+        for existing in self._points:
+            if weakly_dominates(existing.values, values):
+                return False
+        self._points = [pt for pt in self._points if not dominates(values, pt.values)]
+        self._points.append(ParetoPoint(values=values, payload=payload))
+        return True
+
+    def extend(self, items: Iterable[Tuple[Sequence[float], Optional[T]]]) -> int:
+        """Add several ``(values, payload)`` pairs; returns how many entered the front."""
+        return sum(1 for values, payload in items if self.add(values, payload))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[ParetoPoint[T]]:
+        return iter(self.points())
+
+    def points(self) -> List[ParetoPoint[T]]:
+        """Front points sorted lexicographically by objective vector."""
+        return sorted(self._points, key=lambda pt: pt.values)
+
+    def values(self) -> List[Tuple[float, ...]]:
+        """Objective vectors on the front, sorted lexicographically."""
+        return [pt.values for pt in self.points()]
+
+    def payloads(self) -> List[Optional[T]]:
+        """Payloads in the same order as :meth:`values`."""
+        return [pt.payload for pt in self.points()]
+
+    def dominates_point(self, values: Sequence[float]) -> bool:
+        """True when some front point strictly dominates ``values``."""
+        values = tuple(float(v) for v in values)
+        return any(dominates(pt.values, values) for pt in self._points)
+
+    def contains(self, values: Sequence[float], rel_tol: float = 1e-9) -> bool:
+        """True when a front point matches ``values`` up to relative tolerance."""
+        values = tuple(float(v) for v in values)
+        for pt in self._points:
+            if all(
+                math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-12)
+                for a, b in zip(pt.values, values)
+            ):
+                return True
+        return False
+
+    def best_on(self, coordinate: int) -> ParetoPoint[T]:
+        """The front point minimizing a single coordinate (ties: lexicographic)."""
+        if not self._points:
+            raise ValueError("the Pareto front is empty")
+        if not (0 <= coordinate < self._dim):
+            raise ValueError(f"coordinate must be in [0, {self._dim}), got {coordinate}")
+        return min(self._points, key=lambda pt: (pt.values[coordinate], pt.values))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParetoFront(dim={self._dim}, size={len(self)})"

@@ -1,0 +1,278 @@
+"""``RLS_Δ`` — Restricted List Scheduling (Algorithm 2, §5.1).
+
+``RLS_Δ`` extends Graham's list scheduling to the bi-objective problem with
+precedence constraints.  It first computes the Graham lower bound on the
+optimal memory consumption,
+
+    ``LB = max(max_i s_i, sum_i s_i / m)``,
+
+and then never lets any processor exceed the memory budget ``Δ · LB``.
+Scheduling proceeds greedily: among the *ready* tasks (all predecessors
+scheduled), each is tentatively placed on the least-loaded processor that
+still has memory budget for it, and the task that can start the soonest is
+committed (ties broken by a caller-chosen total order on tasks — the SPT
+order yields the tri-objective guarantee of §5.2).
+
+Guarantees (Corollaries 2 and 3), for ``Δ > 2``:
+
+* ``Mmax <= Δ · LB <= Δ · M*max``,
+* ``Cmax <= (2 + 1/(Δ-2) - (Δ-1)/(m(Δ-2))) · C*max``.
+
+For ``Δ < 2`` a ready task may not fit on any processor; the implementation
+then raises :class:`InfeasibleDeltaError` (Lemma 4 explains why values of
+``Δ <= 2`` cannot be guaranteed).  ``Δ = 2`` is always feasible (the
+least-full processor holds at most ``LB`` and every task has ``s_i <= LB``)
+but carries no makespan guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import networkx as nx
+
+from repro.core.bounds import mmax_lower_bound
+from repro.core.instance import DAGInstance, Instance
+from repro.core.schedule import DAGSchedule
+
+__all__ = [
+    "InfeasibleDeltaError",
+    "RLSResult",
+    "rls",
+    "rls_guarantee",
+    "minimum_feasible_delta",
+]
+
+
+class InfeasibleDeltaError(RuntimeError):
+    """Raised when some task cannot fit on any processor under the ``Δ·LB`` budget."""
+
+    def __init__(self, task_id: object, delta: float, budget: float) -> None:
+        super().__init__(
+            f"task {task_id!r} does not fit on any processor under the memory budget "
+            f"delta*LB = {budget:g} (delta = {delta:g}); values of delta >= 2 are always feasible"
+        )
+        self.task_id = task_id
+        self.delta = delta
+        self.budget = budget
+
+
+@dataclass(frozen=True)
+class RLSResult:
+    """Outcome of :func:`rls`.
+
+    ``marked_processors`` is the analysis quantity of Lemma 4: processors
+    that were at least once skipped because their memory budget could not
+    accommodate the task under consideration.  Lemma 4 proves there are at
+    most ``floor(m / (Δ - 1))`` of them.
+    """
+
+    schedule: DAGSchedule
+    delta: float
+    memory_lower_bound: float
+    memory_budget: float
+    cmax_guarantee: float
+    mmax_guarantee: float
+    marked_processors: Tuple[int, ...]
+    order: str
+
+    @property
+    def cmax(self) -> float:
+        """Makespan of the schedule."""
+        return self.schedule.cmax
+
+    @property
+    def mmax(self) -> float:
+        """Maximum memory consumption of the schedule."""
+        return self.schedule.mmax
+
+    @property
+    def sum_ci(self) -> float:
+        """Sum of completion times (relevant for the §5.2 extension)."""
+        return self.schedule.sum_ci
+
+
+def rls_guarantee(delta: float, m: int) -> Tuple[float, float]:
+    """``(Cmax, Mmax)`` guarantee pair of Corollary 3 for ``RLS_Δ``.
+
+    Returns ``(inf, inf)`` when ``Δ < 2`` (no guarantee), ``(inf, Δ)`` when
+    ``Δ == 2`` (memory guaranteed, makespan not).
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if delta < 2.0:
+        return (math.inf, math.inf)
+    if delta == 2.0:
+        return (math.inf, float(delta))
+    cmax_ratio = 2.0 + 1.0 / (delta - 2.0) - (delta - 1.0) / (m * (delta - 2.0))
+    return (cmax_ratio, float(delta))
+
+
+def _priority_rank(instance: DAGInstance, order: Union[str, Sequence[object]]) -> Dict[object, int]:
+    """Total order on tasks used to break ties (smaller rank = higher priority)."""
+    if not isinstance(order, str):
+        ids = list(order)
+        if set(ids) != set(instance.tasks.ids) or len(ids) != instance.n:
+            raise ValueError("explicit order must list every task id exactly once")
+        return {tid: i for i, tid in enumerate(ids)}
+    if order == "arbitrary":
+        return {t.id: i for i, t in enumerate(instance.tasks)}
+    if order == "spt":
+        ranked = sorted(instance.tasks, key=lambda t: (t.p, str(t.id)))
+    elif order == "lpt":
+        ranked = sorted(instance.tasks, key=lambda t: (-t.p, str(t.id)))
+    elif order == "bottom-level":
+        # Longest path (in processing time) from the task to any sink,
+        # including the task itself — the classic critical-path priority.
+        levels: Dict[object, float] = {}
+        p = instance.tasks.processing_times()
+        for node in reversed(list(nx.topological_sort(instance.graph))):
+            succ_best = max((levels[v] for v in instance.graph.successors(node)), default=0.0)
+            levels[node] = p[node] + succ_best
+        ranked = sorted(instance.tasks, key=lambda t: (-levels[t.id], str(t.id)))
+    else:
+        raise ValueError(
+            f"unknown order {order!r}; expected 'arbitrary', 'spt', 'lpt', 'bottom-level' "
+            "or an explicit task-id sequence"
+        )
+    return {t.id: i for i, t in enumerate(ranked)}
+
+
+def rls(
+    instance: Union[Instance, DAGInstance],
+    delta: float,
+    order: Union[str, Sequence[object]] = "arbitrary",
+) -> RLSResult:
+    """Run ``RLS_Δ`` (Algorithm 2) on an instance (independent tasks or DAG).
+
+    Parameters
+    ----------
+    instance:
+        The instance to schedule; independent-task instances are treated as
+        DAGs with no edges.
+    delta:
+        Memory degradation budget ``Δ``.  Values ``>= 2`` are always
+        feasible; the makespan guarantee requires ``Δ > 2``.
+    order:
+        Tie-breaking total order: ``"arbitrary"`` (instance order),
+        ``"spt"`` (yields Corollary 4 on independent tasks), ``"lpt"``,
+        ``"bottom-level"``, or an explicit sequence of task ids.
+
+    Raises
+    ------
+    InfeasibleDeltaError
+        When ``Δ < 2`` and some ready task fits on no processor.
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be > 0, got {delta}")
+    dag = instance if isinstance(instance, DAGInstance) else instance.as_dag()
+    rank = _priority_rank(dag, order)
+    graph = dag.graph
+    m = dag.m
+    p = dag.tasks.processing_times()
+    s = dag.tasks.storage_sizes()
+
+    lb = mmax_lower_bound(dag)
+    budget = delta * lb
+    eps = 1e-12 * max(1.0, budget)
+
+    load = [0.0] * m
+    memsize = [0.0] * m
+    marked: Set[int] = set()
+    assignment: Dict[object, int] = {}
+    starts: Dict[object, float] = {}
+    completion: Dict[object, float] = {}
+
+    remaining_preds = {tid: graph.in_degree(tid) for tid in dag.tasks.ids}
+    ready: Set[object] = {tid for tid, deg in remaining_preds.items() if deg == 0}
+    n_scheduled = 0
+
+    while n_scheduled < dag.n:
+        best: Optional[Tuple[float, int, object, int]] = None  # (ready time, rank, task, proc)
+        for tid in ready:
+            # Least-loaded processor that still has memory budget for the task.
+            proc: Optional[int] = None
+            for j in sorted(range(m), key=lambda q: (load[q], q)):
+                if memsize[j] + s[tid] <= budget + eps:
+                    proc = j
+                    break
+            if proc is None:
+                raise InfeasibleDeltaError(tid, delta, budget)
+            # Analysis bookkeeping of Lemma 4: processors strictly less loaded
+            # than the chosen one were skipped because of their memory budget.
+            for j in range(m):
+                if load[j] < load[proc] - eps:
+                    marked.add(j)
+            release = max((completion[u] for u in graph.predecessors(tid)), default=0.0)
+            start = max(release, load[proc])
+            key = (start, rank[tid], tid, proc)
+            if best is None or (key[0], key[1]) < (best[0], best[1]):
+                best = key
+        assert best is not None
+        start, _, tid, proc = best
+        assignment[tid] = proc
+        starts[tid] = start
+        completion[tid] = start + p[tid]
+        load[proc] = completion[tid]
+        memsize[proc] += s[tid]
+        ready.discard(tid)
+        n_scheduled += 1
+        for succ in graph.successors(tid):
+            remaining_preds[succ] -= 1
+            if remaining_preds[succ] == 0:
+                ready.add(succ)
+
+    schedule = DAGSchedule(dag, assignment, starts)
+    cmax_g, mmax_g = rls_guarantee(delta, m)
+    order_name = order if isinstance(order, str) else "explicit"
+    return RLSResult(
+        schedule=schedule,
+        delta=delta,
+        memory_lower_bound=lb,
+        memory_budget=budget,
+        cmax_guarantee=cmax_g,
+        mmax_guarantee=mmax_g,
+        marked_processors=tuple(sorted(marked)),
+        order=order_name,
+    )
+
+
+def minimum_feasible_delta(
+    instance: Union[Instance, DAGInstance],
+    order: Union[str, Sequence[object]] = "arbitrary",
+    tolerance: float = 1e-3,
+) -> float:
+    """Smallest ``Δ`` (up to ``tolerance``) for which ``RLS_Δ`` completes.
+
+    Section 7 observes that the Graham lower bound lets one compute which
+    parameter is usable; ``Δ = 2`` always works, and smaller values may
+    work when the tasks happen to pack well.  This helper binary-searches
+    the smallest feasible value, assuming feasibility is monotone in ``Δ``
+    (true for the thresholding scheme: enlarging every processor's budget
+    can only keep previously-feasible placements feasible).
+    """
+    lb = mmax_lower_bound(instance)
+    if lb == 0:
+        return 0.0
+    # The largest single task must fit: delta >= max_i s_i / LB.
+    lo = max((t.s for t in instance.tasks), default=0.0) / lb
+    hi = 2.0
+
+    def feasible(d: float) -> bool:
+        try:
+            rls(instance, d, order=order)
+            return True
+        except InfeasibleDeltaError:
+            return False
+
+    if feasible(lo):
+        return lo
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,194 @@
+"""``SBO_Δ`` — the Symmetric Bi-Objective algorithm (Algorithm 1, §3).
+
+The algorithm runs two single-objective solvers on *all* the tasks:
+
+* ``π1`` — a ``ρ1``-approximation on the makespan (ignoring memory),
+* ``π2`` — a ``ρ2``-approximation on the memory consumption (ignoring time),
+
+and then picks, task by task, which of the two allocations to follow.  The
+choice thresholds the time-per-memory ratio: task ``i`` follows the
+memory-oriented allocation ``π2`` when ``p_i / C < Δ · s_i / M`` (it is
+memory-dominated at scale Δ) and the makespan-oriented allocation ``π1``
+otherwise, where ``C = Cmax(π1)`` and ``M = Mmax(π2)``.
+
+Guarantees (Properties 1 and 2):
+
+* ``Cmax(π_Δ) <= (1 + Δ) · ρ1 · C*max``,
+* ``Mmax(π_Δ) <= (1 + 1/Δ) · ρ2 · M*max``.
+
+With the PTAS as sub-solver (``ρ1 = ρ2 = 1 + ε``) this yields Corollary 1's
+``(1 + Δ + ε, 1 + 1/Δ + ε)`` family, and ``Δ = 1`` gives the balanced
+``(2 + ε, 2 + ε)`` point.
+
+The algorithm only works for independent tasks: feeding it a
+:class:`~repro.core.instance.DAGInstance` with precedence edges raises
+``ValueError`` (use :func:`repro.core.rls.rls` instead, §5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.algorithms.registry import SolverFn, get_solver
+from repro.core.instance import DAGInstance, Instance
+from repro.core.schedule import Schedule
+
+__all__ = ["SBOResult", "sbo", "sbo_guarantee", "sbo_tradeoff_curve"]
+
+
+@dataclass(frozen=True)
+class SBOResult:
+    """Outcome of :func:`sbo`.
+
+    Attributes
+    ----------
+    schedule:
+        The combined schedule ``π_Δ``.
+    delta:
+        The trade-off parameter Δ used.
+    pi1, pi2:
+        The two single-objective schedules that were combined.
+    reference_cmax:
+        ``C`` — the makespan of ``π1`` used in the threshold test.
+    reference_mmax:
+        ``M`` — the memory consumption of ``π2`` used in the threshold test.
+    rho1, rho2:
+        Approximation ratios guaranteed by the two sub-solvers.
+    cmax_guarantee, mmax_guarantee:
+        The resulting guarantees ``(1 + Δ)ρ1`` and ``(1 + 1/Δ)ρ2``.
+    memory_driven_tasks:
+        Ids of tasks that followed the memory-oriented allocation ``π2``
+        (the set ``S2`` of the proofs).
+    """
+
+    schedule: Schedule
+    delta: float
+    pi1: Schedule
+    pi2: Schedule
+    reference_cmax: float
+    reference_mmax: float
+    rho1: float
+    rho2: float
+    cmax_guarantee: float
+    mmax_guarantee: float
+    memory_driven_tasks: Tuple[object, ...]
+
+    @property
+    def cmax(self) -> float:
+        """Makespan of the combined schedule."""
+        return self.schedule.cmax
+
+    @property
+    def mmax(self) -> float:
+        """Maximum memory consumption of the combined schedule."""
+        return self.schedule.mmax
+
+
+def sbo_guarantee(delta: float, rho1: float = 1.0, rho2: float = 1.0) -> Tuple[float, float]:
+    """The ``((1 + Δ)ρ1, (1 + 1/Δ)ρ2)`` guarantee pair of Properties 1–2."""
+    if delta <= 0:
+        raise ValueError(f"delta must be > 0, got {delta}")
+    return ((1.0 + delta) * rho1, (1.0 + 1.0 / delta) * rho2)
+
+
+def sbo_tradeoff_curve(
+    deltas: Sequence[float], rho1: float = 1.0, rho2: float = 1.0
+) -> List[Tuple[float, float, float]]:
+    """Theoretical trade-off curve ``Δ -> ((1+Δ)ρ1, (1+1/Δ)ρ2)``.
+
+    This is the dashed curve of Figure 3 (with ``ρ1 = ρ2 = 1``, i.e. the
+    PTAS limit ``ε -> 0``).  Returns ``(delta, cmax_ratio, mmax_ratio)``
+    triples.
+    """
+    return [(d, *sbo_guarantee(d, rho1, rho2)) for d in deltas]
+
+
+def _as_independent(instance: Union[Instance, DAGInstance]) -> Instance:
+    if isinstance(instance, DAGInstance):
+        if not instance.is_independent():
+            raise ValueError(
+                "SBO_delta only handles independent tasks (the paper's Section 3); "
+                "use repro.core.rls.rls for precedence-constrained instances"
+            )
+        return instance.as_independent()
+    return instance
+
+
+def sbo(
+    instance: Union[Instance, DAGInstance],
+    delta: float,
+    cmax_solver: Union[str, SolverFn] = "lpt",
+    mmax_solver: Union[str, SolverFn, None] = None,
+) -> SBOResult:
+    """Run ``SBO_Δ`` (Algorithm 1) on an independent-task instance.
+
+    Parameters
+    ----------
+    instance:
+        The instance to schedule.  Precedence constraints are rejected.
+    delta:
+        Trade-off parameter ``Δ > 0``.  Small Δ favours the makespan
+        (few tasks follow the memory schedule); large Δ favours memory.
+    cmax_solver:
+        Name of a registered solver (see
+        :func:`repro.algorithms.registry.available_solvers`) or a callable
+        ``(instance, objective) -> (schedule, rho)`` used to build ``π1``.
+    mmax_solver:
+        Solver used to build ``π2``; defaults to the same solver as
+        ``cmax_solver`` (exploiting the symmetry of the two objectives).
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be > 0, got {delta}")
+    inst = _as_independent(instance)
+
+    solver1 = get_solver(cmax_solver) if isinstance(cmax_solver, str) else cmax_solver
+    if mmax_solver is None:
+        solver2 = solver1
+    else:
+        solver2 = get_solver(mmax_solver) if isinstance(mmax_solver, str) else mmax_solver
+
+    pi1, rho1 = solver1(inst, "time")
+    pi2, rho2 = solver2(inst, "memory")
+    reference_cmax = pi1.cmax
+    reference_mmax = pi2.mmax
+
+    assignment: Dict[object, int] = {}
+    memory_driven: List[object] = []
+    for task in inst.tasks:
+        # Threshold test of Algorithm 1: p_i / C < delta * s_i / M.
+        # Cross-multiplied to stay robust when C or M is zero.
+        lhs = task.p * (reference_mmax if reference_mmax > 0 else 0.0)
+        rhs = delta * task.s * (reference_cmax if reference_cmax > 0 else 0.0)
+        if reference_cmax == 0.0 and reference_mmax == 0.0:
+            follow_memory = False
+        elif reference_cmax == 0.0:
+            # Every task has zero processing time; memory is the only concern.
+            follow_memory = True
+        elif reference_mmax == 0.0:
+            # Every task has zero storage; makespan is the only concern.
+            follow_memory = False
+        else:
+            follow_memory = lhs < rhs
+        if follow_memory:
+            assignment[task.id] = pi2.processor_of(task.id)
+            memory_driven.append(task.id)
+        else:
+            assignment[task.id] = pi1.processor_of(task.id)
+
+    schedule = Schedule(inst, assignment)
+    cmax_guarantee, mmax_guarantee = sbo_guarantee(delta, rho1, rho2)
+    return SBOResult(
+        schedule=schedule,
+        delta=delta,
+        pi1=pi1,
+        pi2=pi2,
+        reference_cmax=reference_cmax,
+        reference_mmax=reference_mmax,
+        rho1=rho1,
+        rho2=rho2,
+        cmax_guarantee=cmax_guarantee,
+        mmax_guarantee=mmax_guarantee,
+        memory_driven_tasks=tuple(memory_driven),
+    )

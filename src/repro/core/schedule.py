@@ -1,0 +1,362 @@
+"""Schedules and their objective values.
+
+Two schedule classes mirror the two problem variants of the paper:
+
+* :class:`Schedule` — an *assignment* ``π : T → Q`` of tasks to processors,
+  which is all that matters for independent tasks (§2.1).  Each processor
+  executes its tasks back to back; an optional per-processor order fixes the
+  sequencing (needed for the ``sum Ci`` objective of §5.2).
+* :class:`DAGSchedule` — an assignment plus explicit start times ``σ(i)``,
+  as required once precedence constraints are present (§5).
+
+Both classes are immutable once built and expose ``cmax``, ``mmax``,
+``sum_ci``, per-processor loads/memory, and per-task completion times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.instance import DAGInstance, Instance
+from repro.core.task import Task
+
+__all__ = ["Schedule", "DAGSchedule"]
+
+
+class Schedule:
+    """An assignment of independent tasks to processors.
+
+    Parameters
+    ----------
+    instance:
+        The instance being scheduled.
+    assignment:
+        Mapping ``task id -> processor index`` in ``range(instance.m)``.
+        Every task of the instance must be assigned.
+    order:
+        Optional explicit execution order per processor, as a mapping
+        ``processor index -> sequence of task ids``.  When omitted, each
+        processor executes its tasks in instance (insertion) order.  The
+        order only affects per-task completion times (hence ``sum Ci``);
+        ``Cmax`` and ``Mmax`` are order-independent for independent tasks.
+    """
+
+    __slots__ = ("instance", "_assignment", "_order", "_loads", "_memories", "_completion")
+
+    def __init__(
+        self,
+        instance: Instance,
+        assignment: Mapping[object, int],
+        order: Optional[Mapping[int, Sequence[object]]] = None,
+    ) -> None:
+        self.instance = instance
+        assignment = dict(assignment)
+        missing = [t.id for t in instance.tasks if t.id not in assignment]
+        if missing:
+            raise ValueError(f"assignment is missing tasks: {missing[:5]!r}{'...' if len(missing) > 5 else ''}")
+        extra = [tid for tid in assignment if tid not in instance.tasks]
+        if extra:
+            raise ValueError(f"assignment references unknown tasks: {extra[:5]!r}")
+        for tid, proc in assignment.items():
+            if not isinstance(proc, int) or isinstance(proc, bool) or not (0 <= proc < instance.m):
+                raise ValueError(
+                    f"task {tid!r} assigned to invalid processor {proc!r} (m={instance.m})"
+                )
+        self._assignment: Dict[object, int] = assignment
+        self._order = self._normalise_order(order)
+        self._loads: Optional[List[float]] = None
+        self._memories: Optional[List[float]] = None
+        self._completion: Optional[Dict[object, float]] = None
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def _normalise_order(
+        self, order: Optional[Mapping[int, Sequence[object]]]
+    ) -> Dict[int, List[object]]:
+        per_proc: Dict[int, List[object]] = {q: [] for q in range(self.instance.m)}
+        if order is None:
+            for task in self.instance.tasks:
+                per_proc[self._assignment[task.id]].append(task.id)
+            return per_proc
+        seen = set()
+        for proc, ids in order.items():
+            if proc not in per_proc:
+                raise ValueError(f"order references invalid processor {proc!r}")
+            for tid in ids:
+                if tid not in self._assignment:
+                    raise ValueError(f"order references unknown task {tid!r}")
+                if self._assignment[tid] != proc:
+                    raise ValueError(
+                        f"order places task {tid!r} on processor {proc} but it is assigned to "
+                        f"processor {self._assignment[tid]}"
+                    )
+                if tid in seen:
+                    raise ValueError(f"task {tid!r} appears twice in the order")
+                seen.add(tid)
+                per_proc[proc].append(tid)
+        # Any task not mentioned in the explicit order is appended in
+        # instance order after the ordered prefix of its processor.
+        for task in self.instance.tasks:
+            if task.id not in seen:
+                per_proc[self._assignment[task.id]].append(task.id)
+        return per_proc
+
+    @classmethod
+    def from_processor_lists(
+        cls, instance: Instance, processors: Sequence[Sequence[object]]
+    ) -> "Schedule":
+        """Build a schedule from an explicit list of task ids per processor."""
+        if len(processors) > instance.m:
+            raise ValueError(
+                f"got {len(processors)} processor lists for an instance with m={instance.m}"
+            )
+        assignment: Dict[object, int] = {}
+        order: Dict[int, List[object]] = {}
+        for q, ids in enumerate(processors):
+            order[q] = list(ids)
+            for tid in ids:
+                if tid in assignment:
+                    raise ValueError(f"task {tid!r} appears on more than one processor")
+                assignment[tid] = q
+        return cls(instance, assignment, order=order)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def assignment(self) -> Dict[object, int]:
+        """Copy of the task → processor mapping."""
+        return dict(self._assignment)
+
+    def processor_of(self, task_id: object) -> int:
+        """Processor index the task is assigned to."""
+        return self._assignment[task_id]
+
+    def tasks_on(self, proc: int) -> List[object]:
+        """Task ids executed by ``proc`` in execution order."""
+        if not (0 <= proc < self.instance.m):
+            raise ValueError(f"invalid processor index {proc}")
+        return list(self._order[proc])
+
+    # ------------------------------------------------------------------ #
+    # objective values
+    # ------------------------------------------------------------------ #
+    @property
+    def loads(self) -> List[float]:
+        """Per-processor total processing time."""
+        if self._loads is None:
+            loads = [0.0] * self.instance.m
+            for task in self.instance.tasks:
+                loads[self._assignment[task.id]] += task.p
+            self._loads = loads
+        return list(self._loads)
+
+    @property
+    def memories(self) -> List[float]:
+        """Per-processor cumulative memory occupation."""
+        if self._memories is None:
+            mems = [0.0] * self.instance.m
+            for task in self.instance.tasks:
+                mems[self._assignment[task.id]] += task.s
+            self._memories = mems
+        return list(self._memories)
+
+    @property
+    def cmax(self) -> float:
+        """Makespan: the largest per-processor load."""
+        return max(self.loads) if self.instance.m else 0.0
+
+    @property
+    def mmax(self) -> float:
+        """Maximum cumulative memory occupation over processors."""
+        return max(self.memories) if self.instance.m else 0.0
+
+    def completion_times(self) -> Dict[object, float]:
+        """Per-task completion time under back-to-back execution in order."""
+        if self._completion is None:
+            completion: Dict[object, float] = {}
+            for proc in range(self.instance.m):
+                clock = 0.0
+                for tid in self._order[proc]:
+                    clock += self.instance.task(tid).p
+                    completion[tid] = clock
+            self._completion = completion
+        return dict(self._completion)
+
+    @property
+    def sum_ci(self) -> float:
+        """Sum of completion times (the third objective of §5.2)."""
+        return sum(self.completion_times().values())
+
+    # ------------------------------------------------------------------ #
+    # conversions & misc
+    # ------------------------------------------------------------------ #
+    def objective_tuple(self) -> Tuple[float, float]:
+        """``(Cmax, Mmax)`` pair for Pareto reasoning."""
+        return (self.cmax, self.mmax)
+
+    def as_dag_schedule(self, dag_instance: Optional[DAGInstance] = None) -> "DAGSchedule":
+        """Lift to a timed :class:`DAGSchedule` (back-to-back start times)."""
+        instance = dag_instance if dag_instance is not None else self.instance.as_dag() if not isinstance(self.instance, DAGInstance) else self.instance
+        starts: Dict[object, float] = {}
+        for proc in range(self.instance.m):
+            clock = 0.0
+            for tid in self._order[proc]:
+                starts[tid] = clock
+                clock += self.instance.task(tid).p
+        return DAGSchedule(instance, self._assignment, starts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schedule(n={self.instance.n}, m={self.instance.m}, cmax={self.cmax:g}, mmax={self.mmax:g})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self.instance == other.instance and self._assignment == other._assignment and self._order == other._order
+
+
+class DAGSchedule:
+    """A timed schedule (assignment + start times) for a DAG instance.
+
+    Parameters
+    ----------
+    instance:
+        The (possibly precedence-constrained) instance.
+    assignment:
+        Mapping ``task id -> processor index``.
+    start_times:
+        Mapping ``task id -> start time σ(i) >= 0``.
+    """
+
+    __slots__ = ("instance", "_assignment", "_starts", "_memories")
+
+    def __init__(
+        self,
+        instance: Instance,
+        assignment: Mapping[object, int],
+        start_times: Mapping[object, float],
+    ) -> None:
+        self.instance = instance
+        assignment = dict(assignment)
+        starts = {tid: float(t) for tid, t in start_times.items()}
+        for task in instance.tasks:
+            if task.id not in assignment:
+                raise ValueError(f"assignment is missing task {task.id!r}")
+            if task.id not in starts:
+                raise ValueError(f"start_times is missing task {task.id!r}")
+            if starts[task.id] < 0:
+                raise ValueError(f"task {task.id!r} has a negative start time {starts[task.id]!r}")
+            proc = assignment[task.id]
+            if not isinstance(proc, int) or isinstance(proc, bool) or not (0 <= proc < instance.m):
+                raise ValueError(f"task {task.id!r} assigned to invalid processor {proc!r}")
+        extra = [tid for tid in assignment if tid not in instance.tasks]
+        if extra:
+            raise ValueError(f"assignment references unknown tasks: {extra[:5]!r}")
+        self._assignment = assignment
+        self._starts = starts
+        self._memories: Optional[List[float]] = None
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def assignment(self) -> Dict[object, int]:
+        """Copy of the task → processor mapping."""
+        return dict(self._assignment)
+
+    @property
+    def start_times(self) -> Dict[object, float]:
+        """Copy of the task → start time mapping."""
+        return dict(self._starts)
+
+    def processor_of(self, task_id: object) -> int:
+        """Processor executing the task."""
+        return self._assignment[task_id]
+
+    def start_of(self, task_id: object) -> float:
+        """Start time ``σ(i)``."""
+        return self._starts[task_id]
+
+    def completion_of(self, task_id: object) -> float:
+        """Completion time ``C_i = σ(i) + p_i``."""
+        return self._starts[task_id] + self.instance.task(task_id).p
+
+    def completion_times(self) -> Dict[object, float]:
+        """All task completion times."""
+        return {t.id: self.completion_of(t.id) for t in self.instance.tasks}
+
+    def tasks_on(self, proc: int) -> List[object]:
+        """Task ids run by ``proc``, sorted by start time."""
+        ids = [t.id for t in self.instance.tasks if self._assignment[t.id] == proc]
+        return sorted(ids, key=lambda tid: (self._starts[tid], str(tid)))
+
+    # ------------------------------------------------------------------ #
+    # objective values
+    # ------------------------------------------------------------------ #
+    @property
+    def cmax(self) -> float:
+        """Makespan ``max_i C_i`` (0 for an empty instance)."""
+        if self.instance.n == 0:
+            return 0.0
+        return max(self.completion_of(t.id) for t in self.instance.tasks)
+
+    @property
+    def memories(self) -> List[float]:
+        """Per-processor cumulative memory occupation."""
+        if self._memories is None:
+            mems = [0.0] * self.instance.m
+            for task in self.instance.tasks:
+                mems[self._assignment[task.id]] += task.s
+            self._memories = mems
+        return list(self._memories)
+
+    @property
+    def loads(self) -> List[float]:
+        """Per-processor busy time (sum of processing times of assigned tasks)."""
+        loads = [0.0] * self.instance.m
+        for task in self.instance.tasks:
+            loads[self._assignment[task.id]] += task.p
+        return loads
+
+    @property
+    def mmax(self) -> float:
+        """Maximum cumulative memory occupation over processors."""
+        return max(self.memories) if self.instance.m else 0.0
+
+    @property
+    def sum_ci(self) -> float:
+        """Sum of completion times."""
+        return sum(self.completion_times().values())
+
+    def objective_tuple(self) -> Tuple[float, float]:
+        """``(Cmax, Mmax)`` pair for Pareto reasoning."""
+        return (self.cmax, self.mmax)
+
+    # ------------------------------------------------------------------ #
+    # conversions & misc
+    # ------------------------------------------------------------------ #
+    def as_assignment_schedule(self) -> Schedule:
+        """Project onto an (order-preserving) assignment-only :class:`Schedule`."""
+        base = self.instance.as_independent() if isinstance(self.instance, DAGInstance) else self.instance
+        order = {q: self.tasks_on(q) for q in range(self.instance.m)}
+        return Schedule(base, self._assignment, order=order)
+
+    def idle_time(self) -> float:
+        """Total idle processor time before the makespan."""
+        return self.instance.m * self.cmax - sum(t.p for t in self.instance.tasks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DAGSchedule(n={self.instance.n}, m={self.instance.m}, "
+            f"cmax={self.cmax:g}, mmax={self.mmax:g})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DAGSchedule):
+            return NotImplemented
+        return (
+            self.instance == other.instance
+            and self._assignment == other._assignment
+            and self._starts == other._starts
+        )

@@ -1,0 +1,252 @@
+"""Task model: processing time and cumulative storage requirement.
+
+The paper's model (§2.1): a task ``i`` takes ``p_i`` time units to execute
+and occupies ``s_i`` memory units on the processor it is assigned to for the
+whole lifetime of the application (code storage in a multi-SoC, or result
+storage in scientific computing).  Memory is *cumulative per processor*:
+a processor that executes tasks ``A`` and ``B`` permanently holds
+``s_A + s_B`` memory units.
+
+Processing time and memory requirement are unrelated quantities — this is
+exactly what makes the bi-objective problem non-trivial.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+__all__ = ["Task", "TaskSet"]
+
+
+def _check_finite_nonnegative(value: float, what: str, task_id: object) -> float:
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{what} of task {task_id!r} must be finite, got {value!r}")
+    if value < 0:
+        raise ValueError(f"{what} of task {task_id!r} must be >= 0, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class Task:
+    """A single task of the scheduling instance.
+
+    Parameters
+    ----------
+    id:
+        Hashable identifier, unique within an instance.  Generators use
+        consecutive integers but any hashable value (e.g. a string name)
+        is accepted.
+    p:
+        Processing time ``p_i >= 0``.
+    s:
+        Storage (memory) requirement ``s_i >= 0``.
+    label:
+        Optional human readable label used in traces and Gantt charts.
+    """
+
+    id: object
+    p: float
+    s: float
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "p", _check_finite_nonnegative(self.p, "processing time", self.id))
+        object.__setattr__(self, "s", _check_finite_nonnegative(self.s, "storage size", self.id))
+
+    @property
+    def density(self) -> float:
+        """Time-per-memory density ``p_i / s_i``.
+
+        This is the quantity SBO_Δ thresholds on (tasks with a small
+        density are memory-dominated and follow the memory-oriented
+        schedule).  Returns ``inf`` for tasks with zero storage and
+        ``0`` for zero-length tasks with positive storage; a task with
+        both ``p == 0`` and ``s == 0`` has density ``0`` by convention
+        (it is irrelevant to both objectives).
+        """
+        if self.s == 0:
+            return math.inf if self.p > 0 else 0.0
+        return self.p / self.s
+
+    def with_id(self, new_id: object) -> "Task":
+        """Return a copy of this task carrying a different identifier."""
+        return Task(id=new_id, p=self.p, s=self.s, label=self.label)
+
+    def scaled(self, p_factor: float = 1.0, s_factor: float = 1.0) -> "Task":
+        """Return a copy with processing time and storage scaled."""
+        return Task(id=self.id, p=self.p * p_factor, s=self.s * s_factor, label=self.label)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lbl = f", label={self.label!r}" if self.label else ""
+        return f"Task(id={self.id!r}, p={self.p:g}, s={self.s:g}{lbl})"
+
+
+class TaskSet:
+    """An ordered, id-indexed collection of :class:`Task` objects.
+
+    The container preserves insertion order (which matters for algorithms
+    that use "an arbitrary total ordering of tasks to break ties", §5.1)
+    and provides O(1) lookup by task id.
+    """
+
+    __slots__ = ("_tasks", "_by_id")
+
+    def __init__(self, tasks: Iterable[Task] = ()) -> None:
+        self._tasks: List[Task] = []
+        self._by_id: Dict[object, Task] = {}
+        for task in tasks:
+            self.add(task)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_lists(
+        cls,
+        p: Sequence[float],
+        s: Sequence[float],
+        ids: Optional[Sequence[object]] = None,
+    ) -> "TaskSet":
+        """Build a task set from parallel lists of processing times and sizes."""
+        if len(p) != len(s):
+            raise ValueError(f"p and s must have the same length, got {len(p)} and {len(s)}")
+        if ids is None:
+            ids = list(range(len(p)))
+        elif len(ids) != len(p):
+            raise ValueError("ids must have the same length as p and s")
+        return cls(Task(id=i, p=pi, s=si) for i, pi, si in zip(ids, p, s))
+
+    def add(self, task: Task) -> None:
+        """Append a task; raises :class:`ValueError` on duplicate ids."""
+        if not isinstance(task, Task):
+            raise TypeError(f"expected Task, got {type(task).__name__}")
+        if task.id in self._by_id:
+            raise ValueError(f"duplicate task id {task.id!r}")
+        self._tasks.append(task)
+        self._by_id[task.id] = task
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __contains__(self, task_id: object) -> bool:
+        return task_id in self._by_id
+
+    def __getitem__(self, task_id: object) -> Task:
+        try:
+            return self._by_id[task_id]
+        except KeyError:
+            raise KeyError(f"no task with id {task_id!r}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskSet):
+            return NotImplemented
+        return self._tasks == other._tasks
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TaskSet(n={len(self)}, total_p={self.total_p:g}, total_s={self.total_s:g})"
+
+    # ------------------------------------------------------------------ #
+    # views and aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def ids(self) -> List[object]:
+        """Task identifiers in insertion order."""
+        return [t.id for t in self._tasks]
+
+    @property
+    def tasks(self) -> List[Task]:
+        """Tasks in insertion order (a copy; mutating it does not affect the set)."""
+        return list(self._tasks)
+
+    @property
+    def total_p(self) -> float:
+        """Total processing requirement ``sum_i p_i``."""
+        return sum(t.p for t in self._tasks)
+
+    @property
+    def total_s(self) -> float:
+        """Total storage requirement ``sum_i s_i``."""
+        return sum(t.s for t in self._tasks)
+
+    @property
+    def max_p(self) -> float:
+        """Largest processing time, ``0`` for an empty set."""
+        return max((t.p for t in self._tasks), default=0.0)
+
+    @property
+    def max_s(self) -> float:
+        """Largest storage requirement, ``0`` for an empty set."""
+        return max((t.s for t in self._tasks), default=0.0)
+
+    def processing_times(self) -> Dict[object, float]:
+        """Mapping task id -> ``p_i``."""
+        return {t.id: t.p for t in self._tasks}
+
+    def storage_sizes(self) -> Dict[object, float]:
+        """Mapping task id -> ``s_i``."""
+        return {t.id: t.s for t in self._tasks}
+
+    # ------------------------------------------------------------------ #
+    # orderings used by the algorithms
+    # ------------------------------------------------------------------ #
+    def sorted_by(self, key: str, reverse: bool = False) -> List[Task]:
+        """Return tasks sorted by ``"p"``, ``"s"`` or ``"density"``.
+
+        Ties are broken by insertion order (Python's sort is stable), which
+        is the "arbitrary total ordering" of the paper.
+        """
+        if key == "p":
+            keyfunc = lambda t: t.p  # noqa: E731
+        elif key == "s":
+            keyfunc = lambda t: t.s  # noqa: E731
+        elif key == "density":
+            keyfunc = lambda t: t.density  # noqa: E731
+        else:
+            raise ValueError(f"unknown sort key {key!r}; expected 'p', 's' or 'density'")
+        return sorted(self._tasks, key=keyfunc, reverse=reverse)
+
+    def spt_order(self) -> List[Task]:
+        """Shortest Processing Time first (optimal order for ``sum Ci``)."""
+        return self.sorted_by("p")
+
+    def lpt_order(self) -> List[Task]:
+        """Longest Processing Time first (Graham's 4/3-approximation order)."""
+        return self.sorted_by("p", reverse=True)
+
+    def lms_order(self) -> List[Task]:
+        """Largest Memory Size first — the storage analogue of LPT."""
+        return self.sorted_by("s", reverse=True)
+
+    # ------------------------------------------------------------------ #
+    # transforms
+    # ------------------------------------------------------------------ #
+    def swapped(self) -> "TaskSet":
+        """Return a task set with ``p`` and ``s`` exchanged.
+
+        With independent tasks the two objectives are symmetric (§2.1), so
+        swapping the two vectors turns an ``Mmax`` question into a ``Cmax``
+        question.  The algorithms exploit this symmetry.
+        """
+        return TaskSet(Task(id=t.id, p=t.s, s=t.p, label=t.label) for t in self._tasks)
+
+    def subset(self, ids: Iterable[object]) -> "TaskSet":
+        """Return the sub-task-set restricted to ``ids`` (in this set's order)."""
+        wanted = set(ids)
+        missing = wanted - set(self._by_id)
+        if missing:
+            raise KeyError(f"unknown task ids: {sorted(map(repr, missing))}")
+        return TaskSet(t for t in self._tasks if t.id in wanted)
+
+    def as_tuples(self) -> List[Tuple[object, float, float]]:
+        """Return ``(id, p, s)`` triples in insertion order."""
+        return [(t.id, t.p, t.s) for t in self._tasks]

@@ -1,0 +1,61 @@
+"""Task-graph (DAG) substrate: analysis and generators.
+
+Section 5 of the paper targets ``P | p_j, s_j, prec | Cmax, Mmax`` — DAG
+scheduling, the model of embedded multi-SoC applications.  This package
+provides:
+
+* :mod:`~repro.dag.analysis` — structural analysis of DAG instances
+  (critical path, top/bottom levels, width, parallelism profile);
+* :mod:`~repro.dag.generators` — the task-graph families that are standard
+  in the DAG-scheduling literature (layered random graphs, Erdős–Rényi
+  DAGs, fork–join, in/out-trees, series–parallel compositions,
+  Gaussian-elimination, FFT butterflies, stencil/wavefront sweeps), each
+  annotated with processing times and storage requirements drawn from
+  configurable distributions.
+"""
+
+from __future__ import annotations
+
+from repro.dag.analysis import (
+    bottom_levels,
+    top_levels,
+    critical_path,
+    critical_path_length,
+    graph_width,
+    parallelism_profile,
+    dag_summary,
+)
+from repro.dag.generators import (
+    layered_dag,
+    erdos_renyi_dag,
+    fork_join_dag,
+    out_tree_dag,
+    in_tree_dag,
+    series_parallel_dag,
+    gaussian_elimination_dag,
+    fft_dag,
+    stencil_dag,
+    chain_dag,
+    random_dag_suite,
+)
+
+__all__ = [
+    "bottom_levels",
+    "top_levels",
+    "critical_path",
+    "critical_path_length",
+    "graph_width",
+    "parallelism_profile",
+    "dag_summary",
+    "layered_dag",
+    "erdos_renyi_dag",
+    "fork_join_dag",
+    "out_tree_dag",
+    "in_tree_dag",
+    "series_parallel_dag",
+    "gaussian_elimination_dag",
+    "fft_dag",
+    "stencil_dag",
+    "chain_dag",
+    "random_dag_suite",
+]

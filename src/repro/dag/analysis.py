@@ -1,0 +1,166 @@
+"""Structural analysis of DAG instances.
+
+These helpers compute the classical quantities used to reason about DAG
+schedules: top and bottom levels (longest paths from sources / to sinks),
+the critical path (the ``|CP|`` lower bound of §5.1), the graph width
+(largest antichain, an upper bound on exploitable parallelism) and the
+parallelism profile of a greedy execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.core.instance import DAGInstance
+
+__all__ = [
+    "top_levels",
+    "bottom_levels",
+    "critical_path",
+    "critical_path_length",
+    "graph_width",
+    "parallelism_profile",
+    "dag_summary",
+    "DAGSummary",
+]
+
+
+def top_levels(instance: DAGInstance) -> Dict[object, float]:
+    """Longest processing-time path from any source up to (excluding) each task.
+
+    ``top_level[i]`` is the earliest time task ``i`` could start on an
+    unbounded number of processors.
+    """
+    levels: Dict[object, float] = {}
+    p = instance.tasks.processing_times()
+    for node in nx.topological_sort(instance.graph):
+        preds = list(instance.graph.predecessors(node))
+        levels[node] = max((levels[u] + p[u] for u in preds), default=0.0)
+    return levels
+
+
+def bottom_levels(instance: DAGInstance) -> Dict[object, float]:
+    """Longest processing-time path from each task (inclusive) to any sink.
+
+    The classic critical-path priority used by list schedulers.
+    """
+    levels: Dict[object, float] = {}
+    p = instance.tasks.processing_times()
+    for node in reversed(list(nx.topological_sort(instance.graph))):
+        succs = list(instance.graph.successors(node))
+        levels[node] = p[node] + max((levels[v] for v in succs), default=0.0)
+    return levels
+
+
+def critical_path(instance: DAGInstance) -> List[object]:
+    """A longest chain of the DAG (ties broken deterministically by id string)."""
+    if instance.n == 0:
+        return []
+    blevel = bottom_levels(instance)
+    tlevel = top_levels(instance)
+    cp_length = max(blevel.values())
+    # Start from the source on the critical path and follow the successors
+    # that keep top_level + bottom_level equal to the critical path length.
+    def on_cp(node: object) -> bool:
+        return abs(tlevel[node] + blevel[node] - cp_length) <= 1e-9 * max(1.0, cp_length)
+
+    current = min(
+        (node for node in instance.graph.nodes if instance.graph.in_degree(node) == 0 and on_cp(node)),
+        key=lambda n: str(n),
+    )
+    path = [current]
+    while True:
+        nexts = [v for v in instance.graph.successors(current) if on_cp(v)]
+        if not nexts:
+            break
+        current = min(nexts, key=lambda n: str(n))
+        path.append(current)
+    return path
+
+
+def critical_path_length(instance: DAGInstance) -> float:
+    """Length (total processing time) of the critical path — the ``|CP|`` bound."""
+    if instance.n == 0:
+        return 0.0
+    return max(bottom_levels(instance).values())
+
+
+def graph_width(instance: DAGInstance) -> int:
+    """Size of the largest antichain (maximum theoretical parallelism).
+
+    Computed exactly via Dilworth's theorem: the width equals the number of
+    nodes minus the size of a maximum matching in the bipartite split of the
+    transitive closure.
+    """
+    if instance.n == 0:
+        return 0
+    closure = nx.transitive_closure_dag(instance.graph)
+    bipartite = nx.Graph()
+    left = {f"L::{n}" for n in closure.nodes}
+    right = {f"R::{n}" for n in closure.nodes}
+    bipartite.add_nodes_from(left, bipartite=0)
+    bipartite.add_nodes_from(right, bipartite=1)
+    for u, v in closure.edges():
+        bipartite.add_edge(f"L::{u}", f"R::{v}")
+    matching = nx.bipartite.maximum_matching(bipartite, top_nodes=left)
+    matched_edges = sum(1 for k in matching if k.startswith("L::"))
+    return instance.n - matched_edges
+
+
+def parallelism_profile(instance: DAGInstance, time_step: float = 1.0) -> List[Tuple[float, int]]:
+    """Number of concurrently-running tasks over time on infinitely many processors.
+
+    Executes the DAG greedily with every task starting at its top level and
+    samples the number of running tasks every ``time_step``; useful to
+    characterise workloads in experiment reports.
+    """
+    if instance.n == 0:
+        return []
+    if time_step <= 0:
+        raise ValueError("time_step must be > 0")
+    tlevel = top_levels(instance)
+    p = instance.tasks.processing_times()
+    makespan = max(tlevel[t] + p[t] for t in tlevel)
+    profile: List[Tuple[float, int]] = []
+    t = 0.0
+    while t < makespan:
+        running = sum(1 for tid in tlevel if tlevel[tid] <= t < tlevel[tid] + p[tid])
+        profile.append((t, running))
+        t += time_step
+    return profile
+
+
+@dataclass(frozen=True)
+class DAGSummary:
+    """Headline structural statistics of a DAG instance."""
+
+    n_tasks: int
+    n_edges: int
+    critical_path_length: float
+    total_work: float
+    total_storage: float
+    width: int
+    depth: int
+    average_parallelism: float
+
+
+def dag_summary(instance: DAGInstance) -> DAGSummary:
+    """Compute a :class:`DAGSummary` for reporting purposes."""
+    cp = critical_path_length(instance)
+    total_work = instance.tasks.total_p
+    depth = 0
+    if instance.n:
+        depth = nx.dag_longest_path_length(instance.graph) + 1
+    return DAGSummary(
+        n_tasks=instance.n,
+        n_edges=instance.n_edges,
+        critical_path_length=cp,
+        total_work=total_work,
+        total_storage=instance.tasks.total_s,
+        width=graph_width(instance),
+        depth=depth,
+        average_parallelism=(total_work / cp) if cp > 0 else float(instance.n),
+    )

@@ -1,0 +1,395 @@
+"""Task-graph generators.
+
+Standard DAG families from the scheduling literature, each annotated with
+processing times and storage requirements drawn from configurable
+:class:`~repro.workloads.distributions.Sampler` objects.  Every generator
+takes an explicit ``seed`` and is deterministic given it.
+
+The families:
+
+* :func:`layered_dag` — random layered graphs (the workhorse of DAG
+  scheduling papers): tasks organised in layers, edges only between
+  consecutive-or-later layers;
+* :func:`erdos_renyi_dag` — random DAGs obtained by orienting an
+  Erdős–Rényi graph along a random topological order;
+* :func:`fork_join_dag` — repeated fork–join phases (data-parallel stages
+  separated by barriers), the shape of multi-SoC streaming applications;
+* :func:`out_tree_dag` / :func:`in_tree_dag` — divide / reduce trees;
+* :func:`series_parallel_dag` — recursive series/parallel composition;
+* :func:`gaussian_elimination_dag` — the classical dependency structure of
+  column-oriented Gaussian elimination;
+* :func:`fft_dag` — the butterfly dependency structure of an FFT;
+* :func:`stencil_dag` — a 2-D wavefront (each cell depends on its north and
+  west neighbours);
+* :func:`chain_dag` — a single chain (worst case for parallelism);
+* :func:`random_dag_suite` — one representative of each family, used by the
+  experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.instance import DAGInstance
+from repro.core.task import Task, TaskSet
+from repro.workloads.distributions import Sampler, uniform_sampler
+
+__all__ = [
+    "layered_dag",
+    "erdos_renyi_dag",
+    "fork_join_dag",
+    "out_tree_dag",
+    "in_tree_dag",
+    "series_parallel_dag",
+    "gaussian_elimination_dag",
+    "fft_dag",
+    "stencil_dag",
+    "chain_dag",
+    "random_dag_suite",
+]
+
+
+def _default_samplers(
+    p_sampler: Optional[Sampler], s_sampler: Optional[Sampler]
+) -> Tuple[Sampler, Sampler]:
+    return (
+        p_sampler or uniform_sampler(1.0, 20.0),
+        s_sampler or uniform_sampler(1.0, 20.0),
+    )
+
+
+def _annotate(
+    node_ids: Sequence[object],
+    edges: Sequence[Tuple[object, object]],
+    m: int,
+    rng: np.random.Generator,
+    p_sampler: Optional[Sampler],
+    s_sampler: Optional[Sampler],
+    name: str,
+) -> DAGInstance:
+    p_sampler, s_sampler = _default_samplers(p_sampler, s_sampler)
+    n = len(node_ids)
+    p = p_sampler(rng, n)
+    s = s_sampler(rng, n)
+    tasks = TaskSet(
+        Task(id=node, p=float(p[i]), s=float(s[i])) for i, node in enumerate(node_ids)
+    )
+    return DAGInstance(tasks, m=m, edges=edges, name=name)
+
+
+def layered_dag(
+    n_layers: int,
+    width: int,
+    m: int,
+    edge_probability: float = 0.3,
+    seed: Optional[int] = None,
+    p_sampler: Optional[Sampler] = None,
+    s_sampler: Optional[Sampler] = None,
+) -> DAGInstance:
+    """Random layered DAG: ``n_layers`` layers of up to ``width`` tasks each.
+
+    Each layer's size is drawn uniformly in ``[1, width]``; every task has at
+    least one predecessor in the previous layer (so the depth is exactly
+    ``n_layers``) and additional edges from the previous layer appear with
+    probability ``edge_probability``.
+    """
+    if n_layers < 1 or width < 1:
+        raise ValueError("n_layers and width must be >= 1")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise ValueError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    rng = np.random.default_rng(seed)
+    layers: List[List[str]] = []
+    node_ids: List[str] = []
+    for layer in range(n_layers):
+        size = int(rng.integers(1, width + 1))
+        ids = [f"L{layer}T{i}" for i in range(size)]
+        layers.append(ids)
+        node_ids.extend(ids)
+    edges: List[Tuple[str, str]] = []
+    for layer_idx in range(1, n_layers):
+        prev, cur = layers[layer_idx - 1], layers[layer_idx]
+        for node in cur:
+            parents = [u for u in prev if rng.random() < edge_probability]
+            if not parents:
+                parents = [prev[int(rng.integers(0, len(prev)))]]
+            edges.extend((u, node) for u in parents)
+    return _annotate(
+        node_ids, edges, m, rng, p_sampler, s_sampler,
+        name=f"layered(layers={n_layers},width={width},seed={seed})",
+    )
+
+
+def erdos_renyi_dag(
+    n: int,
+    m: int,
+    edge_probability: float = 0.1,
+    seed: Optional[int] = None,
+    p_sampler: Optional[Sampler] = None,
+    s_sampler: Optional[Sampler] = None,
+) -> DAGInstance:
+    """Random DAG from an Erdős–Rényi graph oriented along a random permutation."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not (0.0 <= edge_probability <= 1.0):
+        raise ValueError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    node_ids = [f"T{i}" for i in range(n)]
+    edges: List[Tuple[str, str]] = []
+    for a in range(n):
+        for b in range(a + 1, n):
+            if rng.random() < edge_probability:
+                u, v = int(order[a]), int(order[b])
+                edges.append((f"T{u}", f"T{v}"))
+    return _annotate(
+        node_ids, edges, m, rng, p_sampler, s_sampler,
+        name=f"erdos-renyi(n={n},p={edge_probability},seed={seed})",
+    )
+
+
+def fork_join_dag(
+    n_phases: int,
+    width: int,
+    m: int,
+    seed: Optional[int] = None,
+    p_sampler: Optional[Sampler] = None,
+    s_sampler: Optional[Sampler] = None,
+) -> DAGInstance:
+    """Repeated fork–join phases: fork into ``width`` parallel tasks, join, repeat."""
+    if n_phases < 1 or width < 1:
+        raise ValueError("n_phases and width must be >= 1")
+    rng = np.random.default_rng(seed)
+    node_ids: List[str] = []
+    edges: List[Tuple[str, str]] = []
+    prev_join: Optional[str] = None
+    for phase in range(n_phases):
+        fork = f"P{phase}fork"
+        join = f"P{phase}join"
+        body = [f"P{phase}W{i}" for i in range(width)]
+        node_ids.extend([fork] + body + [join])
+        if prev_join is not None:
+            edges.append((prev_join, fork))
+        for w in body:
+            edges.append((fork, w))
+            edges.append((w, join))
+        prev_join = join
+    return _annotate(
+        node_ids, edges, m, rng, p_sampler, s_sampler,
+        name=f"fork-join(phases={n_phases},width={width},seed={seed})",
+    )
+
+
+def out_tree_dag(
+    depth: int,
+    branching: int,
+    m: int,
+    seed: Optional[int] = None,
+    p_sampler: Optional[Sampler] = None,
+    s_sampler: Optional[Sampler] = None,
+) -> DAGInstance:
+    """Complete out-tree (divide phase): the root fans out ``branching`` ways per level."""
+    if depth < 1 or branching < 1:
+        raise ValueError("depth and branching must be >= 1")
+    rng = np.random.default_rng(seed)
+    node_ids: List[str] = []
+    edges: List[Tuple[str, str]] = []
+    level_nodes = ["root"]
+    node_ids.append("root")
+    for level in range(1, depth):
+        next_level: List[str] = []
+        for parent in level_nodes:
+            for b in range(branching):
+                child = f"{parent}.{b}"
+                node_ids.append(child)
+                edges.append((parent, child))
+                next_level.append(child)
+        level_nodes = next_level
+    return _annotate(
+        node_ids, edges, m, rng, p_sampler, s_sampler,
+        name=f"out-tree(depth={depth},branching={branching},seed={seed})",
+    )
+
+
+def in_tree_dag(
+    depth: int,
+    branching: int,
+    m: int,
+    seed: Optional[int] = None,
+    p_sampler: Optional[Sampler] = None,
+    s_sampler: Optional[Sampler] = None,
+) -> DAGInstance:
+    """Complete in-tree (reduction): the mirror image of :func:`out_tree_dag`."""
+    base = out_tree_dag(depth, branching, m, seed=seed, p_sampler=p_sampler, s_sampler=s_sampler)
+    reversed_edges = [(v, u) for u, v in base.graph.edges()]
+    return DAGInstance(
+        base.tasks,
+        m=m,
+        edges=reversed_edges,
+        name=f"in-tree(depth={depth},branching={branching},seed={seed})",
+    )
+
+
+def series_parallel_dag(
+    n_target: int,
+    m: int,
+    seed: Optional[int] = None,
+    p_sampler: Optional[Sampler] = None,
+    s_sampler: Optional[Sampler] = None,
+) -> DAGInstance:
+    """Random series–parallel DAG with roughly ``n_target`` tasks.
+
+    Built by repeatedly replacing a random edge of a two-node series graph
+    with either a series composition (insert a node in the middle) or a
+    parallel composition (duplicate the edge through a new node).
+    """
+    if n_target < 2:
+        raise ValueError(f"n_target must be >= 2, got {n_target}")
+    rng = np.random.default_rng(seed)
+    counter = 2
+    node_ids = ["sp0", "sp1"]
+    edges: List[Tuple[str, str]] = [("sp0", "sp1")]
+    while len(node_ids) < n_target:
+        u, v = edges[int(rng.integers(0, len(edges)))]
+        new = f"sp{counter}"
+        counter += 1
+        node_ids.append(new)
+        if rng.random() < 0.5:
+            # series: u -> new -> v replaces u -> v
+            edges.remove((u, v))
+            edges.append((u, new))
+            edges.append((new, v))
+        else:
+            # parallel: add u -> new -> v alongside u -> v
+            edges.append((u, new))
+            edges.append((new, v))
+    return _annotate(
+        node_ids, sorted(set(edges)), m, rng, p_sampler, s_sampler,
+        name=f"series-parallel(n={len(node_ids)},seed={seed})",
+    )
+
+
+def gaussian_elimination_dag(
+    matrix_size: int,
+    m: int,
+    seed: Optional[int] = None,
+    p_sampler: Optional[Sampler] = None,
+    s_sampler: Optional[Sampler] = None,
+) -> DAGInstance:
+    """Dependency DAG of column-oriented Gaussian elimination on a ``matrix_size`` matrix.
+
+    Tasks ``pivot(k)`` and ``update(k, j)`` for ``k < j``: the pivot of
+    column ``k`` depends on the updates of column ``k`` from step ``k-1``,
+    and every update of step ``k`` depends on the pivot of step ``k`` and on
+    the same column's update from the previous step.
+    """
+    if matrix_size < 2:
+        raise ValueError(f"matrix_size must be >= 2, got {matrix_size}")
+    rng = np.random.default_rng(seed)
+    node_ids: List[str] = []
+    edges: List[Tuple[str, str]] = []
+    for k in range(matrix_size - 1):
+        piv = f"pivot{k}"
+        node_ids.append(piv)
+        if k > 0:
+            edges.append((f"update{k - 1}_{k}", piv))
+        for j in range(k + 1, matrix_size):
+            upd = f"update{k}_{j}"
+            node_ids.append(upd)
+            edges.append((piv, upd))
+            if k > 0:
+                edges.append((f"update{k - 1}_{j}", upd))
+    return _annotate(
+        node_ids, edges, m, rng, p_sampler, s_sampler,
+        name=f"gaussian-elimination(size={matrix_size},seed={seed})",
+    )
+
+
+def fft_dag(
+    n_points: int,
+    m: int,
+    seed: Optional[int] = None,
+    p_sampler: Optional[Sampler] = None,
+    s_sampler: Optional[Sampler] = None,
+) -> DAGInstance:
+    """Butterfly dependency DAG of an ``n_points``-point FFT (``n_points`` a power of two).
+
+    ``log2(n_points) + 1`` stages of ``n_points`` tasks; task ``(stage, i)``
+    depends on tasks ``(stage-1, i)`` and ``(stage-1, i XOR 2^(stage-1))``.
+    """
+    if n_points < 2 or (n_points & (n_points - 1)) != 0:
+        raise ValueError(f"n_points must be a power of two >= 2, got {n_points}")
+    rng = np.random.default_rng(seed)
+    stages = n_points.bit_length() - 1
+    node_ids = [f"fft{s}_{i}" for s in range(stages + 1) for i in range(n_points)]
+    edges: List[Tuple[str, str]] = []
+    for stage in range(1, stages + 1):
+        span = 1 << (stage - 1)
+        for i in range(n_points):
+            edges.append((f"fft{stage - 1}_{i}", f"fft{stage}_{i}"))
+            edges.append((f"fft{stage - 1}_{i ^ span}", f"fft{stage}_{i}"))
+    return _annotate(
+        node_ids, sorted(set(edges)), m, rng, p_sampler, s_sampler,
+        name=f"fft(points={n_points},seed={seed})",
+    )
+
+
+def stencil_dag(
+    rows: int,
+    cols: int,
+    m: int,
+    seed: Optional[int] = None,
+    p_sampler: Optional[Sampler] = None,
+    s_sampler: Optional[Sampler] = None,
+) -> DAGInstance:
+    """2-D wavefront: cell ``(r, c)`` depends on ``(r-1, c)`` and ``(r, c-1)``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    rng = np.random.default_rng(seed)
+    node_ids = [f"cell{r}_{c}" for r in range(rows) for c in range(cols)]
+    edges: List[Tuple[str, str]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if r > 0:
+                edges.append((f"cell{r - 1}_{c}", f"cell{r}_{c}"))
+            if c > 0:
+                edges.append((f"cell{r}_{c - 1}", f"cell{r}_{c}"))
+    return _annotate(
+        node_ids, edges, m, rng, p_sampler, s_sampler,
+        name=f"stencil(rows={rows},cols={cols},seed={seed})",
+    )
+
+
+def chain_dag(
+    n: int,
+    m: int,
+    seed: Optional[int] = None,
+    p_sampler: Optional[Sampler] = None,
+    s_sampler: Optional[Sampler] = None,
+) -> DAGInstance:
+    """A single chain of ``n`` tasks — zero parallelism, the pure critical-path case."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    node_ids = [f"c{i}" for i in range(n)]
+    edges = [(f"c{i}", f"c{i + 1}") for i in range(n - 1)]
+    return _annotate(node_ids, edges, m, rng, p_sampler, s_sampler, name=f"chain(n={n},seed={seed})")
+
+
+def random_dag_suite(m: int, seed: int = 0, scale: int = 1) -> Dict[str, DAGInstance]:
+    """One representative DAG per family, sized by ``scale`` (1 = small, laptop friendly)."""
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    return {
+        "layered": layered_dag(6 * scale, 2 + 2 * scale, m, seed=seed),
+        "erdos-renyi": erdos_renyi_dag(30 * scale, m, edge_probability=0.08, seed=seed + 1),
+        "fork-join": fork_join_dag(3 * scale, 2 + 2 * scale, m, seed=seed + 2),
+        "out-tree": out_tree_dag(4, 2, m, seed=seed + 3),
+        "in-tree": in_tree_dag(4, 2, m, seed=seed + 4),
+        "series-parallel": series_parallel_dag(25 * scale, m, seed=seed + 5),
+        "gaussian-elimination": gaussian_elimination_dag(5 + scale, m, seed=seed + 6),
+        "fft": fft_dag(8, m, seed=seed + 7),
+        "stencil": stencil_dag(4 + scale, 4 + scale, m, seed=seed + 8),
+        "chain": chain_dag(12 * scale, m, seed=seed + 9),
+    }

@@ -1,0 +1,42 @@
+"""Experiment harness: one module per reproduced figure/table.
+
+The paper contains three figures (FIG-1, FIG-2, FIG-3) and no numeric
+tables; the remaining experiments (EXT-*) empirically verify each theorem's
+guarantee and ablate the design choices, as laid out in ``DESIGN.md`` §3.
+Every module exposes a ``run_*`` function returning an
+:class:`~repro.experiments.harness.ExperimentResult` that the matching
+benchmark under ``benchmarks/`` executes and prints.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult, ExperimentRow
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.sbo_ratio import run_sbo_ratio
+from repro.experiments.rls_ratio import run_rls_ratio
+from repro.experiments.trio_ratio import run_trio_ratio
+from repro.experiments.constrained_study import run_constrained_study
+from repro.experiments.sbo_ablation import run_sbo_ablation
+from repro.experiments.rls_ablation import run_rls_ablation
+from repro.experiments.simulation_validation import run_simulation_validation
+from repro.experiments.pareto_approx_study import run_pareto_approx_study
+from repro.experiments.report import generate_experiments_report
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentRow",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_sbo_ratio",
+    "run_rls_ratio",
+    "run_trio_ratio",
+    "run_constrained_study",
+    "run_sbo_ablation",
+    "run_rls_ablation",
+    "run_simulation_validation",
+    "run_pareto_approx_study",
+    "generate_experiments_report",
+]

@@ -1,0 +1,82 @@
+"""Export reproduced figure/table data as CSV files.
+
+The benchmark harness prints tables; for users who want to re-plot the
+paper's figures with their own tooling, this module writes each experiment's
+rows — and, for Figure 3, each individual series — to plain CSV files under
+a target directory.  No plotting library is required (the environment is
+offline); the CSVs load directly into pandas/gnuplot/matplotlib.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.impossibility import figure3_series
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["export_result_csv", "export_figure3_csv", "export_all"]
+
+
+def export_result_csv(result: ExperimentResult, directory: Union[str, Path]) -> Path:
+    """Write one experiment's rows to ``<directory>/<experiment id>.csv``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment_id}.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        for row in result.rows:
+            writer.writerow([row[h] for h in result.headers])
+    return path
+
+
+def export_figure3_csv(
+    directory: Union[str, Path],
+    m_values: Sequence[int] = (2, 3, 4, 5, 6),
+    k: int = 32,
+    deltas: Sequence[float] = tuple(0.05 * i for i in range(2, 81)),
+) -> List[Path]:
+    """Write each Figure 3 series (staircases, lemma points, SBO curve) as its own CSV."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    series = figure3_series(m_values=m_values, k=k, deltas=deltas)
+    written: List[Path] = []
+
+    def _write(name: str, points: Iterable[Sequence[float]]) -> None:
+        path = directory / f"figure3_{name}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["cmax_ratio", "mmax_ratio"])
+            for point in points:
+                writer.writerow(list(point))
+        written.append(path)
+
+    for m, staircase in series["staircases"].items():  # type: ignore[union-attr]
+        _write(f"staircase_m{m}", staircase)
+    _write("lemma3_point", [series["lemma3_point"]])
+    _write("lemma1_corners", series["lemma1_points"])  # type: ignore[arg-type]
+    _write("sbo_curve", series["sbo_curve"])  # type: ignore[arg-type]
+    return written
+
+
+def export_all(
+    directory: Union[str, Path],
+    results: Optional[Iterable[ExperimentResult]] = None,
+    quick: bool = True,
+) -> Dict[str, Path]:
+    """Run (or take) every experiment and write one CSV per experiment id.
+
+    Returns a mapping ``experiment id -> csv path``.  Figure 3's individual
+    series are written alongside under ``figure3_*.csv``.
+    """
+    from repro.experiments.report import run_all_experiments
+
+    if results is None:
+        results = run_all_experiments(quick=quick)
+    paths: Dict[str, Path] = {}
+    for result in results:
+        paths[result.experiment_id] = export_result_csv(result, directory)
+    export_figure3_csv(directory)
+    return paths

@@ -1,0 +1,78 @@
+"""FIG-1 — the two Pareto-optimal schedules of the §4.1 instance.
+
+The paper's Figure 1 shows, for the instance ``p = (1, 1/2, 1/2)``,
+``s = (ε, 1, 1)`` on two processors, the two Pareto-optimal schedules with
+objective values ``(1, 2)`` and ``(3/2, 1 + ε)``.  We re-derive the front
+exactly (exhaustive enumeration), check it against the closed form, verify
+that the derived inapproximability statement (Lemma 1) holds, and render
+the two schedules as ASCII Gantt charts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.algorithms.exact import pareto_front_exact
+from repro.core.impossibility import (
+    DEFAULT_EPSILON,
+    instance_lemma1,
+    lemma1_optima,
+    lemma1_pareto_values,
+)
+from repro.experiments.harness import ExperimentResult
+from repro.simulator.trace import render_gantt
+
+__all__ = ["run_figure1"]
+
+
+def run_figure1(epsilon: float = DEFAULT_EPSILON) -> ExperimentResult:
+    """Reproduce Figure 1 (the Pareto front of the first inapproximability instance)."""
+    instance = instance_lemma1(epsilon)
+    front = pareto_front_exact(instance, keep_schedules=True)
+    expected = sorted(lemma1_pareto_values(epsilon))
+    measured = sorted(front.values())
+    cmax_opt, mmax_opt = lemma1_optima(epsilon)
+
+    result = ExperimentResult(
+        experiment_id="FIG-1",
+        title="Pareto-optimal schedules of the Section 4.1 instance (m=2, 3 tasks)",
+        headers=["schedule", "Cmax", "Mmax", "Cmax ratio", "Mmax ratio", "paper value"],
+    )
+    for idx, point in enumerate(front.points()):
+        cmax, mmax = point.values
+        paper = expected[idx] if idx < len(expected) else ("-", "-")
+        result.add_row(**{
+            "schedule": f"pareto-{idx}",
+            "Cmax": cmax,
+            "Mmax": mmax,
+            "Cmax ratio": cmax / cmax_opt,
+            "Mmax ratio": mmax / mmax_opt,
+            "paper value": f"({paper[0]:g}, {paper[1]:g})",
+        })
+
+    same_size = len(measured) == len(expected)
+    matches = same_size and all(
+        math.isclose(a[0], b[0], rel_tol=1e-9) and math.isclose(a[1], b[1], rel_tol=1e-9)
+        for a, b in zip(measured, expected)
+    )
+    result.add_check("front has exactly two points", len(measured) == 2)
+    result.add_check("front matches the paper's closed form {(1,2), (3/2,1+eps)}", matches)
+    # Lemma 1 mechanism: among makespan-optimal schedules the best achievable
+    # memory is exactly 2 (ratio 2/(1+eps) -> 2 as eps -> 0), so no algorithm
+    # can guarantee a ratio pair better than (1, 2).
+    best_memory_at_optimal_cmax = min(
+        (mm for c, mm in measured if c <= cmax_opt + 1e-12), default=math.inf
+    )
+    result.add_check(
+        "the best memory among makespan-optimal schedules is exactly 2 (Lemma 1)",
+        math.isclose(best_memory_at_optimal_cmax, 2.0, rel_tol=1e-9),
+    )
+
+    result.summary.append(f"epsilon = {epsilon:g}; C*max = {cmax_opt:g}, M*max = {mmax_opt:g}")
+    for idx, point in enumerate(front.points()):
+        if point.payload is not None:
+            result.summary.append("")
+            result.summary.append(f"pareto-{idx} (Cmax={point.values[0]:g}, Mmax={point.values[1]:g}):")
+            result.summary.append(render_gantt(point.payload, width=40))
+    return result

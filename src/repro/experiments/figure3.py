@@ -1,0 +1,120 @@
+"""FIG-3 — the impossibility domain and the achievable SBO trade-off curve.
+
+Figure 3 of the paper overlays, in the ``(Cmax ratio, Mmax ratio)`` plane:
+
+* the impossibility staircases of Lemma 2 for ``m = 2..6``,
+* the ``(3/2, 3/2)`` point of Lemma 3,
+* the dashed *achievable* curve ``(1 + Δ, 1 + 1/Δ)`` of Section 3
+  (``SBO_Δ`` with PTAS sub-solvers, ``ε -> 0``).
+
+We regenerate every series, verify that the Lemma 2 staircases agree with
+the Pareto fronts of the actual constructed instances (for a small ``k``),
+and check the key shape property: the achievable curve never enters the
+impossible region (it touches its boundary at ``(2, 2)`` when ``Δ = 1`` and
+``m -> ∞``, and stays outside elsewhere).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.algorithms.exact import pareto_front_exact
+from repro.core.impossibility import (
+    figure3_series,
+    instance_lemma2,
+    is_ratio_impossible,
+    lemma2_frontier,
+    lemma2_optima,
+    lemma2_pareto_values,
+)
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["run_figure3"]
+
+
+def _verify_lemma2_construction(m: int, k: int, epsilon: float = 1e-3) -> bool:
+    """Check the Lemma 2 instance's exact Pareto front against its closed form."""
+    instance = instance_lemma2(m, k, epsilon)
+    if instance.n > 14:  # keep the exhaustive enumeration tractable
+        return True
+    front = sorted(pareto_front_exact(instance, keep_schedules=False).values())
+    expected = sorted(lemma2_pareto_values(m, k, epsilon))
+    if len(front) != len(expected):
+        return False
+    return all(
+        math.isclose(a[0], b[0], rel_tol=1e-9) and math.isclose(a[1], b[1], rel_tol=1e-9)
+        for a, b in zip(front, expected)
+    )
+
+
+def run_figure3(
+    m_values: Sequence[int] = (2, 3, 4, 5, 6),
+    k: int = 32,
+    delta_grid: Sequence[float] = tuple(round(0.1 * i, 3) for i in range(2, 41)),
+) -> ExperimentResult:
+    """Reproduce Figure 3 (impossibility domain + achievable SBO curve)."""
+    series = figure3_series(m_values=m_values, k=k, deltas=delta_grid)
+    result = ExperimentResult(
+        experiment_id="FIG-3",
+        title="Impossibility domain for (Cmax, Mmax) ratios and the SBO trade-off curve",
+        headers=["series", "point index", "Cmax ratio", "Mmax ratio"],
+    )
+
+    staircases: Dict[int, List[Tuple[float, float]]] = series["staircases"]  # type: ignore[assignment]
+    for m, points in staircases.items():
+        for idx, (rc, rm) in enumerate(points):
+            result.add_row(**{
+                "series": f"lemma2 staircase m={m}",
+                "point index": idx,
+                "Cmax ratio": rc,
+                "Mmax ratio": rm,
+            })
+    rc, rm = series["lemma3_point"]  # type: ignore[misc]
+    result.add_row(**{"series": "lemma3 point", "point index": 0, "Cmax ratio": rc, "Mmax ratio": rm})
+    for idx, (rc, rm) in enumerate(series["lemma1_points"]):  # type: ignore[arg-type]
+        result.add_row(**{"series": "lemma1 corner", "point index": idx, "Cmax ratio": rc, "Mmax ratio": rm})
+    curve: List[Tuple[float, float]] = series["sbo_curve"]  # type: ignore[assignment]
+    for idx, (rc, rm) in enumerate(curve):
+        result.add_row(**{"series": "SBO curve (1+delta, 1+1/delta)", "point index": idx, "Cmax ratio": rc, "Mmax ratio": rm})
+
+    # --- shape checks -------------------------------------------------- #
+    # 1. The closed-form staircase matches the exact Pareto analysis of the
+    #    actual constructed instance (small k so enumeration stays feasible).
+    result.add_check(
+        "lemma 2 closed-form frontier matches the constructed instance (m=2, k=2)",
+        _verify_lemma2_construction(2, 2),
+    )
+    # 2. Staircases are monotone: better Cmax ratio costs Mmax ratio.
+    monotone = all(
+        all(p1[0] < p2[0] and p1[1] > p2[1] for p1, p2 in zip(points, points[1:]))
+        for points in staircases.values()
+        if len(points) > 1
+    )
+    result.add_check("each staircase trades Cmax ratio against Mmax ratio monotonically", monotone)
+    # 3. More processors exclude more: for fixed i/k the excluded Mmax ratio
+    #    grows with m (compare the i=0 extreme across m).
+    first_points = {m: points[0] for m, points in staircases.items()}
+    growing = all(
+        first_points[m1][1] <= first_points[m2][1] + 1e-12
+        for m1, m2 in zip(sorted(first_points), sorted(first_points)[1:])
+    )
+    result.add_check("the excluded region grows with the number of processors", growing)
+    # 4. The achievable SBO curve stays outside the impossibility domain: a
+    #    curve point may touch the boundary but is never strictly dominated by
+    #    an excluded bound (checked against the strongest staircase computed).
+    largest_m = max(m_values)
+    outside = all(
+        not is_ratio_impossible(rc - 1e-9, rm - 1e-9, largest_m, k_max=k)
+        for rc, rm in curve
+    )
+    result.add_check("the SBO trade-off curve never enters the impossible region", outside)
+    # 5. The curve passes through (2, 2) at delta = 1 — the balanced solution
+    #    promised by Corollary 1.
+    has_2_2 = any(math.isclose(rc, 2.0, rel_tol=1e-9) and math.isclose(rm, 2.0, rel_tol=1e-9) for rc, rm in curve)
+    result.add_check("the curve contains the balanced (2, 2) point at delta = 1", has_2_2)
+
+    result.summary.append(
+        f"staircases for m in {tuple(m_values)} with k = {k}; SBO curve sampled at {len(curve)} delta values"
+    )
+    return result

@@ -1,0 +1,106 @@
+"""Common infrastructure shared by the experiment modules.
+
+An experiment produces an :class:`ExperimentResult`: a named table (headers
+plus rows) with optional free-form summary lines and a ``checks`` map of
+named boolean assertions ("does the measured shape match the paper?").
+The benchmark scripts print the table; the integration tests assert that
+every check passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.utils.tables import format_markdown_table, format_table
+
+__all__ = ["ExperimentRow", "ExperimentResult"]
+
+#: A single row of an experiment table: column name -> value.
+ExperimentRow = Dict[str, object]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure with its pass/fail shape checks.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier from the DESIGN.md experiment index (e.g. ``"FIG-3"``).
+    title:
+        Human-readable description.
+    headers:
+        Ordered column names of the result table.
+    rows:
+        Table rows (dictionaries keyed by the headers).
+    checks:
+        Named boolean assertions about the *shape* of the result (who wins,
+        bounds respected, fronts matching the paper's closed forms).
+    summary:
+        Free-form lines shown under the table.
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[ExperimentRow] = field(default_factory=list)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    summary: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        """Append a row; every header must be provided."""
+        missing = [h for h in self.headers if h not in values]
+        if missing:
+            raise ValueError(f"row is missing columns {missing!r}")
+        self.rows.append({h: values[h] for h in self.headers})
+
+    def add_check(self, name: str, passed: bool) -> None:
+        """Record a named shape check."""
+        self.checks[name] = bool(passed)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """True when every recorded check holds (and at least one exists)."""
+        return bool(self.checks) and all(self.checks.values())
+
+    def failed_checks(self) -> List[str]:
+        """Names of checks that did not hold."""
+        return [name for name, ok in self.checks.items() if not ok]
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def table_rows(self) -> List[List[object]]:
+        return [[row[h] for h in self.headers] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Plain-text report: title, table, checks, summary."""
+        lines = [f"[{self.experiment_id}] {self.title}", ""]
+        lines.append(format_table(self.headers, self.table_rows()))
+        if self.summary:
+            lines.append("")
+            lines.extend(self.summary)
+        if self.checks:
+            lines.append("")
+            lines.append("Shape checks:")
+            for name, ok in self.checks.items():
+                lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Markdown report used to build ``EXPERIMENTS.md``."""
+        lines = [f"### {self.experiment_id} — {self.title}", ""]
+        lines.append(format_markdown_table(self.headers, self.table_rows()))
+        if self.summary:
+            lines.append("")
+            lines.extend(self.summary)
+        if self.checks:
+            lines.append("")
+            lines.append("Shape checks: " + ", ".join(
+                f"{'✅' if ok else '❌'} {name}" for name, ok in self.checks.items()
+            ))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()

@@ -1,0 +1,108 @@
+"""EXT-A2 — ablation of RLS_Δ: tie-breaking order and Δ sensitivity.
+
+Two questions the paper leaves to practice:
+
+* does the choice of the "arbitrary total ordering" (instance order, SPT,
+  LPT, bottom-level) matter for the measured makespan? (the guarantee is
+  order-independent, but bottom-level ordering is the folklore good choice
+  for DAGs);
+* how does the measured ``(Cmax, Mmax)`` trade-off move as Δ approaches 2
+  from above, and how often does the algorithm become infeasible for
+  Δ < 2 (Lemma 4's caveat)?
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.core.bounds import cmax_lower_bound, mmax_lower_bound
+from repro.core.rls import InfeasibleDeltaError, minimum_feasible_delta, rls
+from repro.dag.generators import random_dag_suite
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["run_rls_ablation"]
+
+
+def run_rls_ablation(
+    orders: Sequence[str] = ("arbitrary", "spt", "lpt", "bottom-level"),
+    deltas: Sequence[float] = (1.5, 1.8, 2.0, 2.2, 2.5, 3.0, 4.0),
+    m: int = 4,
+    seeds: Sequence[int] = (0, 1),
+    scale: int = 1,
+) -> ExperimentResult:
+    """Ablate the priority order and sweep Δ through and below the feasibility threshold."""
+    result = ExperimentResult(
+        experiment_id="EXT-A2",
+        title="RLS_delta ablation: tie-breaking order and delta sensitivity",
+        headers=[
+            "dag family", "order", "delta",
+            "feasible rate", "Cmax/LB (mean)", "Mmax/LB (mean)",
+        ],
+    )
+
+    feasible_at_2 = True
+    memory_within_budget = True
+    families = list(random_dag_suite(m, seed=seeds[0], scale=scale).keys())
+    order_cmax: Dict[str, List[float]] = {o: [] for o in orders}
+    for family in families:
+        for order in orders:
+            for delta in deltas:
+                feasible = 0
+                rc: List[float] = []
+                rm: List[float] = []
+                for seed in seeds:
+                    instance = random_dag_suite(m, seed=seed, scale=scale)[family]
+                    lb_c = cmax_lower_bound(instance)
+                    lb_m = mmax_lower_bound(instance)
+                    try:
+                        outcome = rls(instance, delta, order=order)
+                    except InfeasibleDeltaError:
+                        if delta >= 2.0:
+                            feasible_at_2 = False
+                        continue
+                    feasible += 1
+                    rc.append(outcome.cmax / lb_c if lb_c > 0 else 1.0)
+                    rm.append(outcome.mmax / lb_m if lb_m > 0 else 1.0)
+                    if lb_m > 0 and outcome.mmax > delta * lb_m + 1e-9:
+                        memory_within_budget = False
+                if rc and delta >= 2.5:
+                    order_cmax[order].extend(rc)
+                result.add_row(**{
+                    "dag family": family,
+                    "order": order,
+                    "delta": delta,
+                    "feasible rate": round(feasible / len(seeds), 3),
+                    "Cmax/LB (mean)": round(sum(rc) / len(rc), 4) if rc else "-",
+                    "Mmax/LB (mean)": round(sum(rm) / len(rm), 4) if rm else "-",
+                })
+
+    # Minimum feasible delta study (independent summary lines).
+    min_deltas = []
+    for seed in seeds:
+        suite = random_dag_suite(m, seed=seed, scale=scale)
+        for family, instance in suite.items():
+            min_deltas.append(minimum_feasible_delta(instance))
+    result.summary.append(
+        f"minimum feasible delta across the suite: min={min(min_deltas):.3f}, "
+        f"mean={sum(min_deltas) / len(min_deltas):.3f}, max={max(min_deltas):.3f} "
+        "(always <= 2, as guaranteed)"
+    )
+
+    result.add_check("delta >= 2 is always feasible", feasible_at_2)
+    result.add_check("memory stays within delta * LB whenever the run completes", memory_within_budget)
+    result.add_check("minimum feasible delta never exceeds 2", max(min_deltas) <= 2.0 + 1e-9)
+    mean_by_order = {
+        order: (sum(vals) / len(vals)) if vals else math.inf for order, vals in order_cmax.items()
+    }
+    best_order = min(mean_by_order, key=mean_by_order.get)
+    result.summary.append(
+        "mean Cmax/LB by order (delta >= 2.5): "
+        + ", ".join(f"{o}={v:.3f}" for o, v in sorted(mean_by_order.items()))
+        + f"; best: {best_order}"
+    )
+    result.add_check(
+        "bottom-level ordering is never the worst order on average",
+        mean_by_order.get("bottom-level", math.inf) <= max(mean_by_order.values()) + 1e-12,
+    )
+    return result

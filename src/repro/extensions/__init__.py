@@ -1,0 +1,31 @@
+"""Model extensions beyond the paper's core results.
+
+The paper's concluding remarks (§7) call for "more realistic model
+extensions [...] such as conditional task graphs or non identical
+processors".  This package prototypes two of those directions, clearly
+labelled as extensions (they carry heuristic or weaker guarantees, not the
+paper's theorems):
+
+* :mod:`~repro.extensions.uniform_machines` — processors with different
+  speeds (``Q | p_j, s_j | Cmax, Mmax``): speed-aware list scheduling and a
+  memory-budgeted RLS analogue;
+* :mod:`~repro.extensions.online` — tasks revealed one at a time (online
+  over list): a threshold rule in the spirit of ``SBO_Δ`` that needs no
+  knowledge of future tasks.
+"""
+
+from __future__ import annotations
+
+from repro.extensions.uniform_machines import (
+    UniformInstance,
+    uniform_list_schedule,
+    uniform_rls,
+)
+from repro.extensions.online import OnlineBiObjectiveScheduler
+
+__all__ = [
+    "UniformInstance",
+    "uniform_list_schedule",
+    "uniform_rls",
+    "OnlineBiObjectiveScheduler",
+]

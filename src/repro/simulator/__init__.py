@@ -1,0 +1,40 @@
+"""Discrete-event multiprocessor simulator with per-processor storage accounting.
+
+The paper's target platforms (multi-SoC embedded boards, grid sites) are
+hardware we do not have; the simulator is the substitute documented in
+``DESIGN.md``.  It replays a schedule on ``m`` identical processors,
+enforcing exactly the constraints the model cares about:
+
+* a processor executes at most one task at a time,
+* a task starts only after all its predecessors completed,
+* every task's storage is charged to its processor for the rest of the run
+  (cumulative memory occupation),
+* optionally, a hard per-processor memory capacity (the constrained problem
+  of §2.2).
+
+The simulation produces a :class:`~repro.simulator.executor.SimulationReport`
+whose objective values must agree with the analytical evaluation of the
+schedule — the integration tests and the EXT-A3 benchmark check this
+agreement for every algorithm/workload combination.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.events import Event, EventKind, EventQueue
+from repro.simulator.machine import Processor, MemoryOverflowError
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.trace import TraceRecord, render_gantt
+from repro.simulator.executor import SimulationReport, simulate_schedule
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Processor",
+    "MemoryOverflowError",
+    "SimulationEngine",
+    "TraceRecord",
+    "render_gantt",
+    "SimulationReport",
+    "simulate_schedule",
+]

@@ -1,0 +1,146 @@
+"""The discrete-event simulation engine.
+
+:class:`SimulationEngine` owns the platform (a list of
+:class:`~repro.simulator.machine.Processor`), the event queue and the
+simulation clock.  The executor (:mod:`repro.simulator.executor`) drives it
+by submitting task start events; the engine processes events in time order,
+performs the memory reservation at task start, records trace entries, and
+fires task-finish events.
+
+The engine is deliberately small and deterministic: given the same
+submitted events it always produces the same trace, which the tests rely
+on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.simulator.events import Event, EventKind, EventQueue
+from repro.simulator.machine import MemoryOverflowError, Processor
+from repro.simulator.trace import TraceRecord
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Event-driven executor of task occurrences on ``m`` processors.
+
+    Parameters
+    ----------
+    m:
+        Number of identical processors.
+    memory_capacity:
+        Optional hard per-processor memory capacity; when given, a task
+        whose storage does not fit raises
+        :class:`~repro.simulator.machine.MemoryOverflowError` at start time.
+    strict:
+        When ``True`` (default) a task start on a busy processor raises;
+        when ``False`` the start is postponed to the processor's
+        ``busy_until`` (convenient for replaying assignment-only schedules).
+    """
+
+    def __init__(self, m: int, memory_capacity: Optional[float] = None, strict: bool = True) -> None:
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        self.processors: List[Processor] = [
+            Processor(id=q, memory_capacity=memory_capacity) for q in range(m)
+        ]
+        self.queue = EventQueue()
+        self.now: float = 0.0
+        self.strict = strict
+        self.trace: List[TraceRecord] = []
+        self.completion_times: Dict[object, float] = {}
+        self._finish_callbacks: List[Callable[[Event], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit_task(
+        self,
+        task_id: object,
+        processor: int,
+        start: float,
+        duration: float,
+        storage: float,
+    ) -> None:
+        """Queue a task start at an absolute time on a given processor."""
+        if not (0 <= processor < len(self.processors)):
+            raise ValueError(f"invalid processor index {processor}")
+        self.queue.push(
+            Event(
+                time=start,
+                kind=EventKind.TASK_START,
+                task_id=task_id,
+                processor=processor,
+                payload={"duration": float(duration), "storage": float(storage)},
+            )
+        )
+
+    def on_task_finish(self, callback: Callable[[Event], None]) -> None:
+        """Register a callback invoked after every task-finish event."""
+        self._finish_callbacks.append(callback)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _handle_start(self, event: Event) -> None:
+        assert event.processor is not None
+        proc = self.processors[event.processor]
+        info = event.payload
+        start = event.time
+        if not proc.is_idle_at(start):
+            if self.strict:
+                raise RuntimeError(
+                    f"task {event.task_id!r} starts at {start:g} on processor {proc.id} "
+                    f"which is busy until {proc.busy_until:g}"
+                )
+            start = proc.busy_until
+        proc.reserve_memory(event.task_id, info["storage"])
+        finish = proc.execute(event.task_id, start, info["duration"])
+        self.trace.append(
+            TraceRecord(
+                task_id=event.task_id,
+                processor=proc.id,
+                start=start,
+                finish=finish,
+                storage=info["storage"],
+            )
+        )
+        self.queue.push(
+            Event(time=finish, kind=EventKind.TASK_FINISH, task_id=event.task_id, processor=proc.id)
+        )
+
+    def _handle_finish(self, event: Event) -> None:
+        self.completion_times[event.task_id] = event.time
+        for callback in self._finish_callbacks:
+            callback(event)
+
+    def run(self) -> float:
+        """Process every queued event; returns the final simulation time (makespan)."""
+        while self.queue:
+            event = self.queue.pop()
+            if event.time < self.now - 1e-9:
+                raise RuntimeError(
+                    f"event at time {event.time:g} observed after the clock reached {self.now:g}"
+                )
+            self.now = max(self.now, event.time)
+            if event.kind is EventKind.TASK_START:
+                self._handle_start(event)
+            elif event.kind is EventKind.TASK_FINISH:
+                self._handle_finish(event)
+            # CUSTOM events are ignored by the core engine.
+        return self.now
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan(self) -> float:
+        """Largest completion time observed so far."""
+        return max(self.completion_times.values(), default=0.0)
+
+    @property
+    def memory_per_processor(self) -> List[float]:
+        """Cumulative memory charged to each processor."""
+        return [proc.memory_used for proc in self.processors]

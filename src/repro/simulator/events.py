@@ -1,0 +1,78 @@
+"""Event types and the time-ordered event queue of the simulator."""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.Enum):
+    """Kinds of events the engine understands."""
+
+    TASK_START = "task_start"
+    TASK_FINISH = "task_finish"
+    #: Generic user event, available to engine extensions.
+    CUSTOM = "custom"
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """A timestamped event.
+
+    Events compare by time; ties are broken by kind (finishes before starts
+    at the same instant, so a processor freed at ``t`` can start its next
+    task at ``t``) and finally by a monotone sequence number assigned by the
+    queue, which keeps the ordering deterministic.
+    """
+
+    time: float
+    kind: EventKind
+    task_id: object = None
+    processor: Optional[int] = None
+    payload: object = None
+
+    def sort_key(self, seq: int) -> Tuple[float, int, int]:
+        kind_rank = 0 if self.kind is EventKind.TASK_FINISH else 1
+        return (self.time, kind_rank, seq)
+
+
+class EventQueue:
+    """A stable min-heap of :class:`Event` objects ordered by time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Tuple[float, int, int], Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        """Insert an event."""
+        if event.time < 0:
+            raise ValueError(f"event time must be >= 0, got {event.time}")
+        heapq.heappush(self._heap, (event.sort_key(next(self._counter)), event))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[1]
+
+    def peek(self) -> Event:
+        """Return the earliest event without removing it."""
+        if not self._heap:
+            raise IndexError("peek on an empty event queue")
+        return self._heap[0][1]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate destructively in time order (drains the queue)."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,84 @@
+"""Processor model: exclusive execution and cumulative storage accounting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["MemoryOverflowError", "Processor"]
+
+
+class MemoryOverflowError(RuntimeError):
+    """Raised when a task's storage does not fit in the processor's capacity."""
+
+    def __init__(self, processor_id: int, task_id: object, needed: float, capacity: float) -> None:
+        super().__init__(
+            f"processor {processor_id}: storing task {task_id!r} needs {needed:g} memory units "
+            f"but the capacity is {capacity:g}"
+        )
+        self.processor_id = processor_id
+        self.task_id = task_id
+        self.needed = needed
+        self.capacity = capacity
+
+
+@dataclass
+class Processor:
+    """One identical processor of the platform.
+
+    Tracks the cumulative memory occupation (tasks never release their
+    storage — the model of §2.1), the time until which the processor is
+    busy, and the executed intervals for trace/Gantt purposes.
+    """
+
+    id: int
+    memory_capacity: Optional[float] = None
+    memory_used: float = 0.0
+    busy_until: float = 0.0
+    busy_time: float = 0.0
+    executed: List[Tuple[object, float, float]] = field(default_factory=list)
+
+    def can_store(self, size: float, eps: float = 1e-9) -> bool:
+        """Whether ``size`` additional memory units fit under the capacity."""
+        if self.memory_capacity is None:
+            return True
+        return self.memory_used + size <= self.memory_capacity + eps
+
+    def reserve_memory(self, task_id: object, size: float, eps: float = 1e-9) -> None:
+        """Charge ``size`` memory units for ``task_id`` (checked against the capacity)."""
+        if size < 0:
+            raise ValueError(f"storage size must be >= 0, got {size}")
+        if not self.can_store(size, eps=eps):
+            assert self.memory_capacity is not None
+            raise MemoryOverflowError(self.id, task_id, self.memory_used + size, self.memory_capacity)
+        self.memory_used += size
+
+    def is_idle_at(self, time: float, eps: float = 1e-9) -> bool:
+        """Whether the processor has no running task at ``time``."""
+        return time >= self.busy_until - eps
+
+    def execute(self, task_id: object, start: float, duration: float, eps: float = 1e-9) -> float:
+        """Run a task on this processor from ``start`` for ``duration`` time units.
+
+        Returns the completion time.  Raises ``RuntimeError`` if the
+        processor is still busy at ``start`` (exclusive execution).
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        if start < self.busy_until - eps:
+            raise RuntimeError(
+                f"processor {self.id} is busy until {self.busy_until:g}, "
+                f"cannot start task {task_id!r} at {start:g}"
+            )
+        finish = start + duration
+        self.executed.append((task_id, start, finish))
+        self.busy_until = finish
+        self.busy_time += duration
+        return finish
+
+    def utilisation(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` spent executing tasks."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)

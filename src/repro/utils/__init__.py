@@ -1,0 +1,8 @@
+"""Small shared utilities: seeded RNG streams and text tables."""
+
+from __future__ import annotations
+
+from repro.utils.rng import spawn_rngs, seeded_rng
+from repro.utils.tables import format_table, format_markdown_table
+
+__all__ = ["spawn_rngs", "seeded_rng", "format_table", "format_markdown_table"]

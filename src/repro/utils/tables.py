@@ -1,0 +1,50 @@
+"""Plain-text and Markdown table formatting for experiment reports.
+
+The benchmark harness prints the rows/series of every reproduced figure;
+these helpers keep that output aligned and copy-pasteable into
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], padding: int = 2) -> str:
+    """Format rows as an aligned plain-text table."""
+    str_rows: List[List[str]] = [[_stringify(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells but there are {len(headers)} headers")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    pad = " " * padding
+    lines = [pad.join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append(pad.join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append(pad.join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Format rows as a GitHub-flavoured Markdown table."""
+    str_rows = [[_stringify(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells but there are {len(headers)} headers")
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

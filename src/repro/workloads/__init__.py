@@ -1,0 +1,57 @@
+"""Synthetic workload generators.
+
+The paper's evaluation is analytical; to *measure* the behaviour of the
+algorithms we generate synthetic workloads whose shape matches the
+application domains the paper motivates (grid batches of independent jobs,
+embedded multi-SoC task sets):
+
+* :mod:`~repro.workloads.distributions` — reusable scalar samplers
+  (uniform, bimodal, heavy-tailed Pareto-like, discrete);
+* :mod:`~repro.workloads.independent` — independent-task instance
+  generators with controllable correlation between processing time and
+  storage size;
+* :mod:`~repro.workloads.adversarial` — instances engineered to stress the
+  algorithms (the paper's Lemma instances at scale, memory-hostile packs).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.distributions import (
+    uniform_sampler,
+    integer_sampler,
+    bimodal_sampler,
+    pareto_sampler,
+    constant_sampler,
+    Sampler,
+)
+from repro.workloads.independent import (
+    uniform_instance,
+    correlated_instance,
+    anti_correlated_instance,
+    bimodal_instance,
+    heavy_tailed_instance,
+    workload_suite,
+)
+from repro.workloads.adversarial import (
+    memory_hostile_instance,
+    high_variance_instance,
+    few_big_many_small_instance,
+)
+
+__all__ = [
+    "Sampler",
+    "uniform_sampler",
+    "integer_sampler",
+    "bimodal_sampler",
+    "pareto_sampler",
+    "constant_sampler",
+    "uniform_instance",
+    "correlated_instance",
+    "anti_correlated_instance",
+    "bimodal_instance",
+    "heavy_tailed_instance",
+    "workload_suite",
+    "memory_hostile_instance",
+    "high_variance_instance",
+    "few_big_many_small_instance",
+]

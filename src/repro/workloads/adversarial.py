@@ -1,0 +1,103 @@
+"""Adversarial / stress workloads.
+
+Instances engineered to make life hard for memory-aware schedulers:
+memory-hostile packs where a few tasks nearly saturate the Graham bound,
+very high variance mixes, and "few big, many small" configurations that
+exercise the marked-processor analysis of Lemma 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.task import Task, TaskSet
+
+__all__ = [
+    "memory_hostile_instance",
+    "high_variance_instance",
+    "few_big_many_small_instance",
+]
+
+
+def memory_hostile_instance(
+    m: int,
+    big_tasks_per_processor: int = 1,
+    filler_tasks: int = 20,
+    seed: Optional[int] = None,
+) -> Instance:
+    """Tasks whose storage nearly saturates the per-processor lower bound.
+
+    ``m * big_tasks_per_processor`` tasks each require almost ``LB`` memory
+    (so any schedule must spread them perfectly), plus small filler tasks
+    with negligible memory but non-trivial processing times.  RLS_Δ must
+    place the big tasks one per processor even at moderate Δ.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if big_tasks_per_processor < 1:
+        raise ValueError("big_tasks_per_processor must be >= 1")
+    rng = np.random.default_rng(seed)
+    tasks = []
+    n_big = m * big_tasks_per_processor
+    for i in range(n_big):
+        tasks.append(Task(id=f"big{i}", p=float(rng.uniform(1.0, 5.0)), s=100.0, label="big"))
+    for i in range(filler_tasks):
+        tasks.append(
+            Task(id=f"filler{i}", p=float(rng.uniform(5.0, 50.0)), s=float(rng.uniform(0.1, 2.0)), label="filler")
+        )
+    return Instance(TaskSet(tasks), m=m, name=f"memory-hostile(m={m},seed={seed})")
+
+
+def high_variance_instance(
+    n: int,
+    m: int,
+    seed: Optional[int] = None,
+    ratio: float = 1000.0,
+) -> Instance:
+    """Processing times and storage sizes spanning ``ratio`` orders of magnitude."""
+    if ratio <= 1:
+        raise ValueError(f"ratio must be > 1, got {ratio}")
+    rng = np.random.default_rng(seed)
+    p = np.exp(rng.uniform(0.0, np.log(ratio), size=n))
+    s = np.exp(rng.uniform(0.0, np.log(ratio), size=n))
+    tasks = TaskSet(Task(id=i, p=float(pi), s=float(si)) for i, (pi, si) in enumerate(zip(p, s)))
+    return Instance(tasks, m=m, name=f"high-variance(n={n},m={m},seed={seed})")
+
+
+def few_big_many_small_instance(
+    m: int,
+    k: int = 4,
+    small_per_big: int = 10,
+    seed: Optional[int] = None,
+) -> Instance:
+    """A scaled-up analogue of the paper's Lemma 2 construction.
+
+    ``m - 1`` long-but-light tasks and ``k * m`` short-but-heavy tasks, plus
+    ``small_per_big`` tiny fillers per heavy task with random costs, so the
+    instance keeps the tension of the Lemma 2 family while not being a pure
+    worst case.
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    rng = np.random.default_rng(seed)
+    tasks = []
+    for i in range(m - 1):
+        tasks.append(Task(id=f"long{i}", p=100.0, s=1.0, label="long"))
+    for i in range(k * m):
+        tasks.append(Task(id=f"heavy{i}", p=100.0 / (k * m), s=100.0, label="heavy"))
+    n_small = small_per_big * k * m
+    for i in range(n_small):
+        tasks.append(
+            Task(
+                id=f"small{i}",
+                p=float(rng.uniform(0.5, 5.0)),
+                s=float(rng.uniform(0.5, 5.0)),
+                label="small",
+            )
+        )
+    return Instance(TaskSet(tasks), m=m, name=f"few-big-many-small(m={m},k={k},seed={seed})")

@@ -1,0 +1,138 @@
+"""Scalar samplers used by the workload and DAG generators.
+
+A :class:`Sampler` is a callable ``(rng, size) -> numpy array`` of positive
+values.  Keeping samplers as small composable objects lets every generator
+expose "what distribution do processing times / storage sizes follow" as a
+single argument, and keeps all randomness flowing through an explicit
+``numpy.random.Generator`` so that every experiment is reproducible from a
+seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Sampler",
+    "uniform_sampler",
+    "integer_sampler",
+    "bimodal_sampler",
+    "pareto_sampler",
+    "constant_sampler",
+    "choice_sampler",
+]
+
+#: A sampler maps (rng, size) to a vector of positive floats.
+Sampler = Callable[[np.random.Generator, int], np.ndarray]
+
+
+def _validate_positive(name: str, value: float) -> float:
+    value = float(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def uniform_sampler(low: float = 1.0, high: float = 10.0) -> Sampler:
+    """Continuous uniform values in ``[low, high]``."""
+    low = float(low)
+    high = float(high)
+    if low < 0 or high < low:
+        raise ValueError(f"need 0 <= low <= high, got low={low}, high={high}")
+
+    def sample(rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(low, high, size=size)
+
+    return sample
+
+
+def integer_sampler(low: int = 1, high: int = 10) -> Sampler:
+    """Uniform integers in ``{low, ..., high}`` (returned as floats)."""
+    if low < 0 or high < low:
+        raise ValueError(f"need 0 <= low <= high, got low={low}, high={high}")
+
+    def sample(rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.integers(low, high + 1, size=size).astype(float)
+
+    return sample
+
+
+def bimodal_sampler(
+    low_mode: float = 1.0,
+    high_mode: float = 50.0,
+    high_fraction: float = 0.2,
+    spread: float = 0.1,
+) -> Sampler:
+    """Two-mode mixture: mostly small values, a fraction of much larger ones.
+
+    Models the "a few huge jobs among many small ones" shape common in grid
+    traces.  ``spread`` is the relative standard deviation around each mode.
+    """
+    low_mode = _validate_positive("low_mode", low_mode)
+    high_mode = _validate_positive("high_mode", high_mode)
+    if not (0.0 <= high_fraction <= 1.0):
+        raise ValueError(f"high_fraction must be in [0, 1], got {high_fraction}")
+    if spread < 0:
+        raise ValueError(f"spread must be >= 0, got {spread}")
+
+    def sample(rng: np.random.Generator, size: int) -> np.ndarray:
+        is_high = rng.random(size) < high_fraction
+        base = np.where(is_high, high_mode, low_mode)
+        noise = rng.normal(loc=1.0, scale=spread, size=size)
+        return np.maximum(base * np.abs(noise), 1e-9)
+
+    return sample
+
+
+def pareto_sampler(shape: float = 1.5, scale: float = 1.0, cap: Optional[float] = None) -> Sampler:
+    """Heavy-tailed (Pareto) values ``scale * (1 + X)`` with tail index ``shape``.
+
+    An optional ``cap`` truncates the tail to keep instances bounded.
+    """
+    shape = _validate_positive("shape", shape)
+    scale = _validate_positive("scale", scale)
+    if cap is not None and cap <= scale:
+        raise ValueError(f"cap must exceed scale, got cap={cap}, scale={scale}")
+
+    def sample(rng: np.random.Generator, size: int) -> np.ndarray:
+        values = scale * (1.0 + rng.pareto(shape, size=size))
+        if cap is not None:
+            values = np.minimum(values, cap)
+        return values
+
+    return sample
+
+
+def constant_sampler(value: float = 1.0) -> Sampler:
+    """Always return ``value`` (useful for unit-cost workloads)."""
+    value = _validate_positive("value", value)
+
+    def sample(rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, value, dtype=float)
+
+    return sample
+
+
+def choice_sampler(values: Sequence[float], weights: Optional[Sequence[float]] = None) -> Sampler:
+    """Sample from a fixed finite set of values with optional weights."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    if np.any(values < 0):
+        raise ValueError("values must be >= 0")
+    probs = None
+    if weights is not None:
+        weights = np.asarray(list(weights), dtype=float)
+        if weights.shape != values.shape:
+            raise ValueError("weights must match values in length")
+        if np.any(weights < 0) or weights.sum() == 0:
+            raise ValueError("weights must be non-negative and not all zero")
+        probs = weights / weights.sum()
+
+    def sample(rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.choice(values, size=size, p=probs)
+
+    return sample

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import DAGInstance, Instance
+from repro.core.task import Task, TaskSet
+
+
+@pytest.fixture
+def small_instance() -> Instance:
+    """Five tasks, two processors; small enough for exact solvers."""
+    return Instance.from_lists(p=[4, 3, 2, 2, 1], s=[1, 5, 2, 4, 3], m=2, name="small")
+
+
+@pytest.fixture
+def medium_instance() -> Instance:
+    """Twelve tasks, three processors; still exact-solver friendly."""
+    return Instance.from_lists(
+        p=[9, 8, 7, 6, 5, 5, 4, 4, 3, 2, 2, 1],
+        s=[2, 6, 1, 9, 4, 3, 8, 2, 7, 5, 1, 6],
+        m=3,
+        name="medium",
+    )
+
+
+@pytest.fixture
+def diamond_dag() -> DAGInstance:
+    """A 4-task diamond: a -> {b, c} -> d."""
+    return DAGInstance.from_lists(
+        p=[2, 3, 4, 1],
+        s=[5, 2, 3, 4],
+        m=2,
+        ids=["a", "b", "c", "d"],
+        edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+        name="diamond",
+    )
+
+
+@pytest.fixture
+def chain_instance() -> DAGInstance:
+    """A 5-task chain."""
+    ids = [f"t{i}" for i in range(5)]
+    return DAGInstance.from_lists(
+        p=[1, 2, 3, 2, 1],
+        s=[2, 2, 2, 2, 2],
+        m=3,
+        ids=ids,
+        edges=[(ids[i], ids[i + 1]) for i in range(4)],
+        name="chain",
+    )
+
+
+@pytest.fixture
+def zero_memory_instance() -> Instance:
+    """Tasks with no storage demand at all."""
+    return Instance.from_lists(p=[3, 2, 1, 4], s=[0, 0, 0, 0], m=2, name="zero-memory")
+
+
+@pytest.fixture
+def single_task_instance() -> Instance:
+    """One task, one processor."""
+    return Instance.from_lists(p=[5], s=[7], m=1, name="single")

@@ -1,0 +1,91 @@
+"""Unit tests for repro.core.bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.exact import exact_cmax, exact_mmax
+from repro.algorithms.spt import optimal_sum_ci
+from repro.core.bounds import (
+    cmax_lower_bound,
+    critical_path_length,
+    critical_path_lower_bound,
+    graham_memory_lower_bound,
+    mmax_lower_bound,
+    sum_ci_lower_bound,
+)
+from repro.core.instance import DAGInstance, Instance
+from repro.workloads.independent import uniform_instance
+
+
+class TestMemoryLowerBound:
+    def test_area_dominates(self):
+        inst = Instance.from_lists(p=[1, 1, 1, 1], s=[2, 2, 2, 2], m=2)
+        assert mmax_lower_bound(inst) == 4.0  # sum 8 / 2
+
+    def test_max_task_dominates(self):
+        inst = Instance.from_lists(p=[1, 1], s=[10, 1], m=4)
+        assert mmax_lower_bound(inst) == 10.0
+
+    def test_alias(self, small_instance):
+        assert graham_memory_lower_bound(small_instance) == mmax_lower_bound(small_instance)
+
+    def test_empty_instance(self):
+        inst = Instance.from_lists(p=[], s=[], m=3)
+        assert mmax_lower_bound(inst) == 0.0
+
+    def test_bound_is_valid(self, medium_instance):
+        assert mmax_lower_bound(medium_instance) <= exact_mmax(medium_instance) + 1e-9
+
+    def test_dag_same_as_independent(self, diamond_dag):
+        assert mmax_lower_bound(diamond_dag) == mmax_lower_bound(diamond_dag.as_independent())
+
+
+class TestCmaxLowerBound:
+    def test_independent_area(self):
+        inst = Instance.from_lists(p=[3, 3, 3, 3], s=[1, 1, 1, 1], m=2)
+        assert cmax_lower_bound(inst) == 6.0
+
+    def test_independent_max_task(self):
+        inst = Instance.from_lists(p=[10, 1], s=[1, 1], m=4)
+        assert cmax_lower_bound(inst) == 10.0
+
+    def test_bound_is_valid(self, medium_instance):
+        assert cmax_lower_bound(medium_instance) <= exact_cmax(medium_instance) + 1e-9
+
+    def test_dag_uses_critical_path(self, chain_instance):
+        # Chain of p = 1,2,3,2,1 => CP = 9 even though total/m = 3
+        assert cmax_lower_bound(chain_instance) == 9.0
+
+    def test_diamond_critical_path(self, diamond_dag):
+        # longest chain a(2) -> c(4) -> d(1) = 7
+        assert critical_path_length(diamond_dag) == 7.0
+        assert critical_path_lower_bound(diamond_dag) == 7.0
+        assert cmax_lower_bound(diamond_dag) == 7.0
+
+    def test_independent_critical_path_is_max_task(self, small_instance):
+        assert critical_path_length(small_instance) == 4.0
+
+    def test_empty(self):
+        inst = Instance.from_lists(p=[], s=[], m=2)
+        assert cmax_lower_bound(inst) == 0.0
+
+
+class TestSumCiLowerBound:
+    def test_single_processor(self):
+        inst = Instance.from_lists(p=[3, 1, 2], s=[0, 0, 0], m=1)
+        # SPT order 1,2,3 -> completions 1,3,6 -> 10
+        assert sum_ci_lower_bound(inst) == 10.0
+
+    def test_two_processors(self):
+        inst = Instance.from_lists(p=[1, 2, 3, 4], s=[0] * 4, m=2)
+        # SPT: 1->P0(1), 2->P1(2), 3->P0(4), 4->P1(6) => 1+2+4+6 = 13
+        assert sum_ci_lower_bound(inst) == 13.0
+
+    def test_matches_spt_schedule_value(self):
+        inst = uniform_instance(30, 3, seed=5)
+        assert sum_ci_lower_bound(inst) == pytest.approx(optimal_sum_ci(inst))
+
+    def test_more_processors_never_worse(self):
+        inst = uniform_instance(20, 2, seed=7)
+        assert sum_ci_lower_bound(inst.with_m(4)) <= sum_ci_lower_bound(inst) + 1e-9

@@ -1,0 +1,125 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def instance_file(tmp_path: Path) -> Path:
+    path = tmp_path / "inst.json"
+    code = main(["generate", "--kind", "uniform", "--n", "20", "--m", "3", "--seed", "1",
+                 "--output", str(path)])
+    assert code == 0
+    return path
+
+
+@pytest.fixture
+def dag_file(tmp_path: Path) -> Path:
+    path = tmp_path / "dag.json"
+    code = main(["generate", "--kind", "layered", "--m", "3", "--seed", "2", "--output", str(path)])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["schedule", "--input", "x.json"])
+        assert args.algorithm == "sbo" and args.delta == 1.0
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--input", "x.json", "--algorithm", "magic"])
+
+
+class TestGenerate:
+    def test_generate_independent(self, instance_file):
+        data = json.loads(instance_file.read_text())
+        assert data["kind"] == "independent"
+        assert len(data["tasks"]) == 20
+        assert data["m"] == 3
+
+    def test_generate_dag(self, dag_file):
+        data = json.loads(dag_file.read_text())
+        assert data["kind"] == "dag"
+        assert data["edges"]
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "--kind", "bimodal", "--n", "5", "--m", "2"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["m"] == 2
+
+    def test_generate_unknown_kind(self, capsys):
+        assert main(["generate", "--kind", "nonsense", "--m", "2"]) == 2
+        assert "unknown instance kind" in capsys.readouterr().err
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("algorithm", ["sbo", "trio", "lpt", "spt"])
+    def test_independent_algorithms(self, instance_file, capsys, algorithm):
+        delta = "3.0" if algorithm == "trio" else "1.0"
+        code = main(["schedule", "--input", str(instance_file), "--algorithm", algorithm, "--delta", delta])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Cmax =" in out and "Mmax =" in out and "simulation check: OK" in out
+
+    def test_rls_on_dag(self, dag_file, capsys):
+        code = main(["schedule", "--input", str(dag_file), "--algorithm", "rls", "--delta", "3.0",
+                     "--order", "bottom-level", "--gantt"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "guarantees" in out
+        assert "P0 |" in out  # gantt printed
+
+    def test_constrained_feasible(self, instance_file, capsys):
+        data = json.loads(instance_file.read_text())
+        total_s = sum(rec["s"] for rec in data["tasks"])
+        capacity = str(total_s)  # generous
+        code = main(["schedule", "--input", str(instance_file), "--algorithm", "constrained",
+                     "--capacity", capacity])
+        assert code == 0
+        assert "strategy" in capsys.readouterr().out
+
+    def test_constrained_requires_capacity(self, instance_file, capsys):
+        code = main(["schedule", "--input", str(instance_file), "--algorithm", "constrained"])
+        assert code == 2
+        assert "--capacity" in capsys.readouterr().err
+
+    def test_constrained_infeasible(self, instance_file, capsys):
+        code = main(["schedule", "--input", str(instance_file), "--algorithm", "constrained",
+                     "--capacity", "0.001"])
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().out
+
+
+class TestExperimentsAndReport:
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "--id", "FIG-1"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG-1" in out and "PASS" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiments", "--id", "FIG-99"]) == 2
+        assert "unknown experiment id" in capsys.readouterr().err
+
+    def test_report_to_file(self, tmp_path, capsys, monkeypatch):
+        # Patch the report generator to the fast figure-only subset so the
+        # CLI path is exercised without rerunning every sweep.
+        import repro.experiments.report as report_mod
+        from repro.experiments.figure1 import run_figure1
+
+        monkeypatch.setattr(
+            report_mod, "run_all_experiments", lambda quick=True: [run_figure1()]
+        )
+        out_path = tmp_path / "report.md"
+        assert main(["report", "--output", str(out_path)]) == 0
+        assert "FIG-1" in out_path.read_text()

@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.constrained (the Section 7 resolution)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms.exact import exact_constrained_cmax
+from repro.core.bounds import mmax_lower_bound
+from repro.core.constrained import solve_constrained
+from repro.core.instance import Instance
+from repro.core.validation import validate_schedule
+from repro.dag.generators import layered_dag
+from repro.workloads.independent import uniform_instance
+
+
+class TestSolveConstrained:
+    def test_negative_capacity_rejected(self, small_instance):
+        with pytest.raises(ValueError):
+            solve_constrained(small_instance, -1.0)
+
+    def test_certified_infeasible_when_task_too_big(self):
+        inst = Instance.from_lists(p=[1, 1], s=[10, 1], m=2)
+        outcome = solve_constrained(inst, memory_capacity=5.0)
+        assert not outcome.feasible
+        assert outcome.certified_infeasible
+        assert outcome.schedule is None
+        assert math.isinf(outcome.cmax)
+
+    def test_generous_capacity_always_feasible(self):
+        for seed in range(3):
+            inst = uniform_instance(25, 4, seed=seed)
+            lb = mmax_lower_bound(inst)
+            outcome = solve_constrained(inst, memory_capacity=3.0 * lb)
+            assert outcome.feasible
+            assert outcome.mmax <= 3.0 * lb + 1e-9
+            assert validate_schedule(outcome.schedule, memory_capacity=3.0 * lb).ok
+
+    def test_capacity_at_twice_lb_guaranteed(self):
+        for seed in range(3):
+            inst = uniform_instance(25, 4, seed=seed)
+            lb = mmax_lower_bound(inst)
+            outcome = solve_constrained(inst, memory_capacity=2.0 * lb)
+            assert outcome.feasible
+            assert outcome.mmax <= 2.0 * lb + 1e-9
+
+    def test_result_fields(self, medium_instance):
+        lb = mmax_lower_bound(medium_instance)
+        outcome = solve_constrained(medium_instance, memory_capacity=3.0 * lb)
+        assert outcome.delta == pytest.approx(3.0)
+        assert outcome.cmax == outcome.schedule.cmax
+        assert outcome.mmax == outcome.schedule.mmax
+        assert outcome.strategy in {"rls", "rls-binary-search", "sbo-binary-search"}
+        assert outcome.cmax_guarantee == pytest.approx(2 + 1 - 2 / (3 * 1), rel=1e-6) or outcome.cmax_guarantee > 0
+
+    def test_zero_memory_instance(self, zero_memory_instance):
+        outcome = solve_constrained(zero_memory_instance, memory_capacity=0.0)
+        assert outcome.feasible
+        assert outcome.mmax == 0.0
+
+    def test_tight_capacity_may_fail_but_not_lie(self):
+        # Capacity below the Graham bound can never be satisfied.
+        inst = uniform_instance(20, 3, seed=2)
+        lb = mmax_lower_bound(inst)
+        outcome = solve_constrained(inst, memory_capacity=0.9 * lb)
+        if outcome.feasible:  # pragma: no cover - should not happen
+            assert outcome.mmax <= 0.9 * lb + 1e-9
+        else:
+            assert outcome.schedule is None
+
+    def test_dag_instance(self):
+        dag = layered_dag(5, 3, m=3, seed=4)
+        lb = mmax_lower_bound(dag)
+        outcome = solve_constrained(dag, memory_capacity=2.5 * lb)
+        assert outcome.feasible
+        assert validate_schedule(outcome.schedule, memory_capacity=2.5 * lb).ok
+
+    def test_close_to_exact_on_small_instances(self):
+        for seed in range(3):
+            inst = uniform_instance(9, 2, seed=seed)
+            lb = mmax_lower_bound(inst)
+            capacity = 2.5 * lb
+            outcome = solve_constrained(inst, capacity)
+            exact = exact_constrained_cmax(inst, capacity)
+            assert outcome.feasible and exact is not None
+            # Corollary 3 at delta = 2.5 on m = 2: 2 + 2 - 1.5/1 = 2.5... use the
+            # generic bound: never more than 3x the constrained optimum here.
+            assert outcome.cmax <= 3.0 * exact.cmax + 1e-9
+
+    def test_more_capacity_never_hurts(self):
+        inst = uniform_instance(20, 3, seed=8)
+        lb = mmax_lower_bound(inst)
+        cmaxes = []
+        for factor in (2.0, 3.0, 5.0):
+            outcome = solve_constrained(inst, factor * lb)
+            assert outcome.feasible
+            cmaxes.append(outcome.cmax)
+        # Not strictly monotone in general (heuristics), but the loosest
+        # capacity must be at least as good as the tightest one.
+        assert cmaxes[-1] <= cmaxes[0] + 1e-9

@@ -1,0 +1,116 @@
+"""Unit tests for repro.dag.analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import DAGInstance
+from repro.dag.analysis import (
+    bottom_levels,
+    critical_path,
+    critical_path_length,
+    dag_summary,
+    graph_width,
+    parallelism_profile,
+    top_levels,
+)
+from repro.dag.generators import chain_dag, fork_join_dag
+
+
+class TestLevels:
+    def test_diamond_top_levels(self, diamond_dag):
+        tl = top_levels(diamond_dag)
+        assert tl["a"] == 0.0
+        assert tl["b"] == 2.0
+        assert tl["c"] == 2.0
+        assert tl["d"] == 6.0  # after c (2 + 4)
+
+    def test_diamond_bottom_levels(self, diamond_dag):
+        bl = bottom_levels(diamond_dag)
+        assert bl["d"] == 1.0
+        assert bl["b"] == 4.0
+        assert bl["c"] == 5.0
+        assert bl["a"] == 7.0
+
+    def test_chain_levels(self, chain_instance):
+        tl = top_levels(chain_instance)
+        bl = bottom_levels(chain_instance)
+        assert tl["t0"] == 0.0 and bl["t0"] == 9.0
+        assert tl["t4"] == 8.0 and bl["t4"] == 1.0
+
+
+class TestCriticalPath:
+    def test_diamond(self, diamond_dag):
+        assert critical_path_length(diamond_dag) == 7.0
+        path = critical_path(diamond_dag)
+        assert path[0] == "a" and path[-1] == "d"
+        assert "c" in path and "b" not in path
+
+    def test_chain_is_whole_graph(self, chain_instance):
+        assert critical_path(chain_instance) == [f"t{i}" for i in range(5)]
+        assert critical_path_length(chain_instance) == 9.0
+
+    def test_empty_dag(self):
+        empty = DAGInstance.from_lists(p=[], s=[], m=1)
+        assert critical_path(empty) == []
+        assert critical_path_length(empty) == 0.0
+
+    def test_path_edges_exist(self, diamond_dag):
+        path = critical_path(diamond_dag)
+        for u, v in zip(path, path[1:]):
+            assert diamond_dag.graph.has_edge(u, v)
+
+
+class TestWidth:
+    def test_diamond_width(self, diamond_dag):
+        assert graph_width(diamond_dag) == 2
+
+    def test_chain_width(self, chain_instance):
+        assert graph_width(chain_instance) == 1
+
+    def test_independent_width_is_n(self):
+        inst = DAGInstance.from_lists(p=[1, 1, 1, 1], s=[1] * 4, m=2)
+        assert graph_width(inst) == 4
+
+    def test_fork_join_width(self):
+        dag = fork_join_dag(1, 5, m=2, seed=0)
+        assert graph_width(dag) == 5
+
+    def test_empty(self):
+        assert graph_width(DAGInstance.from_lists(p=[], s=[], m=1)) == 0
+
+
+class TestParallelismProfile:
+    def test_chain_profile_never_exceeds_one(self, chain_instance):
+        profile = parallelism_profile(chain_instance, time_step=0.5)
+        assert profile
+        assert max(count for _, count in profile) == 1
+
+    def test_diamond_profile_peak_two(self, diamond_dag):
+        profile = parallelism_profile(diamond_dag, time_step=0.5)
+        assert max(count for _, count in profile) == 2
+
+    def test_invalid_step(self, diamond_dag):
+        with pytest.raises(ValueError):
+            parallelism_profile(diamond_dag, time_step=0.0)
+
+    def test_empty(self):
+        assert parallelism_profile(DAGInstance.from_lists(p=[], s=[], m=1)) == []
+
+
+class TestSummary:
+    def test_diamond_summary(self, diamond_dag):
+        s = dag_summary(diamond_dag)
+        assert s.n_tasks == 4 and s.n_edges == 4
+        assert s.critical_path_length == 7.0
+        assert s.total_work == 10.0
+        assert s.total_storage == 14.0
+        assert s.width == 2
+        assert s.depth == 3
+        assert s.average_parallelism == pytest.approx(10.0 / 7.0)
+
+    def test_chain_summary(self):
+        dag = chain_dag(6, m=2, seed=0)
+        s = dag_summary(dag)
+        assert s.width == 1 and s.depth == 6
+        assert s.average_parallelism == pytest.approx(1.0)

@@ -1,0 +1,155 @@
+"""Unit tests for repro.dag.generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.dag.analysis import critical_path_length, graph_width
+from repro.dag.generators import (
+    chain_dag,
+    erdos_renyi_dag,
+    fft_dag,
+    fork_join_dag,
+    gaussian_elimination_dag,
+    in_tree_dag,
+    layered_dag,
+    out_tree_dag,
+    random_dag_suite,
+    series_parallel_dag,
+    stencil_dag,
+)
+from repro.workloads.distributions import constant_sampler
+
+
+def assert_valid_dag(instance):
+    assert nx.is_directed_acyclic_graph(instance.graph)
+    for task in instance.tasks:
+        assert task.p >= 0 and task.s >= 0
+
+
+class TestGeneratorBasics:
+    def test_layered(self):
+        dag = layered_dag(5, 4, m=3, seed=1)
+        assert_valid_dag(dag)
+        assert dag.n >= 5
+        # depth equals the number of layers (every layer depends on the previous).
+        assert nx.dag_longest_path_length(dag.graph) == 4
+
+    def test_layered_determinism(self):
+        a = layered_dag(4, 3, m=2, seed=7)
+        b = layered_dag(4, 3, m=2, seed=7)
+        assert a == b
+
+    def test_layered_different_seeds_differ(self):
+        a = layered_dag(6, 4, m=2, seed=1)
+        b = layered_dag(6, 4, m=2, seed=2)
+        assert a != b
+
+    def test_layered_invalid_args(self):
+        with pytest.raises(ValueError):
+            layered_dag(0, 3, m=1)
+        with pytest.raises(ValueError):
+            layered_dag(3, 3, m=1, edge_probability=1.5)
+
+    def test_erdos_renyi(self):
+        dag = erdos_renyi_dag(25, m=2, edge_probability=0.2, seed=3)
+        assert_valid_dag(dag)
+        assert dag.n == 25
+
+    def test_erdos_renyi_zero_probability_independent(self):
+        dag = erdos_renyi_dag(10, m=2, edge_probability=0.0, seed=0)
+        assert dag.is_independent()
+
+    def test_erdos_renyi_full_probability_total_order(self):
+        dag = erdos_renyi_dag(6, m=2, edge_probability=1.0, seed=0)
+        assert dag.n_edges == 6 * 5 // 2
+
+    def test_fork_join(self):
+        dag = fork_join_dag(3, 4, m=2, seed=0)
+        assert_valid_dag(dag)
+        assert dag.n == 3 * (4 + 2)
+        assert len(dag.sources()) == 1
+        assert len(dag.sinks()) == 1
+
+    def test_out_tree(self):
+        dag = out_tree_dag(3, 2, m=2, seed=0)
+        assert_valid_dag(dag)
+        assert dag.n == 7  # 1 + 2 + 4
+        assert len(dag.sources()) == 1
+        assert len(dag.sinks()) == 4
+
+    def test_in_tree_is_reverse_of_out_tree(self):
+        out_t = out_tree_dag(3, 2, m=2, seed=0)
+        in_t = in_tree_dag(3, 2, m=2, seed=0)
+        assert {(v, u) for u, v in out_t.graph.edges()} == set(in_t.graph.edges())
+        assert len(in_t.sinks()) == 1
+
+    def test_series_parallel(self):
+        dag = series_parallel_dag(20, m=2, seed=5)
+        assert_valid_dag(dag)
+        assert dag.n >= 20
+        assert len(dag.sources()) == 1 and len(dag.sinks()) == 1
+
+    def test_gaussian_elimination(self):
+        dag = gaussian_elimination_dag(5, m=2, seed=0)
+        assert_valid_dag(dag)
+        # (m-1) pivots + sum_{k} (size-1-k) updates
+        assert dag.n == 4 + (4 + 3 + 2 + 1)
+        # Pivot of step k depends transitively on pivot of step k-1.
+        assert nx.has_path(dag.graph, "pivot0", "pivot3")
+
+    def test_fft(self):
+        dag = fft_dag(8, m=4, seed=0)
+        assert_valid_dag(dag)
+        assert dag.n == 8 * 4  # (log2(8)+1) stages of 8 tasks
+        assert graph_width(dag) == 8
+
+    def test_fft_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft_dag(6, m=2)
+
+    def test_stencil(self):
+        dag = stencil_dag(3, 4, m=2, seed=0)
+        assert_valid_dag(dag)
+        assert dag.n == 12
+        assert nx.has_path(dag.graph, "cell0_0", "cell2_3")
+
+    def test_chain(self):
+        dag = chain_dag(7, m=3, seed=0, p_sampler=constant_sampler(2.0))
+        assert_valid_dag(dag)
+        assert graph_width(dag) == 1
+        assert critical_path_length(dag) == 14.0
+
+    def test_chain_invalid(self):
+        with pytest.raises(ValueError):
+            chain_dag(0, m=1)
+
+
+class TestSuite:
+    def test_suite_families(self):
+        suite = random_dag_suite(4, seed=0)
+        assert len(suite) == 10
+        for name, dag in suite.items():
+            assert_valid_dag(dag)
+            assert dag.m == 4
+            assert dag.n >= 5, name
+
+    def test_suite_determinism(self):
+        a = random_dag_suite(2, seed=3)
+        b = random_dag_suite(2, seed=3)
+        for name in a:
+            assert a[name] == b[name]
+
+    def test_suite_scale(self):
+        small = random_dag_suite(2, seed=0, scale=1)
+        large = random_dag_suite(2, seed=0, scale=2)
+        assert large["layered"].n >= small["layered"].n
+
+    def test_suite_invalid_scale(self):
+        with pytest.raises(ValueError):
+            random_dag_suite(2, seed=0, scale=0)
+
+    def test_custom_samplers(self):
+        dag = layered_dag(3, 3, m=2, seed=0, p_sampler=constant_sampler(5.0), s_sampler=constant_sampler(2.0))
+        assert all(t.p == 5.0 and t.s == 2.0 for t in dag.tasks)

@@ -1,0 +1,145 @@
+"""Unit tests for repro.algorithms.exact."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.algorithms.exact import (
+    ExactSizeError,
+    exact_cmax,
+    exact_constrained_cmax,
+    exact_mmax,
+    exact_schedule,
+    pareto_front_exact,
+)
+from repro.algorithms.lpt import lpt_schedule
+from repro.core.instance import Instance
+from repro.core.validation import validate_schedule
+from repro.workloads.independent import uniform_instance
+
+
+def brute_force_cmax(instance: Instance) -> float:
+    """Reference: enumerate every assignment."""
+    best = float("inf")
+    tasks = instance.tasks.tasks
+    for combo in itertools.product(range(instance.m), repeat=instance.n):
+        loads = [0.0] * instance.m
+        for task, proc in zip(tasks, combo):
+            loads[proc] += task.p
+        best = min(best, max(loads))
+    return best
+
+
+class TestExactCmax:
+    def test_matches_brute_force(self):
+        for seed in range(4):
+            inst = uniform_instance(7, 3, seed=seed)
+            assert exact_cmax(inst) == pytest.approx(brute_force_cmax(inst))
+
+    def test_known_value(self):
+        inst = Instance.from_lists(p=[5, 4, 3, 3, 3], s=[0] * 5, m=2)
+        assert exact_cmax(inst) == 9.0
+
+    def test_single_processor(self):
+        inst = Instance.from_lists(p=[1, 2, 3], s=[0] * 3, m=1)
+        assert exact_cmax(inst) == 6.0
+
+    def test_empty(self):
+        inst = Instance.from_lists(p=[], s=[], m=2)
+        assert exact_cmax(inst) == 0.0
+
+    def test_never_above_lpt(self):
+        for seed in range(4):
+            inst = uniform_instance(10, 3, seed=seed)
+            assert exact_cmax(inst) <= lpt_schedule(inst).cmax + 1e-9
+
+    def test_size_limit(self):
+        inst = uniform_instance(30, 2, seed=0)
+        with pytest.raises(ExactSizeError):
+            exact_cmax(inst)
+
+    def test_exact_mmax_is_swapped_cmax(self, medium_instance):
+        assert exact_mmax(medium_instance) == pytest.approx(exact_cmax(medium_instance.swapped()))
+
+
+class TestExactSchedule:
+    def test_schedule_achieves_optimum(self, medium_instance):
+        sched = exact_schedule(medium_instance, objective="time")
+        assert sched.cmax == pytest.approx(exact_cmax(medium_instance))
+        assert validate_schedule(sched).ok
+
+    def test_memory_objective(self, medium_instance):
+        sched = exact_schedule(medium_instance, objective="memory")
+        assert sched.mmax == pytest.approx(exact_mmax(medium_instance))
+
+    def test_unknown_objective(self, small_instance):
+        with pytest.raises(ValueError):
+            exact_schedule(small_instance, objective="entropy")
+
+
+class TestParetoFrontExact:
+    def test_small_front(self, small_instance):
+        front = pareto_front_exact(small_instance)
+        values = front.values()
+        assert values  # non-empty
+        # Front points are mutually non-dominated.
+        for a in values:
+            for b in values:
+                if a != b:
+                    assert not (a[0] <= b[0] and a[1] <= b[1])
+
+    def test_extremes_match_single_objective_optima(self, small_instance):
+        front = pareto_front_exact(small_instance)
+        best_c = front.best_on(0).values[0]
+        best_m = front.best_on(1).values[1]
+        assert best_c == pytest.approx(exact_cmax(small_instance))
+        assert best_m == pytest.approx(exact_mmax(small_instance))
+
+    def test_payload_schedules_achieve_their_values(self, small_instance):
+        front = pareto_front_exact(small_instance, keep_schedules=True)
+        for point in front.points():
+            sched = point.payload
+            assert sched is not None
+            assert (sched.cmax, sched.mmax) == point.values
+            assert validate_schedule(sched).ok
+
+    def test_no_schedules_when_disabled(self, small_instance):
+        front = pareto_front_exact(small_instance, keep_schedules=False)
+        assert all(p.payload is None for p in front.points())
+
+    def test_empty_instance(self):
+        inst = Instance.from_lists(p=[], s=[], m=2)
+        front = pareto_front_exact(inst)
+        assert front.values() == [(0.0, 0.0)]
+
+    def test_size_limit(self):
+        inst = uniform_instance(20, 2, seed=0)
+        with pytest.raises(ExactSizeError):
+            pareto_front_exact(inst)
+
+    def test_symmetry_of_swapped_instance(self, small_instance):
+        front = set(pareto_front_exact(small_instance).values())
+        swapped_front = set(pareto_front_exact(small_instance.swapped()).values())
+        assert {(m, c) for c, m in front} == swapped_front
+
+
+class TestExactConstrained:
+    def test_matches_pareto_front(self, small_instance):
+        front = pareto_front_exact(small_instance)
+        # Pick the memory value of the front's memory-optimal point as capacity.
+        capacity = front.best_on(1).values[1]
+        best = exact_constrained_cmax(small_instance, capacity)
+        assert best is not None
+        assert best.mmax <= capacity + 1e-9
+        expected = min(c for c, m in front.values() if m <= capacity + 1e-9)
+        assert best.cmax == pytest.approx(expected)
+
+    def test_infeasible_capacity(self, small_instance):
+        assert exact_constrained_cmax(small_instance, 0.5) is None
+
+    def test_loose_capacity_gives_cmax_optimum(self, small_instance):
+        best = exact_constrained_cmax(small_instance, 1e9)
+        assert best is not None
+        assert best.cmax == pytest.approx(exact_cmax(small_instance))

@@ -1,0 +1,103 @@
+"""Integration tests for the experiment harness: every reproduced figure/table passes its shape checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    run_constrained_study,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_rls_ablation,
+    run_rls_ratio,
+    run_sbo_ablation,
+    run_sbo_ratio,
+    run_simulation_validation,
+    run_trio_ratio,
+)
+from repro.experiments.harness import ExperimentResult
+
+
+class TestHarness:
+    def test_add_row_validates_columns(self):
+        res = ExperimentResult("X", "t", headers=["a", "b"])
+        res.add_row(a=1, b=2)
+        with pytest.raises(ValueError):
+            res.add_row(a=1)
+        assert res.rows == [{"a": 1, "b": 2}]
+
+    def test_checks_and_rendering(self):
+        res = ExperimentResult("X", "title", headers=["a"])
+        res.add_row(a=1)
+        res.add_check("ok", True)
+        res.add_check("bad", False)
+        assert not res.all_checks_pass
+        assert res.failed_checks() == ["bad"]
+        assert "FAIL" in res.to_text()
+        assert "❌" in res.to_markdown()
+
+    def test_all_checks_pass_requires_checks(self):
+        res = ExperimentResult("X", "title", headers=["a"])
+        assert not res.all_checks_pass
+
+
+class TestFigureExperiments:
+    def test_figure1(self):
+        res = run_figure1()
+        assert res.all_checks_pass, res.failed_checks()
+        assert len(res.rows) == 2
+
+    def test_figure1_other_epsilon(self):
+        assert run_figure1(epsilon=0.1).all_checks_pass
+
+    def test_figure2(self):
+        res = run_figure2()
+        assert res.all_checks_pass, res.failed_checks()
+        assert len(res.rows) == 3
+
+    def test_figure2_epsilon_near_half(self):
+        assert run_figure2(epsilon=0.45).all_checks_pass
+
+    def test_figure3(self):
+        res = run_figure3(m_values=(2, 3, 4), k=16)
+        assert res.all_checks_pass, res.failed_checks()
+        series_names = {row["series"] for row in res.rows}
+        assert any("staircase" in s for s in series_names)
+        assert any("SBO curve" in s for s in series_names)
+
+
+class TestExtensionExperiments:
+    def test_sbo_ratio(self):
+        res = run_sbo_ratio(deltas=(0.5, 1.0, 2.0), n_small=8, n_large=40, seeds=(0,))
+        assert res.all_checks_pass, res.failed_checks()
+
+    def test_rls_ratio(self):
+        res = run_rls_ratio(deltas=(2.5, 3.0), m_values=(2, 4), seeds=(0,))
+        assert res.all_checks_pass, res.failed_checks()
+
+    def test_trio_ratio(self):
+        res = run_trio_ratio(deltas=(2.5, 4.0), n=30, m_values=(2, 4), seeds=(0,))
+        assert res.all_checks_pass, res.failed_checks()
+
+    def test_constrained_study(self):
+        res = run_constrained_study(capacity_factors=(1.5, 2.0, 3.0), n=20, seeds=(0,))
+        assert res.all_checks_pass, res.failed_checks()
+
+    def test_sbo_ablation(self):
+        res = run_sbo_ablation(solvers=("list", "lpt"), n=25, seeds=(0,))
+        assert res.all_checks_pass, res.failed_checks()
+
+    def test_rls_ablation(self):
+        res = run_rls_ablation(orders=("arbitrary", "bottom-level"), deltas=(1.8, 2.0, 3.0), seeds=(0,))
+        assert res.all_checks_pass, res.failed_checks()
+
+    def test_simulation_validation(self):
+        res = run_simulation_validation(n=15, seeds=(0,))
+        assert res.all_checks_pass, res.failed_checks()
+
+    def test_pareto_approx_study(self):
+        from repro.experiments import run_pareto_approx_study
+
+        res = run_pareto_approx_study(n_small=8, n_large=30, seeds=(0,))
+        assert res.all_checks_pass, res.failed_checks()

@@ -1,0 +1,66 @@
+"""Unit tests for repro.experiments.export."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.export import export_all, export_figure3_csv, export_result_csv
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.harness import ExperimentResult
+
+
+class TestExportResultCSV:
+    def test_roundtrip(self, tmp_path: Path):
+        result = ExperimentResult("TEST-1", "t", headers=["a", "b"])
+        result.add_row(a=1, b="x")
+        result.add_row(a=2.5, b="y")
+        path = export_result_csv(result, tmp_path)
+        assert path.name == "TEST-1.csv"
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "x"]
+        assert rows[2] == ["2.5", "y"]
+
+    def test_creates_directory(self, tmp_path: Path):
+        result = ExperimentResult("TEST-2", "t", headers=["a"])
+        result.add_row(a=0)
+        path = export_result_csv(result, tmp_path / "nested" / "dir")
+        assert path.exists()
+
+    def test_real_experiment(self, tmp_path: Path):
+        path = export_result_csv(run_figure1(), tmp_path)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 3  # header + 2 Pareto points
+
+
+class TestExportFigure3:
+    def test_series_files(self, tmp_path: Path):
+        written = export_figure3_csv(tmp_path, m_values=(2, 3), k=8, deltas=(0.5, 1.0, 2.0))
+        names = {p.name for p in written}
+        assert "figure3_staircase_m2.csv" in names
+        assert "figure3_staircase_m3.csv" in names
+        assert "figure3_sbo_curve.csv" in names
+        assert "figure3_lemma3_point.csv" in names
+        curve = (tmp_path / "figure3_sbo_curve.csv").read_text().splitlines()
+        assert curve[0] == "cmax_ratio,mmax_ratio"
+        assert len(curve) == 4  # header + 3 delta values
+
+    def test_staircase_content_matches_formula(self, tmp_path: Path):
+        export_figure3_csv(tmp_path, m_values=(2,), k=4, deltas=(1.0,))
+        rows = (tmp_path / "figure3_staircase_m2.csv").read_text().splitlines()[1:]
+        points = [tuple(map(float, r.split(","))) for r in rows]
+        assert (1.0, 2.0) in points
+
+
+class TestExportAll:
+    def test_with_precomputed_results(self, tmp_path: Path):
+        paths = export_all(tmp_path, results=[run_figure1()])
+        assert set(paths) == {"FIG-1"}
+        assert paths["FIG-1"].exists()
+        # Figure 3 series are always exported alongside.
+        assert (tmp_path / "figure3_sbo_curve.csv").exists()

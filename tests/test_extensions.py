@@ -1,0 +1,165 @@
+"""Unit tests for repro.extensions (uniform machines and online scheduling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import mmax_lower_bound
+from repro.core.rls import InfeasibleDeltaError
+from repro.core.task import Task
+from repro.core.validation import validate_schedule
+from repro.extensions.online import OnlineBiObjectiveScheduler
+from repro.extensions.uniform_machines import (
+    UniformInstance,
+    uniform_cmax_lower_bound,
+    uniform_list_schedule,
+    uniform_rls,
+)
+from repro.workloads.independent import uniform_instance
+
+
+class TestUniformInstance:
+    def test_construction(self):
+        inst = UniformInstance.from_lists(p=[4, 2], s=[1, 1], speeds=[1.0, 2.0])
+        assert inst.m == 2
+        assert inst.execution_time(0, 0) == 4.0
+        assert inst.execution_time(0, 1) == 2.0
+
+    def test_invalid_speeds(self):
+        with pytest.raises(ValueError):
+            UniformInstance.from_lists(p=[1], s=[1], speeds=[])
+        with pytest.raises(ValueError):
+            UniformInstance.from_lists(p=[1], s=[1], speeds=[0.0])
+        with pytest.raises(ValueError):
+            UniformInstance.from_lists(p=[1], s=[1], speeds=[-1.0, 1.0])
+
+    def test_as_identical(self):
+        inst = UniformInstance.from_lists(p=[1, 2], s=[3, 4], speeds=[1.0, 3.0])
+        identical = inst.as_identical()
+        assert identical.m == 2 and not isinstance(identical, UniformInstance)
+
+    def test_lower_bound(self):
+        inst = UniformInstance.from_lists(p=[6, 6], s=[1, 1], speeds=[1.0, 2.0])
+        # fluid bound: 12 / 3 = 4; max task on fastest: 6 / 2 = 3.
+        assert uniform_cmax_lower_bound(inst) == 4.0
+
+    def test_lower_bound_large_task(self):
+        inst = UniformInstance.from_lists(p=[10, 1], s=[1, 1], speeds=[1.0, 1.0])
+        assert uniform_cmax_lower_bound(inst) == 10.0
+
+
+class TestUniformListSchedule:
+    def test_faster_machine_preferred(self):
+        inst = UniformInstance.from_lists(p=[4], s=[1], speeds=[1.0, 4.0])
+        result = uniform_list_schedule(inst)
+        assert result.cmax == 1.0  # runs on the fast machine
+
+    def test_valid_and_reasonable(self):
+        base = uniform_instance(30, 4, seed=0)
+        inst = UniformInstance(base.tasks, speeds=[1.0, 1.0, 2.0, 4.0])
+        result = uniform_list_schedule(inst)
+        assert validate_schedule(result.schedule).ok
+        lb = uniform_cmax_lower_bound(inst)
+        assert result.cmax <= 2.5 * lb  # ECT heuristic stays near the fluid bound
+
+    def test_equal_speeds_matches_identical_quality(self):
+        base = uniform_instance(20, 3, seed=1)
+        inst = UniformInstance(base.tasks, speeds=[1.0, 1.0, 1.0])
+        result = uniform_list_schedule(inst)
+        from repro.algorithms.lpt import lpt_schedule
+
+        assert result.cmax == pytest.approx(lpt_schedule(base).cmax)
+
+    def test_empty(self):
+        inst = UniformInstance.from_lists(p=[], s=[], speeds=[1.0, 2.0])
+        result = uniform_list_schedule(inst)
+        assert result.cmax == 0.0 and result.mmax == 0.0
+
+
+class TestUniformRLS:
+    def test_memory_budget_respected(self):
+        base = uniform_instance(30, 4, seed=2)
+        inst = UniformInstance(base.tasks, speeds=[1.0, 2.0, 2.0, 4.0])
+        for delta in (2.0, 3.0):
+            result = uniform_rls(inst, delta=delta)
+            assert result.mmax <= delta * mmax_lower_bound(inst) + 1e-9
+            assert result.memory_budget == pytest.approx(delta * mmax_lower_bound(inst))
+            assert validate_schedule(result.schedule).ok
+
+    def test_infeasible_small_delta(self):
+        inst = UniformInstance.from_lists(p=[1, 1, 1], s=[10, 10, 10], speeds=[1.0, 1.0])
+        with pytest.raises(InfeasibleDeltaError):
+            uniform_rls(inst, delta=1.05)
+
+    def test_invalid_delta(self):
+        inst = UniformInstance.from_lists(p=[1], s=[1], speeds=[1.0])
+        with pytest.raises(ValueError):
+            uniform_rls(inst, delta=0.0)
+
+    def test_memory_budget_costs_makespan(self):
+        # With a tight budget the fast machine cannot absorb everything.
+        base = uniform_instance(30, 3, seed=5)
+        inst = UniformInstance(base.tasks, speeds=[4.0, 1.0, 1.0])
+        loose = uniform_rls(inst, delta=50.0)
+        tight = uniform_rls(inst, delta=2.0)
+        assert tight.mmax <= loose.mmax + 1e-9 or tight.cmax >= loose.cmax - 1e-9
+
+
+class TestOnlineScheduler:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            OnlineBiObjectiveScheduler(m=0)
+        with pytest.raises(ValueError):
+            OnlineBiObjectiveScheduler(m=2, delta=0.0)
+
+    def test_duplicate_submission_rejected(self):
+        sched = OnlineBiObjectiveScheduler(m=2)
+        sched.submit(Task(id=0, p=1, s=1))
+        with pytest.raises(ValueError):
+            sched.submit(Task(id=0, p=2, s=2))
+
+    def test_online_matches_offline_greedy_quality(self):
+        inst = uniform_instance(60, 4, seed=3)
+        online = OnlineBiObjectiveScheduler(m=4, delta=1.0)
+        online.submit_many(inst.tasks)
+        assert online.n_submitted == 60
+        snapshot = online.current_schedule()
+        assert validate_schedule(snapshot).ok
+        # The online greedy stays within the classical 2x factors of the bounds.
+        from repro.core.bounds import cmax_lower_bound
+
+        assert online.cmax <= 2.0 * cmax_lower_bound(inst) + 1e-9 or online.mmax <= 2.0 * mmax_lower_bound(inst) + 1e-9
+
+    def test_memory_routed_tasks_have_low_density(self):
+        sched = OnlineBiObjectiveScheduler(m=2, delta=1.0)
+        sched.submit(Task(id="balanced", p=5, s=5))
+        sched.submit(Task(id="heavy", p=1, s=50))
+        assert "heavy" in sched.memory_routed_tasks
+
+    def test_extreme_deltas_route_everything_one_way(self):
+        inst = uniform_instance(20, 3, seed=8)
+        time_only = OnlineBiObjectiveScheduler(m=3, delta=1e-9)
+        time_only.submit_many(inst.tasks)
+        assert not time_only.memory_routed_tasks
+        memory_only = OnlineBiObjectiveScheduler(m=3, delta=1e9)
+        memory_only.submit_many(inst.tasks)
+        assert len(memory_only.memory_routed_tasks) == 20
+
+    def test_zero_storage_stream(self):
+        sched = OnlineBiObjectiveScheduler(m=2)
+        for i in range(6):
+            sched.submit(Task(id=i, p=2, s=0))
+        assert sched.mmax == 0.0
+        assert sched.cmax == 6.0  # 6 tasks of 2 over 2 processors
+
+    def test_competitive_bounds(self):
+        sched = OnlineBiObjectiveScheduler(m=4)
+        assert sched.competitive_bounds() == (1.75, 1.75)
+
+    def test_snapshot_objective_consistency(self):
+        inst = uniform_instance(25, 3, seed=11)
+        online = OnlineBiObjectiveScheduler(m=3, delta=2.0)
+        online.submit_many(inst.tasks)
+        snapshot = online.current_schedule()
+        assert snapshot.cmax == pytest.approx(online.cmax)
+        assert snapshot.mmax == pytest.approx(online.mmax)

@@ -1,0 +1,169 @@
+"""Unit tests for repro.core.impossibility (Section 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms.exact import exact_cmax, exact_mmax, pareto_front_exact
+from repro.core.impossibility import (
+    figure3_series,
+    impossibility_domain,
+    instance_lemma1,
+    instance_lemma2,
+    instance_lemma3,
+    is_ratio_impossible,
+    lemma1_optima,
+    lemma1_pareto_values,
+    lemma2_frontier,
+    lemma2_optima,
+    lemma2_pareto_values,
+    lemma3_optima,
+    lemma3_pareto_values,
+)
+
+
+class TestLemma1:
+    def test_instance_shape(self):
+        inst = instance_lemma1(0.01)
+        assert inst.n == 3 and inst.m == 2
+        assert inst.tasks.max_p == 1.0
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            instance_lemma1(0.0)
+        with pytest.raises(ValueError):
+            instance_lemma1(0.6)
+
+    def test_optima_match_exact_solvers(self):
+        eps = 0.01
+        inst = instance_lemma1(eps)
+        c_star, m_star = lemma1_optima(eps)
+        assert exact_cmax(inst) == pytest.approx(c_star)
+        assert exact_mmax(inst) == pytest.approx(m_star)
+
+    def test_pareto_front_matches_closed_form(self):
+        eps = 0.01
+        inst = instance_lemma1(eps)
+        front = sorted(pareto_front_exact(inst).values())
+        expected = sorted(lemma1_pareto_values(eps))
+        assert len(front) == 2
+        for (a, b), (c, d) in zip(front, expected):
+            assert a == pytest.approx(c) and b == pytest.approx(d)
+
+
+class TestLemma2:
+    def test_instance_shape(self):
+        inst = instance_lemma2(3, 2, 0.01)
+        assert inst.n == 2 * 3 + 3 - 1
+        assert inst.m == 3
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            instance_lemma2(1, 2)
+        with pytest.raises(ValueError):
+            instance_lemma2(2, 1)
+        with pytest.raises(ValueError):
+            instance_lemma2(2, 2, epsilon=1.5)
+
+    def test_optima_match_exact_solvers(self):
+        eps = 0.01
+        inst = instance_lemma2(2, 2, eps)
+        c_star, m_star = lemma2_optima(2, 2, eps)
+        assert exact_cmax(inst) == pytest.approx(c_star)
+        assert exact_mmax(inst) == pytest.approx(m_star)
+
+    def test_frontier_formula(self):
+        points = lemma2_frontier(3, 4)
+        assert len(points) == 5
+        assert points[0] == (1.0, 1.0 + 2.0)
+        assert points[-1] == (1.0 + 4 / 12, 1.0)
+
+    def test_frontier_monotone(self):
+        points = lemma2_frontier(4, 8)
+        for (c1, m1), (c2, m2) in zip(points, points[1:]):
+            assert c1 < c2 and m1 > m2
+
+    def test_pareto_values_match_exact_enumeration(self):
+        eps = 1e-3
+        inst = instance_lemma2(2, 2, eps)
+        measured = sorted(pareto_front_exact(inst).values())
+        expected = sorted(lemma2_pareto_values(2, 2, eps))
+        assert len(measured) == len(expected)
+        for (a, b), (c, d) in zip(measured, expected):
+            assert a == pytest.approx(c) and b == pytest.approx(d)
+
+
+class TestLemma3:
+    def test_instance_shape(self):
+        inst = instance_lemma3(0.25)
+        assert inst.n == 3 and inst.m == 2
+
+    def test_optima(self):
+        inst = instance_lemma3(0.25)
+        assert exact_cmax(inst) == pytest.approx(1.0)
+        assert exact_mmax(inst) == pytest.approx(1.0)
+        assert lemma3_optima() == (1.0, 1.0)
+
+    def test_pareto_front_matches_closed_form(self):
+        eps = 0.3
+        inst = instance_lemma3(eps)
+        measured = sorted(pareto_front_exact(inst).values())
+        expected = sorted(lemma3_pareto_values(eps))
+        assert len(measured) == 3
+        for (a, b), (c, d) in zip(measured, expected):
+            assert a == pytest.approx(c) and b == pytest.approx(d)
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            instance_lemma3(0.5)
+
+
+class TestImpossibilityDomain:
+    def test_known_impossible_points(self):
+        # Better than (3/2, 3/2) is impossible on any m >= 2.
+        assert is_ratio_impossible(1.4, 1.4, m=2)
+        assert is_ratio_impossible(1.0, 1.9, m=2)
+        assert is_ratio_impossible(1.9, 1.0, m=2)
+
+    def test_known_achievable_points(self):
+        # SBO at delta = 1 achieves (2+eps, 2+eps): not impossible.
+        assert not is_ratio_impossible(2.05, 2.05, m=4)
+        # Very loose ratios are clearly possible.
+        assert not is_ratio_impossible(3.0, 3.0, m=4)
+
+    def test_symmetry(self):
+        assert is_ratio_impossible(1.0, 1.5, m=3) == is_ratio_impossible(1.5, 1.0, m=3)
+
+    def test_single_processor_never_impossible(self):
+        assert not is_ratio_impossible(1.0, 1.0, m=1)
+
+    def test_more_processors_exclude_more(self):
+        # (1.05, 2.5) beats a Lemma 2 point when m is large enough but not for m=2.
+        assert not is_ratio_impossible(1.05, 2.5, m=2, k_max=32)
+        assert is_ratio_impossible(1.05, 2.5, m=4, k_max=32)
+
+    def test_domain_points_sorted_and_nondominated(self):
+        domain = impossibility_domain(3, k=16)
+        for (c1, m1), (c2, m2) in zip(domain, domain[1:]):
+            assert c1 <= c2
+        for p in domain:
+            for q in domain:
+                if p != q:
+                    assert not (q[0] <= p[0] and q[1] <= p[1])
+
+
+class TestFigure3Series:
+    def test_structure(self):
+        series = figure3_series(m_values=(2, 3), k=8, deltas=(0.5, 1.0, 2.0))
+        assert set(series["staircases"].keys()) == {2, 3}
+        assert series["lemma3_point"] == (1.5, 1.5)
+        assert (1.0, 2.0) in series["lemma1_points"]
+        assert len(series["sbo_curve"]) == 3
+        assert series["sbo_curve"][1] == (2.0, 2.0)
+
+    def test_curve_outside_domain(self):
+        series = figure3_series(m_values=(2, 3, 4), k=16, deltas=tuple(0.25 * i for i in range(1, 20)))
+        for rc, rm in series["sbo_curve"]:
+            assert not is_ratio_impossible(rc - 1e-9, rm - 1e-9, m=4, k_max=16)

@@ -1,0 +1,127 @@
+"""Unit tests for repro.algorithms.multifit and repro.algorithms.ptas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.exact import exact_cmax, exact_mmax
+from repro.algorithms.multifit import ffd_pack, multifit_guarantee, multifit_schedule
+from repro.algorithms.ptas import dual_feasibility_pack, ptas_schedule
+from repro.core.bounds import cmax_lower_bound
+from repro.core.instance import Instance
+from repro.core.validation import validate_schedule
+from repro.workloads.independent import uniform_instance
+
+
+class TestFFD:
+    def test_pack_success(self):
+        inst = Instance.from_lists(p=[4, 3, 3, 2], s=[0] * 4, m=2)
+        packed = ffd_pack(inst.tasks.tasks, 2, capacity=6.0)
+        assert packed is not None
+        loads = [sum(inst.task(tid).p for tid in bin_) for bin_ in packed]
+        assert max(loads) <= 6.0
+
+    def test_pack_failure(self):
+        inst = Instance.from_lists(p=[4, 4, 4], s=[0] * 3, m=2)
+        assert ffd_pack(inst.tasks.tasks, 2, capacity=5.0) is None
+
+    def test_pack_memory_objective(self):
+        inst = Instance.from_lists(p=[0] * 3, s=[5, 4, 1], m=2)
+        packed = ffd_pack(inst.tasks.tasks, 2, capacity=5.0, objective="memory")
+        assert packed is not None
+
+    def test_unknown_objective(self):
+        inst = Instance.from_lists(p=[1], s=[1], m=1)
+        with pytest.raises(ValueError):
+            ffd_pack(inst.tasks.tasks, 1, 10.0, objective="power")
+
+
+class TestMultifit:
+    def test_guarantee_value(self):
+        assert multifit_guarantee(0) == pytest.approx(13 / 11 + 1)
+        assert multifit_guarantee(40) == pytest.approx(13 / 11, abs=1e-6)
+        with pytest.raises(ValueError):
+            multifit_guarantee(-1)
+
+    def test_valid_and_within_guarantee(self):
+        for seed in range(4):
+            inst = uniform_instance(20, 3, seed=seed)
+            sched = multifit_schedule(inst)
+            assert validate_schedule(sched).ok
+            assert sched.cmax <= multifit_guarantee() * cmax_lower_bound(inst) * (1 + 1e-9)
+
+    def test_close_to_optimal_small(self, medium_instance):
+        sched = multifit_schedule(medium_instance)
+        assert sched.cmax <= 13 / 11 * exact_cmax(medium_instance) + 1e-9
+
+    def test_memory_objective(self, medium_instance):
+        sched = multifit_schedule(medium_instance, objective="memory")
+        assert sched.mmax <= 13 / 11 * exact_mmax(medium_instance) + 1e-9
+
+    def test_empty_instance(self):
+        inst = Instance.from_lists(p=[], s=[], m=2)
+        assert multifit_schedule(inst).cmax == 0.0
+
+    def test_never_worse_than_double_optimum(self):
+        inst = uniform_instance(15, 4, seed=11)
+        sched = multifit_schedule(inst)
+        assert sched.cmax <= 2 * cmax_lower_bound(inst)
+
+
+class TestPTAS:
+    def test_rejects_bad_epsilon(self, small_instance):
+        with pytest.raises(ValueError):
+            ptas_schedule(small_instance, epsilon=0.0)
+
+    def test_valid_schedule(self, medium_instance):
+        result = ptas_schedule(medium_instance, epsilon=0.2)
+        assert validate_schedule(result.schedule).ok
+        assert set(result.schedule.assignment) == set(medium_instance.tasks.ids)
+
+    def test_within_guarantee_of_exact(self, medium_instance):
+        opt = exact_cmax(medium_instance)
+        for eps in (0.1, 0.2, 0.5):
+            result = ptas_schedule(medium_instance, epsilon=eps)
+            assert result.schedule.cmax <= (1 + eps) * opt * (1 + 1e-9)
+
+    def test_smaller_epsilon_not_worse_guarantee(self, medium_instance):
+        r1 = ptas_schedule(medium_instance, epsilon=0.1)
+        r2 = ptas_schedule(medium_instance, epsilon=0.5)
+        assert r1.guarantee <= r2.guarantee + 1e-12
+
+    def test_memory_objective(self, medium_instance):
+        result = ptas_schedule(medium_instance, epsilon=0.2, objective="memory")
+        opt = exact_mmax(medium_instance)
+        assert result.schedule.mmax <= 1.2 * opt * (1 + 1e-9)
+
+    def test_exact_flag_true_for_small_instances(self, medium_instance):
+        assert ptas_schedule(medium_instance, epsilon=0.2).exact is True
+
+    def test_fallback_path_used_for_large_instances(self):
+        inst = uniform_instance(200, 4, seed=3)
+        result = ptas_schedule(inst, epsilon=0.05, exact_threshold=10)
+        assert validate_schedule(result.schedule).ok
+        # Fallback may or may not trigger depending on the draw, but the
+        # schedule must still be reasonable.
+        assert result.schedule.cmax <= 2 * cmax_lower_bound(inst)
+
+    def test_empty_instance(self):
+        inst = Instance.from_lists(p=[], s=[], m=2)
+        result = ptas_schedule(inst)
+        assert result.schedule.cmax == 0.0
+
+    def test_dual_oracle_rejects_infeasible_target(self):
+        inst = Instance.from_lists(p=[10, 10, 10], s=[0] * 3, m=2)
+        pack, exact = dual_feasibility_pack(inst.tasks.tasks, 2, target=12.0, epsilon=0.2)
+        assert pack is None and exact is True
+
+    def test_dual_oracle_accepts_feasible_target(self):
+        inst = Instance.from_lists(p=[10, 10, 10, 10], s=[0] * 4, m=2)
+        pack, exact = dual_feasibility_pack(inst.tasks.tasks, 2, target=20.0, epsilon=0.2)
+        assert pack is not None and exact is True
+        assert sum(len(b) for b in pack) == 4
+
+    def test_dual_oracle_zero_target(self):
+        inst = Instance.from_lists(p=[0, 0], s=[0, 0], m=2)
+        pack, _ = dual_feasibility_pack(inst.tasks.tasks, 2, target=0.0, epsilon=0.2)
+        assert pack is not None

@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.pareto."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pareto import ParetoFront, dominates, pareto_filter, weakly_dominates
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (1, 3))
+        assert not dominates((1, 2), (1, 2))
+        assert not dominates((1, 3), (2, 2))
+
+    def test_weak_dominance(self):
+        assert weakly_dominates((1, 2), (1, 2))
+        assert weakly_dominates((1, 1), (1, 2))
+        assert not weakly_dominates((2, 1), (1, 2))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1, 2), (1, 2, 3))
+
+
+class TestParetoFilter:
+    def test_basic(self):
+        pts = [(1, 3), (2, 2), (3, 1), (3, 3), (2, 2)]
+        assert pareto_filter(pts) == [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+
+    def test_all_dominated_by_one(self):
+        pts = [(1, 1), (2, 2), (3, 3)]
+        assert pareto_filter(pts) == [(1.0, 1.0)]
+
+    def test_empty(self):
+        assert pareto_filter([]) == []
+
+    def test_single_point(self):
+        assert pareto_filter([(5, 5)]) == [(5.0, 5.0)]
+
+
+class TestParetoFront:
+    def test_add_and_query(self):
+        front = ParetoFront()
+        assert front.add((2, 2), "a")
+        assert front.add((1, 3), "b")
+        assert not front.add((3, 3), "dominated")
+        assert len(front) == 2
+        assert front.values() == [(1.0, 3.0), (2.0, 2.0)]
+
+    def test_new_point_evicts_dominated(self):
+        front = ParetoFront()
+        front.add((2, 2))
+        front.add((3, 3))  # rejected
+        assert front.add((1, 1))
+        assert front.values() == [(1.0, 1.0)]
+
+    def test_duplicate_point_rejected(self):
+        front = ParetoFront()
+        assert front.add((1, 1), "first")
+        assert not front.add((1, 1), "second")
+        assert front.payloads() == ["first"]
+
+    def test_extend(self):
+        front = ParetoFront()
+        added = front.extend([((1, 2), None), ((2, 1), None), ((3, 3), None)])
+        assert added == 2
+
+    def test_dominates_point_and_contains(self):
+        front = ParetoFront()
+        front.add((1, 2))
+        assert front.dominates_point((2, 3))
+        assert not front.dominates_point((1, 2))
+        assert front.contains((1, 2))
+        assert not front.contains((1.5, 2))
+
+    def test_best_on(self):
+        front = ParetoFront()
+        front.add((1, 5), "a")
+        front.add((4, 2), "b")
+        assert front.best_on(0).payload == "a"
+        assert front.best_on(1).payload == "b"
+
+    def test_best_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            ParetoFront().best_on(0)
+
+    def test_best_on_bad_coordinate(self):
+        front = ParetoFront()
+        front.add((1, 1))
+        with pytest.raises(ValueError):
+            front.best_on(5)
+
+    def test_wrong_dimension_rejected(self):
+        front = ParetoFront(dim=2)
+        with pytest.raises(ValueError):
+            front.add((1, 2, 3))
+
+    def test_nonfinite_rejected(self):
+        front = ParetoFront()
+        with pytest.raises(ValueError):
+            front.add((float("inf"), 1))
+
+    def test_three_dimensional_front(self):
+        front = ParetoFront(dim=3)
+        front.add((1, 1, 5))
+        front.add((1, 1, 4))
+        assert front.values() == [(1.0, 1.0, 4.0)]
+
+    def test_iteration_sorted(self):
+        front = ParetoFront()
+        front.add((3, 1))
+        front.add((1, 3))
+        assert [pt.values for pt in front] == [(1.0, 3.0), (3.0, 1.0)]
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            ParetoFront(dim=0)

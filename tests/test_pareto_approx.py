@@ -1,0 +1,128 @@
+"""Unit tests for repro.core.pareto_approx."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.exact import pareto_front_exact
+from repro.core.bounds import cmax_lower_bound, mmax_lower_bound
+from repro.core.pareto import dominates
+from repro.core.pareto_approx import (
+    approximate_pareto_set,
+    approximate_pareto_set_dag,
+    delta_grid,
+)
+from repro.core.validation import validate_schedule
+from repro.dag.generators import layered_dag
+from repro.workloads.independent import anti_correlated_instance, uniform_instance
+
+
+class TestDeltaGrid:
+    def test_geometric_spacing(self):
+        grid = delta_grid(0.5, 1.0, 8.0)
+        assert grid[0] == 1.0 and grid[-1] == 8.0
+        for a, b in zip(grid, grid[1:]):
+            assert b <= a * 1.5 + 1e-12
+
+    def test_single_point_when_min_equals_max(self):
+        assert delta_grid(0.25, 2.0, 2.0) == [2.0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            delta_grid(0.0, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            delta_grid(0.5, 3.0, 2.0)
+        with pytest.raises(ValueError):
+            delta_grid(0.5, 0.0, 2.0)
+
+
+class TestApproximateParetoSetIndependent:
+    def test_front_is_nondominated(self):
+        inst = anti_correlated_instance(40, 4, seed=2)
+        approx = approximate_pareto_set(inst, epsilon=0.3)
+        points = approx.points
+        assert points
+        for a in points:
+            for b in points:
+                if a != b:
+                    assert not dominates(a, b) or not dominates(b, a)
+
+    def test_schedules_are_valid_and_match_points(self):
+        inst = uniform_instance(30, 3, seed=1)
+        approx = approximate_pareto_set(inst, epsilon=0.5)
+        for point, schedule in zip(approx.points, approx.front.payloads()):
+            assert schedule is not None
+            assert validate_schedule(schedule).ok
+            assert (schedule.cmax, schedule.mmax) == point
+
+    def test_covers_both_extremes(self):
+        inst = anti_correlated_instance(40, 4, seed=5)
+        approx = approximate_pareto_set(inst, epsilon=0.25)
+        best_c = min(c for c, _ in approx.points)
+        best_m = min(m for _, m in approx.points)
+        # The extreme points must be within the corner guarantees of the bounds.
+        assert best_c <= 2.0 * cmax_lower_bound(inst) * (1 + 1e-9)
+        assert best_m <= 2.0 * mmax_lower_bound(inst) * (1 + 1e-9)
+
+    def test_best_under_memory_and_makespan(self):
+        inst = anti_correlated_instance(40, 4, seed=7)
+        approx = approximate_pareto_set(inst, epsilon=0.25)
+        capacity = sorted(m for _, m in approx.points)[len(approx.points) // 2]
+        chosen = approx.best_under_memory(capacity)
+        assert chosen is not None and chosen.mmax <= capacity + 1e-9
+        deadline = sorted(c for c, _ in approx.points)[len(approx.points) // 2]
+        chosen2 = approx.best_under_makespan(deadline)
+        assert chosen2 is not None and chosen2.cmax <= deadline + 1e-9
+
+    def test_best_under_impossible_budget_returns_none(self):
+        inst = uniform_instance(20, 3, seed=0)
+        approx = approximate_pareto_set(inst, epsilon=0.5)
+        assert approx.best_under_memory(0.0) is None
+
+    def test_not_far_from_exact_front_on_small_instances(self):
+        inst = uniform_instance(9, 3, seed=4)
+        approx = approximate_pareto_set(inst, epsilon=0.2, solver="exact")
+        exact = pareto_front_exact(inst).values()
+        # Every exact point is covered within the SBO guarantee factors.
+        for c_star, m_star in exact:
+            assert any(
+                c <= 2.2 * max(c_star, 1e-12) and m <= 2.2 * max(m_star, 1e-12)
+                for c, m in approx.points
+            )
+
+    def test_metadata(self):
+        inst = uniform_instance(15, 2, seed=0)
+        approx = approximate_pareto_set(inst, epsilon=0.5, delta_min=0.5, delta_max=4.0)
+        assert approx.algorithm == "sbo"
+        assert approx.epsilon == 0.5
+        assert approx.deltas[0] == 0.5 and approx.deltas[-1] == 4.0
+        assert len(approx) == len(approx.points)
+
+
+class TestApproximateParetoSetDAG:
+    def test_dag_front_valid(self):
+        dag = layered_dag(5, 4, m=4, seed=3)
+        approx = approximate_pareto_set_dag(dag, epsilon=0.3)
+        assert approx.algorithm == "rls"
+        assert approx.points
+        lb = mmax_lower_bound(dag)
+        for (c, m), schedule in zip(approx.points, approx.front.payloads()):
+            assert validate_schedule(schedule).ok
+            assert m <= 16.0 * lb + 1e-9
+
+    def test_infeasible_deltas_skipped(self):
+        # delta_min below the feasibility threshold: those grid points are skipped.
+        dag = layered_dag(4, 3, m=2, seed=0)
+        approx = approximate_pareto_set_dag(dag, epsilon=0.5, delta_min=0.1)
+        assert approx.points  # the >= 2 part of the grid always succeeds
+        assert all(d > 0 for d in approx.deltas)
+
+    def test_invalid_delta_min(self):
+        dag = layered_dag(3, 2, m=2, seed=0)
+        with pytest.raises(ValueError):
+            approximate_pareto_set_dag(dag, delta_min=0.0)
+
+    def test_independent_instance_accepted(self):
+        inst = uniform_instance(20, 3, seed=2)
+        approx = approximate_pareto_set_dag(inst, epsilon=0.5)
+        assert approx.points

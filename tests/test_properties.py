@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) on the core invariants of the library.
+
+These check the paper's guarantees and the data-structure invariants over
+randomly generated instances rather than hand-picked examples:
+
+* conservation: every schedule assigns every task exactly once and the sums
+  of per-processor loads / memories equal the instance totals;
+* Graham bounds are genuine lower bounds;
+* SBO_Δ respects Properties 1–2 against exact optima on small instances;
+* RLS_Δ respects the ``Δ·LB`` memory budget and the Lemma 4 marked-processor
+  bound for any Δ ≥ 2 and any instance;
+* objective symmetry: swapping ``p`` and ``s`` swaps the two objectives;
+* the Pareto front utilities never keep a dominated point.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.exact import exact_cmax, exact_mmax, pareto_front_exact
+from repro.algorithms.list_scheduling import list_schedule
+from repro.algorithms.lpt import lpt_schedule
+from repro.core.bounds import cmax_lower_bound, mmax_lower_bound, sum_ci_lower_bound
+from repro.core.instance import Instance
+from repro.core.pareto import dominates, pareto_filter
+from repro.core.rls import rls
+from repro.core.sbo import sbo
+from repro.core.trio import tri_objective_schedule
+from repro.core.validation import validate_schedule
+from repro.simulator.executor import simulate_schedule
+
+# Strategy: small instances with integer-ish costs (keeps exact solvers fast).
+costs = st.integers(min_value=0, max_value=50)
+positive_costs = st.integers(min_value=1, max_value=50)
+
+
+@st.composite
+def instances(draw, min_tasks=1, max_tasks=9, max_m=4, allow_zero=True):
+    n = draw(st.integers(min_value=min_tasks, max_value=max_tasks))
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    cost = costs if allow_zero else positive_costs
+    p = draw(st.lists(cost, min_size=n, max_size=n))
+    s = draw(st.lists(cost, min_size=n, max_size=n))
+    return Instance.from_lists(p=p, s=s, m=m)
+
+
+common_settings = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestConservationProperties:
+    @given(inst=instances())
+    @common_settings
+    def test_list_schedule_conserves_work_and_memory(self, inst):
+        sched = list_schedule(inst)
+        assert sum(sched.loads) == sum(t.p for t in inst.tasks)
+        assert sum(sched.memories) == sum(t.s for t in inst.tasks)
+        assert validate_schedule(sched).ok
+
+    @given(inst=instances(), delta=st.floats(min_value=0.1, max_value=8.0))
+    @common_settings
+    def test_sbo_assigns_every_task_once(self, inst, delta):
+        result = sbo(inst, delta)
+        assert set(result.schedule.assignment) == set(inst.tasks.ids)
+        assert validate_schedule(result.schedule).ok
+
+    @given(inst=instances())
+    @common_settings
+    def test_simulator_agrees_with_analytic_objectives(self, inst):
+        sched = lpt_schedule(inst)
+        report = simulate_schedule(sched)
+        assert report.ok
+        assert math.isclose(report.cmax, sched.cmax, rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(report.mmax, sched.mmax, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestBoundProperties:
+    @given(inst=instances(max_tasks=8))
+    @common_settings
+    def test_graham_bounds_are_lower_bounds(self, inst):
+        assert cmax_lower_bound(inst) <= exact_cmax(inst) + 1e-9
+        assert mmax_lower_bound(inst) <= exact_mmax(inst) + 1e-9
+
+    @given(inst=instances(max_tasks=8))
+    @common_settings
+    def test_heuristics_never_beat_exact(self, inst):
+        assert lpt_schedule(inst).cmax >= exact_cmax(inst) - 1e-9
+        assert lpt_schedule(inst, objective="memory").mmax >= exact_mmax(inst) - 1e-9
+
+    @given(inst=instances(max_tasks=10, allow_zero=False))
+    @common_settings
+    def test_sum_ci_lower_bound_reached_by_spt(self, inst):
+        from repro.algorithms.spt import spt_schedule
+
+        assert math.isclose(spt_schedule(inst).sum_ci, sum_ci_lower_bound(inst), rel_tol=1e-9)
+
+
+class TestSBOProperties:
+    @given(inst=instances(max_tasks=8), delta=st.sampled_from([0.25, 0.5, 1.0, 2.0, 4.0]))
+    @common_settings
+    def test_properties_1_and_2(self, inst, delta):
+        """Cmax <= (1+d)*rho1*C* and Mmax <= (1+1/d)*rho2*M* on every instance."""
+        result = sbo(inst, delta, cmax_solver="lpt")
+        c_star = exact_cmax(inst)
+        m_star = exact_mmax(inst)
+        assert result.cmax <= result.cmax_guarantee * c_star + 1e-9
+        assert result.mmax <= result.mmax_guarantee * m_star + 1e-9
+
+    @given(inst=instances(max_tasks=8), delta=st.sampled_from([0.5, 1.0, 2.0]))
+    @common_settings
+    def test_symmetry_under_objective_swap(self, inst, delta):
+        """SBO on the swapped instance with 1/delta mirrors the guarantees (§2.1)."""
+        result = sbo(inst, delta)
+        swapped = sbo(inst.swapped(), 1.0 / delta)
+        assert math.isclose(result.cmax_guarantee, swapped.mmax_guarantee, rel_tol=1e-9)
+        assert math.isclose(result.mmax_guarantee, swapped.cmax_guarantee, rel_tol=1e-9)
+
+
+class TestRLSProperties:
+    @given(
+        inst=instances(max_tasks=12),
+        delta=st.floats(min_value=2.0, max_value=8.0),
+        order=st.sampled_from(["arbitrary", "spt", "lpt"]),
+    )
+    @common_settings
+    def test_memory_budget_and_lemma4(self, inst, delta, order):
+        result = rls(inst, delta, order=order)
+        lb = mmax_lower_bound(inst)
+        assert result.mmax <= delta * lb + 1e-9
+        if delta > 1.0:
+            assert len(result.marked_processors) <= math.floor(inst.m / (delta - 1.0))
+        assert validate_schedule(result.schedule).ok
+
+    @given(inst=instances(max_tasks=10), delta=st.floats(min_value=2.1, max_value=6.0))
+    @common_settings
+    def test_cmax_guarantee_vs_exact(self, inst, delta):
+        assume(inst.n <= 9)
+        result = rls(inst, delta)
+        c_star = exact_cmax(inst)
+        if c_star > 0:
+            assert result.cmax <= result.cmax_guarantee * c_star + 1e-9
+
+    @given(inst=instances(max_tasks=10, allow_zero=False), delta=st.sampled_from([2.5, 3.0, 5.0]))
+    @common_settings
+    def test_trio_sum_ci_guarantee(self, inst, delta):
+        result = tri_objective_schedule(inst, delta)
+        assert result.sum_ci <= result.sum_ci_guarantee * result.sum_ci_optimal + 1e-9
+
+
+class TestParetoProperties:
+    @given(points=st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=0, max_size=40))
+    @common_settings
+    def test_pareto_filter_keeps_only_nondominated(self, points):
+        front = pareto_filter(points)
+        for a in front:
+            for b in front:
+                if a != b:
+                    assert not dominates(a, b) or not dominates(b, a)
+            assert not any(dominates(tuple(map(float, q)), a) for q in points)
+        # Every input point is dominated-or-equalled by some front point.
+        for q in points:
+            qf = tuple(map(float, q))
+            assert any(f == qf or dominates(f, qf) for f in front)
+
+    @given(inst=instances(max_tasks=7))
+    @common_settings
+    def test_exact_front_extremes_match_single_objective_optima(self, inst):
+        front = pareto_front_exact(inst, keep_schedules=False)
+        values = front.values()
+        assert min(v[0] for v in values) == exact_cmax(inst)
+        assert min(v[1] for v in values) == exact_mmax(inst)

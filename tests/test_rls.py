@@ -1,0 +1,201 @@
+"""Unit tests for repro.core.rls (Algorithm 2, Lemma 4, Corollaries 2-3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import cmax_lower_bound, mmax_lower_bound
+from repro.core.instance import DAGInstance, Instance
+from repro.core.rls import (
+    InfeasibleDeltaError,
+    minimum_feasible_delta,
+    rls,
+    rls_guarantee,
+)
+from repro.core.validation import validate_schedule
+from repro.dag.generators import fork_join_dag, layered_dag, random_dag_suite
+from repro.workloads.independent import uniform_instance
+
+
+class TestRLSGuarantee:
+    def test_below_two_no_guarantee(self):
+        assert rls_guarantee(1.5, 4) == (math.inf, math.inf)
+
+    def test_at_two_only_memory(self):
+        c, m = rls_guarantee(2.0, 4)
+        assert math.isinf(c) and m == 2.0
+
+    def test_above_two_formula(self):
+        c, m = rls_guarantee(3.0, 4)
+        assert m == 3.0
+        assert c == pytest.approx(2 + 1 / 1 - 2 / (4 * 1))
+
+    def test_large_delta_approaches_graham_bound(self):
+        # As delta -> infinity the bound tends to 2 - 1/m, Graham's classical ratio.
+        c, _ = rls_guarantee(1000.0, 8)
+        assert c == pytest.approx(2.0 - 1.0 / 8.0, abs=0.01)
+
+    def test_cmax_guarantee_decreases_with_delta(self):
+        values = [rls_guarantee(d, 4)[0] for d in (2.5, 3.0, 4.0, 8.0)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_cmax_guarantee_increases_with_m(self):
+        # (delta-1)/(m(delta-2)) shrinks as m grows => the bound grows with m.
+        assert rls_guarantee(3.0, 2)[0] <= rls_guarantee(3.0, 16)[0]
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            rls_guarantee(3.0, 0)
+
+
+class TestRLSIndependent:
+    def test_invalid_delta(self, small_instance):
+        with pytest.raises(ValueError):
+            rls(small_instance, delta=0.0)
+
+    def test_memory_budget_respected(self, medium_instance):
+        for delta in (2.0, 2.5, 3.0, 5.0):
+            result = rls(medium_instance, delta=delta)
+            lb = mmax_lower_bound(medium_instance)
+            assert result.mmax <= delta * lb + 1e-9
+            assert result.memory_budget == pytest.approx(delta * lb)
+
+    def test_schedule_valid(self, medium_instance):
+        result = rls(medium_instance, delta=3.0)
+        assert validate_schedule(result.schedule).ok
+
+    def test_delta_two_always_feasible_random(self):
+        for seed in range(5):
+            inst = uniform_instance(25, 4, seed=seed)
+            result = rls(inst, delta=2.0)
+            assert result.mmax <= 2.0 * mmax_lower_bound(inst) + 1e-9
+
+    def test_cmax_guarantee_against_lower_bound(self):
+        for seed in range(5):
+            inst = uniform_instance(25, 4, seed=seed)
+            for delta in (2.5, 3.0, 4.0):
+                result = rls(inst, delta=delta)
+                guarantee, _ = rls_guarantee(delta, inst.m)
+                assert result.cmax <= guarantee * cmax_lower_bound(inst) * (1 + 1e-9)
+
+    def test_marked_processors_lemma4_bound(self):
+        for seed in range(5):
+            inst = uniform_instance(30, 6, seed=seed)
+            for delta in (2.5, 3.0, 4.0):
+                result = rls(inst, delta=delta)
+                assert len(result.marked_processors) <= math.floor(inst.m / (delta - 1.0))
+
+    def test_infeasible_small_delta(self):
+        # Two tasks each needing the full LB cannot both respect 1.1 * LB on
+        # separate... here: LB = max(s)=10 (m=2, sum=20/2=10); delta=1.05 =>
+        # budget 10.5; three tasks of 10 cannot fit two per processor.
+        inst = Instance.from_lists(p=[1, 1, 1], s=[10, 10, 10], m=2)
+        with pytest.raises(InfeasibleDeltaError):
+            rls(inst, delta=1.05)
+
+    def test_infeasible_error_fields(self):
+        inst = Instance.from_lists(p=[1, 1, 1], s=[10, 10, 10], m=2)
+        with pytest.raises(InfeasibleDeltaError) as exc:
+            rls(inst, delta=1.05)
+        assert exc.value.delta == 1.05
+        assert exc.value.budget == pytest.approx(1.05 * 15.0)
+
+    def test_zero_memory_instance(self, zero_memory_instance):
+        result = rls(zero_memory_instance, delta=3.0)
+        assert result.mmax == 0.0
+        assert validate_schedule(result.schedule).ok
+
+    def test_single_task(self, single_task_instance):
+        result = rls(single_task_instance, delta=3.0)
+        assert result.cmax == 5.0 and result.mmax == 7.0
+
+    def test_order_options(self, medium_instance):
+        for order in ("arbitrary", "spt", "lpt", "bottom-level"):
+            result = rls(medium_instance, delta=3.0, order=order)
+            assert validate_schedule(result.schedule).ok
+            assert result.order == order
+
+    def test_explicit_order(self, medium_instance):
+        ids = list(reversed(medium_instance.tasks.ids))
+        result = rls(medium_instance, delta=3.0, order=ids)
+        assert validate_schedule(result.schedule).ok
+        assert result.order == "explicit"
+
+    def test_bad_explicit_order(self, medium_instance):
+        with pytest.raises(ValueError, match="every task"):
+            rls(medium_instance, delta=3.0, order=[0, 1])
+
+    def test_bad_order_name(self, medium_instance):
+        with pytest.raises(ValueError, match="unknown order"):
+            rls(medium_instance, delta=3.0, order="random")
+
+
+class TestRLSDAG:
+    def test_precedence_respected(self, diamond_dag):
+        result = rls(diamond_dag, delta=3.0)
+        assert validate_schedule(result.schedule).ok
+
+    def test_chain_schedules_sequentially(self, chain_instance):
+        result = rls(chain_instance, delta=3.0)
+        assert result.cmax == 9.0
+
+    def test_memory_budget_on_dags(self):
+        for seed in range(3):
+            dag = layered_dag(5, 4, m=4, seed=seed)
+            for delta in (2.0, 3.0):
+                result = rls(dag, delta=delta)
+                assert result.mmax <= delta * mmax_lower_bound(dag) + 1e-9
+                assert validate_schedule(result.schedule).ok
+
+    def test_cmax_guarantee_on_dag_suite(self):
+        for name, dag in random_dag_suite(4, seed=1).items():
+            result = rls(dag, delta=3.0)
+            guarantee, _ = rls_guarantee(3.0, dag.m)
+            assert result.cmax <= guarantee * cmax_lower_bound(dag) * (1 + 1e-9), name
+
+    def test_fork_join_parallelism_exploited(self):
+        dag = fork_join_dag(1, 8, m=8, seed=0)
+        result = rls(dag, delta=8.0)
+        # With a loose memory budget the fork-join phase must exploit most of
+        # the parallelism: strictly better than serialising everything.
+        assert result.cmax < dag.tasks.total_p
+
+    def test_no_start_before_predecessors(self, diamond_dag):
+        result = rls(diamond_dag, delta=4.0)
+        sched = result.schedule
+        for u, v in diamond_dag.graph.edges():
+            assert sched.start_of(v) >= sched.completion_of(u) - 1e-9
+
+    def test_guarantee_fields(self, diamond_dag):
+        result = rls(diamond_dag, delta=2.5)
+        c, m = rls_guarantee(2.5, 2)
+        assert result.cmax_guarantee == pytest.approx(c)
+        assert result.mmax_guarantee == pytest.approx(m)
+        assert result.memory_lower_bound == pytest.approx(mmax_lower_bound(diamond_dag))
+
+
+class TestMinimumFeasibleDelta:
+    def test_never_above_two(self):
+        for seed in range(3):
+            inst = uniform_instance(15, 3, seed=seed)
+            assert minimum_feasible_delta(inst) <= 2.0 + 1e-9
+
+    def test_result_is_feasible(self, medium_instance):
+        d = minimum_feasible_delta(medium_instance)
+        rls(medium_instance, max(d, d + 1e-9))  # must not raise
+
+    def test_hard_instance_needs_nearly_two(self):
+        inst = Instance.from_lists(p=[1, 1, 1, 1], s=[10, 10, 10, 10], m=2)
+        # LB = 20; two tasks per processor is forced => min delta = 1.
+        assert minimum_feasible_delta(inst) == pytest.approx(1.0, abs=1e-2)
+
+    def test_single_big_task_min_delta(self):
+        inst = Instance.from_lists(p=[1, 1, 1], s=[30, 1, 1], m=2)
+        # LB = 30 (max task); the big task alone fits at delta = 1.
+        d = minimum_feasible_delta(inst)
+        assert d <= 1.1
+
+    def test_zero_memory(self, zero_memory_instance):
+        assert minimum_feasible_delta(zero_memory_instance) == 0.0

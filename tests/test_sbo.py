@@ -1,0 +1,169 @@
+"""Unit tests for repro.core.sbo (Algorithm 1 and Properties 1-2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms.exact import exact_cmax, exact_mmax
+from repro.core.instance import DAGInstance, Instance
+from repro.core.sbo import sbo, sbo_guarantee, sbo_tradeoff_curve
+from repro.core.validation import validate_schedule
+from repro.workloads.independent import (
+    anti_correlated_instance,
+    uniform_instance,
+    workload_suite,
+)
+
+
+class TestSBOGuarantee:
+    def test_values(self):
+        assert sbo_guarantee(1.0) == (2.0, 2.0)
+        assert sbo_guarantee(2.0) == (3.0, 1.5)
+        assert sbo_guarantee(0.5) == (1.5, 3.0)
+
+    def test_with_rho(self):
+        c, m = sbo_guarantee(1.0, rho1=1.5, rho2=2.0)
+        assert c == pytest.approx(3.0)
+        assert m == pytest.approx(4.0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            sbo_guarantee(0.0)
+        with pytest.raises(ValueError):
+            sbo_guarantee(-1.0)
+
+    def test_tradeoff_curve(self):
+        curve = sbo_tradeoff_curve([0.5, 1.0, 2.0])
+        assert curve[1] == (1.0, 2.0, 2.0)
+        # Cmax guarantee increases with delta, Mmax guarantee decreases.
+        assert curve[0][1] < curve[1][1] < curve[2][1]
+        assert curve[0][2] > curve[1][2] > curve[2][2]
+
+    def test_symmetry_of_curve(self):
+        # Guarantee at delta and 1/delta are mirror images.
+        c1, m1 = sbo_guarantee(3.0)
+        c2, m2 = sbo_guarantee(1.0 / 3.0)
+        assert c1 == pytest.approx(m2)
+        assert m1 == pytest.approx(c2)
+
+
+class TestSBOAlgorithm:
+    def test_invalid_delta(self, small_instance):
+        with pytest.raises(ValueError):
+            sbo(small_instance, delta=0.0)
+
+    def test_rejects_precedence(self):
+        dag = DAGInstance.from_lists(p=[1, 1], s=[1, 1], m=2, edges=[(0, 1)])
+        with pytest.raises(ValueError, match="independent"):
+            sbo(dag, delta=1.0)
+
+    def test_accepts_edgeless_dag(self, small_instance):
+        result = sbo(small_instance.as_dag(), delta=1.0)
+        assert validate_schedule(result.schedule).ok
+
+    def test_schedule_is_valid(self, medium_instance):
+        result = sbo(medium_instance, delta=1.0)
+        assert validate_schedule(result.schedule).ok
+        assert set(result.schedule.assignment) == set(medium_instance.tasks.ids)
+
+    def test_result_fields(self, medium_instance):
+        result = sbo(medium_instance, delta=2.0)
+        assert result.delta == 2.0
+        assert result.reference_cmax == result.pi1.cmax
+        assert result.reference_mmax == result.pi2.mmax
+        assert result.cmax == result.schedule.cmax
+        assert result.mmax == result.schedule.mmax
+        assert result.cmax_guarantee == pytest.approx((1 + 2.0) * result.rho1)
+        assert result.mmax_guarantee == pytest.approx((1 + 0.5) * result.rho2)
+
+    def test_memory_driven_set_matches_threshold(self, medium_instance):
+        result = sbo(medium_instance, delta=1.0)
+        C, M = result.reference_cmax, result.reference_mmax
+        for task in medium_instance.tasks:
+            follows_memory = task.id in result.memory_driven_tasks
+            expected = task.p / C < 1.0 * task.s / M
+            assert follows_memory == expected
+
+    @pytest.mark.parametrize("delta", [0.25, 0.5, 1.0, 2.0, 4.0])
+    @pytest.mark.parametrize("solver", ["lpt", "list", "multifit"])
+    def test_property_1_and_2_guarantees(self, delta, solver):
+        """The central theorem: measured ratios never exceed (1+d)rho1 / (1+1/d)rho2."""
+        for seed in range(3):
+            inst = uniform_instance(10, 3, seed=seed)
+            result = sbo(inst, delta=delta, cmax_solver=solver)
+            c_star = exact_cmax(inst)
+            m_star = exact_mmax(inst)
+            assert result.cmax <= result.cmax_guarantee * c_star * (1 + 1e-9)
+            assert result.mmax <= result.mmax_guarantee * m_star * (1 + 1e-9)
+
+    def test_guarantees_hold_on_adversarial_workload(self):
+        for seed in range(3):
+            inst = anti_correlated_instance(9, 3, seed=seed)
+            result = sbo(inst, delta=1.0)
+            assert result.cmax <= 2 * (4 / 3) * exact_cmax(inst) * (1 + 1e-9)
+            assert result.mmax <= 2 * (4 / 3) * exact_mmax(inst) * (1 + 1e-9)
+
+    def test_extreme_delta_recovers_corner_schedules(self, medium_instance):
+        # Tiny delta: almost every task follows pi1 (the makespan schedule).
+        tiny = sbo(medium_instance, delta=1e-9)
+        assert tiny.schedule.assignment == tiny.pi1.assignment
+        # Huge delta: almost every task follows pi2 (the memory schedule).
+        huge = sbo(medium_instance, delta=1e9)
+        assert huge.schedule.assignment == huge.pi2.assignment
+
+    def test_delta_monotone_guarantees(self, medium_instance):
+        deltas = [0.25, 0.5, 1.0, 2.0, 4.0]
+        results = [sbo(medium_instance, d) for d in deltas]
+        for r1, r2 in zip(results, results[1:]):
+            assert r1.cmax_guarantee <= r2.cmax_guarantee + 1e-12
+            assert r1.mmax_guarantee >= r2.mmax_guarantee - 1e-12
+
+    def test_zero_memory_tasks(self, zero_memory_instance):
+        result = sbo(zero_memory_instance, delta=1.0)
+        assert validate_schedule(result.schedule).ok
+        # With no memory demand every task follows the makespan schedule.
+        assert result.schedule.assignment == result.pi1.assignment
+
+    def test_zero_processing_tasks(self):
+        inst = Instance.from_lists(p=[0, 0, 0], s=[3, 2, 1], m=2)
+        result = sbo(inst, delta=1.0)
+        assert validate_schedule(result.schedule).ok
+        assert result.schedule.assignment == result.pi2.assignment
+
+    def test_single_task(self, single_task_instance):
+        result = sbo(single_task_instance, delta=1.0)
+        assert result.cmax == 5 and result.mmax == 7
+
+    def test_custom_solver_callable(self, medium_instance):
+        def trivial_solver(instance, objective):
+            from repro.algorithms.list_scheduling import list_schedule
+
+            return list_schedule(instance, objective=objective), 2.0 - 1.0 / instance.m
+
+        result = sbo(medium_instance, delta=1.0, cmax_solver=trivial_solver)
+        assert validate_schedule(result.schedule).ok
+
+    def test_different_solvers_for_each_objective(self, medium_instance):
+        result = sbo(medium_instance, delta=1.0, cmax_solver="lpt", mmax_solver="multifit")
+        assert validate_schedule(result.schedule).ok
+        assert result.rho1 != result.rho2
+
+    def test_exact_subsolver_gives_pure_delta_guarantee(self, small_instance):
+        result = sbo(small_instance, delta=1.0, cmax_solver="exact")
+        assert result.cmax_guarantee == pytest.approx(2.0)
+        assert result.cmax <= 2.0 * exact_cmax(small_instance) + 1e-9
+
+    def test_workload_suite_guarantees_via_upper_bounds(self):
+        # Larger instances where exact optima are out of reach: since
+        # OPT <= LPT value, checking against the LPT value is a valid (if
+        # conservative) upper-bound certificate for the guarantee.
+        from repro.algorithms.lpt import lpt_schedule
+
+        for name, inst in workload_suite(80, 4, seed=3).items():
+            result = sbo(inst, delta=1.0)
+            cmax_upper = lpt_schedule(inst, objective="time").cmax
+            mmax_upper = lpt_schedule(inst, objective="memory").mmax
+            assert result.cmax <= result.cmax_guarantee * cmax_upper * (1 + 1e-9), name
+            assert result.mmax <= result.mmax_guarantee * mmax_upper * (1 + 1e-9), name

@@ -1,0 +1,188 @@
+"""Unit tests for repro.core.task."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.task import Task, TaskSet
+
+
+class TestTask:
+    def test_basic_construction(self):
+        t = Task(id=1, p=3.0, s=2.0)
+        assert t.id == 1
+        assert t.p == 3.0
+        assert t.s == 2.0
+        assert t.label is None
+
+    def test_label(self):
+        t = Task(id="x", p=1, s=1, label="kernel")
+        assert t.label == "kernel"
+
+    def test_negative_processing_time_rejected(self):
+        with pytest.raises(ValueError, match="processing time"):
+            Task(id=0, p=-1.0, s=1.0)
+
+    def test_negative_storage_rejected(self):
+        with pytest.raises(ValueError, match="storage size"):
+            Task(id=0, p=1.0, s=-0.5)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Task(id=0, p=float("nan"), s=1.0)
+
+    def test_infinite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Task(id=0, p=1.0, s=float("inf"))
+
+    def test_zero_values_allowed(self):
+        t = Task(id=0, p=0.0, s=0.0)
+        assert t.p == 0.0 and t.s == 0.0
+
+    def test_density(self):
+        assert Task(id=0, p=6, s=3).density == 2.0
+
+    def test_density_zero_storage(self):
+        assert Task(id=0, p=5, s=0).density == math.inf
+
+    def test_density_zero_both(self):
+        assert Task(id=0, p=0, s=0).density == 0.0
+
+    def test_density_zero_processing(self):
+        assert Task(id=0, p=0, s=4).density == 0.0
+
+    def test_with_id(self):
+        t = Task(id=0, p=1, s=2, label="l")
+        u = t.with_id("new")
+        assert u.id == "new" and u.p == 1 and u.s == 2 and u.label == "l"
+
+    def test_scaled(self):
+        t = Task(id=0, p=2, s=4)
+        u = t.scaled(p_factor=3, s_factor=0.5)
+        assert u.p == 6 and u.s == 2
+
+    def test_frozen(self):
+        t = Task(id=0, p=1, s=1)
+        with pytest.raises(AttributeError):
+            t.p = 2  # type: ignore[misc]
+
+    def test_equality(self):
+        assert Task(id=0, p=1, s=2) == Task(id=0, p=1, s=2)
+        assert Task(id=0, p=1, s=2) != Task(id=0, p=1, s=3)
+
+
+class TestTaskSet:
+    def test_from_lists(self):
+        ts = TaskSet.from_lists(p=[1, 2, 3], s=[4, 5, 6])
+        assert len(ts) == 3
+        assert ts[0].p == 1 and ts[2].s == 6
+
+    def test_from_lists_custom_ids(self):
+        ts = TaskSet.from_lists(p=[1, 2], s=[3, 4], ids=["a", "b"])
+        assert ts["a"].p == 1 and ts["b"].s == 4
+
+    def test_from_lists_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            TaskSet.from_lists(p=[1, 2], s=[3])
+
+    def test_from_lists_ids_length_mismatch(self):
+        with pytest.raises(ValueError, match="ids"):
+            TaskSet.from_lists(p=[1, 2], s=[3, 4], ids=["only-one"])
+
+    def test_duplicate_id_rejected(self):
+        ts = TaskSet([Task(id=0, p=1, s=1)])
+        with pytest.raises(ValueError, match="duplicate"):
+            ts.add(Task(id=0, p=2, s=2))
+
+    def test_add_non_task_rejected(self):
+        ts = TaskSet()
+        with pytest.raises(TypeError):
+            ts.add((1, 2, 3))  # type: ignore[arg-type]
+
+    def test_contains_and_getitem(self):
+        ts = TaskSet.from_lists(p=[1], s=[2])
+        assert 0 in ts
+        assert 1 not in ts
+        with pytest.raises(KeyError):
+            ts[42]
+
+    def test_iteration_preserves_order(self):
+        ts = TaskSet.from_lists(p=[5, 1, 3], s=[1, 1, 1])
+        assert [t.p for t in ts] == [5, 1, 3]
+
+    def test_aggregates(self):
+        ts = TaskSet.from_lists(p=[1, 2, 3], s=[4, 5, 6])
+        assert ts.total_p == 6
+        assert ts.total_s == 15
+        assert ts.max_p == 3
+        assert ts.max_s == 6
+
+    def test_aggregates_empty(self):
+        ts = TaskSet()
+        assert ts.total_p == 0 and ts.max_p == 0 and ts.max_s == 0
+
+    def test_processing_times_and_storage_sizes(self):
+        ts = TaskSet.from_lists(p=[1, 2], s=[3, 4])
+        assert ts.processing_times() == {0: 1, 1: 2}
+        assert ts.storage_sizes() == {0: 3, 1: 4}
+
+    def test_sorted_by_p(self):
+        ts = TaskSet.from_lists(p=[3, 1, 2], s=[1, 1, 1])
+        assert [t.p for t in ts.sorted_by("p")] == [1, 2, 3]
+
+    def test_sorted_by_s_reverse(self):
+        ts = TaskSet.from_lists(p=[1, 1, 1], s=[3, 1, 2])
+        assert [t.s for t in ts.sorted_by("s", reverse=True)] == [3, 2, 1]
+
+    def test_sorted_by_density(self):
+        ts = TaskSet.from_lists(p=[4, 1], s=[1, 4])
+        assert [t.id for t in ts.sorted_by("density")] == [1, 0]
+
+    def test_sorted_by_unknown_key(self):
+        ts = TaskSet.from_lists(p=[1], s=[1])
+        with pytest.raises(ValueError, match="unknown sort key"):
+            ts.sorted_by("weight")
+
+    def test_sort_stability_ties_in_insertion_order(self):
+        ts = TaskSet.from_lists(p=[2, 2, 2], s=[1, 1, 1])
+        assert [t.id for t in ts.spt_order()] == [0, 1, 2]
+
+    def test_spt_lpt_lms(self):
+        ts = TaskSet.from_lists(p=[3, 1, 2], s=[2, 3, 1])
+        assert [t.id for t in ts.spt_order()] == [1, 2, 0]
+        assert [t.id for t in ts.lpt_order()] == [0, 2, 1]
+        assert [t.id for t in ts.lms_order()] == [1, 0, 2]
+
+    def test_swapped(self):
+        ts = TaskSet.from_lists(p=[1, 2], s=[3, 4])
+        sw = ts.swapped()
+        assert [t.p for t in sw] == [3, 4]
+        assert [t.s for t in sw] == [1, 2]
+
+    def test_swapped_is_involution(self):
+        ts = TaskSet.from_lists(p=[1, 2, 5], s=[3, 4, 0])
+        assert ts.swapped().swapped() == ts
+
+    def test_subset(self):
+        ts = TaskSet.from_lists(p=[1, 2, 3], s=[4, 5, 6])
+        sub = ts.subset([2, 0])
+        assert len(sub) == 2
+        assert [t.id for t in sub] == [0, 2]  # preserves original order
+
+    def test_subset_unknown_id(self):
+        ts = TaskSet.from_lists(p=[1], s=[1])
+        with pytest.raises(KeyError):
+            ts.subset([0, 99])
+
+    def test_as_tuples(self):
+        ts = TaskSet.from_lists(p=[1, 2], s=[3, 4])
+        assert ts.as_tuples() == [(0, 1, 3), (1, 2, 4)]
+
+    def test_equality(self):
+        a = TaskSet.from_lists(p=[1, 2], s=[3, 4])
+        b = TaskSet.from_lists(p=[1, 2], s=[3, 4])
+        c = TaskSet.from_lists(p=[2, 1], s=[4, 3])
+        assert a == b
+        assert a != c

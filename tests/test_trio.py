@@ -1,0 +1,76 @@
+"""Unit tests for repro.core.trio (Corollary 4, Lemma 6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import cmax_lower_bound, mmax_lower_bound, sum_ci_lower_bound
+from repro.core.instance import DAGInstance
+from repro.core.rls import rls_guarantee
+from repro.core.trio import tri_objective_guarantee, tri_objective_schedule
+from repro.core.validation import validate_schedule
+from repro.workloads.independent import uniform_instance, workload_suite
+
+
+class TestTriObjectiveGuarantee:
+    def test_formula(self):
+        c, m, s = tri_objective_guarantee(3.0, 4)
+        assert m == 3.0
+        assert s == pytest.approx(3.0)  # 2 + 1/(3-2)
+        assert c == pytest.approx(rls_guarantee(3.0, 4)[0])
+
+    def test_no_guarantee_at_or_below_two(self):
+        _, _, s = tri_objective_guarantee(2.0, 4)
+        assert math.isinf(s)
+
+    def test_sum_ci_guarantee_decreases_with_delta(self):
+        values = [tri_objective_guarantee(d, 4)[2] for d in (2.5, 3.0, 4.0, 10.0)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(2.125)
+
+
+class TestTriObjectiveSchedule:
+    def test_rejects_dags(self):
+        dag = DAGInstance.from_lists(p=[1, 1], s=[1, 1], m=2, edges=[(0, 1)])
+        with pytest.raises(ValueError, match="independent"):
+            tri_objective_schedule(dag, delta=3.0)
+
+    def test_accepts_edgeless_dag(self, small_instance):
+        result = tri_objective_schedule(small_instance.as_dag(), delta=3.0)
+        assert validate_schedule(result.schedule).ok
+
+    def test_all_three_guarantees_hold(self):
+        for seed in range(4):
+            inst = uniform_instance(30, 4, seed=seed)
+            for delta in (2.5, 3.0, 5.0):
+                result = tri_objective_schedule(inst, delta=delta)
+                g_c, g_m, g_s = result.guarantees
+                assert result.mmax <= delta * mmax_lower_bound(inst) + 1e-9
+                assert result.cmax <= g_c * cmax_lower_bound(inst) * (1 + 1e-9)
+                assert result.sum_ci <= g_s * result.sum_ci_optimal * (1 + 1e-9)
+
+    def test_sum_ci_reference_is_spt_value(self, medium_instance):
+        result = tri_objective_schedule(medium_instance, delta=3.0)
+        assert result.sum_ci_optimal == pytest.approx(sum_ci_lower_bound(medium_instance))
+
+    def test_guarantees_property(self, medium_instance):
+        result = tri_objective_schedule(medium_instance, delta=4.0)
+        g = result.guarantees
+        assert g[1] == 4.0
+        assert g[2] == pytest.approx(2.5)
+
+    def test_loose_delta_approaches_spt_quality(self):
+        # With an effectively unlimited memory budget, the SPT-ordered RLS
+        # behaves like SPT list scheduling, which is optimal on sum Ci.
+        for seed in range(3):
+            inst = uniform_instance(40, 4, seed=seed)
+            result = tri_objective_schedule(inst, delta=1e6)
+            assert result.sum_ci == pytest.approx(result.sum_ci_optimal, rel=1e-6)
+
+    def test_across_workload_suite(self):
+        for name, inst in workload_suite(40, 4, seed=9).items():
+            result = tri_objective_schedule(inst, delta=3.0)
+            assert validate_schedule(result.schedule).ok, name
+            assert result.sum_ci <= 3.0 * result.sum_ci_optimal * (1 + 1e-9), name

@@ -1,0 +1,60 @@
+"""Unit tests for repro.utils."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import seeded_rng, spawn_rngs
+from repro.utils.tables import format_markdown_table, format_table
+
+
+class TestRNG:
+    def test_seeded_rng_reproducible(self):
+        assert seeded_rng(3).integers(0, 1000) == seeded_rng(3).integers(0, 1000)
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(7, 3)
+        assert len(rngs) == 3
+        draws = [rng.integers(0, 10**9) for rng in rngs]
+        assert len(set(draws)) == 3
+
+    def test_spawn_rngs_reproducible(self):
+        a = [rng.integers(0, 10**9) for rng in spawn_rngs(7, 3)]
+        b = [rng.integers(0, 10**9) for rng in spawn_rngs(7, 3)]
+        assert a == b
+
+    def test_spawn_rngs_invalid(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["long-name", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "1.235" in text  # 4 significant digits
+
+    def test_format_table_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_format_markdown_table(self):
+        text = format_markdown_table(["x", "y"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_format_markdown_mismatch(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,173 @@
+"""Unit tests for repro.workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.adversarial import (
+    few_big_many_small_instance,
+    high_variance_instance,
+    memory_hostile_instance,
+)
+from repro.workloads.distributions import (
+    bimodal_sampler,
+    choice_sampler,
+    constant_sampler,
+    integer_sampler,
+    pareto_sampler,
+    uniform_sampler,
+)
+from repro.workloads.independent import (
+    anti_correlated_instance,
+    bimodal_instance,
+    correlated_instance,
+    heavy_tailed_instance,
+    uniform_instance,
+    workload_suite,
+)
+
+
+def correlation(instance):
+    p = np.array([t.p for t in instance.tasks])
+    s = np.array([t.s for t in instance.tasks])
+    return float(np.corrcoef(p, s)[0, 1])
+
+
+class TestSamplers:
+    def test_uniform_range(self):
+        rng = np.random.default_rng(0)
+        values = uniform_sampler(2.0, 5.0)(rng, 1000)
+        assert values.min() >= 2.0 and values.max() <= 5.0
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_sampler(5.0, 2.0)
+
+    def test_integer_sampler(self):
+        rng = np.random.default_rng(0)
+        values = integer_sampler(1, 3)(rng, 500)
+        assert set(values.tolist()) <= {1.0, 2.0, 3.0}
+
+    def test_bimodal_two_modes(self):
+        rng = np.random.default_rng(0)
+        values = bimodal_sampler(low_mode=1.0, high_mode=100.0, high_fraction=0.3, spread=0.01)(rng, 2000)
+        assert (values > 50).mean() == pytest.approx(0.3, abs=0.05)
+        assert values.min() > 0
+
+    def test_bimodal_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            bimodal_sampler(high_fraction=1.5)
+
+    def test_pareto_cap(self):
+        rng = np.random.default_rng(0)
+        values = pareto_sampler(shape=1.1, scale=1.0, cap=50.0)(rng, 2000)
+        assert values.max() <= 50.0
+        assert values.min() >= 1.0
+
+    def test_pareto_invalid_cap(self):
+        with pytest.raises(ValueError):
+            pareto_sampler(scale=2.0, cap=1.0)
+
+    def test_constant(self):
+        rng = np.random.default_rng(0)
+        assert (constant_sampler(3.0)(rng, 10) == 3.0).all()
+
+    def test_constant_invalid(self):
+        with pytest.raises(ValueError):
+            constant_sampler(0.0)
+
+    def test_choice(self):
+        rng = np.random.default_rng(0)
+        values = choice_sampler([1.0, 2.0], weights=[0.0, 1.0])(rng, 100)
+        assert (values == 2.0).all()
+
+    def test_choice_invalid(self):
+        with pytest.raises(ValueError):
+            choice_sampler([])
+        with pytest.raises(ValueError):
+            choice_sampler([1.0], weights=[1.0, 2.0])
+
+
+class TestIndependentGenerators:
+    def test_uniform_shape(self):
+        inst = uniform_instance(50, 4, seed=0)
+        assert inst.n == 50 and inst.m == 4
+        assert all(t.p > 0 and t.s > 0 for t in inst.tasks)
+
+    def test_determinism(self):
+        assert uniform_instance(20, 2, seed=5) == uniform_instance(20, 2, seed=5)
+        assert uniform_instance(20, 2, seed=5) != uniform_instance(20, 2, seed=6)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_instance(-1, 2)
+
+    def test_correlated_has_positive_correlation(self):
+        inst = correlated_instance(300, 4, seed=1, correlation=0.9)
+        assert correlation(inst) > 0.5
+
+    def test_anti_correlated_has_negative_correlation(self):
+        inst = anti_correlated_instance(300, 4, seed=1, correlation=0.9)
+        assert correlation(inst) < -0.5
+
+    def test_correlation_zero_is_uncorrelated(self):
+        inst = correlated_instance(500, 4, seed=2, correlation=0.0)
+        assert abs(correlation(inst)) < 0.3
+
+    def test_correlation_bounds_validated(self):
+        with pytest.raises(ValueError):
+            correlated_instance(10, 2, correlation=1.5)
+        with pytest.raises(ValueError):
+            anti_correlated_instance(10, 2, correlation=-0.1)
+
+    def test_bimodal_and_heavy_tailed(self):
+        b = bimodal_instance(100, 4, seed=0)
+        h = heavy_tailed_instance(100, 4, seed=0)
+        assert b.n == 100 and h.n == 100
+        # Heavy tails produce a large max/median ratio.
+        p = sorted(t.p for t in h.tasks)
+        assert p[-1] / p[len(p) // 2] > 3.0
+
+    def test_workload_suite(self):
+        suite = workload_suite(30, 3, seed=0)
+        assert set(suite) == {"uniform", "correlated", "anti-correlated", "bimodal", "heavy-tailed"}
+        for inst in suite.values():
+            assert inst.n == 30 and inst.m == 3
+
+    def test_empty_instances(self):
+        assert uniform_instance(0, 2, seed=0).n == 0
+        assert anti_correlated_instance(0, 2, seed=0).n == 0
+
+
+class TestAdversarialGenerators:
+    def test_memory_hostile(self):
+        inst = memory_hostile_instance(4, seed=0)
+        assert inst.m == 4
+        big = [t for t in inst.tasks if t.label == "big"]
+        assert len(big) == 4
+        assert all(t.s == 100.0 for t in big)
+
+    def test_memory_hostile_invalid(self):
+        with pytest.raises(ValueError):
+            memory_hostile_instance(0)
+
+    def test_high_variance(self):
+        inst = high_variance_instance(200, 4, seed=0, ratio=1000.0)
+        p = [t.p for t in inst.tasks]
+        assert max(p) / min(p) > 50.0
+
+    def test_high_variance_invalid(self):
+        with pytest.raises(ValueError):
+            high_variance_instance(10, 2, ratio=1.0)
+
+    def test_few_big_many_small(self):
+        inst = few_big_many_small_instance(3, k=2, small_per_big=5, seed=0)
+        assert inst.m == 3
+        labels = {t.label for t in inst.tasks}
+        assert labels == {"long", "heavy", "small"}
+        assert inst.n == (3 - 1) + 2 * 3 + 5 * 2 * 3
+
+    def test_few_big_invalid(self):
+        with pytest.raises(ValueError):
+            few_big_many_small_instance(1)
