@@ -3,11 +3,16 @@
 Section 6 of the paper contrasts absolute approximation (one schedule) with
 Pareto-set approximation (a menu of schedules).  Because every algorithm in
 the paper is tunable through its Δ parameter, sweeping Δ yields such a menu
-"for free".  This example builds the menu for an anti-correlated batch and
-for a task graph, prints it, and then answers two planning questions:
+"for free".  With the unified solver facade the sweep is just a list of
+spec strings handed to :func:`repro.solve_many`; the non-dominated results
+form the menu.  This example builds the menu for an anti-correlated batch
+(``sbo`` specs) and for a task graph (``rls`` specs), prints it, and then
+answers two planning questions:
 
-* "what is the best makespan if each node only has X memory?"
-* "how little memory can we get away with if the deadline is Y?"
+* "what is the best makespan if each node only has X memory?" — answered
+  with the capability-aware ``constrained(budget=...)`` solver;
+* "how little memory can we get away with if the deadline is Y?" — read
+  off the menu.
 
 Run with::
 
@@ -16,47 +21,66 @@ Run with::
 
 from __future__ import annotations
 
-from repro import approximate_pareto_set, approximate_pareto_set_dag
+from typing import List, Sequence
+
+from repro import SolveResult, solve, solve_many
 from repro.core.bounds import cmax_lower_bound, mmax_lower_bound
+from repro.core.pareto import ParetoFront
 from repro.dag import gaussian_elimination_dag
 from repro.utils.tables import format_table
 from repro.workloads import anti_correlated_instance
 
+SBO_DELTAS = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+RLS_DELTAS = (2.1, 2.25, 2.5, 3.0, 4.0, 6.0, 8.0)
+
+
+def build_menu(instance, specs: Sequence[str], workers: int = 2) -> List[SolveResult]:
+    """Solve every spec (in parallel) and keep the non-dominated results."""
+    results = solve_many(instance, specs, workers=workers)
+    front: ParetoFront[SolveResult] = ParetoFront(dim=2)
+    for result in results:
+        if result.feasible:
+            front.add((result.cmax, result.mmax), payload=result)
+    return [p.payload for p in front.points() if p.payload is not None]
+
+
+def print_menu(instance, menu: List[SolveResult]) -> None:
+    lb_c, lb_m = cmax_lower_bound(instance), mmax_lower_bound(instance)
+    print(f"  Graham bounds: Cmax >= {lb_c:.1f}, Mmax >= {lb_m:.1f}")
+    rows = [
+        [i, r.spec, f"{r.cmax:.1f}", f"{r.cmax / lb_c:.3f}", f"{r.mmax:.1f}", f"{r.mmax / lb_m:.3f}"]
+        for i, r in enumerate(menu)
+    ]
+    print(format_table(["#", "spec", "Cmax", "Cmax/LB", "Mmax", "Mmax/LB"], rows))
+
 
 def explore_independent() -> None:
     batch = anti_correlated_instance(n=80, m=6, seed=11, correlation=0.9)
-    lb_c, lb_m = cmax_lower_bound(batch), mmax_lower_bound(batch)
-    menu = approximate_pareto_set(batch, epsilon=0.2)
     print(f"independent batch: {batch.name}")
-    print(f"  Graham bounds: Cmax >= {lb_c:.1f}, Mmax >= {lb_m:.1f}")
-    rows = [
-        [i, f"{c:.1f}", f"{c / lb_c:.3f}", f"{m:.1f}", f"{m / lb_m:.3f}"]
-        for i, (c, m) in enumerate(menu.points)
-    ]
-    print(format_table(["#", "Cmax", "Cmax/LB", "Mmax", "Mmax/LB"], rows))
+    menu = build_menu(batch, [f"sbo(delta={d}, inner=lpt)" for d in SBO_DELTAS])
+    print_menu(batch, menu)
 
+    lb_c, lb_m = cmax_lower_bound(batch), mmax_lower_bound(batch)
+    # Planning question 1: hard per-node memory capacity -> the §7 solver.
     capacity = 1.3 * lb_m
-    pick = menu.best_under_memory(capacity)
-    if pick is not None:
-        print(f"  -> best makespan with at most {capacity:.1f} memory per node: Cmax = {pick.cmax:.1f}")
+    constrained = solve(batch, "constrained", budget=capacity)
+    if constrained.feasible:
+        print(f"  -> best makespan with at most {capacity:.1f} memory per node: "
+              f"Cmax = {constrained.cmax:.1f} (strategy: {constrained.provenance['strategy']})")
+    # Planning question 2: deadline -> cheapest menu entry that meets it.
     deadline = 1.2 * lb_c
-    pick2 = menu.best_under_makespan(deadline)
-    if pick2 is not None:
-        print(f"  -> least memory with deadline {deadline:.1f}: Mmax = {pick2.mmax:.1f}")
+    meeting = [r for r in menu if r.cmax <= deadline]
+    if meeting:
+        pick = min(meeting, key=lambda r: r.mmax)
+        print(f"  -> least memory with deadline {deadline:.1f}: Mmax = {pick.mmax:.1f} ({pick.spec})")
     print()
 
 
 def explore_dag() -> None:
     app = gaussian_elimination_dag(matrix_size=8, m=6, seed=11)
-    lb_c, lb_m = cmax_lower_bound(app), mmax_lower_bound(app)
-    menu = approximate_pareto_set_dag(app, epsilon=0.2)
     print(f"task graph: {app.name}")
-    print(f"  Graham bounds: Cmax >= {lb_c:.1f}, Mmax >= {lb_m:.1f}")
-    rows = [
-        [i, f"{c:.1f}", f"{c / lb_c:.3f}", f"{m:.1f}", f"{m / lb_m:.3f}"]
-        for i, (c, m) in enumerate(menu.points)
-    ]
-    print(format_table(["#", "Cmax", "Cmax/LB", "Mmax", "Mmax/LB"], rows))
+    menu = build_menu(app, [f"rls(delta={d}, order=bottom-level)" for d in RLS_DELTAS])
+    print_menu(app, menu)
     print()
     print("Reading the menus: each row is a non-dominated schedule produced at one delta;")
     print("a decision maker (or the constrained solver of Section 7) picks a row instead of")

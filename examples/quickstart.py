@@ -1,24 +1,20 @@
-"""Quickstart: bi-objective scheduling of independent tasks with SBO_delta.
+"""Quickstart: bi-objective scheduling through the unified ``solve()`` facade.
 
 Run with::
 
     python examples/quickstart.py
 
 Builds a small independent-task instance, runs the paper's SBO_delta
-algorithm at a few trade-off settings, compares against the single-
-objective corner baselines and the exact Pareto front, and validates one
-schedule in the discrete-event simulator.
+algorithm at a few trade-off settings — every algorithm is selected by a
+solver *spec string* like ``"sbo(delta=1.0, inner=lpt)"`` — compares
+against the single-objective corner baselines and the exact Pareto front,
+and validates one schedule in the discrete-event simulator.
 """
 
 from __future__ import annotations
 
-from repro import Instance, evaluate, sbo, simulate_schedule
-from repro.algorithms import (
-    makespan_oblivious_schedule,
-    memory_oblivious_schedule,
-    pareto_front_exact,
-)
-from repro.simulator import render_gantt
+from repro import Instance, available_solvers, evaluate, simulate_schedule, solve, solve_many
+from repro.algorithms import pareto_front_exact
 from repro.utils.tables import format_table
 
 
@@ -32,23 +28,20 @@ def main() -> None:
     )
 
     rows = []
-    # Corner baselines: optimize one objective, ignore the other.
-    mem_oblivious = memory_oblivious_schedule(instance)
-    mk_oblivious = makespan_oblivious_schedule(instance)
-    rows.append(["memory-oblivious LPT", mem_oblivious.cmax, mem_oblivious.mmax])
-    rows.append(["makespan-oblivious LMS", mk_oblivious.cmax, mk_oblivious.mmax])
+    # Corner baselines: optimize one objective, ignore the other.  LPT on
+    # time is the memory-oblivious corner; LPT on memory (the §2.1
+    # symmetry) is the makespan-oblivious corner.
+    for spec in ("lpt(objective=time)", "lpt(objective=memory)"):
+        result = solve(instance, spec)
+        rows.append([result.spec, result.cmax, result.mmax])
 
     # SBO_delta interpolates between the corners: small delta protects the
-    # makespan, large delta protects memory.
-    for delta in (0.25, 1.0, 4.0):
-        result = sbo(instance, delta=delta)
-        rows.append(
-            [
-                f"SBO(delta={delta}) guarantee=({result.cmax_guarantee:.2f}, {result.mmax_guarantee:.2f})",
-                result.cmax,
-                result.mmax,
-            ]
-        )
+    # makespan, large delta protects memory.  solve_many() batches the
+    # sweep (workers>1 would fan it out over a process pool).
+    sweep = solve_many(instance, [f"sbo(delta={d}, inner=lpt)" for d in (0.25, 1.0, 4.0)])
+    for result in sweep:
+        g_c, g_m = result.guarantee_pair()
+        rows.append([f"{result.spec} guarantee=({g_c:.2f}, {g_m:.2f})", result.cmax, result.mmax])
 
     # Exact Pareto front for reference (the instance is small).
     front = pareto_front_exact(instance)
@@ -57,16 +50,21 @@ def main() -> None:
 
     print(format_table(["schedule", "Cmax", "Mmax"], rows))
 
+    print()
+    print("registered solvers:", ", ".join(available_solvers()))
+    print("DAG-capable solvers:", ", ".join(available_solvers(supports_dag=True)))
+
     # Replay the balanced schedule in the simulator and show its Gantt chart.
-    balanced = sbo(instance, delta=1.0)
+    balanced = solve(instance, "sbo(delta=1.0)")
     report = simulate_schedule(balanced.schedule)
     assert report.ok, report.violations
     print()
     print(f"simulated balanced schedule: Cmax={report.cmax:g}, Mmax={report.mmax:g}, "
-          f"sum Ci={report.sum_ci:g}")
+          f"sum Ci={report.sum_ci:g} (solved in {balanced.wall_time * 1e3:.2f} ms)")
     print(report.gantt(width=50))
     print()
     print("objective record:", evaluate(balanced.schedule))
+    print("provenance:", balanced.provenance["spec"], "| version", balanced.provenance["version"])
 
 
 if __name__ == "__main__":

@@ -20,13 +20,19 @@ Top-level convenience re-exports cover the public API most users need:
   (``repro.core.impossibility``),
 * DAG generators, workload generators, and the discrete-event simulator.
 
+Every algorithm is also reachable through the unified solver facade
+(:mod:`repro.solvers`): :func:`solve` executes a spec string like
+``"sbo(delta=1.0, inner=lpt)"`` against the capability-aware registry and
+returns a uniform :class:`~repro.solvers.result.SolveResult`;
+:func:`solve_many` batches (instance × spec) jobs over a process pool.
+
 Quick start::
 
-    from repro import Instance, sbo
+    from repro import Instance, solve
 
     inst = Instance.from_lists(p=[4, 3, 2, 2, 1], s=[1, 5, 2, 4, 3], m=2)
-    result = sbo(inst, delta=1.0)
-    print(result.schedule.cmax, result.schedule.mmax)
+    result = solve(inst, "sbo(delta=1.0)")
+    print(result.cmax, result.mmax, result.guarantee)
 """
 
 from __future__ import annotations
@@ -54,8 +60,17 @@ from repro.core.pareto_approx import (
 )
 from repro.core import impossibility
 from repro.simulator import simulate_schedule, SimulationReport
+from repro.solvers import (
+    SolveResult,
+    SolverCapabilityError,
+    SolverSpec,
+    SpecError,
+    available_solvers,
+    solve,
+    solve_many,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Task",
@@ -90,5 +105,12 @@ __all__ = [
     "impossibility",
     "simulate_schedule",
     "SimulationReport",
+    "solve",
+    "solve_many",
+    "SolverSpec",
+    "SolveResult",
+    "SpecError",
+    "SolverCapabilityError",
+    "available_solvers",
     "__version__",
 ]

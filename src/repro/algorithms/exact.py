@@ -21,14 +21,11 @@ NP-hard) and guarded by an instance-size limit.
 
 from __future__ import annotations
 
-import itertools
-import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.instance import Instance
 from repro.core.pareto import ParetoFront
 from repro.core.schedule import Schedule
-from repro.core.task import Task
 
 __all__ = [
     "ExactSizeError",

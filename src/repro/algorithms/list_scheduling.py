@@ -18,13 +18,13 @@ Two entry points are provided:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, List, Sequence, Union
 
 from repro.core.instance import DAGInstance, Instance
 from repro.core.schedule import DAGSchedule, Schedule
 from repro.core.task import Task
 
-__all__ = ["list_schedule", "graham_dag_schedule", "resolve_order"]
+__all__ = ["list_schedule", "list_guarantee", "graham_dag_schedule", "resolve_order"]
 
 #: Named priority orders accepted by the list-scheduling entry points.
 _ORDERS = ("arbitrary", "spt", "lpt", "sms", "lms", "density")
@@ -68,6 +68,13 @@ def _weight(task: Task, objective: str) -> float:
     if objective == "memory":
         return task.s
     raise ValueError(f"unknown objective {objective!r}; expected 'time' or 'memory'")
+
+
+def list_guarantee(m: int) -> float:
+    """Graham's ``2 - 1/m`` approximation ratio for arbitrary-order list scheduling."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    return 2.0 - 1.0 / m
 
 
 def list_schedule(

@@ -14,7 +14,7 @@ packed weight is the processing time (``Cmax``) or the storage size
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule

@@ -26,8 +26,7 @@ true ``(1 + ε)``-approximation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.algorithms.multifit import ffd_pack
 from repro.algorithms.lpt import lpt_schedule

@@ -1,23 +1,30 @@
-"""A small registry of named single-objective solvers.
+"""Deprecated: the old string-keyed single-objective solver registry.
 
-``SBO_Δ`` and the experiment harness select their single-objective
-sub-solver by name (``"list"``, ``"lpt"``, ``"multifit"``, ``"ptas"``,
-``"exact"``).  Each registered solver is a callable
-``solver(instance, objective) -> (Schedule, rho)`` where ``rho`` is the
-approximation ratio the solver guarantees on the chosen objective for the
-instance's processor count; the guarantee is what Property 1/2 multiply by
-``(1 + Δ)`` and ``(1 + 1/Δ)``.
+This module is kept as a thin compatibility shim.  The implementations
+moved to :mod:`repro.solvers.single`, and the unified, capability-aware
+registry — which also covers ``sbo``, ``rls``, ``trio`` and
+``constrained`` — lives in :mod:`repro.solvers.registry` behind the
+:func:`repro.solvers.solve` facade.
+
+Migration::
+
+    # before
+    from repro.algorithms.registry import get_solver, available_solvers
+    schedule, rho = get_solver("lpt")(instance, "time")
+
+    # after
+    from repro import solve, available_solvers
+    result = solve(instance, "lpt(objective=time)")
+
+Both functions below emit a :class:`DeprecationWarning` and delegate, so
+existing callers keep returning identical schedules.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+import warnings
+from typing import Callable, List, Tuple
 
-from repro.algorithms.exact import exact_schedule
-from repro.algorithms.list_scheduling import list_schedule
-from repro.algorithms.lpt import lpt_guarantee, lpt_schedule
-from repro.algorithms.multifit import multifit_guarantee, multifit_schedule
-from repro.algorithms.ptas import ptas_schedule
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
 
@@ -27,53 +34,26 @@ __all__ = ["get_solver", "available_solvers", "SolverFn"]
 SolverFn = Callable[[Instance, str], Tuple[Schedule, float]]
 
 
-def _list_solver(instance: Instance, objective: str) -> Tuple[Schedule, float]:
-    schedule = list_schedule(instance, order="arbitrary", objective=objective)
-    return schedule, 2.0 - 1.0 / instance.m
-
-
-def _lpt_solver(instance: Instance, objective: str) -> Tuple[Schedule, float]:
-    schedule = lpt_schedule(instance, objective=objective)
-    return schedule, lpt_guarantee(instance.m)
-
-
-def _multifit_solver(instance: Instance, objective: str) -> Tuple[Schedule, float]:
-    schedule = multifit_schedule(instance, objective=objective)
-    return schedule, multifit_guarantee()
-
-
-def _ptas_solver(epsilon: float) -> SolverFn:
-    def solver(instance: Instance, objective: str) -> Tuple[Schedule, float]:
-        result = ptas_schedule(instance, epsilon=epsilon, objective=objective)
-        return result.schedule, result.guarantee
-
-    return solver
-
-
-def _exact_solver(instance: Instance, objective: str) -> Tuple[Schedule, float]:
-    return exact_schedule(instance, objective=objective), 1.0
-
-
-_REGISTRY: Dict[str, SolverFn] = {
-    "list": _list_solver,
-    "lpt": _lpt_solver,
-    "multifit": _multifit_solver,
-    "ptas": _ptas_solver(epsilon=0.2),
-    "ptas-fine": _ptas_solver(epsilon=0.1),
-    "exact": _exact_solver,
-}
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.algorithms.registry.{name} is deprecated; use the unified registry in "
+        "repro.solvers (repro.solve / repro.solvers.get_single_objective_solver) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def available_solvers() -> List[str]:
-    """Names of the registered single-objective solvers."""
-    return sorted(_REGISTRY)
+    """Deprecated alias for :func:`repro.solvers.available_single_objective_solvers`."""
+    _deprecated("available_solvers")
+    from repro.solvers.single import available_single_objective_solvers
+
+    return available_single_objective_solvers()
 
 
 def get_solver(name: str) -> SolverFn:
-    """Look up a solver by name; raises :class:`KeyError` with the valid names."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown solver {name!r}; available solvers: {', '.join(available_solvers())}"
-        ) from None
+    """Deprecated alias for :func:`repro.solvers.get_single_objective_solver`."""
+    _deprecated("get_solver")
+    from repro.solvers.single import get_single_objective_solver
+
+    return get_single_objective_solver(name)

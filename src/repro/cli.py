@@ -1,13 +1,17 @@
 """Command-line interface.
 
-Four sub-commands cover the typical workflows:
+Five sub-commands cover the typical workflows:
 
 ``generate``
     Create a synthetic instance (independent workload or DAG family) and
-    write it to a JSON file that ``schedule`` can read back.
+    write it to a JSON file that ``solve``/``schedule`` can read back.
+``solve``
+    Run any registered solver through the unified facade
+    (:mod:`repro.solvers`) by spec string, e.g. ``"sbo(delta=1.0)"``;
+    ``--list`` enumerates the registry with capability flags.
 ``schedule``
-    Run one of the paper's algorithms (or a baseline) on an instance file
-    and print the objective values, guarantees and an optional Gantt chart.
+    Legacy per-algorithm flags interface (``--algorithm sbo --delta 1.0``);
+    prefer ``solve``, which reaches every solver with one ``--solver`` spec.
 ``experiments``
     Run one experiment of the DESIGN.md index (or all of them) and print
     its table and shape checks.
@@ -17,8 +21,10 @@ Four sub-commands cover the typical workflows:
 Examples::
 
     python -m repro generate --kind uniform --n 50 --m 4 --seed 1 --output inst.json
+    python -m repro solve --input inst.json --solver "sbo(delta=1.0, inner=lpt)" --gantt
+    python -m repro solve --input inst.json --solver "constrained(budget=120)"
+    python -m repro solve --list
     python -m repro schedule --input inst.json --algorithm sbo --delta 1.0 --gantt
-    python -m repro schedule --input inst.json --algorithm constrained --capacity 120
     python -m repro experiments --id FIG-3
     python -m repro report > EXPERIMENTS.md
 """
@@ -27,9 +33,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.core.constrained import solve_constrained
 from repro.core.instance import DAGInstance, Instance
@@ -41,6 +48,8 @@ from repro.algorithms.spt import spt_schedule
 from repro.dag.generators import random_dag_suite
 from repro.simulator.executor import simulate_schedule
 from repro.simulator.trace import render_gantt
+from repro.solvers import SolverCapabilityError, SpecError, describe_solvers, solve
+from repro.utils.tables import format_table
 from repro.workloads.independent import workload_suite
 
 __all__ = ["main", "build_parser"]
@@ -79,7 +88,65 @@ def _load_instance(path: str) -> Instance:
 
 
 # --------------------------------------------------------------------------- #
-# schedule
+# solve (unified facade)
+# --------------------------------------------------------------------------- #
+def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.list:
+        headers = ["solver", "params", "dag", "constraint", "bi-objective", "summary"]
+        rows = [
+            [
+                rec["name"],
+                rec["params"] or "-",
+                "yes" if rec["supports_dag"] else "no",
+                "yes" if rec["supports_constraint"] else "no",
+                "yes" if rec["is_bi_objective"] else "no",
+                rec["summary"],
+            ]
+            for rec in describe_solvers()
+        ]
+        print(format_table(headers, rows))
+        return 0
+    if not args.input:
+        print("error: --input is required (or use --list)", file=sys.stderr)
+        return 2
+    instance = _load_instance(args.input)
+    try:
+        result = solve(instance, args.solver)
+    except (SpecError, SolverCapabilityError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, RuntimeError) as exc:
+        # Solver-level failures (exact-solver size cap, infeasible RLS delta,
+        # ...): a clean message and a distinct exit code from usage errors.
+        print(f"solver failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"instance: {instance.name or args.input} (n={instance.n}, m={instance.m})")
+    print(f"spec: {result.spec}")
+    if not result.feasible:
+        reason = (
+            "certified infeasible"
+            if result.provenance.get("certified_infeasible")
+            else "no feasible schedule found"
+        )
+        print(f"infeasible: {reason}")
+        return 1
+    print(f"Cmax = {result.cmax:g}")
+    print(f"Mmax = {result.mmax:g}")
+    print(f"sum Ci = {result.sum_ci:g}")
+    guarantee = ", ".join(
+        "inf" if math.isinf(v) else f"{v:.3f}" for v in result.guarantee
+    )
+    print(f"guarantee = ({guarantee})")
+    print(f"wall time = {result.wall_time * 1e3:.2f} ms")
+    report = simulate_schedule(result.schedule)
+    print(f"simulation check: {'OK' if report.ok else 'VIOLATIONS: ' + '; '.join(report.violations)}")
+    if args.gantt:
+        print(render_gantt(result.schedule, width=args.gantt_width))
+    return 0 if report.ok else 1
+
+
+# --------------------------------------------------------------------------- #
+# schedule (legacy flags interface)
 # --------------------------------------------------------------------------- #
 def _cmd_schedule(args: argparse.Namespace) -> int:
     instance = _load_instance(args.input)
@@ -213,6 +280,19 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0, help="random seed")
     gen.add_argument("--output", default=None, help="output JSON path (stdout when omitted)")
     gen.set_defaults(func=_cmd_generate)
+
+    slv = sub.add_parser(
+        "solve",
+        help="run any solver by spec string, e.g. \"sbo(delta=1.0, inner=lpt)\"",
+    )
+    slv.add_argument("--input", default=None, help="instance JSON produced by `generate`")
+    slv.add_argument("--solver", default="sbo(delta=1.0)",
+                     help="solver spec, e.g. \"rls(delta=2.5, order=bottom-level)\"")
+    slv.add_argument("--list", action="store_true",
+                     help="list registered solvers with their capabilities and exit")
+    slv.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    slv.add_argument("--gantt-width", type=int, default=60, help="Gantt chart width in characters")
+    slv.set_defaults(func=_cmd_solve)
 
     sch = sub.add_parser("schedule", help="schedule an instance file and print the objectives")
     sch.add_argument("--input", required=True, help="instance JSON produced by `generate`")

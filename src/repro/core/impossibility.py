@@ -24,9 +24,7 @@ fronts, and the impossibility region itself (Figure 3):
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.instance import Instance
 from repro.core.sbo import sbo_tradeoff_curve

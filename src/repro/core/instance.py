@@ -13,7 +13,6 @@ A :class:`DAGInstance` with no edges behaves exactly like an
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx

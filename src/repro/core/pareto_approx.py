@@ -20,9 +20,8 @@ solver) can pick a trade-off after the fact.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.core.instance import DAGInstance, Instance
 from repro.core.pareto import ParetoFront

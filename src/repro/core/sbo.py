@@ -27,11 +27,10 @@ The algorithm only works for independent tasks: feeding it a
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
-from repro.algorithms.registry import SolverFn, get_solver
+from repro.solvers.single import SolverFn, get_single_objective_solver
 from repro.core.instance import DAGInstance, Instance
 from repro.core.schedule import Schedule
 
@@ -133,7 +132,7 @@ def sbo(
         (few tasks follow the memory schedule); large Δ favours memory.
     cmax_solver:
         Name of a registered solver (see
-        :func:`repro.algorithms.registry.available_solvers`) or a callable
+        :func:`repro.solvers.available_single_objective_solvers`) or a callable
         ``(instance, objective) -> (schedule, rho)`` used to build ``π1``.
     mmax_solver:
         Solver used to build ``π2``; defaults to the same solver as
@@ -143,11 +142,15 @@ def sbo(
         raise ValueError(f"delta must be > 0, got {delta}")
     inst = _as_independent(instance)
 
-    solver1 = get_solver(cmax_solver) if isinstance(cmax_solver, str) else cmax_solver
+    solver1 = (
+        get_single_objective_solver(cmax_solver) if isinstance(cmax_solver, str) else cmax_solver
+    )
     if mmax_solver is None:
         solver2 = solver1
     else:
-        solver2 = get_solver(mmax_solver) if isinstance(mmax_solver, str) else mmax_solver
+        solver2 = (
+            get_single_objective_solver(mmax_solver) if isinstance(mmax_solver, str) else mmax_solver
+        )
 
     pi1, rho1 = solver1(inst, "time")
     pi2, rho2 = solver2(inst, "memory")

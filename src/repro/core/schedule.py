@@ -15,10 +15,9 @@ Both classes are immutable once built and expose ``cmax``, ``mmax``,
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.instance import DAGInstance, Instance
-from repro.core.task import Task
 
 __all__ = ["Schedule", "DAGSchedule"]
 

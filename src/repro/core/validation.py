@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
-from repro.core.instance import DAGInstance, Instance
+from repro.core.instance import DAGInstance
 from repro.core.schedule import DAGSchedule, Schedule
 
 __all__ = ["ValidationError", "ValidationReport", "validate_schedule", "check_schedule"]

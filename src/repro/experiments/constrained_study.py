@@ -14,14 +14,12 @@ Graham lower bound (``M = μ · LB``) and run the §7 resolution
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.algorithms.exact import ExactSizeError, exact_constrained_cmax
 from repro.core.bounds import mmax_lower_bound
-from repro.core.constrained import solve_constrained
 from repro.core.validation import validate_schedule
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, run_spec
 from repro.workloads.independent import workload_suite
 
 __all__ = ["run_constrained_study"]
@@ -51,7 +49,14 @@ def run_constrained_study(
 
     families = ("uniform", "anti-correlated", "bimodal")
     for family in families:
-        # Unconstrained reference: capacity = infinity (largest factor run twice).
+        # Unconstrained reference per seed: an effectively-infinite capacity
+        # (depends only on the instance, so computed once per (family, seed)
+        # rather than inside the factor sweep).
+        references = {}
+        for seed in seeds:
+            instance = workload_suite(n, m, seed=seed)[family]
+            lb = mmax_lower_bound(instance)
+            references[seed] = run_spec(instance, "constrained", budget=100.0 * lb)
         for factor in capacity_factors:
             successes: List[bool] = []
             cmaxes: List[float] = []
@@ -60,7 +65,7 @@ def run_constrained_study(
                 instance = workload_suite(n, m, seed=seed)[family]
                 lb = mmax_lower_bound(instance)
                 capacity = factor * lb
-                outcome = solve_constrained(instance, capacity)
+                outcome = run_spec(instance, "constrained", budget=capacity)
                 successes.append(outcome.feasible)
                 success_by_factor[factor].append(outcome.feasible)
                 if outcome.feasible:
@@ -69,7 +74,7 @@ def run_constrained_study(
                     if not report.ok:
                         capacity_respected = False
                     cmaxes.append(outcome.cmax)
-                    unconstrained = solve_constrained(instance, 100.0 * lb)
+                    unconstrained = references[seed]
                     if unconstrained.feasible and unconstrained.cmax > 0:
                         degradations.append(outcome.cmax / unconstrained.cmax)
                 elif factor >= 2.0:
@@ -88,7 +93,7 @@ def run_constrained_study(
         instance = workload_suite(exact_n, 2, seed=seed)["uniform"]
         lb = mmax_lower_bound(instance)
         capacity = 2.5 * lb
-        outcome = solve_constrained(instance, capacity)
+        outcome = run_spec(instance, "constrained", budget=capacity)
         try:
             reference = exact_constrained_cmax(instance, capacity, max_tasks=exact_n)
         except ExactSizeError:  # pragma: no cover - exact_n is kept small

@@ -24,8 +24,6 @@ from repro.core.impossibility import (
     figure3_series,
     instance_lemma2,
     is_ratio_impossible,
-    lemma2_frontier,
-    lemma2_optima,
     lemma2_pareto_values,
 )
 from repro.experiments.harness import ExperimentResult

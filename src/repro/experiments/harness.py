@@ -5,19 +5,70 @@ plus rows) with optional free-form summary lines and a ``checks`` map of
 named boolean assertions ("does the measured shape match the paper?").
 The benchmark scripts print the table; the integration tests assert that
 every check passed.
+
+Experiment modules select algorithms through the unified solver facade:
+:func:`run_spec` executes a :mod:`repro.solvers` spec string (e.g.
+``"sbo(delta=1.0, inner=lpt)"``) and returns the common
+:class:`~repro.solvers.result.SolveResult`, so swapping or parameterising
+the algorithm under test is a one-string change rather than an import.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Sequence, Union
 
+from repro.solvers import SolveResult, SolverSpec, solve
 from repro.utils.tables import format_markdown_table, format_table
 
-__all__ = ["ExperimentRow", "ExperimentResult"]
+__all__ = ["ExperimentRow", "ExperimentResult", "run_spec", "overlay_against_front"]
 
 #: A single row of an experiment table: column name -> value.
 ExperimentRow = Dict[str, object]
+
+
+def run_spec(instance, spec: Union[str, SolverSpec], **params: object) -> SolveResult:
+    """Run a solver spec on an instance (thin alias for :func:`repro.solvers.solve`).
+
+    Experiment modules call this instead of importing algorithms directly;
+    the spec string names the algorithm and its parameters, and the
+    returned :class:`SolveResult` exposes the schedule, objective values,
+    guarantee tuple, wall time, and the solver's native result via
+    ``.raw`` (e.g. ``RLSResult.marked_processors``).
+    """
+    return solve(instance, spec, **params)
+
+
+def overlay_against_front(
+    instance,
+    specs: Sequence[Union[str, SolverSpec]],
+    front_values: Sequence[Sequence[float]],
+    cmax_opt: float,
+    mmax_opt: float,
+    tolerance: float = 1e-9,
+):
+    """Overlay spec-driven algorithm runs onto an exact Pareto front.
+
+    Runs each spec on ``instance`` and checks that the achieved
+    ``(Cmax, Mmax)`` point is weakly dominated by some point of
+    ``front_values`` — any real schedule must be, so a violation means
+    the front (or the solver) is wrong.  Returns ``(summary_lines,
+    all_dominated)`` for the figure experiments.
+    """
+    lines: List[str] = []
+    all_dominated = True
+    for spec in specs:
+        solved = run_spec(instance, spec)
+        lines.append(
+            f"overlay {solved.spec}: Cmax={solved.cmax:g} ({solved.cmax / cmax_opt:.3f}x), "
+            f"Mmax={solved.mmax:g} ({solved.mmax / mmax_opt:.3f}x)"
+        )
+        if not any(
+            c <= solved.cmax + tolerance and mm <= solved.mmax + tolerance
+            for c, mm in front_values
+        ):
+            all_dominated = False
+    return lines, all_dominated
 
 
 @dataclass

@@ -15,7 +15,6 @@ and measures:
 
 from __future__ import annotations
 
-import math
 from typing import List, Sequence
 
 from repro.algorithms.exact import pareto_front_exact

@@ -17,9 +17,9 @@ import math
 from typing import Dict, List, Sequence
 
 from repro.core.bounds import cmax_lower_bound, mmax_lower_bound
-from repro.core.rls import InfeasibleDeltaError, minimum_feasible_delta, rls
+from repro.core.rls import InfeasibleDeltaError, minimum_feasible_delta
 from repro.dag.generators import random_dag_suite
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, run_spec
 
 __all__ = ["run_rls_ablation"]
 
@@ -56,7 +56,7 @@ def run_rls_ablation(
                     lb_c = cmax_lower_bound(instance)
                     lb_m = mmax_lower_bound(instance)
                     try:
-                        outcome = rls(instance, delta, order=order)
+                        outcome = run_spec(instance, "rls", delta=delta, order=order)
                     except InfeasibleDeltaError:
                         if delta >= 2.0:
                             feasible_at_2 = False

@@ -11,11 +11,11 @@ For every DAG family, processor count and Δ value we measure:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.core.bounds import cmax_lower_bound, mmax_lower_bound
-from repro.core.rls import rls, rls_guarantee
-from repro.experiments.harness import ExperimentResult
+from repro.core.rls import rls_guarantee
+from repro.experiments.harness import ExperimentResult, run_spec
 from repro.dag.generators import random_dag_suite
 
 __all__ = ["run_rls_ratio"]
@@ -54,19 +54,19 @@ def run_rls_ratio(
                 guarantee_c, guarantee_m = rls_guarantee(delta, m)
                 for suite in suites:
                     instance = suite[family]
-                    outcome = rls(instance, delta, order=order)
+                    outcome = run_spec(instance, "rls", delta=delta, order=order)
                     lb_c = cmax_lower_bound(instance)
                     lb_m = mmax_lower_bound(instance)
                     ratio_c = outcome.cmax / lb_c if lb_c > 0 else 1.0
                     ratio_m = outcome.mmax / lb_m if lb_m > 0 else 1.0
                     ratios_c.append(ratio_c)
                     ratios_m.append(ratio_m)
-                    marked_counts.append(len(outcome.marked_processors))
+                    marked_counts.append(len(outcome.raw.marked_processors))
                     if ratio_m > delta + 1e-9:
                         memory_ok = False
                     if ratio_c > guarantee_c + 1e-9:
                         cmax_ok = False
-                    if delta > 1.0 and len(outcome.marked_processors) > math.floor(m / (delta - 1.0)) + 1e-9:
+                    if delta > 1.0 and len(outcome.raw.marked_processors) > math.floor(m / (delta - 1.0)) + 1e-9:
                         marked_ok = False
                 lemma4_bound = math.floor(m / (delta - 1.0)) if delta > 1.0 else m
                 result.add_row(**{

@@ -14,8 +14,7 @@ from typing import List, Sequence
 
 from repro.algorithms.baselines import makespan_oblivious_schedule, memory_oblivious_schedule
 from repro.core.bounds import cmax_lower_bound, mmax_lower_bound
-from repro.core.sbo import sbo
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, run_spec
 from repro.workloads.independent import workload_suite
 
 __all__ = ["run_sbo_ablation"]
@@ -51,8 +50,8 @@ def run_sbo_ablation(
                 instance = workload_suite(n, m, seed=seed)[family]
                 lb_c = cmax_lower_bound(instance)
                 lb_m = mmax_lower_bound(instance)
-                outcome = sbo(instance, delta, cmax_solver=solver)
-                g_c, g_m = outcome.cmax_guarantee, outcome.mmax_guarantee
+                outcome = run_spec(instance, "sbo", delta=delta, inner=solver)
+                g_c, g_m = outcome.guarantee_pair()
                 rc.append(outcome.cmax / lb_c if lb_c > 0 else 1.0)
                 rm.append(outcome.mmax / lb_m if lb_m > 0 else 1.0)
             per_solver_guarantee[solver] = (g_c, g_m)

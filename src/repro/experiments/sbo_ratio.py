@@ -14,14 +14,12 @@ upper bounds on the true ones).  The shape that must hold:
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-from repro.algorithms.exact import ExactSizeError, exact_cmax, exact_mmax
+from repro.algorithms.exact import exact_cmax, exact_mmax
 from repro.core.bounds import cmax_lower_bound, mmax_lower_bound
 from repro.core.instance import Instance
-from repro.core.sbo import sbo
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, run_spec
 from repro.workloads.independent import workload_suite
 
 __all__ = ["run_sbo_ratio"]
@@ -78,9 +76,8 @@ def run_sbo_ratio(
                     instance = workload_suite(n, m, seed=seed)[family]
                     refs = _references(instance, exact_limit)
                     reference_kind = min(reference_kind, refs["kind"])
-                    outcome = sbo(instance, delta, cmax_solver=solver)
-                    guarantee_c = outcome.cmax_guarantee
-                    guarantee_m = outcome.mmax_guarantee
+                    outcome = run_spec(instance, "sbo", delta=delta, inner=solver)
+                    guarantee_c, guarantee_m = outcome.guarantee_pair()
                     ratios_c.append(outcome.cmax / refs["cmax"] if refs["cmax"] > 0 else 1.0)
                     ratios_m.append(outcome.mmax / refs["mmax"] if refs["mmax"] > 0 else 1.0)
                     if refs["kind"] == 1.0:

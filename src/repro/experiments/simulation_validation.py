@@ -10,7 +10,7 @@ be violated, and (for RLS) the per-processor memory must stay under the
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.core.rls import rls
 from repro.core.sbo import sbo

@@ -11,12 +11,11 @@ simultaneously:
 
 from __future__ import annotations
 
-import math
 from typing import List, Sequence
 
 from repro.core.bounds import cmax_lower_bound, mmax_lower_bound
-from repro.core.trio import tri_objective_guarantee, tri_objective_schedule
-from repro.experiments.harness import ExperimentResult
+from repro.core.trio import tri_objective_guarantee
+from repro.experiments.harness import ExperimentResult, run_spec
 from repro.workloads.independent import workload_suite
 
 __all__ = ["run_trio_ratio"]
@@ -52,15 +51,14 @@ def run_trio_ratio(
                 g_c, g_m, g_s = tri_objective_guarantee(delta, m)
                 for seed in seeds:
                     instance = workload_suite(n, m, seed=seed)[family]
-                    outcome = tri_objective_schedule(instance, delta)
+                    outcome = run_spec(instance, "trio", delta=delta)
                     lb_c = cmax_lower_bound(instance)
                     lb_m = mmax_lower_bound(instance)
                     r_c.append(outcome.cmax / lb_c if lb_c > 0 else 1.0)
                     r_m.append(outcome.mmax / lb_m if lb_m > 0 else 1.0)
+                    sum_ci_optimal = outcome.raw.sum_ci_optimal
                     ratio_s = (
-                        outcome.sum_ci / outcome.sum_ci_optimal
-                        if outcome.sum_ci_optimal > 0
-                        else 1.0
+                        outcome.sum_ci / sum_ci_optimal if sum_ci_optimal > 0 else 1.0
                     )
                     r_s.append(ratio_s)
                     if r_m[-1] > delta + 1e-9:

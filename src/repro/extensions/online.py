@@ -24,7 +24,7 @@ carries over to an online setting, which the paper leaves as perspective.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule

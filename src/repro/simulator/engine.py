@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.simulator.events import Event, EventKind, EventQueue
-from repro.simulator.machine import MemoryOverflowError, Processor
+from repro.simulator.machine import Processor
 from repro.simulator.trace import TraceRecord
 
 __all__ = ["SimulationEngine"]

@@ -8,7 +8,7 @@ benchmark output can show the schedules directly in a terminal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 from repro.core.schedule import DAGSchedule, Schedule
 

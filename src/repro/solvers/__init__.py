@@ -1,0 +1,69 @@
+"""Unified solver facade: one ``solve()`` for every algorithm.
+
+The subsystem has four parts:
+
+* :mod:`repro.solvers.spec` — the ``"name(key=value, ...)"`` mini-language
+  (:class:`SolverSpec`) with typed validation and round-tripping;
+* :mod:`repro.solvers.registry` — the capability-aware registry
+  (``supports_dag``, ``supports_constraint``, ``is_bi_objective``, and a
+  guarantee function per solver) with filtered enumeration via
+  :func:`available_solvers`;
+* :mod:`repro.solvers.api` — the :func:`solve` facade returning the common
+  :class:`SolveResult` protocol;
+* :mod:`repro.solvers.batch` — :func:`solve_many`, a process-pool batch
+  runner with per-call timing.
+
+Quick start::
+
+    from repro import Instance, solve, solve_many, available_solvers
+
+    inst = Instance.from_lists(p=[4, 3, 2, 2, 1], s=[1, 5, 2, 4, 3], m=2)
+    result = solve(inst, "sbo(delta=1.0, inner=lpt)")
+    print(result.summary())
+
+    print(available_solvers(supports_dag=True))  # ['constrained', 'rls']
+    batch = solve_many([inst], ["sbo(delta=0.5)", "rls(delta=2.5)"], workers=2)
+"""
+
+from __future__ import annotations
+
+from repro.solvers.spec import SolverSpec, SpecError
+from repro.solvers.result import SolveResult
+from repro.solvers.registry import (
+    ParamSpec,
+    SolverCapabilities,
+    SolverCapabilityError,
+    SolverEntry,
+    available_solvers,
+    describe_solvers,
+    get_entry,
+    register,
+    solver_capabilities,
+)
+from repro.solvers.api import solve
+from repro.solvers.batch import solve_many
+from repro.solvers.single import (
+    SolverFn,
+    available_single_objective_solvers,
+    get_single_objective_solver,
+)
+
+__all__ = [
+    "solve",
+    "solve_many",
+    "SolverSpec",
+    "SpecError",
+    "SolveResult",
+    "ParamSpec",
+    "SolverCapabilities",
+    "SolverCapabilityError",
+    "SolverEntry",
+    "available_solvers",
+    "describe_solvers",
+    "get_entry",
+    "register",
+    "solver_capabilities",
+    "SolverFn",
+    "available_single_objective_solvers",
+    "get_single_objective_solver",
+]

@@ -1,0 +1,113 @@
+"""``solve(instance, spec, **params)`` — the single entry point.
+
+Every algorithm in the package runs through this facade::
+
+    from repro import Instance, solve
+
+    inst = Instance.from_lists(p=[4, 3, 2, 2, 1], s=[1, 5, 2, 4, 3], m=2)
+    result = solve(inst, "sbo(delta=1.0, inner=lpt)")
+    print(result.objectives, result.guarantee, result.provenance)
+
+``spec`` is either a string in the mini-language of
+:mod:`repro.solvers.spec` or a pre-parsed
+:class:`~repro.solvers.spec.SolverSpec`; extra keyword arguments override
+spec parameters (handy for sweeps: ``solve(inst, "sbo", delta=d)``).
+
+The facade validates the parameters against the registry entry, checks
+the entry's capabilities against the instance (a DAG with precedence
+edges is rejected by DAG-incapable solvers with a message listing the
+capable ones), times the call, and wraps the outcome in the common
+:class:`~repro.solvers.result.SolveResult` protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Union
+
+from repro.core.instance import DAGInstance, Instance
+from repro.core.objectives import ObjectiveValues, evaluate
+from repro.solvers.registry import SolverCapabilityError, available_solvers, get_entry
+from repro.solvers.result import SolveResult
+from repro.solvers.spec import SolverSpec
+
+__all__ = ["solve"]
+
+AnyInstance = Union[Instance, DAGInstance]
+
+
+def solve(instance: AnyInstance, spec: Union[str, SolverSpec], **params: object) -> SolveResult:
+    """Run the solver named by ``spec`` on ``instance``.
+
+    Parameters
+    ----------
+    instance:
+        An independent-task :class:`~repro.core.instance.Instance` or a
+        :class:`~repro.core.instance.DAGInstance`.
+    spec:
+        Spec string (``"rls(delta=2.5)"``) or :class:`SolverSpec`.
+    params:
+        Keyword overrides merged into the spec's parameters.
+
+    Returns
+    -------
+    SolveResult
+        Schedule, measured objectives, guarantee tuple, wall time and
+        provenance.  For ``constrained(budget=...)`` on an infeasible
+        instance the schedule is ``None`` (``result.feasible`` is false).
+
+    Raises
+    ------
+    SpecError
+        Malformed spec, unknown solver name, or invalid parameters.
+    SolverCapabilityError
+        The instance has precedence edges and the solver cannot handle
+        them.
+    """
+    parsed = SolverSpec.parse(spec)
+    if params:
+        parsed = parsed.with_params(**params)
+    entry = get_entry(parsed.name)
+    bound = entry.bind(parsed.params)
+
+    if (
+        isinstance(instance, DAGInstance)
+        and not instance.is_independent()
+        and not entry.capabilities.supports_dag
+    ):
+        dag_capable = ", ".join(available_solvers(supports_dag=True))
+        raise SolverCapabilityError(
+            f"solver {parsed.name!r} does not support precedence constraints; "
+            f"DAG-capable solvers: {dag_capable}"
+        )
+
+    start = time.perf_counter()
+    schedule, guarantee, raw, extras = entry.run(instance, bound)
+    wall_time = time.perf_counter() - start
+
+    if schedule is not None:
+        objectives = evaluate(schedule)
+    else:
+        inf = float("inf")
+        objectives = ObjectiveValues(cmax=inf, mmax=inf, sum_ci=inf)
+
+    from repro import __version__  # late import: repro re-exports this module
+
+    bound_spec = SolverSpec(name=parsed.name, params={
+        key: value for key, value in bound.items() if value is not None
+    })
+    provenance = {
+        "solver": parsed.name,
+        "spec": bound_spec.canonical(),
+        "params": dict(bound),
+        "version": __version__,
+    }
+    provenance.update(extras)
+    return SolveResult(
+        schedule=schedule,
+        objectives=objectives,
+        guarantee=tuple(guarantee),
+        wall_time=wall_time,
+        provenance=provenance,
+        raw=raw,
+    )

@@ -1,0 +1,530 @@
+"""Capability-aware registry of every algorithm in the package.
+
+Each entry knows, declaratively:
+
+* which **capabilities** it has — ``supports_dag`` (handles precedence
+  edges), ``supports_constraint`` (accepts a hard memory budget),
+  ``is_bi_objective`` (returns a guaranteed (Cmax, Mmax) trade-off), and
+  the tuple of objectives it actually bounds;
+* which **parameters** it takes (name, type, default, choices, whether it
+  must be strictly positive), so specs fail fast with helpful messages;
+* its **guarantee function** — the a-priori approximation-ratio tuple as
+  a function of the processor count and the bound parameters.
+
+:func:`available_solvers` enumerates entries with capability filtering
+(e.g. "everything that handles a DAGInstance"), and
+:func:`repro.solvers.api.solve` executes an entry through the common
+:class:`~repro.solvers.result.SolveResult` protocol.
+
+Registered solvers (see each entry's ``summary``)::
+
+    lpt, spt, list, multifit, ptas, ptas-fine, exact   # single-objective
+    sbo(delta=, inner=)                                # Algorithm 1, §3
+    rls(delta=, order=)                                # Algorithm 2, §5.1
+    trio(delta=)                                       # §5.2, Corollary 4
+    constrained(budget=)                               # §7 resolution
+
+The registry is open: :func:`register` accepts new entries, which makes
+the facade extensible without touching the callers.
+"""
+
+from __future__ import annotations
+
+import difflib
+import math
+import numbers
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+# NOTE: the algorithm modules (repro.core.sbo, repro.core.constrained, ...)
+# themselves depend on repro.solvers.single for their sub-solvers, so this
+# module must not import them at import time.  They are imported lazily in
+# the entry run/guarantee callables, and registration of the default
+# entries is deferred to the first registry access (_ensure_registered).
+from repro.core.instance import DAGInstance, Instance
+from repro.solvers.spec import SpecError
+
+__all__ = [
+    "ParamSpec",
+    "SolverCapabilities",
+    "SolverEntry",
+    "SolverCapabilityError",
+    "register",
+    "get_entry",
+    "available_solvers",
+    "solver_capabilities",
+    "describe_solvers",
+]
+
+AnyInstance = Union[Instance, DAGInstance]
+
+#: A solver execution outcome: (schedule-or-None, guarantee tuple, raw result, extras).
+RunOutcome = Tuple[object, Tuple[float, ...], object, Dict[str, object]]
+
+
+class SolverCapabilityError(TypeError):
+    """Raised when a solver is asked to handle an instance it cannot."""
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Declaration of one solver parameter for typed validation."""
+
+    name: str
+    type: type
+    default: object = None
+    required: bool = False
+    choices: Optional[Tuple[str, ...]] = None
+    positive: bool = False
+    nonnegative: bool = False
+    doc: str = ""
+
+    def coerce(self, value: object, solver: str) -> object:
+        """Validate/coerce a raw spec value; raises :class:`SpecError`."""
+        if value is None:
+            # Only genuinely nullable parameters (default None, not required)
+            # accept an explicit none; everything else must get a real value.
+            if self.default is None and not self.required:
+                return None
+            raise SpecError(
+                f"parameter {self.name!r} of solver {solver!r} expects "
+                f"{self.type.__name__}, got none"
+            )
+        if self.type is bool and not isinstance(value, bool):
+            raise SpecError(
+                f"parameter {self.name!r} of solver {solver!r} expects a bool, got {value!r}"
+            )
+        if self.type in (int, float) and not isinstance(value, bool):
+            # Accept any real number of the right kind (including numpy
+            # scalars from e.g. np.linspace sweeps) and normalize to the
+            # builtin type so provenance spec strings stay reparseable.
+            if self.type is int and isinstance(value, numbers.Integral):
+                value = int(value)
+            elif self.type is float and isinstance(value, numbers.Real):
+                value = float(value)
+        if not isinstance(value, self.type) or (self.type in (int, float) and isinstance(value, bool)):
+            raise SpecError(
+                f"parameter {self.name!r} of solver {solver!r} expects {self.type.__name__}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+        if self.positive and not value > 0:  # type: ignore[operator]
+            raise SpecError(
+                f"parameter {self.name!r} of solver {solver!r} must be > 0, got {value!r}"
+            )
+        if self.nonnegative and not value >= 0:  # type: ignore[operator]
+            raise SpecError(
+                f"parameter {self.name!r} of solver {solver!r} must be >= 0, got {value!r}"
+            )
+        if self.choices is not None and value not in self.choices:
+            raise SpecError(
+                f"parameter {self.name!r} of solver {solver!r} must be one of "
+                f"{', '.join(map(repr, self.choices))}; got {value!r}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class SolverCapabilities:
+    """Declarative capability flags used for registry filtering."""
+
+    supports_dag: bool = False
+    supports_constraint: bool = False
+    is_bi_objective: bool = False
+    objectives: Tuple[str, ...] = ("cmax",)
+
+
+@dataclass(frozen=True)
+class SolverEntry:
+    """One registered solver: metadata, parameters, and the run callable."""
+
+    name: str
+    summary: str
+    capabilities: SolverCapabilities
+    params: Tuple[ParamSpec, ...]
+    run: Callable[[AnyInstance, Dict[str, object]], RunOutcome]
+    #: A-priori guarantee tuple as ``guarantee(m, bound_params)``; ``None``
+    #: when the guarantee is instance-dependent (e.g. ``constrained``).
+    guarantee: Optional[Callable[[int, Mapping[str, object]], Tuple[float, ...]]] = None
+
+    def bind(self, raw: Mapping[str, object]) -> Dict[str, object]:
+        """Merge raw spec parameters with defaults and validate types."""
+        declared = {p.name: p for p in self.params}
+        unknown = sorted(set(raw) - set(declared))
+        if unknown:
+            valid = ", ".join(sorted(declared)) or "(none)"
+            raise SpecError(
+                f"unknown parameter(s) {', '.join(map(repr, unknown))} for solver "
+                f"{self.name!r}; valid parameters: {valid}"
+            )
+        bound: Dict[str, object] = {}
+        for pspec in self.params:
+            if pspec.name in raw:
+                bound[pspec.name] = pspec.coerce(raw[pspec.name], self.name)
+            elif pspec.required:
+                raise SpecError(
+                    f"solver {self.name!r} requires parameter {pspec.name!r} "
+                    f"({pspec.doc or pspec.type.__name__})"
+                )
+            else:
+                bound[pspec.name] = pspec.default
+        return bound
+
+
+_REGISTRY: Dict[str, SolverEntry] = {}
+_DEFAULTS_REGISTERED = False
+
+
+def _ensure_registered() -> None:
+    """Register the built-in entries on first use (breaks import cycles)."""
+    global _DEFAULTS_REGISTERED
+    if not _DEFAULTS_REGISTERED:
+        _DEFAULTS_REGISTERED = True
+        _register_defaults()
+
+
+def register(entry: SolverEntry, replace: bool = False) -> None:
+    """Add a solver entry to the registry (``replace=True`` to override)."""
+    _ensure_registered()
+    if entry.name in _REGISTRY and not replace:
+        raise ValueError(f"solver {entry.name!r} is already registered")
+    _REGISTRY[entry.name] = entry
+
+
+def get_entry(name: str) -> SolverEntry:
+    """Look up an entry; raises :class:`SpecError` listing the alternatives."""
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        options = sorted(_REGISTRY)
+        close = difflib.get_close_matches(name, options, n=3)
+        hint = f"; did you mean {', '.join(map(repr, close))}?" if close else ""
+        raise SpecError(
+            f"unknown solver {name!r}; available solvers: {', '.join(options)}{hint}"
+        ) from None
+
+
+def available_solvers(
+    supports_dag: Optional[bool] = None,
+    supports_constraint: Optional[bool] = None,
+    is_bi_objective: Optional[bool] = None,
+) -> List[str]:
+    """Names of registered solvers, optionally filtered by capability.
+
+    Each keyword filter keeps only solvers whose flag matches; ``None``
+    (the default) leaves that dimension unfiltered.  For example,
+    ``available_solvers(supports_dag=True)`` lists everything that handles
+    a :class:`~repro.core.instance.DAGInstance` with precedence edges.
+    """
+    _ensure_registered()
+    names: List[str] = []
+    for name, entry in _REGISTRY.items():
+        caps = entry.capabilities
+        if supports_dag is not None and caps.supports_dag != supports_dag:
+            continue
+        if supports_constraint is not None and caps.supports_constraint != supports_constraint:
+            continue
+        if is_bi_objective is not None and caps.is_bi_objective != is_bi_objective:
+            continue
+        names.append(name)
+    return sorted(names)
+
+
+def solver_capabilities(name: str) -> SolverCapabilities:
+    """Capability flags of a registered solver."""
+    return get_entry(name).capabilities
+
+
+def describe_solvers() -> List[Dict[str, object]]:
+    """One record per registered solver (name, summary, capabilities, params)."""
+    _ensure_registered()
+    records = []
+    for name in sorted(_REGISTRY):
+        entry = _REGISTRY[name]
+        records.append(
+            {
+                "name": name,
+                "summary": entry.summary,
+                "supports_dag": entry.capabilities.supports_dag,
+                "supports_constraint": entry.capabilities.supports_constraint,
+                "is_bi_objective": entry.capabilities.is_bi_objective,
+                "objectives": entry.capabilities.objectives,
+                "params": ", ".join(
+                    f"{p.name}:{p.type.__name__}" + ("(required)" if p.required else "")
+                    for p in entry.params
+                ),
+            }
+        )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# helpers shared by the entries
+# --------------------------------------------------------------------------- #
+def _as_independent(instance: AnyInstance, solver: str) -> Instance:
+    """Coerce to an independent-task instance or explain which solvers can help."""
+    if isinstance(instance, DAGInstance):
+        if not instance.is_independent():
+            dag_capable = ", ".join(available_solvers(supports_dag=True))
+            raise SolverCapabilityError(
+                f"solver {solver!r} only handles independent tasks; this instance has "
+                f"precedence edges — DAG-capable solvers: {dag_capable}"
+            )
+        return instance.as_independent()
+    return instance
+
+
+def _single_objective_rho(inner: str, m: int) -> float:
+    """A-priori ratio of a named sub-solver on ``m`` processors.
+
+    Used only for entry-level (static) guarantee enumeration; the ratios a
+    run actually certifies come from :mod:`repro.solvers.single` at solve
+    time.  The PTAS values are ``1 + ε`` at the defaults single.py registers.
+    """
+    from repro.algorithms.list_scheduling import list_guarantee
+    from repro.algorithms.lpt import lpt_guarantee
+    from repro.algorithms.multifit import multifit_guarantee
+    from repro.solvers.single import PTAS_EPSILONS
+
+    if inner == "list":
+        return list_guarantee(m)
+    if inner == "lpt":
+        return lpt_guarantee(m)
+    if inner == "multifit":
+        return multifit_guarantee()
+    if inner in PTAS_EPSILONS:
+        return 1.0 + PTAS_EPSILONS[inner]
+    if inner == "exact":
+        return 1.0
+    return math.inf
+
+
+def _objective_pair(objective: str, rho: float) -> Tuple[float, float]:
+    """Guarantee pair for a single-objective solver run on one objective."""
+    return (rho, math.inf) if objective == "time" else (math.inf, rho)
+
+
+_OBJECTIVE_PARAM = ParamSpec(
+    "objective", str, default="time", choices=("time", "memory"),
+    doc="which objective to optimize (the §2.1 symmetry swaps p and s)",
+)
+
+
+# --------------------------------------------------------------------------- #
+# single-objective entries
+# --------------------------------------------------------------------------- #
+def _make_single_objective_run(name: str) -> Callable[[AnyInstance, Dict[str, object]], RunOutcome]:
+    """Generic run wrapper over the :mod:`repro.solvers.single` sub-solvers.
+
+    The sub-solver returns the ``(schedule, rho)`` pair, so the certified
+    guarantee is defined in exactly one place (single.py).
+    """
+
+    def run(instance: AnyInstance, params: Dict[str, object]) -> RunOutcome:
+        from repro.solvers.single import get_single_objective_solver
+
+        inst = _as_independent(instance, name)
+        objective = str(params["objective"])
+        schedule, rho = get_single_objective_solver(name)(inst, objective)
+        return schedule, _objective_pair(objective, rho), None, {}
+
+    return run
+
+
+def _run_spt(instance: AnyInstance, params: Dict[str, object]) -> RunOutcome:
+    from repro.algorithms.spt import spt_schedule
+
+    inst = _as_independent(instance, "spt")
+    schedule = spt_schedule(inst)
+    return schedule, (math.inf, math.inf, 1.0), None, {}
+
+
+def _run_ptas(instance: AnyInstance, params: Dict[str, object]) -> RunOutcome:
+    # Custom (not _make_single_objective_run) because epsilon is tunable here,
+    # while single.py registers fixed-epsilon variants for SBO's inner use.
+    from repro.algorithms.ptas import ptas_schedule
+
+    inst = _as_independent(instance, "ptas")
+    objective = str(params["objective"])
+    epsilon = float(params["epsilon"])  # type: ignore[arg-type]
+    result = ptas_schedule(inst, epsilon=epsilon, objective=objective)
+    extras = {"epsilon": epsilon, "exact_dual": result.exact}
+    return result.schedule, _objective_pair(objective, result.guarantee), result, extras
+
+
+# --------------------------------------------------------------------------- #
+# the paper's bi-/tri-objective entries
+# --------------------------------------------------------------------------- #
+def _run_sbo(instance: AnyInstance, params: Dict[str, object]) -> RunOutcome:
+    from repro.core.sbo import sbo
+
+    inst = _as_independent(instance, "sbo")
+    result = sbo(
+        inst,
+        delta=float(params["delta"]),  # type: ignore[arg-type]
+        cmax_solver=str(params["inner"]),
+        mmax_solver=None if params["inner_mmax"] is None else str(params["inner_mmax"]),
+    )
+    extras = {
+        "rho1": result.rho1,
+        "rho2": result.rho2,
+        "memory_driven_tasks": len(result.memory_driven_tasks),
+    }
+    return result.schedule, (result.cmax_guarantee, result.mmax_guarantee), result, extras
+
+
+def _run_rls(instance: AnyInstance, params: Dict[str, object]) -> RunOutcome:
+    from repro.core.rls import rls
+
+    result = rls(instance, delta=float(params["delta"]), order=str(params["order"]))  # type: ignore[arg-type]
+    extras = {
+        "memory_budget": result.memory_budget,
+        "marked_processors": len(result.marked_processors),
+    }
+    return result.schedule, (result.cmax_guarantee, result.mmax_guarantee), result, extras
+
+
+def _run_trio(instance: AnyInstance, params: Dict[str, object]) -> RunOutcome:
+    from repro.core.trio import tri_objective_schedule
+
+    inst = _as_independent(instance, "trio")
+    result = tri_objective_schedule(inst, delta=float(params["delta"]))  # type: ignore[arg-type]
+    return result.schedule, result.guarantees, result, {"sum_ci_optimal": result.sum_ci_optimal}
+
+
+def _run_constrained(instance: AnyInstance, params: Dict[str, object]) -> RunOutcome:
+    from repro.core.constrained import solve_constrained
+
+    result = solve_constrained(
+        instance,
+        memory_capacity=float(params["budget"]),  # type: ignore[arg-type]
+        order=str(params["order"]),
+        refine_iterations=int(params["refine"]),  # type: ignore[arg-type]
+        sbo_solver=str(params["inner"]),
+    )
+    extras = {
+        "strategy": result.strategy,
+        "certified_infeasible": result.certified_infeasible,
+        "effective_delta": result.delta,
+    }
+    guarantee = (result.cmax_guarantee, result.delta)
+    return (result.schedule if result.feasible else None), guarantee, result, extras
+
+
+_ORDER = ParamSpec(
+    "order", str, default="arbitrary",
+    choices=("arbitrary", "spt", "lpt", "bottom-level"),
+    doc="tie-breaking priority order for the underlying list scheduler",
+)
+
+
+def _register_defaults() -> None:
+    from repro.core.rls import rls_guarantee
+    from repro.core.sbo import sbo_guarantee
+    from repro.core.trio import tri_objective_guarantee
+    from repro.solvers.single import PTAS_EPSILONS, available_single_objective_solvers
+
+    # Sub-solver choices for sbo/constrained come straight from single.py so
+    # a solver added there is immediately accepted as an `inner=` value.
+    sub_solver_choices = tuple(available_single_objective_solvers())
+
+    single = SolverCapabilities(objectives=("cmax",))
+    for name, summary in (
+        ("lpt", "Longest Processing Time first (4/3 - 1/(3m) on Cmax)"),
+        ("list", "Graham list scheduling (2 - 1/m on Cmax)"),
+        ("multifit", "MULTIFIT: FFD + binary search (13/11 on Cmax)"),
+        ("exact", "Branch-and-bound exact solver (small instances)"),
+    ):
+        register(SolverEntry(
+            name=name, summary=summary,
+            capabilities=single, params=(_OBJECTIVE_PARAM,),
+            run=_make_single_objective_run(name),
+            guarantee=lambda m, p, _n=name: _objective_pair(
+                str(p.get("objective", "time")), _single_objective_rho(_n, m)
+            ),
+        ))
+    register(SolverEntry(
+        name="spt", summary="Shortest Processing Time first (optimal on sum Ci)",
+        capabilities=SolverCapabilities(objectives=("sum_ci",)), params=(), run=_run_spt,
+        guarantee=lambda m, p: (math.inf, math.inf, 1.0),
+    ))
+    for ptas_name, default_eps in sorted(PTAS_EPSILONS.items()):
+        register(SolverEntry(
+            name=ptas_name,
+            summary=f"Hochbaum–Shmoys dual-approximation PTAS (default ε={default_eps})",
+            capabilities=single,
+            params=(
+                ParamSpec("epsilon", float, default=default_eps, positive=True,
+                          doc="accuracy parameter ε > 0"),
+                _OBJECTIVE_PARAM,
+            ),
+            run=_run_ptas,
+            guarantee=lambda m, p, _d=default_eps: _objective_pair(
+                str(p.get("objective", "time")), 1.0 + float(p.get("epsilon", _d))
+            ),
+        ))
+    register(SolverEntry(
+        name="sbo",
+        summary="SBO_Δ (Algorithm 1, §3): ((1+Δ)ρ1, (1+1/Δ)ρ2) bi-objective guarantee",
+        capabilities=SolverCapabilities(is_bi_objective=True, objectives=("cmax", "mmax")),
+        params=(
+            ParamSpec("delta", float, default=1.0, positive=True,
+                      doc="trade-off parameter Δ > 0 (Δ=1 balances the objectives)"),
+            ParamSpec("inner", str, default="lpt", choices=sub_solver_choices,
+                      doc="single-objective sub-solver building both π1 and π2"),
+            ParamSpec("inner_mmax", str, choices=sub_solver_choices,
+                      doc="optional distinct sub-solver for the memory schedule π2"),
+        ),
+        run=_run_sbo,
+        guarantee=lambda m, p: sbo_guarantee(
+            float(p.get("delta", 1.0)),
+            _single_objective_rho(str(p.get("inner", "lpt")), m),
+            _single_objective_rho(str(p.get("inner_mmax") or p.get("inner", "lpt")), m),
+        ),
+    ))
+    register(SolverEntry(
+        name="rls",
+        summary="RLS_Δ (Algorithm 2, §5.1): precedence-aware restricted list scheduling",
+        capabilities=SolverCapabilities(
+            supports_dag=True, is_bi_objective=True, objectives=("cmax", "mmax")
+        ),
+        params=(
+            ParamSpec("delta", float, default=2.5, positive=True,
+                      doc="memory budget multiplier Δ (Δ > 2 for a Cmax guarantee)"),
+            _ORDER,
+        ),
+        run=_run_rls,
+        guarantee=lambda m, p: rls_guarantee(float(p.get("delta", 2.5)), m),
+    ))
+    register(SolverEntry(
+        name="trio",
+        summary="Tri-objective RLS_Δ with SPT ties (§5.2): bounds Cmax, Mmax and sum Ci",
+        capabilities=SolverCapabilities(
+            is_bi_objective=True, objectives=("cmax", "mmax", "sum_ci")
+        ),
+        params=(
+            ParamSpec("delta", float, default=2.5, positive=True,
+                      doc="memory budget multiplier Δ (Δ > 2 for finite guarantees)"),
+        ),
+        run=_run_trio,
+        guarantee=lambda m, p: tri_objective_guarantee(float(p.get("delta", 2.5)), m),
+    ))
+    register(SolverEntry(
+        name="constrained",
+        summary="§7 resolution of min Cmax s.t. Mmax <= budget (RLS + binary searches)",
+        capabilities=SolverCapabilities(
+            supports_dag=True, supports_constraint=True, is_bi_objective=True,
+            objectives=("cmax", "mmax"),
+        ),
+        params=(
+            ParamSpec("budget", float, required=True, nonnegative=True,
+                      doc="per-processor memory capacity M >= 0"),
+            _ORDER,
+            ParamSpec("refine", int, default=20,
+                      doc="binary-search refinement iterations"),
+            ParamSpec("inner", str, default="lpt", choices=sub_solver_choices,
+                      doc="sub-solver for the SBO refinement on independent tasks"),
+        ),
+        run=_run_constrained,
+        guarantee=None,
+    ))

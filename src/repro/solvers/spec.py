@@ -1,0 +1,226 @@
+"""The solver mini-language: ``"name(key=value, ...)"`` → :class:`SolverSpec`.
+
+Every algorithm in the package can be named by a compact string spec, e.g.::
+
+    "lpt"
+    "ptas(epsilon=0.1)"
+    "sbo(delta=0.5, inner=lpt)"
+    "rls(delta=2.5, order=bottom-level)"
+    "trio(delta=3)"
+    "constrained(budget=12.5)"
+
+The grammar is deliberately tiny:
+
+* a solver *name* — letters, digits, ``_`` and ``-`` (e.g. ``ptas-fine``);
+* an optional parenthesised, comma-separated list of ``key=value`` pairs.
+
+Values are parsed as Python literals where unambiguous: ``2`` is an
+``int``, ``2.5`` and ``1e-3`` are ``float``, ``true``/``false`` are
+booleans, ``none``/``null`` is ``None``, ``'quoted'``/``"quoted"`` are
+strings, and any remaining bare word (``lpt``, ``bottom-level``) is a
+string.  ``str(spec)`` renders the canonical form, and
+``SolverSpec.parse(str(spec)) == spec`` round-trips for every spec.
+
+Parameter *validation* (types, ranges, unknown keys) happens against the
+registry entry when the spec is executed — see
+:mod:`repro.solvers.registry` — so a :class:`SolverSpec` itself is just a
+well-formed name plus raw parameters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+__all__ = ["SolverSpec", "SpecError"]
+
+
+class SpecError(ValueError):
+    """Raised for malformed specs, unknown solvers, or bad parameters."""
+
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_\-]*")
+_KEY_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_BARE_WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.\-]*")
+
+
+def _split_top_level(body: str) -> list:
+    """Split a parameter body on commas, honouring quoted strings."""
+    chunks = []
+    current = []
+    quote = None
+    escaped = False
+    for ch in body:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif quote is not None:
+            current.append(ch)
+            if ch == "\\":
+                escaped = True
+            elif ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+            current.append(ch)
+        elif ch == ",":
+            chunks.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if quote is not None:
+        raise SpecError(f"unterminated quoted string in parameter list {body!r}")
+    chunks.append("".join(current))
+    return chunks
+
+
+def _unescape(text: str) -> str:
+    out = []
+    escaped = False
+    for ch in text:
+        if escaped:
+            out.append(ch)
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _parse_value(text: str) -> object:
+    """Parse a single parameter value token."""
+    text = text.strip()
+    if not text:
+        raise SpecError("empty parameter value")
+    if (text[0] == text[-1] == "'" or text[0] == text[-1] == '"') and len(text) >= 2:
+        return _unescape(text[1:-1])
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if _BARE_WORD_RE.fullmatch(text):
+        return text
+    raise SpecError(f"cannot parse parameter value {text!r}")
+
+
+def _format_value(value: object) -> str:
+    """Render a parameter value so that :func:`_parse_value` reads it back."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "none"
+    if isinstance(value, int):
+        return repr(int(value))
+    if isinstance(value, float):
+        # Normalize float subclasses (e.g. numpy.float64, whose repr is not
+        # reparseable) so the rendered spec always reads back.
+        return repr(float(value))
+    if isinstance(value, str):
+        if _BARE_WORD_RE.fullmatch(value) and value.lower() not in ("true", "false", "none", "null"):
+            try:
+                float(value)
+            except ValueError:
+                return value
+        return "'" + value.replace("\\", "\\\\").replace("'", "\\'") + "'"
+    raise SpecError(f"unsupported parameter value {value!r} (expected int/float/bool/str/None)")
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """A parsed solver spec: a solver name plus raw keyword parameters.
+
+    Instances are immutable; :meth:`with_params` returns an updated copy,
+    which makes parameter sweeps cheap::
+
+        base = SolverSpec.parse("sbo(inner=lpt)")
+        specs = [base.with_params(delta=d) for d in (0.25, 1.0, 4.0)]
+    """
+
+    name: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.fullmatch(self.name):
+            raise SpecError(f"invalid solver name {self.name!r}")
+        for key in self.params:
+            if not _KEY_RE.fullmatch(key):
+                raise SpecError(f"invalid parameter name {key!r} in spec for {self.name!r}")
+        # Defensive copy: decouple from the caller's dict so later mutation of
+        # it cannot bypass the validation above.
+        object.__setattr__(self, "params", dict(self.params))
+
+    def __hash__(self) -> int:
+        # The frozen-dataclass default hash would fail on the dict field;
+        # hash the canonical (name, sorted items) view instead so specs can
+        # key caches and sets.
+        return hash((self.name, tuple(sorted(self.params.items(), key=lambda kv: kv[0]))))
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, text: Union[str, "SolverSpec"]) -> "SolverSpec":
+        """Parse ``"name"`` or ``"name(k=v, ...)"`` into a :class:`SolverSpec`."""
+        if isinstance(text, SolverSpec):
+            return text
+        if not isinstance(text, str):
+            raise SpecError(f"expected a spec string or SolverSpec, got {type(text).__name__}")
+        stripped = text.strip()
+        match = _NAME_RE.match(stripped)
+        if match is None:
+            raise SpecError(f"malformed solver spec {text!r}: expected 'name' or 'name(key=value, ...)'")
+        name = match.group(0)
+        rest = stripped[match.end():].strip()
+        if not rest:
+            return cls(name=name)
+        if not (rest.startswith("(") and rest.endswith(")")):
+            raise SpecError(f"malformed solver spec {text!r}: trailing text {rest!r}")
+        body = rest[1:-1].strip()
+        params: Dict[str, object] = {}
+        if body:
+            for chunk in _split_top_level(body):
+                if "=" not in chunk:
+                    raise SpecError(
+                        f"malformed parameter {chunk.strip()!r} in spec {text!r}: expected key=value"
+                    )
+                key, _, raw = chunk.partition("=")
+                key = key.strip()
+                if not _KEY_RE.fullmatch(key):
+                    raise SpecError(f"invalid parameter name {key!r} in spec {text!r}")
+                if key in params:
+                    raise SpecError(f"duplicate parameter {key!r} in spec {text!r}")
+                params[key] = _parse_value(raw)
+        return cls(name=name, params=params)
+
+    def with_params(self, **overrides: object) -> "SolverSpec":
+        """A copy of this spec with ``overrides`` merged into the parameters."""
+        merged = dict(self.params)
+        merged.update(overrides)
+        return SolverSpec(name=self.name, params=merged)
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def __str__(self) -> str:
+        if not self.params:
+            return self.name
+        body = ", ".join(f"{key}={_format_value(value)}" for key, value in self.params.items())
+        return f"{self.name}({body})"
+
+    def canonical(self) -> str:
+        """Canonical string form with parameters in sorted key order."""
+        if not self.params:
+            return self.name
+        body = ", ".join(f"{key}={_format_value(self.params[key])}" for key in sorted(self.params))
+        return f"{self.name}({body})"

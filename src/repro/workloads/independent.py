@@ -16,7 +16,7 @@ All generators take an explicit ``seed`` and are deterministic given it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

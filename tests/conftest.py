@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.instance import DAGInstance, Instance
-from repro.core.task import Task, TaskSet
 
 
 @pytest.fixture

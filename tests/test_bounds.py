@@ -14,7 +14,7 @@ from repro.core.bounds import (
     mmax_lower_bound,
     sum_ci_lower_bound,
 )
-from repro.core.instance import DAGInstance, Instance
+from repro.core.instance import Instance
 from repro.workloads.independent import uniform_instance
 
 

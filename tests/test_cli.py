@@ -101,6 +101,68 @@ class TestSchedule:
         assert "infeasible" in capsys.readouterr().out
 
 
+class TestSolve:
+    def test_solve_spec(self, instance_file, capsys):
+        code = main(["solve", "--input", str(instance_file),
+                     "--solver", "sbo(delta=1.0, inner=lpt)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spec: sbo(delta=1.0, inner=lpt)" in out
+        assert "Cmax =" in out and "guarantee = (" in out
+        assert "simulation check: OK" in out
+
+    def test_solve_dag_with_gantt(self, dag_file, capsys):
+        code = main(["solve", "--input", str(dag_file),
+                     "--solver", "rls(delta=2.5, order=bottom-level)", "--gantt"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P0 |" in out
+
+    def test_solve_constrained_infeasible(self, instance_file, capsys):
+        code = main(["solve", "--input", str(instance_file),
+                     "--solver", "constrained(budget=0.001)"])
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_solve_unknown_solver(self, instance_file, capsys):
+        code = main(["solve", "--input", str(instance_file), "--solver", "quantum"])
+        assert code == 2
+        assert "available solvers" in capsys.readouterr().err
+
+    def test_solve_capability_error(self, dag_file, capsys):
+        code = main(["solve", "--input", str(dag_file), "--solver", "sbo(delta=1.0)"])
+        assert code == 2
+        assert "DAG-capable" in capsys.readouterr().err
+
+    def test_solve_requires_input(self, capsys):
+        code = main(["solve", "--solver", "lpt"])
+        assert code == 2
+        assert "--input" in capsys.readouterr().err
+
+    def test_solve_solver_level_failure_is_clean(self, tmp_path, capsys):
+        # 30 tasks exceeds the exact solver's default cap: a clean message
+        # and exit 1 (solver failure), not a traceback or usage error.
+        big = tmp_path / "big.json"
+        assert main(["generate", "--kind", "uniform", "--n", "30", "--m", "3",
+                     "--seed", "3", "--output", str(big)]) == 0
+        capsys.readouterr()
+        code = main(["solve", "--input", str(big), "--solver", "exact"])
+        assert code == 1
+        assert "solver failed" in capsys.readouterr().err
+
+    def test_solve_infeasible_delta_is_clean(self, instance_file, capsys):
+        code = main(["solve", "--input", str(instance_file), "--solver", "rls(delta=0.1)"])
+        assert code == 1
+        assert "solver failed" in capsys.readouterr().err
+
+    def test_solve_list(self, capsys):
+        assert main(["solve", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sbo", "rls", "trio", "constrained"):
+            assert name in out
+        assert "bi-objective" in out
+
+
 class TestExperimentsAndReport:
     def test_single_experiment(self, capsys):
         assert main(["experiments", "--id", "FIG-1"]) == 0

@@ -1,0 +1,42 @@
+"""Smoke tests: every script under examples/ runs to completion.
+
+The examples double as living documentation of the unified solve() API,
+so each one is executed in a subprocess (with src/ on the path, matching
+the documented `PYTHONPATH=src` invocation) and must exit cleanly and
+produce output.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLE_SCRIPTS) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_runs(script: Path):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, f"{script.name} failed:\n{proc.stderr}"
+    assert proc.stdout.strip(), f"{script.name} produced no output"

@@ -5,7 +5,6 @@ from __future__ import annotations
 import csv
 from pathlib import Path
 
-import pytest
 
 from repro.experiments.export import export_all, export_figure3_csv, export_result_csv
 from repro.experiments.figure1 import run_figure1

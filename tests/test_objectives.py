@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.core.objectives import ObjectiveValues, evaluate, ratio_to
 from repro.core.schedule import Schedule

@@ -7,7 +7,7 @@ import math
 import pytest
 
 from repro.core.bounds import cmax_lower_bound, mmax_lower_bound
-from repro.core.instance import DAGInstance, Instance
+from repro.core.instance import Instance
 from repro.core.rls import (
     InfeasibleDeltaError,
     minimum_feasible_delta,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.instance import DAGInstance, Instance
+from repro.core.instance import Instance
 from repro.core.rls import rls
 from repro.core.sbo import sbo
 from repro.core.schedule import DAGSchedule, Schedule
