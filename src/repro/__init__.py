@@ -61,11 +61,15 @@ from repro.core.pareto_approx import (
 from repro.core import impossibility
 from repro.simulator import simulate_schedule, SimulationReport
 from repro.solvers import (
+    DiskCache,
+    LRUCache,
     SolveResult,
     SolverCapabilityError,
     SolverSpec,
     SpecError,
     available_solvers,
+    configure_cache,
+    default_cache,
     solve,
     solve_many,
 )
@@ -112,5 +116,9 @@ __all__ = [
     "SpecError",
     "SolverCapabilityError",
     "available_solvers",
+    "configure_cache",
+    "default_cache",
+    "LRUCache",
+    "DiskCache",
     "__version__",
 ]

@@ -23,7 +23,9 @@ Examples::
     python -m repro generate --kind uniform --n 50 --m 4 --seed 1 --output inst.json
     python -m repro solve --input inst.json --solver "sbo(delta=1.0, inner=lpt)" --gantt
     python -m repro solve --input inst.json --solver "constrained(budget=120)"
+    python -m repro solve --input inst.json --solver "rls(delta=2.5)" --cache .repro-cache
     python -m repro solve --list
+    python -m repro experiments --id EXT-T1 --cache .repro-cache
     python -m repro schedule --input inst.json --algorithm sbo --delta 1.0 --gantt
     python -m repro experiments --id FIG-3
     python -m repro report > EXPERIMENTS.md
@@ -48,7 +50,14 @@ from repro.algorithms.spt import spt_schedule
 from repro.dag.generators import random_dag_suite
 from repro.simulator.executor import simulate_schedule
 from repro.simulator.trace import render_gantt
-from repro.solvers import SolverCapabilityError, SpecError, describe_solvers, solve
+from repro.solvers import (
+    DiskCache,
+    SolverCapabilityError,
+    SpecError,
+    configure_cache,
+    describe_solvers,
+    solve,
+)
 from repro.utils.tables import format_table
 from repro.workloads.independent import workload_suite
 
@@ -110,8 +119,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print("error: --input is required (or use --list)", file=sys.stderr)
         return 2
     instance = _load_instance(args.input)
+    cache = None
+    if args.cache:
+        try:
+            cache = DiskCache(args.cache)
+        except OSError as exc:
+            print(f"error: cannot use cache directory {args.cache!r}: {exc}", file=sys.stderr)
+            return 2
     try:
-        result = solve(instance, args.solver)
+        result = solve(instance, args.solver, cache=cache)
     except (SpecError, SolverCapabilityError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -138,6 +154,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     )
     print(f"guarantee = ({guarantee})")
     print(f"wall time = {result.wall_time * 1e3:.2f} ms")
+    if "cache" in result.provenance:
+        print(f"cache = {result.provenance['cache']}")
     report = simulate_schedule(result.schedule)
     print(f"simulation check: {'OK' if report.ok else 'VIOLATIONS: ' + '; '.join(report.violations)}")
     if args.gantt:
@@ -233,7 +251,19 @@ def _experiment_runners() -> Dict[str, Callable[[], object]]:
     }
 
 
+def _configure_cli_cache(path: str) -> bool:
+    """Install the process-default cache for an experiments/report run."""
+    try:
+        configure_cache(path)
+    except OSError as exc:
+        print(f"error: cannot use cache directory {path!r}: {exc}", file=sys.stderr)
+        return False
+    return True
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.cache and not _configure_cli_cache(args.cache):
+        return 2
     runners = _experiment_runners()
     ids = list(runners) if args.id == "all" else [args.id]
     exit_code = 0
@@ -251,6 +281,9 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_experiments_report
+
+    if args.cache and not _configure_cli_cache(args.cache):
+        return 2
 
     text = generate_experiments_report(quick=not args.full)
     if args.output:
@@ -292,6 +325,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="list registered solvers with their capabilities and exit")
     slv.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     slv.add_argument("--gantt-width", type=int, default=60, help="Gantt chart width in characters")
+    slv.add_argument("--cache", default=None, metavar="DIR",
+                     help="persistent result-cache directory (repeat runs are served from it)")
     slv.set_defaults(func=_cmd_solve)
 
     sch = sub.add_parser("schedule", help="schedule an instance file and print the objectives")
@@ -308,11 +343,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     exp = sub.add_parser("experiments", help="run a reproduced experiment by id")
     exp.add_argument("--id", default="all", help="experiment id (FIG-1 ... EXT-A3) or 'all'")
+    exp.add_argument("--cache", default=None, metavar="DIR",
+                     help="persistent result-cache directory shared by every solve of the run "
+                          "(cheap re-runs of figure/ratio/ablation studies)")
     exp.set_defaults(func=_cmd_experiments)
 
     rep = sub.add_parser("report", help="regenerate the EXPERIMENTS.md report")
     rep.add_argument("--output", default=None, help="write to this path instead of stdout")
     rep.add_argument("--full", action="store_true", help="use the larger (slower) sweeps")
+    rep.add_argument("--cache", default=None, metavar="DIR",
+                     help="persistent result-cache directory shared by every solve of the run")
     rep.set_defaults(func=_cmd_report)
 
     return parser

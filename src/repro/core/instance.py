@@ -12,6 +12,7 @@ A :class:`DAGInstance` with no edges behaves exactly like an
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -94,6 +95,32 @@ class Instance:
         if not isinstance(other, Instance) or isinstance(other, DAGInstance) != isinstance(self, DAGInstance):
             return NotImplemented
         return self.m == other.m and self.tasks == other.tasks
+
+    # ------------------------------------------------------------------ #
+    # content addressing
+    # ------------------------------------------------------------------ #
+    def _fingerprint_parts(self) -> List[str]:
+        """Canonical lines hashed by :meth:`content_hash` (subclasses extend)."""
+        parts = ["kind=independent", f"m={self.m}"]
+        parts.extend(f"task={t.id!r}|{t.p!r}|{t.s!r}" for t in self.tasks)
+        return parts
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of the instance *content*.
+
+        The digest covers everything a (deterministic) solver can observe:
+        the processor count, the tasks — id, processing time and storage,
+        in insertion order, because task order is the "arbitrary total
+        ordering" solvers break ties with — and, in subclasses, precedence
+        edges and processor speeds.  Cosmetic attributes (``name``, task
+        ``label``) are excluded, so renaming an instance does not change
+        its hash.  The digest is stable across processes and Python
+        sessions, which makes ``(content_hash, canonical spec)`` a
+        persistent cache key for solver results
+        (:mod:`repro.solvers.cache`).
+        """
+        payload = "\n".join(self._fingerprint_parts())
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------ #
     # transforms
@@ -260,6 +287,15 @@ class DAGInstance(Instance):
             and self.tasks == other.tasks
             and set(self.graph.edges()) == set(other.graph.edges())
         )
+
+    def _fingerprint_parts(self) -> List[str]:
+        parts = super()._fingerprint_parts()
+        parts[0] = "kind=dag"
+        parts.extend(
+            f"edge={u}|{v}"
+            for u, v in sorted((repr(u), repr(v)) for u, v in self.graph.edges())
+        )
+        return parts
 
     # ------------------------------------------------------------------ #
     # transforms & serialisation

@@ -35,6 +35,11 @@ def run_spec(instance, spec: Union[str, SolverSpec], **params: object) -> SolveR
     returned :class:`SolveResult` exposes the schedule, objective values,
     guarantee tuple, wall time, and the solver's native result via
     ``.raw`` (e.g. ``RLSResult.marked_processors``).
+
+    Every call consults the process-wide result cache when one is
+    installed (``repro experiments --cache DIR`` or
+    :func:`repro.solvers.cache.configure_cache`), which makes re-running
+    a figure/ratio/ablation study over an unchanged sweep nearly free.
     """
     return solve(instance, spec, **params)
 

@@ -68,6 +68,12 @@ class UniformInstance(Instance):
         """Build a uniform-machines instance from parallel lists."""
         return cls(TaskSet.from_lists(p, s, ids=ids), speeds=speeds, name=name)
 
+    def _fingerprint_parts(self) -> List[str]:
+        parts = super()._fingerprint_parts()
+        parts[0] = "kind=uniform"
+        parts.extend(f"speed={v!r}" for v in self.speeds)
+        return parts
+
     def execution_time(self, task_id: object, processor: int) -> float:
         """Running time of a task on a given processor (``p_i / v_q``)."""
         return self.task(task_id).p / self.speeds[processor]

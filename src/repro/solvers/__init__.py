@@ -11,7 +11,12 @@ The subsystem has four parts:
 * :mod:`repro.solvers.api` — the :func:`solve` facade returning the common
   :class:`SolveResult` protocol;
 * :mod:`repro.solvers.batch` — :func:`solve_many`, a process-pool batch
-  runner with per-call timing.
+  runner with per-call timing, job dedup and instance batching;
+* :mod:`repro.solvers.cache` — a content-addressed result cache
+  (in-memory LRU or persistent on disk) keyed by
+  ``(instance.content_hash(), canonical bound spec)``, enabled per call
+  (``solve(..., cache=...)``), per process (:func:`configure_cache`) or
+  via the CLI (``--cache DIR``).
 
 Quick start::
 
@@ -21,7 +26,7 @@ Quick start::
     result = solve(inst, "sbo(delta=1.0, inner=lpt)")
     print(result.summary())
 
-    print(available_solvers(supports_dag=True))  # ['constrained', 'rls']
+    print(available_solvers(supports_dag=True))  # ['constrained', 'pareto_approx', 'rls']
     batch = solve_many([inst], ["sbo(delta=0.5)", "rls(delta=2.5)"], workers=2)
 """
 
@@ -42,6 +47,15 @@ from repro.solvers.registry import (
 )
 from repro.solvers.api import solve
 from repro.solvers.batch import solve_many
+from repro.solvers.cache import (
+    CacheStats,
+    DiskCache,
+    LRUCache,
+    ResultCache,
+    cache_key,
+    configure_cache,
+    default_cache,
+)
 from repro.solvers.single import (
     SolverFn,
     available_single_objective_solvers,
@@ -66,4 +80,11 @@ __all__ = [
     "SolverFn",
     "available_single_objective_solvers",
     "get_single_objective_solver",
+    "CacheStats",
+    "DiskCache",
+    "LRUCache",
+    "ResultCache",
+    "cache_key",
+    "configure_cache",
+    "default_cache",
 ]

@@ -18,16 +18,30 @@ the entry's capabilities against the instance (a DAG with precedence
 edges is rejected by DAG-incapable solvers with a message listing the
 capable ones), times the call, and wraps the outcome in the common
 :class:`~repro.solvers.result.SolveResult` protocol.
+
+Every solver is deterministic, so results can be served from a
+content-addressed cache (:mod:`repro.solvers.cache`) keyed by
+``(instance.content_hash(), canonical bound spec)``.  Pass
+``cache=<cache object or directory>`` per call, or install a process-wide
+default with :func:`repro.solvers.cache.configure_cache`; ``cache=False``
+bypasses even the default.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Union
 
 from repro.core.instance import DAGInstance, Instance
 from repro.core.objectives import ObjectiveValues, evaluate
-from repro.solvers.registry import SolverCapabilityError, available_solvers, get_entry
+from repro.solvers.cache import CacheLike, cache_key, resolve_cache
+from repro.solvers.registry import (
+    SolverCapabilityError,
+    available_solvers,
+    get_entry,
+    is_builtin,
+)
 from repro.solvers.result import SolveResult
 from repro.solvers.spec import SolverSpec
 
@@ -36,7 +50,13 @@ __all__ = ["solve"]
 AnyInstance = Union[Instance, DAGInstance]
 
 
-def solve(instance: AnyInstance, spec: Union[str, SolverSpec], **params: object) -> SolveResult:
+def solve(
+    instance: AnyInstance,
+    spec: Union[str, SolverSpec],
+    *,
+    cache: CacheLike = None,
+    **params: object,
+) -> SolveResult:
     """Run the solver named by ``spec`` on ``instance``.
 
     Parameters
@@ -46,6 +66,16 @@ def solve(instance: AnyInstance, spec: Union[str, SolverSpec], **params: object)
         :class:`~repro.core.instance.DAGInstance`.
     spec:
         Spec string (``"rls(delta=2.5)"``) or :class:`SolverSpec`.
+    cache:
+        ``None`` (default) consults the process-wide default cache if one
+        is installed via :func:`~repro.solvers.cache.configure_cache`;
+        ``False`` bypasses caching; a directory path or a
+        :class:`~repro.solvers.cache.ResultCache` enables it for this
+        call (``True`` insists on the installed default and errors when
+        there is none).  A hit returns the stored result with
+        ``provenance["cache"] == "hit"``.  Only stock builtin solvers
+        are cached; runtime-registered or overridden entries bypass the
+        cache (their implementation is invisible to the key).
     params:
         Keyword overrides merged into the spec's parameters.
 
@@ -81,6 +111,21 @@ def solve(instance: AnyInstance, spec: Union[str, SolverSpec], **params: object)
             f"DAG-capable solvers: {dag_capable}"
         )
 
+    canonical = entry.canonical_spec(bound)
+
+    cache_obj = resolve_cache(cache)
+    if cache_obj is not None and not is_builtin(parsed.name):
+        # Runtime-registered (or overridden) solvers are invisible to the
+        # cache key — two implementations could share a name — so their
+        # results are never cached or served from the cache.
+        cache_obj = None
+    key = None
+    if cache_obj is not None:
+        key = cache_key(instance, canonical)
+        hit = cache_obj.get(key)
+        if hit is not None:
+            return replace(hit, provenance={**hit.provenance, "cache": "hit"})
+
     start = time.perf_counter()
     schedule, guarantee, raw, extras = entry.run(instance, bound)
     wall_time = time.perf_counter() - start
@@ -93,17 +138,14 @@ def solve(instance: AnyInstance, spec: Union[str, SolverSpec], **params: object)
 
     from repro import __version__  # late import: repro re-exports this module
 
-    bound_spec = SolverSpec(name=parsed.name, params={
-        key: value for key, value in bound.items() if value is not None
-    })
     provenance = {
         "solver": parsed.name,
-        "spec": bound_spec.canonical(),
+        "spec": canonical,
         "params": dict(bound),
         "version": __version__,
     }
     provenance.update(extras)
-    return SolveResult(
+    result = SolveResult(
         schedule=schedule,
         objectives=objectives,
         guarantee=tuple(guarantee),
@@ -111,3 +153,7 @@ def solve(instance: AnyInstance, spec: Union[str, SolverSpec], **params: object)
         provenance=provenance,
         raw=raw,
     )
+    if cache_obj is not None and key is not None:
+        cache_obj.put(key, result)
+        result = replace(result, provenance={**provenance, "cache": "miss"})
+    return result

@@ -14,23 +14,47 @@ deterministic, hence the objective values are bit-identical either way.
 Per-call wall time is recorded on each
 :class:`~repro.solvers.result.SolveResult` (measured inside the worker).
 
-.. note::
-   Worker processes resolve specs against *their own* registry.  Built-in
-   solvers are always present, but entries added at runtime via
-   :func:`repro.solvers.register` are only visible to workers on
-   platforms whose process pools fork (Linux).  Under the ``spawn`` start
-   method (macOS/Windows defaults) custom entries must be registered at
-   import time of a module the workers also import — otherwise run those
-   specs with ``workers=1``.
+Because solvers are deterministic, repeated work is eliminated at three
+levels before any process is spawned:
+
+1. **Dedup** — jobs are keyed by
+   ``(instance.content_hash(), canonical bound spec)``; submitting the
+   same (instance, spec) pair twice computes it once (disable with
+   ``dedupe=False``).
+2. **Cache** — with ``cache=`` (or a process default installed via
+   :func:`repro.solvers.cache.configure_cache`), keys are looked up
+   before dispatch and computed results are stored afterwards, sharing
+   keys with plain :func:`repro.solvers.solve` calls.
+3. **Instance batching** — remaining jobs are grouped by instance, so an
+   instance crosses the process boundary once per chunk instead of once
+   per job (chunks are split to keep all workers busy).
+
+Each returned result's provenance carries a ``"batch"`` record
+(``{"jobs", "unique", "deduped", "cache_hits", "cache_misses"}``) so
+studies can report cache effectiveness.
+
+Custom registry entries (added at runtime via
+:func:`repro.solvers.register`) are resolved in the parent and *shipped*
+with each batch, so they work under any multiprocessing start method —
+including ``spawn`` (macOS/Windows defaults), where workers do not
+inherit the parent's registry.  Entries whose callables cannot be pickled
+(e.g. lambdas) fall back to serial execution in the parent instead of
+failing inside a worker.
 """
 
 from __future__ import annotations
 
+import math
+import pickle
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Tuple, Union
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.instance import DAGInstance, Instance
 from repro.solvers.api import solve
+from repro.solvers.cache import CacheLike, cache_key, resolve_cache
+from repro.solvers.registry import SolverEntry, get_entry, is_builtin, register
 from repro.solvers.result import SolveResult
 from repro.solvers.spec import SolverSpec
 
@@ -39,8 +63,9 @@ __all__ = ["solve_many"]
 AnyInstance = Union[Instance, DAGInstance]
 SpecLike = Union[str, SolverSpec]
 
-#: One batch job: (instance, parsed spec).
-_Job = Tuple[AnyInstance, SolverSpec]
+#: One pool task: an instance, the specs to run on it, and any custom
+#: (non-builtin) registry entries those specs need in the worker.
+_Batch = Tuple[AnyInstance, Tuple[SolverSpec, ...], Tuple[SolverEntry, ...]]
 
 
 def _as_instance_list(instances: Union[AnyInstance, Iterable[AnyInstance]]) -> List[AnyInstance]:
@@ -55,15 +80,54 @@ def _as_spec_list(specs: Union[SpecLike, Iterable[SpecLike]]) -> List[SolverSpec
     return [SolverSpec.parse(spec) for spec in specs]
 
 
-def _run_job(job: _Job) -> SolveResult:
-    instance, spec = job
-    return solve(instance, spec)
+def _run_batch(batch: _Batch) -> List[SolveResult]:
+    """Worker entry point: register shipped entries, then solve each spec.
+
+    Caching is parent-side only (workers run with ``cache=False``): the
+    parent already filtered out every cached key, and a single cache
+    object cannot be shared across processes.
+    """
+    instance, specs, custom_entries = batch
+    for entry in custom_entries:
+        register(entry, replace=True)
+    return [solve(instance, spec, cache=False) for spec in specs]
+
+
+def _canonical_bound_spec(spec: SolverSpec) -> str:
+    """Validate ``spec`` and return its fully-bound canonical string.
+
+    Binding fills defaults, so ``"sbo"`` and ``"sbo(delta=1.0)"`` map to
+    the same string — :meth:`SolverEntry.canonical_spec` is the same
+    normalization :func:`repro.solvers.solve` records in
+    ``provenance["spec"]`` and keys the cache with.
+    """
+    entry = get_entry(spec.name)
+    return entry.canonical_spec(entry.bind(spec.params))
+
+
+def _shippable_custom_entries(names: Sequence[str]) -> Tuple[Dict[str, SolverEntry], set]:
+    """Partition custom solver names into pool-shippable entries and the
+    names whose entries cannot be pickled (→ parent-serial fallback)."""
+    shippable: Dict[str, SolverEntry] = {}
+    unpicklable: set = set()
+    for name in names:
+        entry = get_entry(name)
+        try:
+            pickle.dumps(entry)
+        except Exception:
+            unpicklable.add(name)
+        else:
+            shippable[name] = entry
+    return shippable, unpicklable
 
 
 def solve_many(
     instances: Union[AnyInstance, Iterable[AnyInstance]],
     specs: Union[SpecLike, Iterable[SpecLike]],
     workers: int = 1,
+    cache: CacheLike = None,
+    dedupe: bool = True,
+    start_method: Optional[str] = None,
 ) -> List[SolveResult]:
     """Solve every instance with every spec, optionally in parallel.
 
@@ -77,28 +141,158 @@ def solve_many(
         ``1`` (default) runs serially in-process; ``N > 1`` uses a
         :class:`~concurrent.futures.ProcessPoolExecutor` with ``N``
         workers.
+    cache:
+        Result cache consulted before dispatch and filled afterwards —
+        ``None`` defers to the process default, ``False`` disables, a
+        directory path or :class:`~repro.solvers.cache.ResultCache`
+        enables (see :mod:`repro.solvers.cache`).
+    dedupe:
+        Compute each distinct ``(instance content, bound spec)`` pair only
+        once (default).  Duplicated jobs receive the same result values.
+    start_method:
+        Optional multiprocessing start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``) for the worker pool; ``None`` uses the platform
+        default.
 
     Returns
     -------
     list of SolveResult
         One result per (instance, spec) pair, instance-major, in the same
-        deterministic order for any ``workers`` value.
+        deterministic order for any ``workers`` value.  Each result's
+        provenance carries a ``"batch"`` stats record and — when a cache
+        is active — ``"cache": "hit" | "miss"``.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     spec_list = _as_spec_list(specs)
     # Validate every spec fully (syntax, solver name, parameter types) up
-    # front so a typo fails before any worker process is spawned.
-    from repro.solvers.registry import get_entry
-
-    for spec in spec_list:
-        get_entry(spec.name).bind(spec.params)
-    jobs: List[_Job] = [
-        (instance, spec) for instance in _as_instance_list(instances) for spec in spec_list
-    ]
-    if not jobs:
+    # front so a typo fails before any worker process is spawned; the
+    # bound canonical strings double as dedup/cache keys.
+    canonicals = [_canonical_bound_spec(spec) for spec in spec_list]
+    instance_list = _as_instance_list(instances)
+    if not instance_list or not spec_list:
         return []
-    if workers == 1 or len(jobs) == 1:
-        return [_run_job(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-        return list(pool.map(_run_job, jobs))
+
+    # ------------------------------------------------------------------ #
+    # key every job; dedupe
+    # ------------------------------------------------------------------ #
+    instance_hashes = [inst.content_hash() for inst in instance_list]
+    # Only stock builtin entries are cacheable: a runtime-registered (or
+    # overridden) solver's implementation is invisible to the cache key.
+    cacheable_spec = [is_builtin(spec.name) for spec in spec_list]
+    job_keys: List[str] = []
+    # Dedup key -> (instance, spec, content-addressed cache key or None).
+    # With dedupe off, the dedup key is made unique per job slot while the
+    # cache key stays content-addressed.
+    unique: "OrderedDict[str, Tuple[AnyInstance, SolverSpec, Optional[str]]]" = OrderedDict()
+    for index, inst in enumerate(instance_list):
+        for spec, canonical, cacheable in zip(spec_list, canonicals, cacheable_spec):
+            content_key = cache_key(instance_hashes[index], canonical)
+            key = content_key if dedupe else f"{len(job_keys)}:{content_key}"
+            job_keys.append(key)
+            unique.setdefault(key, (inst, spec, content_key if cacheable else None))
+
+    # ------------------------------------------------------------------ #
+    # consult the cache before dispatching anything
+    # ------------------------------------------------------------------ #
+    cache_obj = resolve_cache(cache)
+    results: Dict[str, SolveResult] = {}
+    cache_lookups = 0
+    if cache_obj is not None:
+        for key, (_inst, _spec, content_key) in unique.items():
+            if content_key is None:
+                continue
+            cache_lookups += 1
+            hit = cache_obj.get(content_key)
+            if hit is not None:
+                results[key] = replace(hit, provenance={**hit.provenance, "cache": "hit"})
+    cache_hits = len(results)
+
+    pending = [(key, inst, spec) for key, (inst, spec, _ck) in unique.items() if key not in results]
+
+    # ------------------------------------------------------------------ #
+    # execute the misses: serial, or instance-batched over a pool
+    # ------------------------------------------------------------------ #
+    computed: Dict[str, SolveResult] = {}
+    if pending:
+        if workers == 1 or len(pending) == 1:
+            for key, inst, spec in pending:
+                computed[key] = solve(inst, spec, cache=False)
+        else:
+            custom_names = sorted({spec.name for _, _, spec in pending if not is_builtin(spec.name)})
+            shippable, unpicklable = _shippable_custom_entries(custom_names)
+            pool_jobs = [(key, inst, spec) for key, inst, spec in pending
+                         if spec.name not in unpicklable]
+            serial_jobs = [(key, inst, spec) for key, inst, spec in pending
+                           if spec.name in unpicklable]
+
+            # Group pool jobs by instance so each instance is pickled once
+            # per chunk, then split large groups so all workers stay busy.
+            groups: "OrderedDict[int, Tuple[AnyInstance, List[Tuple[str, SolverSpec]]]]" = OrderedDict()
+            for key, inst, spec in pool_jobs:
+                groups.setdefault(id(inst), (inst, []))[1].append((key, spec))
+            chunk_size = max(1, math.ceil(len(pool_jobs) / (workers * 4)))
+            batches: List[Tuple[AnyInstance, List[Tuple[str, SolverSpec]]]] = []
+            for inst, pairs in groups.values():
+                for at in range(0, len(pairs), chunk_size):
+                    batches.append((inst, pairs[at:at + chunk_size]))
+
+            if batches:
+                import multiprocessing
+
+                mp_context = multiprocessing.get_context(start_method) if start_method else None
+                payloads: List[_Batch] = [
+                    (
+                        inst,
+                        tuple(spec for _, spec in pairs),
+                        tuple(shippable[name] for name in
+                              sorted({spec.name for _, spec in pairs
+                                      if spec.name in shippable})),
+                    )
+                    for inst, pairs in batches
+                ]
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(payloads)), mp_context=mp_context
+                ) as pool:
+                    # map() submits everything up front, so the serial
+                    # fallback jobs below overlap with the workers instead
+                    # of waiting for the pool to drain first.
+                    batch_results_iter = pool.map(_run_batch, payloads)
+                    for key, inst, spec in serial_jobs:
+                        computed[key] = solve(inst, spec, cache=False)
+                    for (_, pairs), batch_results in zip(batches, batch_results_iter):
+                        for (key, _spec), result in zip(pairs, batch_results):
+                            computed[key] = result
+            else:
+                for key, inst, spec in serial_jobs:
+                    computed[key] = solve(inst, spec, cache=False)
+
+        if cache_obj is not None:
+            for key, _inst, _spec in pending:
+                content_key = unique[key][2]
+                if content_key is None:
+                    continue
+                cache_obj.put(content_key, computed[key])
+                computed[key] = replace(
+                    computed[key],
+                    provenance={**computed[key].provenance, "cache": "miss"},
+                )
+        results.update(computed)
+
+    # ------------------------------------------------------------------ #
+    # assemble outputs in deterministic job order, stamping batch stats
+    # ------------------------------------------------------------------ #
+    # cache_hits/misses count actual lookups only: both stay 0 when no
+    # cache is configured (or no spec was cacheable), so the record never
+    # suggests a cache was consulted when it was not.
+    stats = {
+        "jobs": len(job_keys),
+        "unique": len(unique),
+        "deduped": len(job_keys) - len(unique),
+        "cache_hits": cache_hits,
+        "cache_misses": cache_lookups - cache_hits,
+    }
+    return [
+        replace(results[key], provenance={**results[key].provenance, "batch": dict(stats)})
+        for key in job_keys
+    ]

@@ -54,6 +54,7 @@ __all__ = [
     "available_solvers",
     "solver_capabilities",
     "describe_solvers",
+    "is_builtin",
 ]
 
 AnyInstance = Union[Instance, DAGInstance]
@@ -169,9 +170,25 @@ class SolverEntry:
                 bound[pspec.name] = pspec.default
         return bound
 
+    def canonical_spec(self, bound: Mapping[str, object]) -> str:
+        """Canonical fully-bound spec string for a :meth:`bind` result.
+
+        The single normalization both :func:`repro.solvers.solve`
+        (``provenance["spec"]``) and :func:`repro.solvers.solve_many`
+        (dedup/cache keys) rely on — ``None``-valued optional parameters
+        are dropped, the rest rendered in sorted key order.
+        """
+        from repro.solvers.spec import SolverSpec
+
+        return SolverSpec(
+            name=self.name,
+            params={key: value for key, value in bound.items() if value is not None},
+        ).canonical()
+
 
 _REGISTRY: Dict[str, SolverEntry] = {}
 _DEFAULTS_REGISTERED = False
+_BUILTIN_ENTRIES: Dict[str, SolverEntry] = {}
 
 
 def _ensure_registered() -> None:
@@ -180,6 +197,19 @@ def _ensure_registered() -> None:
     if not _DEFAULTS_REGISTERED:
         _DEFAULTS_REGISTERED = True
         _register_defaults()
+        _BUILTIN_ENTRIES.update(_REGISTRY)
+
+
+def is_builtin(name: str) -> bool:
+    """True when ``name`` currently resolves to the stock package entry.
+
+    False for entries added at runtime via :func:`register` *and* for
+    builtin names that were overridden with ``register(..., replace=True)``
+    — in both cases a fresh process would resolve the name differently,
+    so :func:`repro.solvers.solve_many` must ship the current entry to
+    worker processes."""
+    _ensure_registered()
+    return _REGISTRY.get(name) is _BUILTIN_ENTRIES.get(name)
 
 
 def register(entry: SolverEntry, replace: bool = False) -> None:
@@ -411,10 +441,88 @@ def _run_constrained(instance: AnyInstance, params: Dict[str, object]) -> RunOut
     return (result.schedule if result.feasible else None), guarantee, result, extras
 
 
+# --------------------------------------------------------------------------- #
+# Pareto-set approximation and uniform-machines extension entries
+# --------------------------------------------------------------------------- #
+def _run_pareto_approx(instance: AnyInstance, params: Dict[str, object]) -> RunOutcome:
+    from repro.core.pareto_approx import approximate_pareto_set, approximate_pareto_set_dag
+
+    epsilon = float(params["epsilon"])  # type: ignore[arg-type]
+    is_dag = isinstance(instance, DAGInstance) and not instance.is_independent()
+    if is_dag:
+        delta_min = 2.0 if params["delta_min"] is None else float(params["delta_min"])  # type: ignore[arg-type]
+        delta_max = 16.0 if params["delta_max"] is None else float(params["delta_max"])  # type: ignore[arg-type]
+        aps = approximate_pareto_set_dag(
+            instance, epsilon=epsilon, order=str(params["order"]),
+            delta_min=delta_min, delta_max=delta_max,
+        )
+    else:
+        delta_min = 1.0 / 16.0 if params["delta_min"] is None else float(params["delta_min"])  # type: ignore[arg-type]
+        delta_max = 16.0 if params["delta_max"] is None else float(params["delta_max"])  # type: ignore[arg-type]
+        aps = approximate_pareto_set(
+            instance, epsilon=epsilon, solver=str(params["inner"]),
+            delta_min=delta_min, delta_max=delta_max,
+        )
+    # The facade returns one schedule; pick the front's "knee": the point
+    # minimizing the worse of the two objectives normalized by the front's
+    # per-objective minima (ties broken by (Cmax, Mmax) — deterministic).
+    schedule = None
+    points = [p for p in aps.front.points() if p.payload is not None]
+    if points:
+        cmax_min = min(p.values[0] for p in points) or 1.0
+        mmax_min = min(p.values[1] for p in points) or 1.0
+        best = min(
+            points,
+            key=lambda p: (max(p.values[0] / cmax_min, p.values[1] / mmax_min),
+                           p.values[0], p.values[1]),
+        )
+        schedule = best.payload
+    extras = {
+        "front_size": len(aps),
+        "front_points": [list(v) for v in sorted(aps.points)],
+        "deltas_swept": len(aps.deltas),
+        "sweep_algorithm": aps.algorithm,
+    }
+    return schedule, (math.inf, math.inf), aps, extras
+
+
+def _as_uniform(instance: AnyInstance, solver: str):
+    """Coerce to a uniform-machines instance (unit speeds when plain)."""
+    from repro.extensions.uniform_machines import UniformInstance
+
+    if isinstance(instance, UniformInstance):
+        return instance
+    inst = _as_independent(instance, solver)
+    return UniformInstance(inst.tasks, speeds=[1.0] * inst.m, name=inst.name)
+
+
+def _run_uniform_list(instance: AnyInstance, params: Dict[str, object]) -> RunOutcome:
+    from repro.extensions.uniform_machines import uniform_list_schedule
+
+    uni = _as_uniform(instance, "uniform_list")
+    result = uniform_list_schedule(uni, order=str(params["order"]))
+    return result.schedule, (math.inf, math.inf), result, {"speeds": list(uni.speeds)}
+
+
+def _run_uniform_rls(instance: AnyInstance, params: Dict[str, object]) -> RunOutcome:
+    from repro.extensions.uniform_machines import uniform_rls
+
+    uni = _as_uniform(instance, "uniform_rls")
+    delta = float(params["delta"])  # type: ignore[arg-type]
+    result = uniform_rls(uni, delta=delta, order=str(params["order"]))
+    extras = {"memory_budget": result.memory_budget, "speeds": list(uni.speeds)}
+    return result.schedule, (math.inf, delta), result, extras
+
+
 _ORDER = ParamSpec(
     "order", str, default="arbitrary",
     choices=("arbitrary", "spt", "lpt", "bottom-level"),
     doc="tie-breaking priority order for the underlying list scheduler",
+)
+
+_UNIFORM_ORDER = ParamSpec(
+    "order", str, default="lpt", choices=("lpt", "spt", "arbitrary"),
+    doc="task consideration order for earliest-completion-time placement",
 )
 
 
@@ -527,4 +635,46 @@ def _register_defaults() -> None:
         ),
         run=_run_constrained,
         guarantee=None,
+    ))
+    register(SolverEntry(
+        name="pareto_approx",
+        summary="§6 Pareto-set approximation: Δ sweep of SBO (independent) or RLS (DAG)",
+        capabilities=SolverCapabilities(
+            supports_dag=True, is_bi_objective=True, objectives=("cmax", "mmax")
+        ),
+        params=(
+            ParamSpec("epsilon", float, default=0.25, positive=True,
+                      doc="geometric Δ-grid ratio (adjacent deltas differ by 1+ε)"),
+            ParamSpec("inner", str, default="lpt", choices=sub_solver_choices,
+                      doc="SBO sub-solver for the independent-tasks sweep"),
+            ParamSpec("order", str, default="bottom-level",
+                      choices=("arbitrary", "spt", "lpt", "bottom-level"),
+                      doc="RLS tie-breaking order for the DAG sweep"),
+            ParamSpec("delta_min", float, positive=True,
+                      doc="smallest Δ of the sweep (default 1/16, or 2 on DAGs)"),
+            ParamSpec("delta_max", float, positive=True,
+                      doc="largest Δ of the sweep (default 16)"),
+        ),
+        run=_run_pareto_approx,
+        guarantee=None,
+    ))
+    register(SolverEntry(
+        name="uniform_list",
+        summary="Q|p_j,s_j| extension: earliest-completion-time list scheduling on uniform machines",
+        capabilities=SolverCapabilities(objectives=("cmax",)),
+        params=(_UNIFORM_ORDER,),
+        run=_run_uniform_list,
+        guarantee=None,
+    ))
+    register(SolverEntry(
+        name="uniform_rls",
+        summary="Q|p_j,s_j| extension: RLS_Δ memory budget + ECT placement on uniform machines",
+        capabilities=SolverCapabilities(is_bi_objective=True, objectives=("cmax", "mmax")),
+        params=(
+            ParamSpec("delta", float, default=2.5, positive=True,
+                      doc="memory budget multiplier Δ (Δ >= 2 always feasible)"),
+            _UNIFORM_ORDER,
+        ),
+        run=_run_uniform_rls,
+        guarantee=lambda m, p: (math.inf, float(p.get("delta", 2.5))),
     ))

@@ -1,0 +1,38 @@
+"""Module-level custom solver used by the solve_many spawn regression test.
+
+The entry's callables live at module level so the :class:`SolverEntry`
+pickles — exactly what ``solve_many`` requires to ship a runtime-registered
+solver into ``spawn``-started worker processes (tests/test_batch_throughput.py).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.solvers import SolverCapabilities, SolverEntry
+
+#: In-process invocation counter (workers=1 paths only; worker processes
+#: increment their own copy, which the parent never sees).
+CALLS = {"count": 0}
+
+
+def run_reverse_list(instance, params: Dict[str, object]):
+    """List-schedule the tasks in reverse insertion order (deterministic)."""
+    from repro.algorithms.list_scheduling import list_schedule
+
+    CALLS["count"] += 1
+    inst = instance.as_independent() if hasattr(instance, "as_independent") else instance
+    schedule = list_schedule(inst, order="arbitrary")
+    return schedule, (math.inf, math.inf), None, {"custom": True}
+
+
+def make_entry(name: str = "reverse_list") -> SolverEntry:
+    return SolverEntry(
+        name=name,
+        summary="test-only custom solver (spawn-shipping regression)",
+        capabilities=SolverCapabilities(),
+        params=(),
+        run=run_reverse_list,
+        guarantee=None,
+    )

@@ -1,0 +1,133 @@
+"""Golden-fixture generator for the regression suite (tests/test_golden.py).
+
+Defines a small fixed instance suite and the spec list pinned per
+instance, computes every (instance, spec) result through the unified
+facade, and writes ``tests/golden/golden.json``.  Run it only when an
+output change is *intended* (a new solver, or a consciously accepted
+behaviour change)::
+
+    PYTHONPATH=src python tests/make_golden.py
+
+The fixture pins, bit-for-bit: the content hash of every instance, the
+measured objective values, the guarantee tuples, and feasibility — so
+any refactor that silently changes solver output fails loudly in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.instance import DAGInstance, Instance
+from repro.extensions.uniform_machines import UniformInstance
+from repro.solvers import available_solvers, solve
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "golden.json"
+
+#: Specs every independent-task instance is pinned against.  ``exact``
+#: keeps the suite small (n <= 8) so branch-and-bound stays instant.
+INDEPENDENT_SPECS = [
+    "lpt",
+    "lpt(objective=memory)",
+    "list",
+    "spt",
+    "multifit",
+    "exact",
+    "ptas",
+    "ptas-fine",
+    "sbo(delta=0.5)",
+    "sbo(delta=1.0)",
+    "sbo(delta=2.0, inner=multifit)",
+    "rls(delta=2.5)",
+    "trio(delta=2.5)",
+    "pareto_approx(epsilon=0.5)",
+    "uniform_list",
+    "uniform_rls(delta=2.5)",
+]
+
+#: Specs pinned on the precedence-constrained instance (DAG-capable only).
+DAG_SPECS = [
+    "rls(delta=2.5)",
+    "rls(delta=3.0, order=bottom-level)",
+    "pareto_approx(epsilon=0.5)",
+]
+
+
+def golden_instances() -> Dict[str, Instance]:
+    """The fixed instance suite: hand-coded, RNG-free, exact-solver sized."""
+    return {
+        "small-independent": Instance.from_lists(
+            p=[4, 3, 2, 2, 1, 6, 5], s=[1, 5, 2, 4, 3, 2, 6], m=3,
+            name="small-independent",
+        ),
+        "ties-independent": Instance.from_lists(
+            p=[3, 3, 3, 2, 2, 2], s=[2, 2, 2, 3, 3, 3], m=2,
+            name="ties-independent",
+        ),
+        "dag-diamond": DAGInstance.from_lists(
+            p=[2, 3, 1, 4, 2, 5], s=[3, 1, 2, 2, 4, 1], m=2,
+            edges=[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5)],
+            name="dag-diamond",
+        ),
+        "uniform-3speeds": UniformInstance.from_lists(
+            p=[6, 5, 4, 3, 2, 1], s=[1, 2, 3, 1, 2, 3], speeds=[1.0, 2.0, 4.0],
+            name="uniform-3speeds",
+        ),
+    }
+
+
+def golden_specs(name: str, instance: Instance) -> List[str]:
+    if isinstance(instance, DAGInstance) and not instance.is_independent():
+        specs = list(DAG_SPECS)
+    else:
+        specs = list(INDEPENDENT_SPECS)
+    # A per-instance memory budget keeps `constrained` feasible but tight.
+    budget = round(0.7 * instance.tasks.total_s, 6)
+    specs.append(f"constrained(budget={budget})")
+    return specs
+
+
+def compute_cases() -> List[Dict[str, object]]:
+    cases: List[Dict[str, object]] = []
+    for name, instance in golden_instances().items():
+        for spec in golden_specs(name, instance):
+            result = solve(instance, spec, cache=False)
+            cases.append({
+                "instance": name,
+                "spec": spec,
+                "solver": result.solver,
+                "canonical_spec": result.spec,
+                "feasible": result.feasible,
+                "cmax": result.cmax,
+                "mmax": result.mmax,
+                "sum_ci": result.sum_ci,
+                "guarantee": list(result.guarantee),
+            })
+    return cases
+
+
+def build_fixture() -> Dict[str, object]:
+    return {
+        "format": 1,
+        "instance_hashes": {
+            name: instance.content_hash()
+            for name, instance in golden_instances().items()
+        },
+        "solvers_covered": sorted({spec.split("(")[0] for name, inst in
+                                   golden_instances().items()
+                                   for spec in golden_specs(name, inst)}),
+        "registered_solvers": available_solvers(),
+        "cases": compute_cases(),
+    }
+
+
+def main() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    fixture = build_fixture()
+    GOLDEN_PATH.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(fixture['cases'])} golden cases to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

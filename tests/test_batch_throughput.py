@@ -1,0 +1,209 @@
+"""Throughput behaviour of the rewritten ``solve_many``.
+
+Covers the three levels of work elimination (dedup, cache, instance
+batching), serial/parallel bit-for-bit parity with caching on, and the
+spawn-platform regression: custom registry entries are resolved in the
+parent and shipped to workers (or fall back to serial when unpicklable)
+instead of silently failing under the ``spawn`` start method.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.solvers import (
+    DiskCache,
+    LRUCache,
+    SolverCapabilities,
+    SolverEntry,
+    register,
+    solve,
+    solve_many,
+)
+from repro.solvers.registry import _REGISTRY, is_builtin
+
+import _spawn_helper
+
+
+@pytest.fixture
+def inst():
+    return Instance.from_lists(p=[4, 3, 2, 2, 1], s=[1, 5, 2, 4, 3], m=2, name="a")
+
+
+@pytest.fixture
+def other():
+    return Instance.from_lists(p=[5, 4, 3, 2, 1, 9], s=[2, 2, 2, 2, 2, 1], m=3, name="b")
+
+
+def _values(results):
+    return [(r.spec, r.feasible, r.cmax, r.mmax, r.sum_ci, r.guarantee) for r in results]
+
+
+@pytest.fixture
+def custom_solver():
+    """Register the picklable test solver; restore the registry afterwards."""
+    _spawn_helper.CALLS["count"] = 0
+    register(_spawn_helper.make_entry(), replace=True)
+    yield "reverse_list"
+    _REGISTRY.pop("reverse_list", None)
+
+
+class TestDedup:
+    def test_duplicate_jobs_one_computation(self, inst, custom_solver):
+        results = solve_many([inst, inst], [custom_solver, custom_solver])
+        assert len(results) == 4
+        assert _spawn_helper.CALLS["count"] == 1  # 4 jobs, 1 distinct computation
+        stats = results[0].provenance["batch"]
+        # No cache configured: hit/miss counters stay 0 (no lookup happened).
+        assert stats == {"jobs": 4, "unique": 1, "deduped": 3,
+                         "cache_hits": 0, "cache_misses": 0}
+        assert len({_values([r])[0] for r in results}) == 1
+
+    def test_equal_content_different_objects_deduped(self, custom_solver):
+        twin_a = Instance.from_lists(p=[1, 2, 3], s=[3, 2, 1], m=2, name="x")
+        twin_b = Instance.from_lists(p=[1, 2, 3], s=[3, 2, 1], m=2, name="y")
+        assert twin_a is not twin_b
+        results = solve_many([twin_a, twin_b], custom_solver)
+        assert _spawn_helper.CALLS["count"] == 1
+        assert results[0].provenance["batch"]["unique"] == 1
+
+    def test_dedupe_off_recomputes(self, inst, custom_solver):
+        results = solve_many([inst, inst], custom_solver, dedupe=False)
+        assert _spawn_helper.CALLS["count"] == 2
+        assert results[0].provenance["batch"]["deduped"] == 0
+        assert _values(results)[0] == _values(results)[1]
+
+    def test_distinct_jobs_not_deduped(self, inst, other):
+        results = solve_many([inst, other], ["lpt", "spt"])
+        assert results[0].provenance["batch"] == {
+            "jobs": 4, "unique": 4, "deduped": 0, "cache_hits": 0, "cache_misses": 0,
+        }
+
+
+class TestCacheWarmRuns:
+    SPECS = ["sbo(delta=0.5)", "sbo(delta=2.0)", "rls(delta=2.5)", "trio(delta=3)"]
+
+    def test_second_run_all_hits(self, inst, other, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        cold = solve_many([inst, other], self.SPECS, cache=cache)
+        assert cold[0].provenance["batch"]["cache_misses"] == 8
+        assert all(r.provenance["cache"] == "miss" for r in cold)
+
+        warm = solve_many([inst, other], self.SPECS, cache=DiskCache(tmp_path / "cache"))
+        stats = warm[0].provenance["batch"]
+        assert stats["cache_hits"] == 8 and stats["cache_misses"] == 0
+        assert all(r.provenance["cache"] == "hit" for r in warm)
+        assert _values(warm) == _values(cold)
+
+    def test_cache_shared_with_plain_solve(self, inst):
+        cache = LRUCache()
+        direct = solve(inst, "sbo(delta=1.0)", cache=cache)
+        batched = solve_many([inst], "sbo(delta=1.0)", cache=cache)
+        assert batched[0].provenance["cache"] == "hit"
+        assert batched[0].objectives == direct.objectives
+
+    def test_dedup_and_cache_counters_compose(self, inst, tmp_path):
+        cache = DiskCache(tmp_path)
+        solve_many([inst], "lpt", cache=cache)
+        stats = solve_many([inst, inst], ["lpt", "spt"], cache=cache)[0].provenance["batch"]
+        assert stats == {"jobs": 4, "unique": 2, "deduped": 2,
+                         "cache_hits": 1, "cache_misses": 1}
+
+    def test_custom_solver_bypasses_cache(self, inst, custom_solver, tmp_path):
+        # A runtime-registered solver's implementation is invisible to the
+        # cache key, so its results are never stored or served from cache.
+        cache = DiskCache(tmp_path)
+        first = solve_many([inst], [custom_solver, "lpt"], cache=cache)
+        second = solve_many([inst], [custom_solver, "lpt"], cache=cache)
+        assert len(cache) == 1  # only the builtin lpt result was stored
+        assert "cache" not in first[0].provenance and "cache" not in second[0].provenance
+        assert second[1].provenance["cache"] == "hit"
+        assert second[0].provenance["batch"] == {
+            "jobs": 2, "unique": 2, "deduped": 0, "cache_hits": 1, "cache_misses": 0,
+        }
+        assert _spawn_helper.CALLS["count"] == 2  # recomputed on the warm run
+
+
+class TestSerialParallelParity:
+    SPECS = ["sbo(delta=0.5)", "sbo(delta=2.0)", "rls(delta=2.5)", "trio(delta=3)", "lpt"]
+
+    def test_bit_for_bit_parity_with_caching_on(self, inst, other, tmp_path):
+        serial = solve_many([inst, other], self.SPECS, workers=1,
+                            cache=DiskCache(tmp_path / "serial"))
+        parallel = solve_many([inst, other], self.SPECS, workers=3,
+                              cache=DiskCache(tmp_path / "parallel"))
+        assert len(serial) == len(parallel) == 10
+        assert _values(serial) == _values(parallel)
+        assert [r.schedule.assignment for r in serial] == \
+               [r.schedule.assignment for r in parallel]
+        # Fresh caches on both sides: identical miss accounting too.
+        assert [r.provenance["batch"] for r in serial] == \
+               [r.provenance["batch"] for r in parallel]
+
+    def test_parallel_warm_run_skips_the_pool(self, inst, other, tmp_path):
+        cache = DiskCache(tmp_path)
+        solve_many([inst, other], self.SPECS, workers=1, cache=cache)
+        warm = solve_many([inst, other], self.SPECS, workers=3, cache=cache)
+        assert all(r.provenance["cache"] == "hit" for r in warm)
+
+    def test_instance_batching_keeps_job_order(self, inst, other):
+        results = solve_many([inst, other], ["lpt", "spt", "multifit"], workers=2)
+        assert [r.solver for r in results] == ["lpt", "spt", "multifit"] * 2
+        assert results[0].schedule.instance.n == inst.n
+        assert results[3].schedule.instance.n == other.n
+
+
+class TestSpawnPlatform:
+    """Regression for the documented spawn caveat: runtime-registered
+    entries must reach (or bypass) worker processes on any platform."""
+
+    def test_custom_entry_shipped_under_spawn(self, inst, other, custom_solver):
+        results = solve_many([inst, other], [custom_solver, "lpt"],
+                             workers=2, start_method="spawn")
+        assert [r.solver for r in results] == [custom_solver, "lpt"] * 2
+        assert all(r.feasible for r in results)
+        # Shipped entries really ran in the workers, not the parent.
+        assert _spawn_helper.CALLS["count"] == 0
+        expected = solve(inst, custom_solver, cache=False)
+        assert results[0].cmax == expected.cmax
+        assert results[0].provenance["custom"] is True
+
+    def test_unpicklable_entry_falls_back_to_serial(self, inst, other):
+        register(SolverEntry(
+            name="lambda_solver", summary="unpicklable test entry",
+            capabilities=SolverCapabilities(), params=(),
+            run=lambda instance, params: (  # noqa: E731 - deliberately a lambda
+                __import__("repro.algorithms.lpt", fromlist=["lpt_schedule"]).lpt_schedule(
+                    instance.as_independent() if hasattr(instance, "as_independent")
+                    else instance
+                ),
+                (math.inf, math.inf), None, {},
+            ),
+        ), replace=True)
+        try:
+            results = solve_many([inst, other], ["lambda_solver", "lpt"],
+                                 workers=2, start_method="spawn")
+            assert [r.solver for r in results] == ["lambda_solver", "lpt"] * 2
+            assert all(r.feasible for r in results)
+        finally:
+            _REGISTRY.pop("lambda_solver", None)
+
+    def test_is_builtin_classification(self, custom_solver):
+        assert is_builtin("sbo") and is_builtin("uniform_rls")
+        assert not is_builtin(custom_solver)
+
+    def test_replaced_builtin_shipped_under_spawn(self, inst, other):
+        # Overriding a builtin name with register(replace=True) must reach
+        # spawn workers too — otherwise they silently run the stock entry.
+        original = _REGISTRY["lpt"]
+        register(_spawn_helper.make_entry("lpt"), replace=True)
+        try:
+            assert not is_builtin("lpt")
+            results = solve_many([inst, other], "lpt", workers=2, start_method="spawn")
+            assert all(r.provenance.get("custom") is True for r in results)
+        finally:
+            _REGISTRY["lpt"] = original
+            assert is_builtin("lpt")

@@ -119,14 +119,15 @@ class TestRegistry:
     def test_all_solvers_registered(self):
         names = available_solvers()
         for expected in ("sbo", "rls", "trio", "constrained", "lpt", "spt",
-                         "list", "multifit", "ptas", "ptas-fine", "exact"):
+                         "list", "multifit", "ptas", "ptas-fine", "exact",
+                         "pareto_approx", "uniform_list", "uniform_rls"):
             assert expected in names
 
     def test_capability_filtering(self):
-        assert available_solvers(supports_dag=True) == ["constrained", "rls"]
+        assert available_solvers(supports_dag=True) == ["constrained", "pareto_approx", "rls"]
         assert available_solvers(supports_constraint=True) == ["constrained"]
         bi = available_solvers(is_bi_objective=True)
-        assert set(bi) == {"sbo", "rls", "trio", "constrained"}
+        assert set(bi) == {"sbo", "rls", "trio", "constrained", "pareto_approx", "uniform_rls"}
         assert "sbo" not in available_solvers(is_bi_objective=False)
 
     def test_solver_capabilities(self):
