@@ -1,0 +1,159 @@
+"""Service benchmark: 32 concurrent clients over a 200-request workload.
+
+Drives a live :class:`~repro.service.SolverService` with a mixed-spec
+request stream fanned out over 32 async clients, twice:
+
+1. a **cold** pass against an empty read-through cache (misses compute in
+   the worker pool; duplicate requests coalesce), then
+2. a **warm** pass replaying the same 200 requests (served entirely from
+   the cache).
+
+Asserts the PR's acceptance criteria: **zero lost requests** (every
+client receives exactly one response per request and the service ledger
+balances), every response **bit-identical to a direct ``solve()``** on
+the same (instance, spec) pair, and **warm throughput at least 5x cold**.
+Runnable standalone (``PYTHONPATH=src python benchmarks/bench_service.py``)
+or under pytest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.service import ServiceConfig, SolverService
+from repro.solvers import LRUCache, solve
+from repro.workloads.independent import workload_suite
+
+CLIENTS = 32
+TOTAL_REQUESTS = 200
+
+#: Mixed paper-style specs: cheap single-objective runs next to heavier
+#: bi-objective sweeps, so the stream is realistically lumpy.
+SPECS = [
+    "lpt",
+    "multifit",
+    "sbo(delta=0.5)",
+    "sbo(delta=1.0)",
+    "sbo(delta=2.0, inner=multifit)",
+    "rls(delta=2.5)",
+    "trio(delta=2.5)",
+    "pareto_approx(epsilon=0.5)",
+]
+
+
+def build_requests():
+    """A deterministic 200-request mixed workload with natural repeats."""
+    instances = list(workload_suite(60, 4, seed=0).values()) + \
+        list(workload_suite(40, 3, seed=1).values())
+    return [
+        (i % len(instances), SPECS[(i * 3) % len(SPECS)])
+        for i in range(TOTAL_REQUESTS)
+    ], instances
+
+
+async def run_pass(svc: SolverService, requests, instances):
+    """Fan the request list out over CLIENTS concurrent clients."""
+    responses: dict = {}
+
+    async def client(client_id: int):
+        count = 0
+        for req_idx in range(client_id, len(requests), CLIENTS):
+            inst_idx, spec = requests[req_idx]
+            result = await svc.solve(instances[inst_idx], spec)
+            responses[req_idx] = result
+            count += 1
+        return count
+
+    start = time.perf_counter()
+    counts = await asyncio.gather(*(client(c) for c in range(CLIENTS)))
+    elapsed = time.perf_counter() - start
+    return responses, counts, elapsed
+
+
+def run_service_benchmark() -> dict:
+    requests, instances = build_requests()
+
+    # Ground truth: one direct solve per unique (instance, spec) pair.
+    truth = {
+        pair: solve(instances[pair[0]], pair[1], cache=False)
+        for pair in sorted(set(requests))
+    }
+
+    async def scenario() -> dict:
+        config = ServiceConfig(
+            workers=4, max_pending=64, backpressure="wait", cache=LRUCache(maxsize=4096)
+        )
+        async with SolverService(config) as svc:
+            cold_responses, cold_counts, cold_s = await run_pass(svc, requests, instances)
+            warm_responses, warm_counts, warm_s = await run_pass(svc, requests, instances)
+            stats = svc.stats()
+        return {
+            "cold": (cold_responses, cold_counts, cold_s),
+            "warm": (warm_responses, warm_counts, warm_s),
+            "stats": stats,
+        }
+
+    outcome = asyncio.run(scenario())
+
+    for label in ("cold", "warm"):
+        responses, counts, _ = outcome[label]
+        # Zero lost requests: every request slot answered exactly once.
+        assert sum(counts) == TOTAL_REQUESTS, f"{label}: lost requests"
+        assert sorted(responses) == list(range(TOTAL_REQUESTS)), f"{label}: missing responses"
+        # Bit-identical to direct solve().
+        for req_idx, result in responses.items():
+            direct = truth[requests[req_idx]]
+            assert result.objectives == direct.objectives, f"{label}: objectives diverged"
+            assert result.guarantee == direct.guarantee
+            assert result.spec == direct.spec
+            assert result.schedule.assignment == direct.schedule.assignment
+
+    stats = outcome["stats"]
+    assert stats.lost == 0, f"service ledger does not balance: {stats}"
+    assert stats.submitted == 2 * TOTAL_REQUESTS
+
+    cold_s, warm_s = outcome["cold"][2], outcome["warm"][2]
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    return {
+        "requests": TOTAL_REQUESTS,
+        "clients": CLIENTS,
+        "unique_jobs": len(truth),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": speedup,
+        "cold_rps": TOTAL_REQUESTS / cold_s,
+        "warm_rps": TOTAL_REQUESTS / warm_s,
+        "stats": stats.to_dict(),
+    }
+
+
+def _print_report(report: dict) -> None:
+    stats = report["stats"]
+    print(f"clients              : {report['clients']}")
+    print(f"requests per pass    : {report['requests']} ({report['unique_jobs']} unique jobs)")
+    print(f"cold pass            : {report['cold_s'] * 1e3:8.1f} ms ({report['cold_rps']:8.1f} req/s)")
+    print(f"warm pass            : {report['warm_s'] * 1e3:8.1f} ms ({report['warm_rps']:8.1f} req/s)")
+    print(f"warm speedup         : {report['speedup']:8.1f}x")
+    print(f"cache hits / misses  : {stats['cache_hits']} / {stats['cache_misses']}")
+    print(f"coalesced            : {stats['coalesced']}")
+    print(f"completed (pool jobs): {stats['completed']}")
+    print(f"lost                 : {stats['lost']}")
+
+
+def test_bench_service():
+    report = run_service_benchmark()
+    print()
+    _print_report(report)
+    assert report["stats"]["lost"] == 0
+    assert report["speedup"] >= 5.0, (
+        f"warm pass only {report['speedup']:.1f}x faster than cold "
+        f"(acceptance criterion is >= 5x)"
+    )
+
+
+if __name__ == "__main__":
+    report = run_service_benchmark()
+    _print_report(report)
+    assert report["speedup"] >= 5.0
+    print("acceptance criteria (zero lost, bit-identical, >= 5x warm speedup): PASS")

@@ -18,6 +18,15 @@ algorithm fast but turns the certificate into a heuristic one.  The result
 records whether the fallback was ever taken so callers (and the SBO
 guarantee computation) know which ``ρ`` they actually obtained.
 
+Even below ``exact_threshold`` the branch-and-bound can blow up: with
+``m = 8`` bins and ~24 near-identical large tasks (bimodal workloads) an
+*infeasible* probe must exhaust an exponential search tree to reject the
+target.  ``node_budget`` caps the explored configuration space per oracle
+call; a probe that exhausts the budget falls back to FFD exactly like an
+oversized large-task set, so ``ptas``/``sbo(inner=ptas)`` terminate in
+bounded time on every workload (the certificate degrades from exact to
+heuristic, which the ``exact`` flag reports as usual).
+
 This substitution is documented in ``DESIGN.md``: at the instance sizes the
 experiments use, the exact oracle is active and the scheme behaves as a
 true ``(1 + ε)``-approximation.
@@ -34,7 +43,7 @@ from repro.core.instance import Instance
 from repro.core.schedule import Schedule
 from repro.core.task import Task
 
-__all__ = ["ptas_schedule", "PTASResult", "dual_feasibility_pack"]
+__all__ = ["ptas_schedule", "PTASResult", "dual_feasibility_pack", "DEFAULT_NODE_BUDGET"]
 
 
 def _weight(task: Task, objective: str) -> float:
@@ -62,22 +71,42 @@ class PTASResult:
     guarantee: float
 
 
+#: Default cap on branch-and-bound nodes per oracle call.  Large enough
+#: that every tractable packing seen in the test corpus stays exact (they
+#: need at most a few thousand nodes), small enough that an adversarial
+#: infeasible probe rejects in well under a second.
+DEFAULT_NODE_BUDGET = 20_000
+
+
+class _BudgetExhausted(Exception):
+    """Internal: the branch-and-bound node budget ran out mid-search."""
+
+
 def _pack_large_exact(
-    weights: Sequence[float], m: int, capacity: float
-) -> Optional[List[List[int]]]:
+    weights: Sequence[float], m: int, capacity: float,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> Tuple[Optional[List[List[int]]], bool]:
     """Branch-and-bound packing of ``weights`` into ``m`` bins of ``capacity``.
 
-    Returns per-bin lists of indices into ``weights`` or ``None`` when no
-    packing exists.  Items are considered in decreasing order and identical
-    bin loads are not revisited (standard symmetry breaking), which keeps
-    the search tractable for the few dozen large tasks the PTAS produces.
+    Returns ``(packing, certified)``: per-bin lists of indices into
+    ``weights`` (or ``None`` when no packing was found), and whether the
+    outcome is *certified* — ``False`` when the search exhausted
+    ``node_budget`` before proving infeasibility, in which case the caller
+    must fall back to a heuristic.  Items are considered in decreasing
+    order and identical bin loads are not revisited (standard symmetry
+    breaking); the node budget bounds the residual exponential cases
+    (many near-identical weights on many bins).
     """
     order = sorted(range(len(weights)), key=lambda i: -weights[i])
     eps = 1e-12 * max(1.0, capacity)
     loads = [0.0] * m
     bins: List[List[int]] = [[] for _ in range(m)]
+    nodes = [0]
 
     def backtrack(k: int) -> bool:
+        nodes[0] += 1
+        if nodes[0] > node_budget:
+            raise _BudgetExhausted
         if k == len(order):
             return True
         idx = order[k]
@@ -97,9 +126,12 @@ def _pack_large_exact(
                 bins[j].pop()
         return False
 
-    if backtrack(0):
-        return [list(b) for b in bins]
-    return None
+    try:
+        if backtrack(0):
+            return [list(b) for b in bins], True
+    except _BudgetExhausted:
+        return None, False
+    return None, True
 
 
 def dual_feasibility_pack(
@@ -109,6 +141,7 @@ def dual_feasibility_pack(
     epsilon: float,
     objective: str = "time",
     exact_threshold: int = 24,
+    node_budget: int = DEFAULT_NODE_BUDGET,
 ) -> Tuple[Optional[List[List[object]]], bool]:
     """Dual feasibility oracle of the Hochbaum–Shmoys scheme.
 
@@ -116,7 +149,9 @@ def dual_feasibility_pack(
     oracle rejects the target, otherwise per-processor lists of task ids
     whose weight per processor is at most ``(1 + epsilon) * target``.
     ``exact`` is ``False`` when the FFD fallback was used for the large
-    tasks, in which case a rejection is heuristic.
+    tasks — because there were more than ``exact_threshold`` of them or
+    the branch-and-bound exhausted ``node_budget`` — in which case a
+    rejection is heuristic.
     """
     if target <= 0:
         nonzero = any(_weight(t, objective) > 0 for t in tasks)
@@ -131,13 +166,19 @@ def dual_feasibility_pack(
         return None, True
 
     exact = True
+    packed = certified = None
     if len(large) <= exact_threshold:
-        packed = _pack_large_exact([_weight(t, objective) for t in large], m, target)
-        if packed is None:
+        packed, certified = _pack_large_exact(
+            [_weight(t, objective) for t in large], m, target, node_budget=node_budget
+        )
+        if packed is None and certified:
             return None, True
+    if packed is not None:
         contents: List[List[object]] = [[large[i].id for i in bin_] for bin_ in packed]
         loads = [sum(_weight(large[i], objective) for i in bin_) for bin_ in packed]
     else:
+        # Too many large tasks for the exact oracle, or its node budget ran
+        # out before certifying either outcome: heuristic FFD fallback.
         exact = False
         ffd = ffd_pack(list(large), m, (1.0 + epsilon) * target, objective)
         if ffd is None:
@@ -166,6 +207,7 @@ def ptas_schedule(
     objective: str = "time",
     exact_threshold: int = 24,
     iterations: int = 50,
+    node_budget: int = DEFAULT_NODE_BUDGET,
 ) -> PTASResult:
     """Hochbaum–Shmoys dual-approximation schedule of an independent-task instance.
 
@@ -182,6 +224,9 @@ def ptas_schedule(
         Maximum number of large tasks for which exact packing is attempted.
     iterations:
         Binary-search iterations on the makespan guess.
+    node_budget:
+        Cap on branch-and-bound nodes per oracle call; an exhausted probe
+        degrades to the FFD fallback instead of searching exponentially.
     """
     if epsilon <= 0:
         raise ValueError(f"epsilon must be > 0, got {epsilon}")
@@ -199,7 +244,7 @@ def ptas_schedule(
     upper = max(upper, lower)
 
     best_pack, best_exact = dual_feasibility_pack(
-        tasks, m, upper, epsilon, objective, exact_threshold
+        tasks, m, upper, epsilon, objective, exact_threshold, node_budget
     )
     best_target = upper
     if best_pack is None:  # pragma: no cover - LPT value is always feasible
@@ -215,7 +260,9 @@ def ptas_schedule(
         if hi - lo <= 1e-12 * max(1.0, hi):
             break
         mid = 0.5 * (lo + hi)
-        pack, exact = dual_feasibility_pack(tasks, m, mid, epsilon, objective, exact_threshold)
+        pack, exact = dual_feasibility_pack(
+            tasks, m, mid, epsilon, objective, exact_threshold, node_budget
+        )
         all_exact = all_exact and exact
         if pack is None:
             lo = mid

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five sub-commands cover the typical workflows:
+Six sub-commands cover the typical workflows:
 
 ``generate``
     Create a synthetic instance (independent workload or DAG family) and
@@ -17,6 +17,10 @@ Five sub-commands cover the typical workflows:
     its table and shape checks.
 ``report``
     Regenerate the full EXPERIMENTS.md-style Markdown report.
+``serve``
+    Run the asyncio solver service (:mod:`repro.service`): a persistent
+    worker fleet shared by many clients over line-delimited JSON on
+    stdin/stdout (default) or TCP (``--port``).
 
 Examples::
 
@@ -29,6 +33,7 @@ Examples::
     python -m repro schedule --input inst.json --algorithm sbo --delta 1.0 --gantt
     python -m repro experiments --id FIG-3
     python -m repro report > EXPERIMENTS.md
+    python -m repro serve --port 8373 --workers 4 --cache .repro-cache
 """
 
 from __future__ import annotations
@@ -295,6 +300,67 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# serve (async solver service)
+# --------------------------------------------------------------------------- #
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ServiceConfig, SolverService
+    from repro.service.server import serve_stdio, serve_tcp
+
+    if args.stdio and args.port is not None:
+        print("error: --stdio and --port are mutually exclusive", file=sys.stderr)
+        return 2
+    try:
+        config = ServiceConfig(
+            workers=args.workers,
+            max_pending=args.max_pending,
+            backpressure=args.policy,
+            default_timeout=args.timeout,
+            cache=args.cache if args.cache else False,
+            start_method=args.start_method,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        async with SolverService(config) as svc:
+            if args.port is None:
+                print(
+                    f"repro service on stdio ({config.workers} workers, "
+                    f"max_pending={config.max_pending}, policy={config.backpressure})"
+                    + (f", cache={args.cache}" if args.cache else ""),
+                    file=sys.stderr, flush=True,
+                )
+                await serve_stdio(svc)
+            else:
+                shutdown = asyncio.Event()
+                server = await serve_tcp(svc, args.host, args.port, shutdown)
+                port = server.sockets[0].getsockname()[1]
+                # The banner goes to stderr (stdout stays protocol-clean) and
+                # reports the actual port so --port 0 is test/script friendly.
+                print(
+                    f"repro service listening on {args.host}:{port} "
+                    f"({config.workers} workers, max_pending={config.max_pending}, "
+                    f"policy={config.backpressure})"
+                    + (f", cache={args.cache}" if args.cache else ""),
+                    file=sys.stderr, flush=True,
+                )
+                try:
+                    await shutdown.wait()
+                finally:
+                    server.close()
+                    await server.wait_closed()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
@@ -354,6 +420,30 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--cache", default=None, metavar="DIR",
                      help="persistent result-cache directory shared by every solve of the run")
     rep.set_defaults(func=_cmd_report)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the async solver service (line-delimited JSON over stdio or TCP)",
+    )
+    srv.add_argument("--stdio", action="store_true",
+                     help="serve one client on stdin/stdout (the default transport)")
+    srv.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    srv.add_argument("--port", type=int, default=None,
+                     help="TCP port (0 picks a free one; omit for stdio mode)")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="solver worker processes shared by all clients")
+    srv.add_argument("--max-pending", type=int, default=64,
+                     help="bound on admitted unfinished jobs (backpressure threshold)")
+    srv.add_argument("--policy", default="wait", choices=["wait", "reject"],
+                     help="backpressure policy once max-pending jobs are admitted")
+    srv.add_argument("--timeout", type=float, default=None,
+                     help="default per-request timeout in seconds (unlimited when omitted)")
+    srv.add_argument("--cache", default=None, metavar="DIR",
+                     help="persistent result-cache directory consulted before dispatch")
+    srv.add_argument("--start-method", default=None,
+                     choices=["fork", "spawn", "forkserver"],
+                     help="multiprocessing start method for the worker pool")
+    srv.set_defaults(func=_cmd_serve)
 
     return parser
 

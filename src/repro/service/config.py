@@ -1,0 +1,105 @@
+"""Configuration of the asyncio serving layer (:class:`ServiceConfig`).
+
+One frozen dataclass holds every tunable of a
+:class:`~repro.service.service.SolverService`: worker-pool size, the
+request-queue bound and its backpressure policy, request timeouts
+(default and per solver), the read-through result cache, and coalescing.
+Freezing the config keeps a running service's behaviour inspectable and
+prevents mid-flight reconfiguration races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional
+
+from repro.solvers.cache import CacheLike
+
+__all__ = ["ServiceConfig", "BACKPRESSURE_POLICIES"]
+
+#: Accepted ``backpressure`` values: ``"wait"`` queues submitters on the
+#: bound (fair FIFO), ``"reject"`` fails fast with
+#: :class:`~repro.service.service.ServiceOverloadedError`.
+BACKPRESSURE_POLICIES = ("wait", "reject")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of a :class:`~repro.service.service.SolverService`.
+
+    Attributes
+    ----------
+    workers:
+        Size of the persistent process pool executing solver jobs.
+    max_pending:
+        Bound on *admitted but unfinished* unique jobs (queued + running).
+        Cache hits and coalesced joins never consume a slot.
+    backpressure:
+        What happens when ``max_pending`` jobs are already admitted:
+        ``"wait"`` parks the submitter until a slot frees (fair FIFO),
+        ``"reject"`` raises ``ServiceOverloadedError`` immediately.
+    default_timeout:
+        Per-request timeout in seconds applied when neither the call nor
+        ``spec_timeouts`` names one; ``None`` waits indefinitely.
+    spec_timeouts:
+        Per-solver-name timeout overrides, e.g. ``{"pareto_approx": 30.0}``
+        — matched on the registry entry name, not the full spec string.
+    cache:
+        Read-through result cache consulted before dispatch and filled
+        after computation.  Semantics follow ``solve(..., cache=...)``:
+        ``None`` defers to the process default installed via
+        :func:`repro.solvers.cache.configure_cache`, ``False`` disables,
+        a directory path or cache object enables.
+    coalesce:
+        Merge concurrent requests for the same ``(instance content,
+        canonical bound spec)`` into one computation (every solver in the
+        package is deterministic, so all callers receive the same result).
+    start_method:
+        Optional multiprocessing start method for the worker pool
+        (``"fork"``, ``"spawn"``, ``"forkserver"``); ``None`` uses the
+        platform default.
+    latency_window:
+        Number of most-recent request latencies kept for the percentile
+        snapshot in :meth:`SolverService.stats`.
+    """
+
+    workers: int = 2
+    max_pending: int = 64
+    backpressure: str = "wait"
+    default_timeout: Optional[float] = None
+    spec_timeouts: Mapping[str, float] = field(default_factory=dict)
+    cache: CacheLike = None
+    coalesce: bool = True
+    start_method: Optional[str] = None
+    latency_window: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+        if self.default_timeout is not None and self.default_timeout <= 0:
+            raise ValueError(
+                f"default_timeout must be > 0 or None, got {self.default_timeout}"
+            )
+        if self.latency_window < 1:
+            raise ValueError(f"latency_window must be >= 1, got {self.latency_window}")
+        timeouts: Dict[str, float] = {}
+        for name, seconds in dict(self.spec_timeouts).items():
+            seconds = float(seconds)
+            if seconds <= 0:
+                raise ValueError(
+                    f"spec timeout for {name!r} must be > 0, got {seconds}"
+                )
+            timeouts[name] = seconds
+        # Freeze a validated private copy, decoupled from the caller's dict.
+        object.__setattr__(self, "spec_timeouts", timeouts)
+
+    def with_overrides(self, **overrides: object) -> "ServiceConfig":
+        """A copy of this config with ``overrides`` applied (re-validated)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]

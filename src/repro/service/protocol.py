@@ -1,0 +1,190 @@
+"""Line-delimited JSON protocol spoken by ``repro serve``.
+
+One request or response per line — no web framework, no framing beyond
+``\\n``, so any language (or a human with ``nc``) can talk to the server.
+
+Requests are JSON objects with an optional ``id`` (echoed verbatim in
+the response so clients can multiplex) and an ``op``:
+
+``solve`` (the default when ``op`` is omitted)
+    ``{"id": 1, "instance": {...}, "spec": "sbo(delta=1.0)",
+    "params": {...}, "timeout": 5.0}`` — ``instance`` is the JSON form
+    produced by ``Instance.to_dict()`` / ``repro generate`` (kinds
+    ``independent`` and ``dag``), ``params`` are optional spec overrides,
+    ``timeout`` optional seconds.
+``stats``
+    ``{"op": "stats"}`` — returns the service stats snapshot.
+``ping``
+    ``{"op": "ping"}`` — liveness probe.
+``shutdown``
+    ``{"op": "shutdown"}`` — asks the server to stop after responding.
+
+Responses: ``{"id": ..., "ok": true, "result": {...}}`` on success, or
+``{"id": ..., "ok": false, "error": {"type": "SpecError", "message":
+"..."}}``.  The solve result payload carries everything a client needs to
+reconstruct the outcome: objectives, guarantee tuple, feasibility,
+canonical spec, provenance extras, wall time, and the schedule as a
+``[[task_id, processor], ...]`` assignment list (task ids may be
+non-string, so the assignment is not a JSON object).
+
+Non-finite floats (``inf`` guarantees of unbounded objectives) are
+serialized as the JSON-extension literals ``Infinity``/``NaN`` that
+Python's ``json`` emits and parses natively — a non-Python client must
+tolerate them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.instance import DAGInstance, Instance
+from repro.solvers.result import SolveResult
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "encode_message",
+    "decode_message",
+    "instance_from_payload",
+    "result_to_payload",
+    "solve_request",
+    "values_from_payload",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Provenance keys surfaced to clients next to the result payload.
+_PROVENANCE_KEYS = ("solver", "spec", "params", "version", "cache")
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be parsed or is structurally invalid."""
+
+
+def encode_message(payload: Dict[str, object]) -> bytes:
+    """Serialize one message to a single ``\\n``-terminated line."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line: Union[str, bytes]) -> Dict[str, object]:
+    """Parse one request line; raises :class:`ProtocolError` with a reason."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"request line is not valid UTF-8: {exc}") from None
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty request line")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request line is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def instance_from_payload(data: object) -> Union[Instance, DAGInstance]:
+    """Rebuild an instance from its ``to_dict()`` JSON form."""
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"'instance' must be a JSON object (Instance.to_dict() form), "
+            f"got {type(data).__name__}"
+        )
+    kind = data.get("kind", "independent")
+    try:
+        if kind == "dag":
+            return DAGInstance.from_dict(data)
+        if kind == "independent":
+            return Instance.from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed instance payload: {exc}") from None
+    raise ProtocolError(
+        f"unknown instance kind {kind!r}; expected 'independent' or 'dag'"
+    )
+
+
+def _clean_float(value: float) -> float:
+    # json handles inf/nan natively (non-strict literals); normalize the
+    # type so numpy scalars in provenance never reach the encoder.
+    return float(value)
+
+
+def result_to_payload(result: SolveResult) -> Dict[str, object]:
+    """Flatten a :class:`SolveResult` into its JSON wire form."""
+    provenance = {
+        key: result.provenance[key]
+        for key in _PROVENANCE_KEYS
+        if key in result.provenance
+    }
+    extras = {
+        key: value
+        for key, value in result.provenance.items()
+        if key not in _PROVENANCE_KEYS and _is_json_safe(value)
+    }
+    assignment = None
+    if result.schedule is not None:
+        assignment = [[tid, proc] for tid, proc in result.schedule.assignment.items()]
+    return {
+        "solver": result.solver,
+        "spec": result.spec,
+        "feasible": result.feasible,
+        "cmax": _clean_float(result.cmax),
+        "mmax": _clean_float(result.mmax),
+        "sum_ci": _clean_float(result.sum_ci),
+        "guarantee": [_clean_float(v) for v in result.guarantee],
+        "wall_time": _clean_float(result.wall_time),
+        "assignment": assignment,
+        "provenance": provenance,
+        "extras": extras,
+    }
+
+
+def _is_json_safe(value: object, depth: int = 3) -> bool:
+    """True when ``value`` serializes to JSON without a custom encoder."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return True
+    if depth <= 0:
+        return False
+    if isinstance(value, (list, tuple)):
+        return all(_is_json_safe(v, depth - 1) for v in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(k, str) and _is_json_safe(v, depth - 1)
+            for k, v in value.items()
+        )
+    return False
+
+
+# ------------------------------------------------------------------------- #
+# client-side helpers (used by tests, benchmarks, and examples)
+# ------------------------------------------------------------------------- #
+def solve_request(
+    instance: Union[Instance, DAGInstance],
+    spec: str,
+    request_id: object = None,
+    timeout: Optional[float] = None,
+    params: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build a ``solve`` request payload for an instance/spec pair."""
+    payload: Dict[str, object] = {"op": "solve", "instance": instance.to_dict(), "spec": spec}
+    if request_id is not None:
+        payload["id"] = request_id
+    if timeout is not None:
+        payload["timeout"] = timeout
+    if params:
+        payload["params"] = dict(params)
+    return payload
+
+
+def values_from_payload(payload: Dict[str, object]) -> Tuple[float, float, float]:
+    """The ``(cmax, mmax, sum_ci)`` triple of a solve response payload."""
+    return (
+        float(payload["cmax"]),  # type: ignore[arg-type]
+        float(payload["mmax"]),  # type: ignore[arg-type]
+        float(payload["sum_ci"]),  # type: ignore[arg-type]
+    )

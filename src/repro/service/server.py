@@ -1,0 +1,234 @@
+"""Network front ends for :class:`~repro.service.service.SolverService`.
+
+Two transports speak the line-delimited JSON protocol of
+:mod:`repro.service.protocol`:
+
+* **stdio** — one client on stdin/stdout (``repro serve --stdio``); ideal
+  for subprocess embedding and piping;
+* **TCP** — many concurrent connections (``repro serve --port 8373``).
+
+Both process requests *concurrently*: every request line spawns a task,
+responses are written as they complete (the ``id`` echo lets clients
+match them), and a per-connection lock keeps response lines atomic.
+Request-level failures (bad JSON, unknown solver, capability errors,
+timeouts, backpressure rejections) are reported as error responses on
+the same connection — they never tear the server down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Dict, Optional, Set
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    instance_from_payload,
+    result_to_payload,
+)
+from repro.service.service import SolverService
+
+__all__ = ["handle_request", "serve_connection", "serve_tcp", "serve_stdio"]
+
+#: Per-line buffer limit for the stream readers.  The default asyncio limit
+#: (64 KiB) is far too small for a solve request carrying a few thousand
+#: tasks in its instance payload; 32 MiB comfortably fits ~10^5-task
+#: instances while still bounding a hostile unterminated line.
+READER_LIMIT = 32 * 1024 * 1024
+
+#: Request lines at or above this size are JSON-decoded off-loop, and solve
+#: payloads with at least :data:`~repro.service.service._OFFLOAD_TASK_COUNT`
+#: tasks are rebuilt off-loop, so one huge request cannot head-of-line block
+#: every other connection.
+INLINE_DECODE_LIMIT = 256 * 1024
+OFFLOAD_TASK_COUNT = 10_000
+
+
+async def handle_request(service: SolverService, request: Dict[str, object]) -> Dict[str, object]:
+    """Execute one decoded request and build the response payload.
+
+    ``shutdown`` is acknowledged here; actually stopping the loop is the
+    caller's job (it sees ``response.get("shutdown")``).
+    """
+    request_id = request.get("id")
+    op = request.get("op", "solve")
+    try:
+        if op == "solve":
+            data = request.get("instance")
+            if (
+                isinstance(data, dict)
+                and isinstance(data.get("tasks"), list)
+                and len(data["tasks"]) >= OFFLOAD_TASK_COUNT
+            ):
+                # Rebuilding a huge instance is CPU work — keep it off the
+                # event loop so other connections stay responsive.
+                instance = await asyncio.get_running_loop().run_in_executor(
+                    None, instance_from_payload, data
+                )
+            else:
+                instance = instance_from_payload(data)
+            spec = request.get("spec")
+            if not isinstance(spec, str) or not spec:
+                raise ProtocolError("'spec' must be a non-empty spec string")
+            params = request.get("params") or {}
+            if not isinstance(params, dict):
+                raise ProtocolError("'params' must be a JSON object")
+            timeout = request.get("timeout")
+            if timeout is not None and not isinstance(timeout, (int, float)):
+                raise ProtocolError("'timeout' must be a number of seconds")
+            kwargs: Dict[str, object] = dict(params)
+            if timeout is not None:
+                kwargs["timeout"] = float(timeout)
+            result = await service.solve(instance, spec, **kwargs)
+            return {"id": request_id, "ok": True, "result": result_to_payload(result)}
+        if op == "stats":
+            return {"id": request_id, "ok": True, "stats": service.stats().to_dict()}
+        if op == "ping":
+            return {"id": request_id, "ok": True, "pong": True,
+                    "protocol": PROTOCOL_VERSION}
+        if op == "shutdown":
+            return {"id": request_id, "ok": True, "shutdown": True}
+        raise ProtocolError(
+            f"unknown op {op!r}; expected solve, stats, ping, or shutdown"
+        )
+    except asyncio.CancelledError:
+        raise
+    except Exception as exc:  # every request-level failure becomes a response
+        return {
+            "id": request_id,
+            "ok": False,
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+        }
+
+
+async def serve_connection(
+    service: SolverService,
+    reader: "asyncio.StreamReader",
+    writer: "asyncio.StreamWriter",
+    shutdown: Optional["asyncio.Event"] = None,
+) -> None:
+    """Serve one client connection until EOF (or a ``shutdown`` request).
+
+    Requests run concurrently; in-flight ones are awaited before the
+    connection closes so no accepted request goes unanswered.
+    """
+    write_lock = asyncio.Lock()
+    tasks: Set["asyncio.Task"] = set()
+
+    async def respond(payload: Dict[str, object]) -> None:
+        async with write_lock:
+            try:
+                writer.write(encode_message(payload))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                # Peer went away before reading its response; the request's
+                # outcome is already recorded in the service stats.
+                pass
+
+    async def process(line: bytes) -> None:
+        try:
+            if len(line) >= INLINE_DECODE_LIMIT:
+                request = await asyncio.get_running_loop().run_in_executor(
+                    None, decode_message, line
+                )
+            else:
+                request = decode_message(line)
+        except ProtocolError as exc:
+            await respond({"id": None, "ok": False,
+                           "error": {"type": "ProtocolError", "message": str(exc)}})
+            return
+        response = await handle_request(service, request)
+        await respond(response)
+        if response.get("shutdown") and shutdown is not None:
+            shutdown.set()
+
+    shutdown_wait: Optional["asyncio.Task"] = (
+        asyncio.create_task(shutdown.wait()) if shutdown is not None else None
+    )
+    try:
+        while shutdown_wait is None or not shutdown_wait.done():
+            read = asyncio.create_task(reader.readline())
+            # Race the read against shutdown so a client that keeps the
+            # connection open after sending {"op": "shutdown"} cannot park
+            # the server in readline() forever.
+            race = {read} if shutdown_wait is None else {read, shutdown_wait}
+            await asyncio.wait(race, return_when=asyncio.FIRST_COMPLETED)
+            if not read.done():
+                read.cancel()
+                try:
+                    await read
+                except asyncio.CancelledError:
+                    pass
+                break
+            try:
+                line = read.result()
+            except ValueError as exc:
+                # A line exceeding READER_LIMIT cannot be framed: report it
+                # on the connection instead of dying silently, then close
+                # (the stream position is unrecoverable after an overrun).
+                await respond({"id": None, "ok": False,
+                               "error": {"type": "ProtocolError",
+                                         "message": f"request line too long: {exc}"}})
+                break
+            except (ConnectionError, OSError):
+                # Rude disconnect (RST, killed client): just drop the
+                # connection — no traceback, the server keeps serving.
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            task = asyncio.create_task(process(line))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+    finally:
+        if shutdown_wait is not None:
+            shutdown_wait.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - peer went away
+            pass
+        except NotImplementedError:
+            # The stdio pipe transport (FlowControlMixin) has no close
+            # waiter; closing it above already flushed everything.
+            pass
+
+
+async def serve_tcp(
+    service: SolverService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    shutdown: Optional["asyncio.Event"] = None,
+) -> "asyncio.base_events.Server":
+    """Start a TCP server; returns the listening ``asyncio.Server``.
+
+    ``port=0`` picks a free port (``server.sockets[0].getsockname()[1]``).
+    The caller owns the server object: close it (or set ``shutdown`` via a
+    client's ``shutdown`` op and watch the event) to stop accepting.
+    """
+    return await asyncio.start_server(
+        lambda reader, writer: serve_connection(service, reader, writer, shutdown),
+        host=host,
+        port=port,
+        limit=READER_LIMIT,
+    )
+
+
+async def serve_stdio(service: SolverService) -> None:
+    """Serve one client on this process's stdin/stdout until EOF."""
+    loop = asyncio.get_running_loop()
+    reader = asyncio.StreamReader(limit=READER_LIMIT)
+    protocol = asyncio.StreamReaderProtocol(reader)
+    await loop.connect_read_pipe(lambda: protocol, sys.stdin)
+    transport, writer_protocol = await loop.connect_write_pipe(
+        asyncio.streams.FlowControlMixin, sys.stdout
+    )
+    writer = asyncio.StreamWriter(transport, writer_protocol, None, loop)
+    shutdown = asyncio.Event()
+    await serve_connection(service, reader, writer, shutdown)

@@ -1,0 +1,575 @@
+"""``SolverService`` — an asyncio front end over the solver process pool.
+
+Many concurrent clients share one persistent fleet of solver workers::
+
+    async with SolverService(workers=4, cache=LRUCache()) as svc:
+        result = await svc.solve(instance, "sbo(delta=1.0)")
+
+The request path, in order:
+
+1. **validate** — :func:`repro.solvers.prepare` parses and binds the spec
+   and checks instance capabilities, so malformed requests fail before
+   touching the queue;
+2. **cache read-through** — builtin-solver requests are looked up in the
+   configured cache (:mod:`repro.solvers.cache`); a hit returns
+   immediately with ``provenance["cache"] == "hit"``, bypassing the queue;
+3. **coalesce** — a request identical to an in-flight job (same instance
+   content hash, same canonical bound spec) joins that job instead of
+   recomputing: one pool execution fans out to every waiter;
+4. **admit** — a bounded semaphore caps queued+running unique jobs
+   (``max_pending``); the ``"wait"`` policy parks submitters FIFO, the
+   ``"reject"`` policy raises :class:`ServiceOverloadedError` immediately;
+5. **execute** — the job runs ``solve(instance, spec, cache=False)`` in
+   the process pool (worker-side caching is pointless: the parent already
+   filtered hits, and cache objects cannot be shared across processes);
+   the result is stored into the cache and fanned out.
+
+Timeouts and cancellation are *waiter-scoped*: a coalesced job keeps
+running while any client still waits for it; when the last waiter times
+out or is cancelled, the job is abandoned — its pool future is cancelled
+if still queued, and if it is already executing, its eventual result is
+still stored into the cache (paid-for work is never discarded) and the
+worker slot is reclaimed the moment it finishes.  Abandonment is
+bookkept, so ``stats()`` gauges return to zero: no zombie jobs.
+
+Results are bit-identical to a direct :func:`repro.solvers.solve` call —
+same objectives, guarantee, schedule, and provenance (modulo the
+``"cache"`` hit/miss marker when a cache is configured, exactly like a
+direct cached ``solve``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Future as ConcurrentFuture
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from functools import partial
+from typing import Dict, Optional, Set, Union
+
+from repro.core.instance import DAGInstance, Instance
+from repro.service.config import ServiceConfig
+from repro.service.stats import LatencyWindow, ServiceStats, merge_latency
+from repro.solvers.api import PreparedSolve, prepare, solve
+from repro.solvers.batch import shippable_custom_entries
+from repro.solvers.cache import LRUCache, cache_key, resolve_cache
+from repro.solvers.registry import register
+from repro.solvers.spec import SolverSpec
+
+__all__ = [
+    "SolverService",
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "ServiceTimeoutError",
+]
+
+AnyInstance = Union[Instance, DAGInstance]
+
+#: Sentinel distinguishing "no timeout argument" from an explicit ``None``
+#: (which disables the configured default for this one request).
+_UNSET = object()
+
+#: Instances at or above this task count have their content hash computed
+#: off-loop (shared with the server's request-decoding threshold).
+_OFFLOAD_TASK_COUNT = 10_000
+
+
+class ServiceError(RuntimeError):
+    """Base class of the serving-layer errors."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service is not started, or already closed."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """``max_pending`` jobs are admitted and the policy is ``"reject"``."""
+
+
+class ServiceTimeoutError(ServiceError, TimeoutError):
+    """The per-request timeout elapsed before a result was available."""
+
+
+def _pool_solve(instance: AnyInstance, spec: SolverSpec, entries: tuple):
+    """Worker-side entry point (module level so it pickles).
+
+    Registers any shipped custom entries (needed under ``spawn``, where
+    workers do not inherit the parent registry), then runs the solve
+    uncached — the parent already consulted the cache.
+    """
+    for entry in entries:
+        register(entry, replace=True)
+    return solve(instance, spec, cache=False)
+
+
+class _Job:
+    """One unique in-flight computation and its fan-out future."""
+
+    __slots__ = ("key", "cache_key", "future", "waiters", "task", "pool_future")
+
+    def __init__(self, key: str, cache_key_: Optional[str], future: "asyncio.Future") -> None:
+        self.key = key
+        self.cache_key = cache_key_
+        self.future = future
+        self.waiters = 0
+        self.task: Optional["asyncio.Task"] = None
+        self.pool_future: Optional[ConcurrentFuture] = None
+
+
+class SolverService:
+    """Async request/response facade over a persistent solver worker pool.
+
+    Use as an async context manager (preferred) or call :meth:`start` /
+    :meth:`close` explicitly::
+
+        config = ServiceConfig(workers=4, max_pending=128, backpressure="wait")
+        async with SolverService(config) as svc:
+            results = await asyncio.gather(
+                *(svc.solve(inst, spec) for inst, spec in requests)
+            )
+
+    ``SolverService(workers=4)`` is shorthand for
+    ``SolverService(ServiceConfig(workers=4))``.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None, **overrides: object) -> None:
+        if config is None:
+            config = ServiceConfig(**overrides)  # type: ignore[arg-type]
+        elif overrides:
+            config = config.with_overrides(**overrides)
+        self.config = config
+        self._started = False
+        self._closed = False
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._fallback_pool: Optional[ThreadPoolExecutor] = None
+        self._cache = None
+        self._admit: Optional[asyncio.Semaphore] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._inflight: Dict[str, _Job] = {}
+        self._tasks: Set["asyncio.Task"] = set()
+        self._latency = LatencyWindow(config.latency_window)
+        self._counters: Dict[str, int] = {
+            name: 0
+            for name in ("submitted", "completed", "failed", "rejected",
+                         "timed_out", "cancelled", "coalesced", "abandoned",
+                         "cache_hits", "cache_misses")
+        }
+        self._queued = 0
+        self._running = 0
+        self._pending = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "SolverService":
+        """Create the worker pool and queue primitives (idempotent)."""
+        if self._closed:
+            raise ServiceClosedError("service already closed; create a new one")
+        if self._started:
+            return self
+        mp_context = None
+        if self.config.start_method is not None:
+            import multiprocessing
+
+            mp_context = multiprocessing.get_context(self.config.start_method)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.config.workers, mp_context=mp_context
+        )
+        self._cache = resolve_cache(self.config.cache)
+        self._admit = asyncio.Semaphore(self.config.max_pending)
+        self._slots = asyncio.Semaphore(self.config.workers)
+        self._started = True
+        return self
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop accepting requests and shut the pool down.
+
+        ``drain=True`` (default) waits for admitted jobs to finish;
+        ``drain=False`` cancels them (waiters see ``CancelledError``).
+        Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not self._started:
+            return
+        tasks = list(self._tasks)
+        if not drain:
+            for task in tasks:
+                task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        # shutdown() blocks until running workers finish — keep the loop free.
+        await loop.run_in_executor(
+            None, partial(self._pool.shutdown, wait=True, cancel_futures=True)
+        )
+        if self._fallback_pool is not None:
+            await loop.run_in_executor(
+                None, partial(self._fallback_pool.shutdown, wait=True, cancel_futures=True)
+            )
+
+    async def __aenter__(self) -> "SolverService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    @property
+    def is_running(self) -> bool:
+        return self._started and not self._closed
+
+    # ------------------------------------------------------------------ #
+    # the request path
+    # ------------------------------------------------------------------ #
+    async def solve(
+        self,
+        instance: AnyInstance,
+        spec: Union[str, SolverSpec],
+        *,
+        timeout: object = _UNSET,
+        **params: object,
+    ):
+        """Solve one request through the shared worker fleet.
+
+        Parameters mirror :func:`repro.solvers.solve` (``params`` are spec
+        overrides); ``timeout`` (seconds) overrides the configured
+        per-spec/default timeout for this request — pass ``None`` to wait
+        indefinitely.  Raises :class:`ServiceTimeoutError`,
+        :class:`ServiceOverloadedError`, :class:`ServiceClosedError`, or
+        whatever the underlying solver/spec validation raises.
+        """
+        if not self.is_running:
+            raise ServiceClosedError("service is not running (use 'async with SolverService(...)')")
+        prepared = prepare(instance, spec, **params)
+        # Validate the timeout before counting the submission, so an invalid
+        # request never unbalances the stats ledger (``lost`` stays 0).
+        timeout_s = self._effective_timeout(timeout, prepared.entry.name)
+        self._counters["submitted"] += 1
+        started = time.perf_counter()
+
+        if instance.n >= _OFFLOAD_TASK_COUNT:
+            # Hashing a very large instance is multi-millisecond CPU work;
+            # keep it off the event loop so other connections stay live.
+            content = await asyncio.get_running_loop().run_in_executor(
+                None, instance.content_hash
+            )
+        else:
+            content = instance.content_hash()
+        coalesce_key = f"{content}|{prepared.canonical}"
+        content_key = (
+            cache_key(content, prepared.canonical)
+            if (self._cache is not None and prepared.cacheable)
+            else None
+        )
+
+        if content_key is not None:
+            hit = await self._cache_get(content_key)
+            if hit is not None:
+                self._counters["cache_hits"] += 1
+                self._latency.record(time.perf_counter() - started)
+                return replace(hit, provenance={**hit.provenance, "cache": "hit"})
+            self._counters["cache_misses"] += 1
+
+        job = self._inflight.get(coalesce_key) if self.config.coalesce else None
+        if job is not None:
+            self._counters["coalesced"] += 1
+        else:
+            admitted = await self._admit_job(coalesce_key, content_key, instance, prepared)
+            if not isinstance(admitted, _Job):
+                # Late cache hit: the identical job finished while this
+                # submitter waited for admission.
+                self._latency.record(time.perf_counter() - started)
+                return admitted
+            job = admitted
+        return await self._await_job(job, timeout_s, started)
+
+    async def _admit_job(
+        self,
+        key: str,
+        content_key: Optional[str],
+        instance: AnyInstance,
+        prepared: PreparedSolve,
+    ):
+        """Acquire a pending slot (honouring backpressure) and start the job.
+
+        Returns the admitted :class:`_Job` — or, when the identical job ran
+        to completion *while this submitter waited for admission*, the
+        finished :class:`SolveResult` straight from the cache (the pre-wait
+        cache check cannot see results that land during the wait).
+        """
+        assert self._admit is not None
+        if self.config.backpressure == "reject" and self._admit.locked():
+            self._counters["rejected"] += 1
+            raise ServiceOverloadedError(
+                f"service at capacity ({self.config.max_pending} pending jobs); "
+                f"retry later or use backpressure='wait'"
+            )
+        waited = self._admit.locked()
+        await self._admit.acquire()
+        if self._closed:
+            self._admit.release()
+            # Counted as a rejection so the submission stays accounted for
+            # in the stats ledger (``lost`` must stay 0).
+            self._counters["rejected"] += 1
+            raise ServiceClosedError("service closed while waiting for admission")
+        if waited and content_key is not None:
+            # While this submitter waited for admission the identical job
+            # may have already finished: serve its cached result instead of
+            # recomputing (the pre-wait cache check could not see it).
+            hit = await self._cache_get(content_key)
+            if hit is not None:
+                self._admit.release()
+                self._counters["cache_hits"] += 1
+                return replace(hit, provenance={**hit.provenance, "cache": "hit"})
+        if self.config.coalesce:
+            # Final synchronous re-check right before creation: the waits
+            # above (admission and/or cache I/O) may have yielded to an
+            # identical submitter that already created the job — join it
+            # rather than compute twice.
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self._admit.release()
+                self._counters["coalesced"] += 1
+                return existing
+        loop = asyncio.get_running_loop()
+        job = _Job(key, content_key, loop.create_future())
+        # Always consume the outcome so an abandoned job (every waiter gone)
+        # never logs "exception was never retrieved".
+        job.future.add_done_callback(
+            lambda f: None if f.cancelled() else f.exception()
+        )
+        if self.config.coalesce:
+            self._inflight[key] = job
+        self._pending += 1
+        job.task = asyncio.create_task(self._run_job(job, instance, prepared))
+        self._tasks.add(job.task)
+        job.task.add_done_callback(self._tasks.discard)
+        return job
+
+    async def _await_job(self, job: _Job, timeout_s: Optional[float], started: float):
+        """Wait on a job's fan-out future with waiter-scoped timeout/cancel."""
+        job.waiters += 1
+        try:
+            if timeout_s is None:
+                result = await asyncio.shield(job.future)
+            else:
+                result = await asyncio.wait_for(asyncio.shield(job.future), timeout_s)
+        except (asyncio.TimeoutError, TimeoutError):
+            job.waiters -= 1
+            self._counters["timed_out"] += 1
+            self._maybe_abandon(job)
+            raise ServiceTimeoutError(
+                f"request timed out after {timeout_s}s"
+            ) from None
+        except asyncio.CancelledError:
+            job.waiters -= 1
+            self._counters["cancelled"] += 1
+            self._maybe_abandon(job)
+            raise
+        except BaseException:
+            # Solver-level failure fanned out from the job future.
+            job.waiters -= 1
+            raise
+        job.waiters -= 1
+        self._latency.record(time.perf_counter() - started)
+        return result
+
+    def _maybe_abandon(self, job: _Job) -> None:
+        """Cancel a job once its last interested waiter is gone."""
+        if job.waiters > 0 or job.future.done():
+            return
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+        if job.task is not None:
+            job.task.cancel()
+
+    # ------------------------------------------------------------------ #
+    # job execution
+    # ------------------------------------------------------------------ #
+    async def _run_job(self, job: _Job, instance: AnyInstance, prepared: PreparedSolve) -> None:
+        assert self._slots is not None
+        loop = asyncio.get_running_loop()
+        self._queued += 1
+        try:
+            await self._slots.acquire()
+        except asyncio.CancelledError:
+            self._queued -= 1
+            self._conclude(job, cancelled=True)
+            raise
+        self._queued -= 1
+        self._running += 1
+
+        try:
+            job.pool_future = self._submit(instance, prepared)
+        except Exception as exc:
+            self._slots.release()
+            self._running -= 1
+            self._counters["failed"] += 1
+            self._conclude(job, error=exc)
+            # The waiters received the error; ending this task cleanly keeps
+            # asyncio from logging it as an unretrieved task exception.
+            return
+        except BaseException:
+            # KeyboardInterrupt/SystemExit: cancel the waiters (never resolve
+            # the fan-out future with a bogus value) and propagate.
+            self._slots.release()
+            self._running -= 1
+            self._conclude(job, cancelled=True)
+            raise
+        # The slot is owned by the *pool work*, not this coroutine: release
+        # it when the worker actually finishes, even if the job is abandoned
+        # mid-flight (done callbacks also fire for cancelled futures).
+        job.pool_future.add_done_callback(
+            lambda f: loop.call_soon_threadsafe(self._release_slot)
+        )
+
+        try:
+            result = await asyncio.wrap_future(job.pool_future, loop=loop)
+        except asyncio.CancelledError:
+            self._handle_abandoned_pool_future(job)
+            self._conclude(job, cancelled=True)
+            raise
+        except Exception as exc:
+            self._counters["failed"] += 1
+            self._conclude(job, error=exc)
+            return
+
+        if job.cache_key is not None and self._cache is not None:
+            try:
+                await self._cache_put(job.cache_key, result)
+            except asyncio.CancelledError:
+                # Abandoned mid-store (e.g. last waiter timed out during the
+                # disk write): the result exists — conclude with it so the
+                # admission slot is released and the ledger stays balanced.
+                # The executor thread finishes the interrupted put on its own.
+                self._counters["completed"] += 1
+                self._conclude(job, result=result)
+                raise
+            result = replace(result, provenance={**result.provenance, "cache": "miss"})
+        self._counters["completed"] += 1
+        self._conclude(job, result=result)
+
+    def _submit(self, instance: AnyInstance, prepared: PreparedSolve) -> ConcurrentFuture:
+        """Hand a job to the process pool (or the in-process fallback).
+
+        Custom registry entries are shipped with the job exactly like
+        :func:`repro.solvers.solve_many` does; entries whose callables
+        cannot be pickled run in a thread instead of a worker process.
+        """
+        assert self._pool is not None
+        entries: tuple = ()
+        if not prepared.cacheable:  # not a stock builtin entry
+            shippable, unpicklable = shippable_custom_entries([prepared.spec.name])
+            if unpicklable:
+                return self._fallback(instance, prepared)
+            entries = tuple(shippable.values())
+        try:
+            return self._pool.submit(_pool_solve, instance, prepared.spec, entries)
+        except BrokenProcessPool:  # pragma: no cover - depends on platform failure
+            raise ServiceError("worker pool is broken; restart the service") from None
+
+    def _fallback(self, instance: AnyInstance, prepared: PreparedSolve) -> ConcurrentFuture:
+        if self._fallback_pool is None:
+            self._fallback_pool = ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="repro-service-fallback",
+            )
+        return self._fallback_pool.submit(solve, instance, prepared.spec, cache=False)
+
+    def _handle_abandoned_pool_future(self, job: _Job) -> None:
+        """Stop or salvage the pool work of an abandoned job."""
+        future = job.pool_future
+        if future is None or future.cancel():
+            return
+        # Already executing: the worker cannot be interrupted, but its
+        # result is still useful — store it into the cache when it lands
+        # (both cache backends are thread-safe; the callback runs in the
+        # executor's thread).
+        if job.cache_key is not None and self._cache is not None:
+            content_key, cache = job.cache_key, self._cache
+
+            def _salvage(f: ConcurrentFuture) -> None:
+                if f.cancelled() or f.exception() is not None:
+                    return
+                cache.put(content_key, f.result())
+
+            future.add_done_callback(_salvage)
+        else:
+            # Consume a late exception so it is not logged as unretrieved.
+            future.add_done_callback(
+                lambda f: None if f.cancelled() else f.exception()
+            )
+
+    def _release_slot(self) -> None:
+        assert self._slots is not None
+        self._running -= 1
+        self._slots.release()
+
+    def _conclude(
+        self,
+        job: _Job,
+        result: object = None,
+        error: Optional[Exception] = None,
+        cancelled: bool = False,
+    ) -> None:
+        """Retire a job: release its admission slot and resolve its future."""
+        assert self._admit is not None
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+        self._pending -= 1
+        self._admit.release()
+        if cancelled:
+            self._counters["abandoned"] += 1
+        if job.future.done():
+            return
+        if cancelled:
+            job.future.cancel()
+        elif error is not None:
+            job.future.set_exception(error)
+        else:
+            job.future.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    async def _cache_get(self, key: str):
+        """Cache lookup; disk-backed caches run off-loop (blocking I/O)."""
+        if isinstance(self._cache, LRUCache):
+            return self._cache.get(key)
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self._cache.get, key
+        )
+
+    async def _cache_put(self, key: str, result: object) -> None:
+        """Cache store; disk-backed caches run off-loop (blocking I/O)."""
+        if isinstance(self._cache, LRUCache):
+            self._cache.put(key, result)
+            return
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._cache.put, key, result
+        )
+
+    def _effective_timeout(self, timeout: object, solver_name: str) -> Optional[float]:
+        if timeout is not _UNSET:
+            if timeout is None:
+                return None
+            seconds = float(timeout)  # type: ignore[arg-type]
+            if seconds <= 0:
+                raise ValueError(f"timeout must be > 0 or None, got {seconds}")
+            return seconds
+        if solver_name in self.config.spec_timeouts:
+            return self.config.spec_timeouts[solver_name]
+        return self.config.default_timeout
+
+    def stats(self) -> ServiceStats:
+        """An immutable snapshot of counters, gauges, and latency percentiles."""
+        gauges = {
+            "queue_depth": self._queued,
+            "in_flight": self._running,
+            "pending": self._pending,
+        }
+        return merge_latency({**self._counters, **gauges}, self._latency.snapshot())

@@ -1,0 +1,158 @@
+"""Live observability of a running service: counters and latency percentiles.
+
+:class:`ServiceStats` is an immutable snapshot produced by
+:meth:`SolverService.stats` — safe to hand to monitoring code while the
+service keeps running.  :class:`LatencyWindow` is the small internal
+ring buffer the service records per-request latencies into; percentiles
+are computed over the most recent ``window`` requests (a sliding window,
+so a long-running service reports current behaviour, not lifetime
+averages).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+__all__ = ["ServiceStats", "LatencyWindow"]
+
+
+def _nearest_rank(values: list, p: float) -> float:
+    """Nearest-rank percentile of pre-sorted ``values``; ``nan`` when empty."""
+    if not values:
+        return math.nan
+    rank = max(1, math.ceil(p / 100.0 * len(values)))
+    return values[min(rank, len(values)) - 1]
+
+
+class LatencyWindow:
+    """Thread-safe sliding window of request latencies (seconds)."""
+
+    def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._values: "deque[float]" = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._values.append(seconds)
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of recorded latencies (beyond the window)."""
+        return self._count
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0 < p <= 100) of the windowed latencies.
+
+        Nearest-rank definition on the sorted window; ``nan`` when empty.
+        """
+        with self._lock:
+            values = sorted(self._values)
+        return _nearest_rank(values, p)
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            values = sorted(self._values)
+            count = self._count
+        if not values:
+            return {"count": count, "p50": math.nan, "p90": math.nan,
+                    "p99": math.nan, "mean": math.nan, "max": math.nan}
+        return {
+            "count": count,
+            "p50": _nearest_rank(values, 50),
+            "p90": _nearest_rank(values, 90),
+            "p99": _nearest_rank(values, 99),
+            "mean": sum(values) / len(values),
+            "max": values[-1],
+        }
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time snapshot of a :class:`SolverService`.
+
+    Counter semantics (all cumulative since service start):
+
+    * ``submitted`` — every ``solve()`` call that passed validation;
+    * ``completed`` / ``failed`` — unique jobs that finished in the pool;
+    * ``rejected`` — submissions refused by the ``"reject"`` backpressure
+      policy;
+    * ``timed_out`` / ``cancelled`` — waiter outcomes (a coalesced job can
+      time out for one client and still complete for another);
+    * ``abandoned`` — unique jobs cancelled after their last interested
+      waiter timed out / was cancelled (or the service closed un-drained);
+    * ``coalesced`` — requests served by piggybacking on an identical
+      in-flight job;
+    * ``cache_hits`` / ``cache_misses`` — read-through lookups.
+
+    Gauge semantics (instantaneous):
+
+    * ``queue_depth`` — admitted jobs waiting for a worker slot;
+    * ``in_flight`` — jobs currently executing in the pool;
+    * ``pending`` — unique unfinished jobs (queued + running), the
+      quantity bounded by ``ServiceConfig.max_pending``.
+
+    ``latency_*`` fields summarize end-to-end request latency (submission
+    to result, cache hits included) over the sliding window.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    cancelled: int = 0
+    coalesced: int = 0
+    abandoned: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    queue_depth: int = 0
+    in_flight: int = 0
+    pending: int = 0
+    latency_count: int = 0
+    latency_p50: float = math.nan
+    latency_p90: float = math.nan
+    latency_p99: float = math.nan
+    latency_mean: float = math.nan
+    latency_max: float = math.nan
+
+    @property
+    def lost(self) -> int:
+        """Requests unaccounted for — nonzero indicates a service bug.
+
+        Every submitted request either returned from the cache, joined an
+        in-flight job, or created a unique job that is still pending or
+        ended completed / failed / abandoned; waiter-side timeouts and
+        cancellations never lose the underlying job.
+        """
+        accounted = (self.cache_hits + self.coalesced + self.rejected
+                     + self.completed + self.failed + self.abandoned + self.pending)
+        return self.submitted - accounted
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly dict (used by the ``stats`` protocol op)."""
+        payload: Dict[str, object] = asdict(self)
+        payload["lost"] = self.lost
+        return payload
+
+
+def merge_latency(stats: Dict[str, int], latency: Optional[Dict[str, float]]) -> ServiceStats:
+    """Build a :class:`ServiceStats` from raw counters + a latency snapshot."""
+    fields = dict(stats)
+    if latency is not None:
+        fields.update(
+            latency_count=int(latency["count"]),
+            latency_p50=latency["p50"],
+            latency_p90=latency["p90"],
+            latency_p99=latency["p99"],
+            latency_mean=latency["mean"],
+            latency_max=latency["max"],
+        )
+    return ServiceStats(**fields)  # type: ignore[arg-type]

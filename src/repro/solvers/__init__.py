@@ -45,7 +45,7 @@ from repro.solvers.registry import (
     register,
     solver_capabilities,
 )
-from repro.solvers.api import solve
+from repro.solvers.api import PreparedSolve, prepare, solve
 from repro.solvers.batch import solve_many
 from repro.solvers.cache import (
     CacheStats,
@@ -64,6 +64,8 @@ from repro.solvers.single import (
 
 __all__ = [
     "solve",
+    "prepare",
+    "PreparedSolve",
     "solve_many",
     "SolverSpec",
     "SpecError",

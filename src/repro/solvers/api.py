@@ -30,13 +30,14 @@ bypasses even the default.
 from __future__ import annotations
 
 import time
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Union
 
 from repro.core.instance import DAGInstance, Instance
 from repro.core.objectives import ObjectiveValues, evaluate
 from repro.solvers.cache import CacheLike, cache_key, resolve_cache
 from repro.solvers.registry import (
+    SolverEntry,
     SolverCapabilityError,
     available_solvers,
     get_entry,
@@ -45,9 +46,67 @@ from repro.solvers.registry import (
 from repro.solvers.result import SolveResult
 from repro.solvers.spec import SolverSpec
 
-__all__ = ["solve"]
+__all__ = ["solve", "prepare", "PreparedSolve"]
 
 AnyInstance = Union[Instance, DAGInstance]
+
+
+@dataclass(frozen=True)
+class PreparedSolve:
+    """A validated ``(instance, spec)`` pair, ready to execute or key.
+
+    Produced by :func:`prepare`; carries everything the facade derives
+    *before* running a solver: the parsed spec (with overrides merged),
+    the registry entry, the fully-bound parameters, the canonical bound
+    spec string, and whether the entry is cache-eligible (stock builtin).
+    The serving layer (:mod:`repro.service`) uses this to validate
+    requests, consult the cache, and coalesce identical in-flight jobs
+    without executing anything.
+    """
+
+    spec: SolverSpec
+    entry: SolverEntry
+    bound: dict
+    canonical: str
+    cacheable: bool
+
+
+def prepare(
+    instance: AnyInstance,
+    spec: Union[str, SolverSpec],
+    **params: object,
+) -> PreparedSolve:
+    """Validate ``spec`` against the registry and ``instance`` capabilities.
+
+    Raises exactly what :func:`solve` would raise before execution
+    (:class:`~repro.solvers.spec.SpecError`,
+    :class:`~repro.solvers.registry.SolverCapabilityError`), without
+    running the solver.
+    """
+    parsed = SolverSpec.parse(spec)
+    if params:
+        parsed = parsed.with_params(**params)
+    entry = get_entry(parsed.name)
+    bound = entry.bind(parsed.params)
+
+    if (
+        isinstance(instance, DAGInstance)
+        and not instance.is_independent()
+        and not entry.capabilities.supports_dag
+    ):
+        dag_capable = ", ".join(available_solvers(supports_dag=True))
+        raise SolverCapabilityError(
+            f"solver {parsed.name!r} does not support precedence constraints; "
+            f"DAG-capable solvers: {dag_capable}"
+        )
+
+    return PreparedSolve(
+        spec=parsed,
+        entry=entry,
+        bound=bound,
+        canonical=entry.canonical_spec(bound),
+        cacheable=is_builtin(parsed.name),
+    )
 
 
 def solve(
@@ -94,27 +153,12 @@ def solve(
         The instance has precedence edges and the solver cannot handle
         them.
     """
-    parsed = SolverSpec.parse(spec)
-    if params:
-        parsed = parsed.with_params(**params)
-    entry = get_entry(parsed.name)
-    bound = entry.bind(parsed.params)
-
-    if (
-        isinstance(instance, DAGInstance)
-        and not instance.is_independent()
-        and not entry.capabilities.supports_dag
-    ):
-        dag_capable = ", ".join(available_solvers(supports_dag=True))
-        raise SolverCapabilityError(
-            f"solver {parsed.name!r} does not support precedence constraints; "
-            f"DAG-capable solvers: {dag_capable}"
-        )
-
-    canonical = entry.canonical_spec(bound)
+    prepared = prepare(instance, spec, **params)
+    parsed, entry, bound = prepared.spec, prepared.entry, prepared.bound
+    canonical = prepared.canonical
 
     cache_obj = resolve_cache(cache)
-    if cache_obj is not None and not is_builtin(parsed.name):
+    if cache_obj is not None and not prepared.cacheable:
         # Runtime-registered (or overridden) solvers are invisible to the
         # cache key — two implementations could share a name — so their
         # results are never cached or served from the cache.

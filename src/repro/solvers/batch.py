@@ -58,7 +58,7 @@ from repro.solvers.registry import SolverEntry, get_entry, is_builtin, register
 from repro.solvers.result import SolveResult
 from repro.solvers.spec import SolverSpec
 
-__all__ = ["solve_many"]
+__all__ = ["solve_many", "shippable_custom_entries"]
 
 AnyInstance = Union[Instance, DAGInstance]
 SpecLike = Union[str, SolverSpec]
@@ -105,9 +105,12 @@ def _canonical_bound_spec(spec: SolverSpec) -> str:
     return entry.canonical_spec(entry.bind(spec.params))
 
 
-def _shippable_custom_entries(names: Sequence[str]) -> Tuple[Dict[str, SolverEntry], set]:
+def shippable_custom_entries(names: Sequence[str]) -> Tuple[Dict[str, SolverEntry], set]:
     """Partition custom solver names into pool-shippable entries and the
-    names whose entries cannot be pickled (→ parent-serial fallback)."""
+    names whose entries cannot be pickled (→ parent-serial fallback).
+
+    Shared with :mod:`repro.service`, which ships custom entries to its
+    persistent worker pool the same way."""
     shippable: Dict[str, SolverEntry] = {}
     unpicklable: set = set()
     for name in names:
@@ -220,7 +223,7 @@ def solve_many(
                 computed[key] = solve(inst, spec, cache=False)
         else:
             custom_names = sorted({spec.name for _, _, spec in pending if not is_builtin(spec.name)})
-            shippable, unpicklable = _shippable_custom_entries(custom_names)
+            shippable, unpicklable = shippable_custom_entries(custom_names)
             pool_jobs = [(key, inst, spec) for key, inst, spec in pending
                          if spec.name not in unpicklable]
             serial_jobs = [(key, inst, spec) for key, inst, spec in pending

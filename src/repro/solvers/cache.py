@@ -195,56 +195,156 @@ class LRUCache(ResultCache):
 class DiskCache(ResultCache):
     """Persistent cache: one pickle file per key under ``directory``.
 
-    Files are written atomically (temp file + ``os.replace``) so a
-    concurrent or interrupted writer can never leave a half-written entry
-    behind; unreadable entries are treated as misses and removed.
+    Entries are sharded into 256 key-prefix subdirectories
+    (``directory/<key[:2]>/<key>.pkl``) so very large sweeps never pile a
+    million files into one directory; entries written by older (flat
+    layout) versions are still found and served.  Files are written
+    atomically (temp file + ``os.replace``) so a concurrent or interrupted
+    writer can never leave a half-written entry behind; unreadable entries
+    are treated as misses and removed.
+
+    ``max_bytes`` bounds the total size of the stored entries: after every
+    store, least-recently-used entries (by file mtime — refreshed on every
+    hit) are trimmed until the cache fits the bound again.  The bound is
+    enforced per cache *object* under a lock; concurrent processes sharing
+    one directory each enforce it best-effort, which can transiently
+    overshoot but never grows without bound.
     """
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self, directory: Union[str, Path], max_bytes: Optional[int] = None
+    ) -> None:
         super().__init__()
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self._trim_lock = threading.Lock()
+        self._size_bytes: Optional[int] = None  # lazily scanned
 
     def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def _legacy_path(self, key: str) -> Path:
+        # Flat layout written by pre-sharding versions of this class.
         return self.directory / f"{key}.pkl"
 
+    def _entry_files(self) -> list:
+        """Every stored entry, sharded or legacy-flat."""
+        files = [p for p in self.directory.glob("*.pkl")]
+        files.extend(self.directory.glob("??/*.pkl"))
+        return files
+
     def _load(self, key: str) -> Optional[SolveResult]:
-        path = self._path(key)
-        try:
-            with path.open("rb") as fh:
-                result = pickle.load(fh)
-        except FileNotFoundError:
-            return None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
-            # Corrupt / truncated / stale entry: degrade to a miss.
-            path.unlink(missing_ok=True)
-            return None
-        return result if isinstance(result, SolveResult) else None
+        for path in (self._path(key), self._legacy_path(key)):
+            try:
+                with path.open("rb") as fh:
+                    result = pickle.load(fh)
+            except FileNotFoundError:
+                continue
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+                # Corrupt / truncated / stale entry: degrade to a miss.
+                self._unlink(path)
+                continue
+            if isinstance(result, SolveResult):
+                try:
+                    os.utime(path)  # refresh LRU recency for eviction
+                except OSError:
+                    pass
+                return result
+        return None
 
     def _store(self, key: str, result: SolveResult) -> None:
         # Caching is an optimization: a result that cannot be stored (an
         # unpicklable native object in ``raw``, a full or read-only disk)
         # must never fail the solve that produced it — skip it silently.
+        path = self._path(key)
         try:
-            fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            path.parent.mkdir(exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         except OSError:
             return
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, self._path(key))
+            with self._trim_lock:
+                replaced = self._file_size(path)
+                # A pre-sharding flat entry for the same key would otherwise
+                # linger forever, double-counting the key in len/size_bytes.
+                legacy = self._legacy_path(key)
+                replaced += self._file_size(legacy)
+                os.replace(tmp_name, path)
+                try:
+                    legacy.unlink()
+                except OSError:
+                    pass
+                if self._size_bytes is not None:
+                    self._size_bytes += self._file_size(path) - replaced
         except (OSError, pickle.PicklingError, TypeError, AttributeError, ValueError):
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
+            return
+        if self.max_bytes is not None:
+            self._trim()
+
+    # ------------------------------------------------------------------ #
+    # size bookkeeping and max-bytes trimming
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _file_size(path: Path) -> int:
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+
+    def _unlink(self, path: Path) -> None:
+        with self._trim_lock:
+            size = self._file_size(path)
+            try:
+                path.unlink()
+            except OSError:
+                return
+            if self._size_bytes is not None:
+                self._size_bytes -= size
+
+    def size_bytes(self) -> int:
+        """Total bytes of the stored entries (cached after the first scan)."""
+        with self._trim_lock:
+            if self._size_bytes is None:
+                self._size_bytes = sum(self._file_size(p) for p in self._entry_files())
+            return self._size_bytes
+
+    def _trim(self) -> None:
+        """Evict least-recently-used entries until the bound holds again."""
+        if self.size_bytes() <= self.max_bytes:
+            return
+        entries = sorted(
+            ((p, self._file_size(p)) for p in self._entry_files()),
+            key=lambda item: self._mtime(item[0]),
+        )
+        for path, _size in entries:
+            if self.size_bytes() <= self.max_bytes:
+                break
+            self._unlink(path)
+
+    @staticmethod
+    def _mtime(path: Path) -> float:
+        try:
+            return path.stat().st_mtime
+        except OSError:
+            return 0.0
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.pkl"))
+        return len(self._entry_files())
 
     def clear(self) -> None:
-        for path in self.directory.glob("*.pkl"):
+        for path in self._entry_files():
             path.unlink(missing_ok=True)
+        with self._trim_lock:
+            self._size_bytes = 0
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,71 @@
+"""Module-level test solvers for the service suite.
+
+The callables live at module level so their :class:`SolverEntry` pickles
+and ships into worker processes, exactly like user-registered solvers in
+:func:`repro.solvers.solve_many` (see ``tests/_spawn_helper.py``).
+
+``sleepy`` is a deterministic solver with a controllable duration and an
+optional *execution token file*: every actual execution appends one line
+to the file, so tests can count how many times the underlying
+computation really ran (across processes — the file is the only channel
+worker processes share with the test) and distinguish coalesced fan-out
+from duplicated work.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+from repro.solvers import ParamSpec, SolverCapabilities, SolverEntry, register
+from repro.solvers.registry import _REGISTRY
+
+
+def run_sleepy(instance, params: Dict[str, object]):
+    """LPT-schedule after sleeping; optionally log the execution."""
+    from repro.algorithms.lpt import lpt_schedule
+
+    token = params.get("token")
+    if token:
+        with open(str(token), "a") as fh:
+            fh.write("run\n")
+    time.sleep(float(params["seconds"]))  # type: ignore[arg-type]
+    inst = instance.as_independent() if hasattr(instance, "as_independent") else instance
+    return lpt_schedule(inst), (math.inf, math.inf), None, {}
+
+
+def make_sleepy_entry(name: str = "sleepy") -> SolverEntry:
+    return SolverEntry(
+        name=name,
+        summary="test-only solver: sleeps, then LPT (service concurrency tests)",
+        capabilities=SolverCapabilities(),
+        params=(
+            ParamSpec("seconds", float, default=0.2, nonnegative=True,
+                      doc="how long the fake computation takes"),
+            ParamSpec("token", str, default=None,
+                      doc="file every real execution appends one line to"),
+        ),
+        run=run_sleepy,
+        guarantee=None,
+    )
+
+
+def count_executions(token_path) -> int:
+    """Number of times a ``sleepy`` spec with this token actually ran."""
+    try:
+        with open(str(token_path)) as fh:
+            return sum(1 for _ in fh)
+    except FileNotFoundError:
+        return 0
+
+
+@contextmanager
+def registered(entry: SolverEntry) -> Iterator[SolverEntry]:
+    """Register a test entry and always unregister it afterwards."""
+    register(entry, replace=True)
+    try:
+        yield entry
+    finally:
+        _REGISTRY.pop(entry.name, None)

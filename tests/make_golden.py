@@ -8,16 +8,27 @@ behaviour change)::
 
     PYTHONPATH=src python tests/make_golden.py
 
+``--via-service`` computes the very same cases through a running
+:class:`~repro.service.SolverService` instead of direct ``solve()``
+calls.  Because the service is bit-identical to the facade, the written
+fixture is identical either way — regenerating with ``--via-service``
+doubles as an end-to-end check of the serving path.
+
 The fixture pins, bit-for-bit: the content hash of every instance, the
 measured objective values, the guarantee tuples, and feasibility — so
 any refactor that silently changes solver output fails loudly in CI.
+It also pins ``service_cases``: one case per solver family that the
+golden suite replays through a live ``SolverService``
+(tests/test_golden.py) so the serving layer is exercised end to end on
+every run.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.instance import DAGInstance, Instance
 from repro.extensions.uniform_machines import UniformInstance
@@ -88,26 +99,66 @@ def golden_specs(name: str, instance: Instance) -> List[str]:
     return specs
 
 
+def _case_record(name: str, spec: str, result) -> Dict[str, object]:
+    return {
+        "instance": name,
+        "spec": spec,
+        "solver": result.solver,
+        "canonical_spec": result.spec,
+        "feasible": result.feasible,
+        "cmax": result.cmax,
+        "mmax": result.mmax,
+        "sum_ci": result.sum_ci,
+        "guarantee": list(result.guarantee),
+    }
+
+
 def compute_cases() -> List[Dict[str, object]]:
     cases: List[Dict[str, object]] = []
     for name, instance in golden_instances().items():
         for spec in golden_specs(name, instance):
             result = solve(instance, spec, cache=False)
-            cases.append({
-                "instance": name,
-                "spec": spec,
-                "solver": result.solver,
-                "canonical_spec": result.spec,
-                "feasible": result.feasible,
-                "cmax": result.cmax,
-                "mmax": result.mmax,
-                "sum_ci": result.sum_ci,
-                "guarantee": list(result.guarantee),
-            })
+            cases.append(_case_record(name, spec, result))
     return cases
 
 
-def build_fixture() -> Dict[str, object]:
+def compute_cases_via_service(workers: int = 2) -> List[Dict[str, object]]:
+    """The same cases, computed through a live :class:`SolverService`."""
+    import asyncio
+
+    from repro.service import SolverService
+
+    async def run() -> List[Dict[str, object]]:
+        cases: List[Dict[str, object]] = []
+        async with SolverService(workers=workers, max_pending=128) as svc:
+            for name, instance in golden_instances().items():
+                for spec in golden_specs(name, instance):
+                    result = await svc.solve(instance, spec)
+                    cases.append(_case_record(name, spec, result))
+        return cases
+
+    return asyncio.run(run())
+
+
+def service_case_refs(cases: List[Dict[str, object]]) -> List[Dict[str, str]]:
+    """One pinned (instance, spec) reference per solver family.
+
+    The golden suite replays exactly these through a live
+    ``SolverService`` and compares against the pinned case values, so the
+    serving path is exercised end to end without re-running all cases.
+    """
+    seen: set = set()
+    refs: List[Dict[str, str]] = []
+    for case in cases:
+        if case["solver"] in seen:
+            continue
+        seen.add(case["solver"])
+        refs.append({"instance": str(case["instance"]), "spec": str(case["spec"])})
+    return refs
+
+
+def build_fixture(via_service: bool = False, workers: int = 2) -> Dict[str, object]:
+    cases = compute_cases_via_service(workers) if via_service else compute_cases()
     return {
         "format": 1,
         "instance_hashes": {
@@ -118,15 +169,28 @@ def build_fixture() -> Dict[str, object]:
                                    golden_instances().items()
                                    for spec in golden_specs(name, inst)}),
         "registered_solvers": available_solvers(),
-        "cases": compute_cases(),
+        "cases": cases,
+        "service_cases": service_case_refs(cases),
     }
 
 
-def main() -> None:
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--via-service", action="store_true",
+        help="compute every case through a SolverService (end-to-end check of "
+             "the serving path; the written fixture is identical either way)",
+    )
+    parser.add_argument("--workers", type=int, default=2,
+                        help="service worker processes for --via-service")
+    args = parser.parse_args(argv)
+
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    fixture = build_fixture()
+    fixture = build_fixture(via_service=args.via_service, workers=args.workers)
     GOLDEN_PATH.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {len(fixture['cases'])} golden cases to {GOLDEN_PATH}")
+    path_kind = "the solver service" if args.via_service else "direct solve()"
+    print(f"wrote {len(fixture['cases'])} golden cases (computed via {path_kind}) "
+          f"to {GOLDEN_PATH}")
 
 
 if __name__ == "__main__":

@@ -237,7 +237,7 @@ class TestDiskCache:
     def test_corrupt_entry_degrades_to_miss(self, tmp_path):
         cache = DiskCache(tmp_path)
         solve(REFERENCE, "lpt", cache=cache)
-        entry = next((tmp_path).glob("*.pkl"))
+        entry = next((tmp_path).rglob("*.pkl"))
         entry.write_bytes(b"not a pickle")
         fresh = DiskCache(tmp_path)
         result = solve(REFERENCE, "lpt", cache=fresh)
@@ -329,3 +329,133 @@ class TestProcessDefault:
             assert "cache" not in second.provenance
         finally:
             _REGISTRY.pop("custom_cachetest", None)
+
+
+class TestDiskCacheSharding:
+    def test_entries_land_in_key_prefix_shards(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        solve(REFERENCE, "lpt", cache=cache)
+        solve(REFERENCE, "spt", cache=cache)
+        files = list(tmp_path.rglob("*.pkl"))
+        assert len(files) == 2
+        for path in files:
+            assert path.parent != tmp_path, "entry not sharded into a subdirectory"
+            assert path.parent.name == path.stem[:2]
+
+    def test_every_golden_key_round_trips(self, tmp_path):
+        # Sharding must be a pure layout change: every (instance, spec) key
+        # of the golden corpus stores and loads through the sharded paths.
+        import json
+
+        from make_golden import GOLDEN_PATH, golden_instances
+        from repro.solvers import get_entry
+        from repro.solvers.spec import SolverSpec
+
+        cache = DiskCache(tmp_path / "golden-cache")
+        payload = solve(REFERENCE, "lpt", cache=False)
+        instances = golden_instances()
+        keys = []
+        for case in json.loads(GOLDEN_PATH.read_text())["cases"]:
+            spec = SolverSpec.parse(case["spec"])
+            entry = get_entry(spec.name)
+            canonical = entry.canonical_spec(entry.bind(spec.params))
+            keys.append(cache_key(instances[case["instance"]], canonical))
+        assert len(set(keys)) == len(keys)
+        for key in keys:
+            cache.put(key, payload)
+        assert len(cache) == len(keys)
+        for key in keys:
+            assert cache.get(key) is not None, f"key {key} did not round-trip"
+
+    def test_legacy_flat_entry_still_served(self, tmp_path):
+        # Entries written by the pre-sharding layout must keep hitting.
+        import pickle
+
+        sharded = DiskCache(tmp_path)
+        result = solve(REFERENCE, "lpt", cache=False)
+        key = cache_key(REFERENCE, "lpt(objective=time)")
+        (tmp_path / f"{key}.pkl").write_bytes(pickle.dumps(result))
+        assert len(sharded) == 1
+        assert sharded.get(key) is not None
+        sharded.clear()
+        assert len(sharded) == 0
+
+    def test_storing_over_legacy_entry_removes_the_flat_copy(self, tmp_path):
+        # Re-storing a migrated key must not leave two files for one key
+        # (double-counted size would eat the max_bytes budget forever).
+        import pickle
+
+        cache = DiskCache(tmp_path)
+        result = solve(REFERENCE, "lpt", cache=False)
+        key = cache_key(REFERENCE, "lpt(objective=time)")
+        (tmp_path / f"{key}.pkl").write_bytes(pickle.dumps(result))
+        cache.put(key, result)
+        assert len(cache) == 1
+        assert not (tmp_path / f"{key}.pkl").exists()
+        assert cache._path(key).exists()
+        assert cache.size_bytes() == sum(
+            p.stat().st_size for p in tmp_path.rglob("*.pkl")
+        )
+
+
+class TestDiskCacheEviction:
+    @staticmethod
+    def _fill(cache, count):
+        result = solve(REFERENCE, "lpt", cache=False)
+        keys = [f"{i:02x}{'0' * 62}" for i in range(count)]
+        for key in keys:
+            cache.put(key, result)
+        return keys
+
+    @staticmethod
+    def _total_bytes(directory):
+        return sum(p.stat().st_size for p in directory.rglob("*.pkl"))
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        self._fill(cache, 8)
+        assert len(cache) == 8
+
+    def test_trim_respects_max_bytes(self, tmp_path):
+        probe = DiskCache(tmp_path / "probe")
+        self._fill(probe, 1)
+        entry_size = self._total_bytes(tmp_path / "probe")
+        assert entry_size > 0
+
+        bound = 3 * entry_size + entry_size // 2  # room for exactly 3 entries
+        cache = DiskCache(tmp_path / "bounded", max_bytes=bound)
+        self._fill(cache, 10)
+        assert self._total_bytes(tmp_path / "bounded") <= bound
+        assert 1 <= len(cache) <= 3
+        assert cache.size_bytes() == self._total_bytes(tmp_path / "bounded")
+
+    def test_trim_evicts_least_recently_used_first(self, tmp_path):
+        import os as _os
+
+        cache = DiskCache(tmp_path, max_bytes=10**9)
+        keys = self._fill(cache, 4)
+        # Pin explicit recency: keys[0] oldest ... keys[3] newest, then
+        # refresh keys[0] with a hit (hits bump mtime) so keys[1] is LRU.
+        for rank, key in enumerate(keys):
+            _os.utime(cache._path(key), (1000.0 + rank, 1000.0 + rank))
+        now = 2000.0
+        _os.utime(cache._path(keys[0]), (now, now))
+        entry_size = cache._path(keys[0]).stat().st_size
+        cache.max_bytes = 2 * entry_size + entry_size // 2
+        cache._trim()
+        assert cache.get(keys[1]) is None and cache.get(keys[2]) is None
+        assert cache.get(keys[0]) is not None and cache.get(keys[3]) is not None
+
+    def test_eviction_survives_fresh_cache_object(self, tmp_path):
+        # A new DiskCache on a populated directory scans sizes lazily and
+        # still enforces the bound on its first store.
+        seed = DiskCache(tmp_path)
+        self._fill(seed, 6)
+        entry_size = self._total_bytes(tmp_path) // 6
+        cache = DiskCache(tmp_path, max_bytes=2 * entry_size + entry_size // 2)
+        cache.put("f" * 64, solve(REFERENCE, "lpt", cache=False))
+        assert self._total_bytes(tmp_path) <= cache.max_bytes
+
+    def test_invalid_max_bytes(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCache(tmp_path, max_bytes=0)

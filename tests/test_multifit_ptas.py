@@ -125,3 +125,73 @@ class TestPTAS:
         inst = Instance.from_lists(p=[0, 0], s=[0, 0], m=2)
         pack, _ = dual_feasibility_pack(inst.tasks.tasks, 2, target=0.0, epsilon=0.2)
         assert pack is not None
+
+
+class TestNodeBudgetCap:
+    """Regression: the branch-and-bound node budget keeps the PTAS tractable.
+
+    Before the cap, ``ptas`` (and hence ``sbo(inner=ptas)``) ran for longer
+    than minutes on several m=8 bimodal workloads: an infeasible binary-search
+    probe with ~24 near-identical large tasks must exhaust an exponential
+    search tree to reject its target.  The witness below hung for > 5 s per
+    probe; with the default budget the whole solve finishes in about a second.
+    """
+
+    WALL_CLOCK_BUDGET_S = 15.0  # generous CI margin; observed ~1 s
+
+    @staticmethod
+    def witness():
+        from repro.workloads.independent import workload_suite
+
+        return workload_suite(90, 8, seed=0)["bimodal"]
+
+    def test_witness_terminates_within_budget(self):
+        import time
+
+        inst = self.witness()
+        start = time.perf_counter()
+        result = ptas_schedule(inst, epsilon=0.2)
+        elapsed = time.perf_counter() - start
+        assert elapsed < self.WALL_CLOCK_BUDGET_S, (
+            f"ptas took {elapsed:.1f}s on the m=8 bimodal witness "
+            f"(budget {self.WALL_CLOCK_BUDGET_S}s) — node budget regressed?"
+        )
+        assert validate_schedule(result.schedule).ok
+        # The guarantee semantics are unchanged: an exhausted budget degrades
+        # to the documented heuristic certificate, never to an unbounded one.
+        if result.exact:
+            assert result.guarantee == pytest.approx(1.2)
+        else:
+            assert result.guarantee == pytest.approx(1.5)
+        assert result.schedule.cmax <= result.guarantee * cmax_lower_bound(inst) * (1 + 1e-9)
+
+    def test_sbo_inner_ptas_terminates_on_witness(self):
+        import time
+
+        from repro.solvers import solve
+
+        start = time.perf_counter()
+        result = solve(self.witness(), "sbo(delta=1.0, inner=ptas)", cache=False)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2 * self.WALL_CLOCK_BUDGET_S
+        assert result.feasible and validate_schedule(result.schedule).ok
+
+    def test_generous_budget_matches_default_on_tractable_instance(self, medium_instance):
+        # The cap must be invisible wherever the search was already tractable:
+        # same packing, same certificate, bit-identical objectives.
+        capped = ptas_schedule(medium_instance, epsilon=0.2)
+        uncapped = ptas_schedule(medium_instance, epsilon=0.2, node_budget=10**9)
+        assert capped.exact and uncapped.exact
+        assert capped.schedule.assignment == uncapped.schedule.assignment
+        assert (capped.schedule.cmax, capped.guarantee) == (uncapped.schedule.cmax, uncapped.guarantee)
+
+    def test_exhausted_budget_is_reported_not_certified(self):
+        from repro.algorithms.ptas import _pack_large_exact
+
+        # 12 identical items that cannot fit in 4 bins of capacity 2.5 at
+        # 3 per bin: with a tiny budget the search must give up uncertified.
+        packing, certified = _pack_large_exact([1.0] * 12, 4, 2.5, node_budget=5)
+        assert packing is None and certified is False
+        # With enough budget the same call certifies infeasibility.
+        packing, certified = _pack_large_exact([1.0] * 12, 4, 2.5, node_budget=10**6)
+        assert packing is None and certified is True

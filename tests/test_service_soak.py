@@ -1,0 +1,225 @@
+"""Soak tests: many async clients hammering one small SolverService.
+
+Marked ``soak`` so the heavy profile can be selected (``-m soak``) or
+excluded (``-m "not soak"``) independently of the fast suite.  The
+default profile is CI-sized (a few seconds); scale it up via environment
+variables for a real soak::
+
+    REPRO_SOAK_CLIENTS=64 REPRO_SOAK_REQUESTS=100 \\
+        pytest -m soak tests/test_service_soak.py
+
+Invariants checked while the storm runs and after it settles:
+
+* **no lost or duplicated requests** — every client receives exactly one
+  response per request, every response matches the direct ``solve()``
+  ground truth for its (instance, spec) pair, and the stats ledger
+  balances (``lost == 0``);
+* **the bounded queue actually bounds** — a sampler coroutine polls the
+  stats during the storm and asserts ``pending <= max_pending`` at every
+  sample (and that the bound was actually reached, so the assertion has
+  teeth);
+* **timeout churn leaves no zombies** — a storm mixing impossible
+  deadlines with normal requests drains to idle gauges and keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.service import (
+    ServiceConfig,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+    SolverService,
+)
+from repro.solvers import LRUCache, solve
+
+from _service_helpers import make_sleepy_entry, registered
+
+pytestmark = pytest.mark.soak
+
+#: CI-profile defaults; raise via environment for a long soak.
+CLIENTS = int(os.environ.get("REPRO_SOAK_CLIENTS", "10"))
+REQUESTS_PER_CLIENT = int(os.environ.get("REPRO_SOAK_REQUESTS", "15"))
+SEED = int(os.environ.get("REPRO_SOAK_SEED", "20260728"))
+
+SPECS = [
+    "lpt",
+    "spt",
+    "multifit",
+    "sbo(delta=0.5)",
+    "sbo(delta=2.0)",
+    "rls(delta=2.5)",
+    "trio(delta=2.5)",
+]
+
+
+def instance_pool(count: int = 6, n: int = 10):
+    rng = random.Random(SEED)
+    return [
+        Instance.from_lists(
+            p=[round(rng.uniform(1, 20), 3) for _ in range(n)],
+            s=[round(rng.uniform(1, 20), 3) for _ in range(n)],
+            m=rng.randint(2, 4),
+            name=f"soak-{i}",
+        )
+        for i in range(count)
+    ]
+
+
+def test_mixed_spec_storm_no_lost_or_duplicated_requests():
+    instances = instance_pool()
+    # Ground truth, computed once per unique (instance, spec) pair.
+    expected = {
+        (i, spec): solve(inst, spec, cache=False)
+        for i, inst in enumerate(instances)
+        for spec in SPECS
+    }
+    config = ServiceConfig(
+        workers=2, max_pending=8, backpressure="wait", cache=LRUCache(maxsize=256)
+    )
+
+    async def scenario():
+        async with SolverService(config) as svc:
+            bound_reached = False
+            storm_over = asyncio.Event()
+
+            async def sampler():
+                nonlocal bound_reached
+                while not storm_over.is_set():
+                    stats = svc.stats()
+                    assert stats.pending <= config.max_pending, (
+                        f"queue bound violated mid-storm: {stats}"
+                    )
+                    if stats.pending == config.max_pending:
+                        bound_reached = True
+                    await asyncio.sleep(0.002)
+
+            async def client(client_id: int):
+                rng = random.Random(SEED + client_id)
+                responses = 0
+                for _ in range(REQUESTS_PER_CLIENT):
+                    idx = rng.randrange(len(instances))
+                    spec = rng.choice(SPECS)
+                    result = await svc.solve(instances[idx], spec)
+                    truth = expected[(idx, spec)]
+                    assert result.objectives == truth.objectives
+                    assert result.guarantee == truth.guarantee
+                    assert result.solver == truth.solver
+                    assert result.spec == truth.spec
+                    assert result.schedule.assignment == truth.schedule.assignment
+                    responses += 1
+                return responses
+
+            sampler_task = asyncio.create_task(sampler())
+            counts = await asyncio.gather(*(client(i) for i in range(CLIENTS)))
+            storm_over.set()
+            await sampler_task
+
+            # One response per request, nothing lost, nothing duplicated.
+            total = CLIENTS * REQUESTS_PER_CLIENT
+            assert counts == [REQUESTS_PER_CLIENT] * CLIENTS
+            stats = svc.stats()
+            assert stats.submitted == total
+            assert stats.lost == 0
+            assert stats.cache_hits + stats.coalesced + stats.completed == total
+            # Dedup really happened: at most one computation per unique pair.
+            assert stats.completed <= len(expected)
+            assert bound_reached or stats.cache_hits > total // 2, (
+                "storm too weak to exercise the bound — raise REQUESTS_PER_CLIENT"
+            )
+            # The storm settles to idle gauges.
+            assert stats.pending == 0 and stats.queue_depth == 0 and stats.in_flight == 0
+            assert stats.latency_count == total
+
+    asyncio.run(scenario())
+
+
+def test_timeout_churn_leaves_service_healthy(tmp_path):
+    """Impossible deadlines mixed with normal traffic must not leak jobs."""
+    instances = instance_pool(count=4, n=6)
+
+    async def scenario():
+        with registered(make_sleepy_entry()):
+            config = ServiceConfig(workers=2, max_pending=6, backpressure="wait")
+            async with SolverService(config) as svc:
+
+                async def impatient(client_id: int):
+                    rng = random.Random(SEED + 1000 + client_id)
+                    timeouts = 0
+                    for _ in range(max(2, REQUESTS_PER_CLIENT // 3)):
+                        inst = instances[rng.randrange(len(instances))]
+                        try:
+                            await svc.solve(
+                                inst,
+                                f"sleepy(seconds=0.3, token='{tmp_path / 'x.log'}')",
+                                timeout=0.01,
+                            )
+                        except ServiceTimeoutError:
+                            timeouts += 1
+                    return timeouts
+
+                async def patient(client_id: int):
+                    rng = random.Random(SEED + 2000 + client_id)
+                    for _ in range(max(2, REQUESTS_PER_CLIENT // 3)):
+                        inst = instances[rng.randrange(len(instances))]
+                        result = await svc.solve(inst, "lpt")
+                        assert result.feasible
+                    return True
+
+                outcomes = await asyncio.gather(
+                    *(impatient(i) for i in range(max(2, CLIENTS // 2))),
+                    *(patient(i) for i in range(max(2, CLIENTS // 2))),
+                )
+                assert sum(o for o in outcomes if o is not True) > 0  # timeouts fired
+
+                # Every abandoned job's worker must finish and be reclaimed.
+                for _ in range(600):
+                    stats = svc.stats()
+                    if stats.pending == 0 and stats.in_flight == 0 and stats.queue_depth == 0:
+                        break
+                    await asyncio.sleep(0.05)
+                stats = svc.stats()
+                assert stats.pending == 0 and stats.in_flight == 0, f"zombies: {stats}"
+                assert stats.lost == 0
+                # Still serving normally after the churn.
+                result = await svc.solve(instances[0], "sbo(delta=1.0)")
+                assert result.feasible
+
+    asyncio.run(scenario())
+
+
+def test_sustained_reject_storm_is_accounted(tmp_path):
+    """Reject-policy churn: every submission ends served or rejected."""
+    instances = instance_pool(count=8, n=6)
+
+    async def scenario():
+        with registered(make_sleepy_entry()):
+            config = ServiceConfig(workers=1, max_pending=2, backpressure="reject")
+            async with SolverService(config) as svc:
+                served = rejected = 0
+                for _ in range(max(3, REQUESTS_PER_CLIENT // 3)):
+                    tasks = [
+                        asyncio.create_task(
+                            svc.solve(inst, f"sleepy(seconds=0.05, token='{tmp_path / 'r.log'}')")
+                        )
+                        for inst in instances
+                    ]
+                    for outcome in await asyncio.gather(*tasks, return_exceptions=True):
+                        if isinstance(outcome, Exception):
+                            assert isinstance(outcome, ServiceOverloadedError)
+                            rejected += 1
+                        else:
+                            served += 1
+                stats = svc.stats()
+                assert rejected > 0 and served > 0
+                assert stats.rejected == rejected
+                assert stats.lost == 0
+                assert stats.pending == 0
+
+    asyncio.run(scenario())
