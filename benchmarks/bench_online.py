@@ -1,0 +1,144 @@
+"""Online session benchmark: sustained submissions/sec through a live session.
+
+Measures the streaming hot path end to end in three tiers:
+
+1. **in-process** — raw :meth:`OnlineScheduler.submit` calls (the pure
+   placement cost, no service or wire);
+2. **service** — :meth:`SolverService.session_submit` through the session
+   manager (admission bounds, bookkeeping, stats);
+3. **wire** — a live TCP ``repro serve`` loop driven by
+   :class:`~repro.service.client.ServiceClient`, one full JSON round
+   trip per submission (the realistic per-arrival latency a remote
+   client pays).
+
+Acceptance criteria (asserted):
+
+* every tier's finalized schedule is **bit-identical** to the others —
+  the wire adds latency, never placement drift;
+* sustained throughput of at least **2000 submissions/sec in-process**
+  and **200 submissions/sec over the wire** (deliberately conservative
+  floors so CI noise never flakes the build; typical laptops measure
+  10-100x higher).
+
+Runnable standalone (``PYTHONPATH=src python benchmarks/bench_online.py``,
+``--smoke`` for the CI-sized profile) or under pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+
+from repro.online import create_online, stochastic_trace
+from repro.service import ServiceConfig, SolverService
+from repro.service.client import ServiceClient
+from repro.service.server import serve_tcp
+
+SPEC = "online_sbo(delta=1.0)"
+N_TASKS = 2000
+M = 4
+
+MIN_INPROCESS_RATE = 2000.0
+MIN_WIRE_RATE = 200.0
+
+
+def bench_inprocess(trace) -> dict:
+    scheduler = create_online(SPEC, m=trace.m)
+    start = time.perf_counter()
+    for event in trace:
+        scheduler.submit(event.task)
+    elapsed = time.perf_counter() - start
+    result = scheduler.finalize()
+    return {"elapsed": elapsed, "rate": len(trace) / elapsed, "result": result}
+
+
+async def bench_service(trace) -> dict:
+    async with SolverService(ServiceConfig(workers=1, max_session_tasks=len(trace) + 1)) as svc:
+        session = svc.session_open(SPEC, m=trace.m)
+        start = time.perf_counter()
+        for event in trace:
+            svc.session_submit(session.id, event.task)
+        elapsed = time.perf_counter() - start
+        result = await svc.session_result(session.id)
+        svc.session_close(session.id)
+    return {"elapsed": elapsed, "rate": len(trace) / elapsed, "result": result}
+
+
+async def bench_wire(trace) -> dict:
+    config = ServiceConfig(workers=1, max_session_tasks=len(trace) + 1)
+    async with SolverService(config) as svc:
+        shutdown = asyncio.Event()
+        server = await serve_tcp(svc, port=0, shutdown=shutdown)
+        port = server.sockets[0].getsockname()[1]
+        client = await ServiceClient.connect(port=port)
+        try:
+            session = await client.session_open(SPEC, m=trace.m)
+            start = time.perf_counter()
+            for event in trace:
+                await session.submit(event.task)  # one full round trip each
+            elapsed = time.perf_counter() - start
+            payload = await session.result()
+            await session.close()
+        finally:
+            await client.close()
+            server.close()
+            await server.wait_closed()
+    return {"elapsed": elapsed, "rate": len(trace) / elapsed, "payload": payload}
+
+
+def run_online_benchmark(n_tasks: int = N_TASKS) -> dict:
+    trace = stochastic_trace(n=n_tasks, m=M, seed=0)
+    inproc = bench_inprocess(trace)
+    service = asyncio.run(bench_service(trace))
+    wire = asyncio.run(bench_wire(trace))
+
+    # Bit-identical across all three tiers.
+    local = inproc["result"]
+    assert service["result"].objectives == local.objectives
+    assert service["result"].schedule.assignment == local.schedule.assignment
+    payload = wire["payload"]
+    assert payload["cmax"] == local.cmax and payload["mmax"] == local.mmax
+    assert dict(map(tuple, payload["assignment"])) == local.schedule.assignment
+
+    return {
+        "n_tasks": n_tasks,
+        "inprocess_rate": inproc["rate"],
+        "service_rate": service["rate"],
+        "wire_rate": wire["rate"],
+    }
+
+
+def _print_report(report: dict) -> None:
+    print(f"arrivals per tier       : {report['n_tasks']}")
+    print(f"in-process submissions/s: {report['inprocess_rate']:10.0f}")
+    print(f"service submissions/s   : {report['service_rate']:10.0f}")
+    print(f"wire submissions/s      : {report['wire_rate']:10.0f}")
+
+
+def _assert_criteria(report: dict) -> None:
+    assert report["inprocess_rate"] >= MIN_INPROCESS_RATE, (
+        f"in-process rate {report['inprocess_rate']:.0f}/s below the "
+        f"{MIN_INPROCESS_RATE:.0f}/s criterion"
+    )
+    assert report["wire_rate"] >= MIN_WIRE_RATE, (
+        f"wire rate {report['wire_rate']:.0f}/s below the {MIN_WIRE_RATE:.0f}/s criterion"
+    )
+
+
+def test_bench_online():
+    report = run_online_benchmark()
+    print()
+    _print_report(report)
+    _assert_criteria(report)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer arrivals, same criteria)")
+    args = parser.parse_args()
+    report = run_online_benchmark(n_tasks=300 if args.smoke else N_TASKS)
+    _print_report(report)
+    _assert_criteria(report)
+    print("acceptance criteria (bit-identical tiers, sustained submission rates): PASS")

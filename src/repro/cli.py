@@ -20,7 +20,13 @@ Six sub-commands cover the typical workflows:
 ``serve``
     Run the asyncio solver service (:mod:`repro.service`): a persistent
     worker fleet shared by many clients over line-delimited JSON on
-    stdin/stdout (default) or TCP (``--port``).
+    stdin/stdout (default) or TCP (``--port``), including the streaming
+    ``session_*`` ops of the online subsystem.
+``online``
+    Run an arrival trace through an online scheduler
+    (:mod:`repro.online`): generate or load a trace, stream it, and
+    report prefix-wise Cmax/Mmax with competitive ratios;
+    ``--list`` enumerates the online registry.
 
 Examples::
 
@@ -34,6 +40,9 @@ Examples::
     python -m repro experiments --id FIG-3
     python -m repro report > EXPERIMENTS.md
     python -m repro serve --port 8373 --workers 4 --cache .repro-cache
+    python -m repro online --arrival stochastic --n 50 --m 4 --seed 0 \\
+        --scheduler "online_sbo(delta=1.0)" --save-trace trace.json
+    python -m repro online --trace trace.json --scheduler online_greedy
 """
 
 from __future__ import annotations
@@ -234,6 +243,7 @@ def _experiment_runners() -> Dict[str, Callable[[], object]]:
         run_figure1,
         run_figure2,
         run_figure3,
+        run_online_ratio,
         run_rls_ablation,
         run_rls_ratio,
         run_sbo_ablation,
@@ -253,6 +263,7 @@ def _experiment_runners() -> Dict[str, Callable[[], object]]:
         "EXT-A1": lambda: run_sbo_ablation(seeds=(0, 1)),
         "EXT-A2": lambda: run_rls_ablation(seeds=(0, 1)),
         "EXT-A3": lambda: run_simulation_validation(seeds=(0, 1)),
+        "EXT-O1": lambda: run_online_ratio(seeds=(0,)),
     }
 
 
@@ -319,6 +330,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             default_timeout=args.timeout,
             cache=args.cache if args.cache else False,
             start_method=args.start_method,
+            max_sessions=args.max_sessions,
+            session_ttl=args.session_ttl if args.session_ttl else None,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -357,6 +370,82 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# online (streaming arrival traces)
+# --------------------------------------------------------------------------- #
+def _load_or_generate_trace(args: argparse.Namespace):
+    from repro.online import adversarial_trace, stochastic_trace, trace_from_instance
+    from repro.online.arrivals import ArrivalTrace
+
+    if args.trace:
+        return ArrivalTrace.load(args.trace)
+    if args.arrival == "stochastic":
+        return stochastic_trace(args.n, args.m, rate=args.rate, seed=args.seed)
+    if args.arrival == "replay":
+        if not args.input:
+            raise ValueError("--arrival replay needs --input INSTANCE.json")
+        return trace_from_instance(_load_instance(args.input))
+    # adversarial permutation of a generated (or loaded) instance
+    if args.input:
+        instance = _load_instance(args.input)
+    else:
+        instance = workload_suite(args.n, args.m, seed=args.seed)["uniform"]
+    return adversarial_trace(instance, mode=args.mode)
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    from repro.online import competitive_report, describe_online_schedulers
+    from repro.solvers import SpecError
+
+    if args.list:
+        headers = ["scheduler", "params", "summary"]
+        rows = [
+            [rec["name"], rec["params"] or "-", rec["summary"]]
+            for rec in describe_online_schedulers()
+        ]
+        print(format_table(headers, rows))
+        return 0
+    try:
+        trace = _load_or_generate_trace(args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.save_trace:
+        trace.save(args.save_trace)
+        print(f"wrote {len(trace)} arrivals to {args.save_trace}")
+    prefixes = None
+    if args.prefixes:
+        try:
+            prefixes = [int(chunk) for chunk in args.prefixes.split(",") if chunk.strip()]
+        except ValueError:
+            print(f"error: --prefixes must be comma-separated integers, got {args.prefixes!r}",
+                  file=sys.stderr)
+            return 2
+    try:
+        report = competitive_report(
+            trace, args.scheduler, prefixes=prefixes, reference=args.reference,
+            oracle_inner=args.oracle_inner,
+        )
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    run = report.run
+    print(f"trace: {trace.name or args.trace} (n={len(trace)}, m={trace.m})")
+    print(f"scheduler: {run.spec}")
+    headers = ["prefix k", "Cmax", "Mmax", f"Cmax/{report.reference}", f"Mmax/{report.reference}"]
+    rows = [
+        [row.k, f"{row.cmax:g}", f"{row.mmax:g}",
+         f"{row.cmax_ratio:.3f}", f"{row.mmax_ratio:.3f}"]
+        for row in report.rows
+    ]
+    print(format_table(headers, rows))
+    print(f"competitive ratios (worst prefix): Cmax {report.cmax_competitive:.3f}, "
+          f"Mmax {report.mmax_competitive:.3f}")
+    print(f"arrival-aware makespan (simulated): {run.sim_makespan:g}")
+    print(run.result.summary())
     return 0
 
 
@@ -443,7 +532,44 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--start-method", default=None,
                      choices=["fork", "spawn", "forkserver"],
                      help="multiprocessing start method for the worker pool")
+    srv.add_argument("--max-sessions", type=int, default=64,
+                     help="bound on concurrently open streaming sessions")
+    srv.add_argument("--session-ttl", type=float, default=300.0,
+                     help="idle seconds before an open session expires (0 disables expiry)")
     srv.set_defaults(func=_cmd_serve)
+
+    onl = sub.add_parser(
+        "online",
+        help="stream an arrival trace through an online scheduler and report ratios",
+    )
+    onl.add_argument("--list", action="store_true",
+                     help="list registered online schedulers and exit")
+    onl.add_argument("--trace", default=None, metavar="FILE",
+                     help="arrival-trace JSON (as written by --save-trace)")
+    onl.add_argument("--arrival", default="stochastic",
+                     choices=["stochastic", "adversarial", "replay"],
+                     help="arrival model when no --trace file is given")
+    onl.add_argument("--mode", default="alternating",
+                     choices=["lpt_first", "memory_first", "alternating", "density_waves"],
+                     help="adversarial permutation (with --arrival adversarial)")
+    onl.add_argument("--input", default=None,
+                     help="instance JSON to permute/replay (adversarial/replay models)")
+    onl.add_argument("--n", type=int, default=50, help="number of arrivals (generated traces)")
+    onl.add_argument("--m", type=int, default=4, help="number of processors")
+    onl.add_argument("--rate", type=float, default=1.0,
+                     help="mean arrivals per time unit (stochastic model)")
+    onl.add_argument("--seed", type=int, default=0, help="random seed (stochastic model)")
+    onl.add_argument("--scheduler", default="online_sbo(delta=1.0)",
+                     help="online spec, e.g. \"online_greedy(objective=memory)\"")
+    onl.add_argument("--prefixes", default=None, metavar="K1,K2,...",
+                     help="prefix lengths to report (default: quartiles + full stream)")
+    onl.add_argument("--reference", default="lb", choices=["lb", "oracle"],
+                     help="ratio reference: Graham lower bounds or offline oracle solves")
+    onl.add_argument("--oracle-inner", default="sbo(delta=1.0)",
+                     help="offline spec the oracle reference solves each prefix with")
+    onl.add_argument("--save-trace", default=None, metavar="FILE",
+                     help="write the (generated) trace to this JSON file")
+    onl.set_defaults(func=_cmd_online)
 
     return parser
 

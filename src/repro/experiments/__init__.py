@@ -21,6 +21,7 @@ from repro.experiments.constrained_study import run_constrained_study
 from repro.experiments.sbo_ablation import run_sbo_ablation
 from repro.experiments.rls_ablation import run_rls_ablation
 from repro.experiments.simulation_validation import run_simulation_validation
+from repro.experiments.online_ratio import run_online_ratio
 from repro.experiments.pareto_approx_study import run_pareto_approx_study
 from repro.experiments.report import generate_experiments_report
 
@@ -37,6 +38,7 @@ __all__ = [
     "run_sbo_ablation",
     "run_rls_ablation",
     "run_simulation_validation",
+    "run_online_ratio",
     "run_pareto_approx_study",
     "generate_experiments_report",
 ]

@@ -2,16 +2,17 @@
 
 The paper's concluding remarks (§7) call for "more realistic model
 extensions [...] such as conditional task graphs or non identical
-processors".  This package prototypes two of those directions, clearly
-labelled as extensions (they carry heuristic or weaker guarantees, not the
+processors".  This package prototypes one of those directions, clearly
+labelled as an extension (heuristic or weaker guarantees, not the
 paper's theorems):
 
 * :mod:`~repro.extensions.uniform_machines` — processors with different
   speeds (``Q | p_j, s_j | Cmax, Mmax``): speed-aware list scheduling and a
-  memory-budgeted RLS analogue;
-* :mod:`~repro.extensions.online` — tasks revealed one at a time (online
-  over list): a threshold rule in the spirit of ``SBO_Δ`` that needs no
-  knowledge of future tasks.
+  memory-budgeted RLS analogue.
+
+The online scheduler that used to live here graduated into the
+first-class streaming subsystem :mod:`repro.online`;
+``repro.extensions.online`` remains as a deprecated shim.
 """
 
 from __future__ import annotations
@@ -21,7 +22,6 @@ from repro.extensions.uniform_machines import (
     uniform_list_schedule,
     uniform_rls,
 )
-from repro.extensions.online import OnlineBiObjectiveScheduler
 
 __all__ = [
     "UniformInstance",
@@ -29,3 +29,13 @@ __all__ = [
     "uniform_rls",
     "OnlineBiObjectiveScheduler",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy so `import repro.extensions` (e.g. for uniform machines) does not
+    # fire the repro.extensions.online deprecation warning.
+    if name == "OnlineBiObjectiveScheduler":
+        from repro.extensions.online import OnlineBiObjectiveScheduler
+
+        return OnlineBiObjectiveScheduler
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,139 +1,27 @@
-"""Extension: online bi-objective scheduling (tasks revealed one at a time).
+"""Deprecated location of the online scheduler — use :mod:`repro.online`.
 
-Graham's List Scheduling is naturally online-over-list: it places each task
-knowing nothing about the future and still guarantees ``2 - 1/m`` on the
-makespan.  The same greedy placement applied to memory guarantees
-``2 - 1/m`` on ``Mmax``.  This extension combines the two in the spirit of
-``SBO_Δ`` without needing the offline reference values ``C`` and ``M``:
+The online bi-objective scheduler graduated from an extension prototype
+into the first-class streaming subsystem :mod:`repro.online` (protocol,
+registry, arrival models, sessioned serving).  This module remains
+importable so existing code keeps working, but it only re-exports the
+moved class and warns on import::
 
-each arriving task is classified by comparing its *time density* against
-its *memory density* relative to the running averages of the tasks seen so
-far, and is then placed greedily on the least-loaded (resp. least-full)
-processor.  Every prefix of the arrival sequence satisfies
-
-* ``Cmax ≤ (2 - 1/m) · C*max + (max seen density ratio) · M*max``-style mixed
-  bounds; we do not claim the paper's offline guarantee.  What *is*
-  guaranteed — and tested — is the pair of single-objective fallbacks:
-  tasks routed by time are within ``2 - 1/m`` of the optimal makespan of
-  *those* tasks, and symmetrically for memory-routed tasks.
-
-The class is deliberately small: it demonstrates how the threshold idea
-carries over to an online setting, which the paper leaves as perspective.
+    from repro.online import OnlineBiObjectiveScheduler   # new home
+    from repro.online import create_online                # spec-driven
+    create_online("online_sbo(delta=1.0)", m=4)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+import warnings
 
-from repro.core.instance import Instance
-from repro.core.schedule import Schedule
-from repro.core.task import Task, TaskSet
+from repro.online.schedulers import OnlineBiObjectiveScheduler
 
 __all__ = ["OnlineBiObjectiveScheduler"]
 
-
-@dataclass
-class OnlineBiObjectiveScheduler:
-    """Online threshold scheduler for the bi-objective problem.
-
-    Parameters
-    ----------
-    m:
-        Number of processors.
-    delta:
-        Threshold parameter playing the role of ``Δ`` in ``SBO_Δ``: a task
-        follows the memory-greedy placement when
-        ``p_i / avg_p < delta * s_i / avg_s`` (densities relative to the
-        running averages of what has been seen so far).
-    """
-
-    m: int
-    delta: float = 1.0
-    _loads: List[float] = field(default_factory=list, repr=False)
-    _memories: List[float] = field(default_factory=list, repr=False)
-    _tasks: List[Task] = field(default_factory=list, repr=False)
-    _assignment: Dict[object, int] = field(default_factory=dict, repr=False)
-    _memory_routed: List[object] = field(default_factory=list, repr=False)
-    _sum_p: float = 0.0
-    _sum_s: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.m < 1:
-            raise ValueError(f"m must be >= 1, got {self.m}")
-        if self.delta <= 0:
-            raise ValueError(f"delta must be > 0, got {self.delta}")
-        self._loads = [0.0] * self.m
-        self._memories = [0.0] * self.m
-
-    # ------------------------------------------------------------------ #
-    # online interface
-    # ------------------------------------------------------------------ #
-    def submit(self, task: Task) -> int:
-        """Place one arriving task; returns the processor chosen."""
-        if task.id in self._assignment:
-            raise ValueError(f"task {task.id!r} was already submitted")
-        # Classify against the running averages (the task itself included so
-        # the very first task is well-defined).
-        sum_p = self._sum_p + task.p
-        sum_s = self._sum_s + task.s
-        n = len(self._tasks) + 1
-        avg_p = sum_p / n
-        avg_s = sum_s / n
-        if avg_s == 0:
-            memory_routed = False
-        elif avg_p == 0:
-            memory_routed = True
-        else:
-            memory_routed = (task.p / avg_p) < self.delta * (task.s / avg_s)
-
-        if memory_routed:
-            proc = min(range(self.m), key=lambda q: (self._memories[q], q))
-            self._memory_routed.append(task.id)
-        else:
-            proc = min(range(self.m), key=lambda q: (self._loads[q], q))
-
-        self._loads[proc] += task.p
-        self._memories[proc] += task.s
-        self._tasks.append(task)
-        self._assignment[task.id] = proc
-        self._sum_p = sum_p
-        self._sum_s = sum_s
-        return proc
-
-    def submit_many(self, tasks) -> List[int]:
-        """Submit a sequence of tasks; returns the chosen processors in order."""
-        return [self.submit(t) for t in tasks]
-
-    # ------------------------------------------------------------------ #
-    # state
-    # ------------------------------------------------------------------ #
-    @property
-    def cmax(self) -> float:
-        """Current makespan of the online schedule."""
-        return max(self._loads) if self._loads else 0.0
-
-    @property
-    def mmax(self) -> float:
-        """Current maximum memory occupation."""
-        return max(self._memories) if self._memories else 0.0
-
-    @property
-    def n_submitted(self) -> int:
-        """Number of tasks placed so far."""
-        return len(self._tasks)
-
-    @property
-    def memory_routed_tasks(self) -> Tuple[object, ...]:
-        """Ids of tasks that were routed by the memory rule."""
-        return tuple(self._memory_routed)
-
-    def current_schedule(self) -> Schedule:
-        """Snapshot of the placement so far as an offline :class:`Schedule`."""
-        instance = Instance(TaskSet(self._tasks), m=self.m, name="online-snapshot")
-        return Schedule(instance, dict(self._assignment))
-
-    def competitive_bounds(self) -> Tuple[float, float]:
-        """The ``(2 - 1/m, 2 - 1/m)`` greedy bounds that apply to each routed subset."""
-        bound = 2.0 - 1.0 / self.m
-        return (bound, bound)
+warnings.warn(
+    "repro.extensions.online is deprecated; the online scheduler moved to "
+    "repro.online (spec 'online_sbo(delta=...)' via repro.online.create_online)",
+    DeprecationWarning,
+    stacklevel=2,
+)

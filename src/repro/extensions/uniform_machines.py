@@ -27,7 +27,7 @@ from repro.core.bounds import mmax_lower_bound
 from repro.core.instance import DAGInstance, Instance
 from repro.core.rls import InfeasibleDeltaError
 from repro.core.schedule import DAGSchedule
-from repro.core.task import TaskSet
+from repro.core.task import Task, TaskSet
 
 __all__ = ["UniformInstance", "uniform_list_schedule", "uniform_rls", "uniform_cmax_lower_bound"]
 
@@ -81,6 +81,32 @@ class UniformInstance(Instance):
     def as_identical(self) -> Instance:
         """Drop the speeds (treat every processor as speed 1)."""
         return Instance(self.tasks, m=self.m, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    # (de)serialisation — the ``"uniform"`` wire kind
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form with ``kind="uniform"`` (``m`` is implied by speeds)."""
+        data = super().to_dict()
+        data["kind"] = "uniform"
+        data["speeds"] = list(self.speeds)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "UniformInstance":
+        """Inverse of :meth:`to_dict`; validates ``m`` against the speeds."""
+        speeds = [float(v) for v in data["speeds"]]  # type: ignore[union-attr]
+        declared_m = data.get("m")
+        if declared_m is not None and int(declared_m) != len(speeds):  # type: ignore[arg-type]
+            raise ValueError(
+                f"uniform payload declares m={declared_m} but carries "
+                f"{len(speeds)} speeds"
+            )
+        tasks = TaskSet(
+            Task(id=rec["id"], p=rec["p"], s=rec["s"], label=rec.get("label"))
+            for rec in data["tasks"]  # type: ignore[index]
+        )
+        return cls(tasks, speeds=speeds, name=data.get("name"))  # type: ignore[arg-type]
 
 
 def uniform_cmax_lower_bound(instance: UniformInstance) -> float:

@@ -1,0 +1,89 @@
+"""Online scheduling subsystem: tasks revealed over time, first class.
+
+The paper leaves online bi-objective scheduling as a perspective; this
+package makes it a real solve mode with the same rigor as the offline
+facade (:mod:`repro.solvers`):
+
+* :mod:`repro.online.base` — the :class:`OnlineScheduler` protocol:
+  construct with ``m``, ``submit(task)`` one arrival at a time (each call
+  returns the chosen processor), ``finalize()`` into the common
+  :class:`~repro.solvers.result.SolveResult` with full provenance;
+* :mod:`repro.online.schedulers` — the adapters: greedy time/memory list
+  scheduling (Graham's ``2 - 1/m`` online guarantee),
+  :class:`OnlineBiObjectiveScheduler` (the threshold scheduler formerly
+  stranded in ``repro.extensions.online``), and
+  :class:`HindsightOracle`, the offline-in-hindsight reference used for
+  competitive-ratio measurement;
+* :mod:`repro.online.registry` — an online registry mirroring
+  :mod:`repro.solvers.registry`: spec strings like
+  ``"online_sbo(delta=1.0)"`` resolve to fresh scheduler instances via
+  :func:`create_online`;
+* :mod:`repro.online.arrivals` — arrival models: stochastic streams built
+  from :mod:`repro.workloads.distributions`, adversarial permutations of
+  offline instances, and serialisable :class:`ArrivalTrace` replay driven
+  through :mod:`repro.simulator.engine`;
+* :mod:`repro.online.competitive` — prefix-wise competitive-ratio
+  measurement against lower bounds or the hindsight oracle.
+
+Quick start::
+
+    from repro.online import create_online, stochastic_trace, replay_trace
+
+    trace = stochastic_trace(n=50, m=4, seed=0)
+    scheduler = create_online("online_sbo(delta=1.0)", m=4)
+    report = replay_trace(trace, scheduler)
+    print(report.result.summary(), report.prefix_rows[-1])
+
+The same scheduler streams over the wire: ``repro serve`` exposes
+``session_open`` / ``session_submit`` / ``session_result`` /
+``session_close`` ops (see :mod:`repro.service.sessions`), and
+``repro online`` runs a trace from the command line.
+"""
+
+from __future__ import annotations
+
+from repro.online.base import OnlineScheduler, OnlineSchedulerError
+from repro.online.schedulers import (
+    GreedyScheduler,
+    HindsightOracle,
+    OnlineBiObjectiveScheduler,
+)
+from repro.online.registry import (
+    OnlineEntry,
+    available_online_schedulers,
+    create_online,
+    describe_online_schedulers,
+    get_online_entry,
+    register_online,
+)
+from repro.online.arrivals import (
+    ArrivalEvent,
+    ArrivalTrace,
+    adversarial_trace,
+    replay_trace,
+    stochastic_trace,
+    trace_from_instance,
+)
+from repro.online.competitive import OnlineRunReport, competitive_report
+
+__all__ = [
+    "OnlineScheduler",
+    "OnlineSchedulerError",
+    "GreedyScheduler",
+    "OnlineBiObjectiveScheduler",
+    "HindsightOracle",
+    "OnlineEntry",
+    "register_online",
+    "get_online_entry",
+    "available_online_schedulers",
+    "describe_online_schedulers",
+    "create_online",
+    "ArrivalEvent",
+    "ArrivalTrace",
+    "stochastic_trace",
+    "adversarial_trace",
+    "trace_from_instance",
+    "replay_trace",
+    "OnlineRunReport",
+    "competitive_report",
+]

@@ -1,0 +1,220 @@
+"""The :class:`OnlineScheduler` protocol — streaming counterpart of ``solve()``.
+
+An online scheduler is constructed for a fixed processor count ``m`` and
+consumes an arrival sequence one task at a time::
+
+    scheduler = SomeScheduler(m=4)
+    for task in arrivals:
+        processor = scheduler.submit(task)     # irrevocable placement
+    result = scheduler.finalize()              # SolveResult, like solve()
+
+``submit`` returns the chosen processor index — the placement is
+*irrevocable*, which is what makes the mode online.  ``finalize`` wraps
+the accumulated placement in the package-wide
+:class:`~repro.solvers.result.SolveResult` protocol (measured objectives,
+a-priori guarantee tuple, provenance with the canonical online spec), so
+everything downstream of ``solve()`` — the wire protocol's result
+payload, experiment tables, report code — works on online runs unchanged.
+
+Subclasses implement one method, :meth:`OnlineScheduler._place`, choosing
+a processor for the next arrival from the running per-processor loads and
+memories; the base class owns all bookkeeping (duplicate-id rejection,
+prefix objective values, snapshot/finalize plumbing).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.instance import Instance
+from repro.core.objectives import evaluate
+from repro.core.schedule import Schedule
+from repro.core.task import Task, TaskSet
+from repro.solvers.result import SolveResult
+
+__all__ = ["OnlineScheduler", "OnlineSchedulerError"]
+
+
+class OnlineSchedulerError(ValueError):
+    """Misuse of the online protocol (duplicate id, submit after finalize).
+
+    Subclasses :class:`ValueError` so code written against the original
+    ``repro.extensions.online`` scheduler (which raised ``ValueError`` on
+    duplicate submissions) keeps working unchanged.
+    """
+
+
+class OnlineScheduler(abc.ABC):
+    """Base class of every online scheduler (the streaming solve protocol).
+
+    Parameters
+    ----------
+    m:
+        Number of identical processors; fixed for the scheduler's lifetime.
+
+    Attributes
+    ----------
+    name:
+        Registry entry name (set by :func:`repro.online.registry.create_online`;
+        defaults to the class name for directly constructed schedulers).
+    spec:
+        Canonical bound spec string, e.g. ``"online_sbo(delta=1.0)"``.
+    """
+
+    def __init__(self, m: int) -> None:
+        if not isinstance(m, int) or isinstance(m, bool):
+            raise TypeError(f"m must be an int, got {type(m).__name__}")
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        self.m = m
+        self.name: str = type(self).__name__
+        self.spec: str = type(self).__name__
+        #: Fully-bound registry parameters (set by ``create_online``).
+        self.bound_params: Dict[str, object] = {}
+        self._loads: List[float] = [0.0] * m
+        self._memories: List[float] = [0.0] * m
+        self._tasks: List[Task] = []
+        self._assignment: Dict[object, int] = {}
+        self._finalized: Optional[SolveResult] = None
+        self._sealed = False
+        self._wall_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    # the online interface
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _place(self, task: Task) -> int:
+        """Choose a processor for the next arrival (loads/memories exclude it)."""
+
+    def submit(self, task: Task) -> int:
+        """Irrevocably place one arriving task; returns the processor chosen."""
+        if self._sealed:
+            raise OnlineSchedulerError(
+                f"scheduler {self.spec!r} is finalized; no further submissions"
+            )
+        if task.id in self._assignment:
+            raise OnlineSchedulerError(f"task {task.id!r} was already submitted")
+        started = time.perf_counter()
+        proc = self._place(task)
+        if not (0 <= proc < self.m):
+            raise OnlineSchedulerError(
+                f"scheduler {self.spec!r} placed task {task.id!r} on invalid "
+                f"processor {proc!r} (m={self.m})"
+            )
+        self._loads[proc] += task.p
+        self._memories[proc] += task.s
+        self._tasks.append(task)
+        self._assignment[task.id] = proc
+        self._wall_time += time.perf_counter() - started
+        return proc
+
+    def submit_many(self, tasks) -> List[int]:
+        """Submit a sequence of tasks; returns the chosen processors in order."""
+        return [self.submit(t) for t in tasks]
+
+    # ------------------------------------------------------------------ #
+    # running state
+    # ------------------------------------------------------------------ #
+    @property
+    def cmax(self) -> float:
+        """Current makespan of the online schedule."""
+        return max(self._loads) if self._loads else 0.0
+
+    @property
+    def mmax(self) -> float:
+        """Current maximum memory occupation."""
+        return max(self._memories) if self._memories else 0.0
+
+    @property
+    def n_submitted(self) -> int:
+        """Number of tasks placed so far."""
+        return len(self._tasks)
+
+    @property
+    def is_finalized(self) -> bool:
+        return self._finalized is not None
+
+    @property
+    def is_sealed(self) -> bool:
+        """True once submissions are refused (sealed or finalized)."""
+        return self._sealed
+
+    def has_task(self, task_id: object) -> bool:
+        """True when a task with this id was already submitted."""
+        return task_id in self._assignment
+
+    def seal(self) -> None:
+        """Refuse further submissions (idempotent; implied by finalize).
+
+        Sealing before an expensive :meth:`finalize` lets callers move the
+        finalization off-thread without racing late submissions: the
+        scheduler's state is frozen from the seal onward.
+        """
+        self._sealed = True
+
+    def assignment(self) -> Dict[object, int]:
+        """Copy of the placement so far (task id -> processor)."""
+        return dict(self._assignment)
+
+    def current_instance(self) -> Instance:
+        """The tasks seen so far as an offline :class:`Instance` (arrival order)."""
+        return Instance(TaskSet(self._tasks), m=self.m, name="online-prefix")
+
+    def current_schedule(self) -> Schedule:
+        """Snapshot of the placement so far as an offline :class:`Schedule`."""
+        return Schedule(self.current_instance(), dict(self._assignment))
+
+    # ------------------------------------------------------------------ #
+    # finalize
+    # ------------------------------------------------------------------ #
+    def guarantee(self) -> Tuple[float, ...]:
+        """A-priori guarantee tuple of this scheduler (``inf`` = unbounded)."""
+        inf = float("inf")
+        return (inf, inf)
+
+    def provenance_extras(self) -> Dict[str, object]:
+        """Scheduler-specific provenance merged into the finalized result."""
+        return {}
+
+    def _final_schedule(self) -> Schedule:
+        """The schedule :meth:`finalize` evaluates (hook for oracle subclasses)."""
+        return self.current_schedule()
+
+    def finalize(self) -> SolveResult:
+        """Seal the run into a :class:`SolveResult` (idempotent).
+
+        The result mirrors what ``solve()`` returns for offline specs:
+        measured objectives of the produced schedule, the scheduler's
+        a-priori guarantee tuple, cumulative wall time spent placing
+        tasks, and provenance carrying the canonical online spec.
+        """
+        if self._finalized is not None:
+            return self._finalized
+        self._sealed = True
+        started = time.perf_counter()
+        schedule = self._final_schedule()
+        objectives = evaluate(schedule)
+        self._wall_time += time.perf_counter() - started
+
+        from repro import __version__
+
+        provenance: Dict[str, object] = {
+            "solver": self.name,
+            "spec": self.spec,
+            "params": dict(self.bound_params),
+            "version": __version__,
+            "mode": "online",
+            "n_submitted": self.n_submitted,
+        }
+        provenance.update(self.provenance_extras())
+        self._finalized = SolveResult(
+            schedule=schedule,
+            objectives=objectives,
+            guarantee=tuple(self.guarantee()),
+            wall_time=self._wall_time,
+            provenance=provenance,
+            raw=self,
+        )
+        return self._finalized

@@ -1,0 +1,153 @@
+"""Prefix-wise competitive-ratio measurement for online runs.
+
+The competitive ratio of an online scheduler on a trace is the worst,
+over arrival prefixes, of ``online objective / offline reference`` where
+the reference sees the whole prefix in advance.  Two references are
+supported:
+
+* ``"lb"`` (default) — the Graham lower bounds
+  (:func:`~repro.core.bounds.cmax_lower_bound`,
+  :func:`~repro.core.bounds.mmax_lower_bound`) of the prefix instance.
+  ``LB <= OPT``, so the reported ratios *upper-bound* the true
+  competitive ratios — a ratio below a guarantee certifies the
+  guarantee.  This reference is O(n) per prefix and exact enough for the
+  ``2 - 1/m`` fallback checks (Graham's bound is proven against LB).
+* ``"oracle"`` — an offline :class:`~repro.online.schedulers.HindsightOracle`
+  solve of each prefix with a configurable inner spec; tighter but far
+  more expensive (one offline solve per measured prefix).
+
+:func:`competitive_report` replays a trace through a spec and returns an
+:class:`OnlineRunReport` augmented with per-prefix ratio rows — the
+payload behind ``repro online`` and
+:mod:`repro.experiments.online_ratio`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.bounds import cmax_lower_bound, mmax_lower_bound
+from repro.online.arrivals import ArrivalTrace, OnlineRunReport, replay_trace
+from repro.online.registry import create_online
+from repro.solvers.spec import SolverSpec
+
+__all__ = ["CompetitiveRow", "OnlineCompetitiveReport", "competitive_report"]
+
+
+@dataclass(frozen=True)
+class CompetitiveRow:
+    """Ratios of one measured prefix (``nan``-free: empty refs give inf)."""
+
+    k: int
+    cmax: float
+    mmax: float
+    cmax_ref: float
+    mmax_ref: float
+
+    @property
+    def cmax_ratio(self) -> float:
+        return self.cmax / self.cmax_ref if self.cmax_ref > 0 else (0.0 if self.cmax == 0 else float("inf"))
+
+    @property
+    def mmax_ratio(self) -> float:
+        return self.mmax / self.mmax_ref if self.mmax_ref > 0 else (0.0 if self.mmax == 0 else float("inf"))
+
+
+@dataclass
+class OnlineCompetitiveReport:
+    """A replayed run plus its prefix-wise competitive ratios."""
+
+    run: OnlineRunReport
+    reference: str
+    rows: List[CompetitiveRow] = field(default_factory=list)
+
+    @property
+    def cmax_competitive(self) -> float:
+        """Worst (largest) prefix ``Cmax`` ratio."""
+        return max((row.cmax_ratio for row in self.rows), default=0.0)
+
+    @property
+    def mmax_competitive(self) -> float:
+        """Worst (largest) prefix ``Mmax`` ratio."""
+        return max((row.mmax_ratio for row in self.rows), default=0.0)
+
+    @property
+    def final_row(self) -> Optional[CompetitiveRow]:
+        return self.rows[-1] if self.rows else None
+
+
+def _default_prefixes(n: int) -> List[int]:
+    """Quartile prefixes plus the full stream (deduplicated, sorted)."""
+    if n == 0:
+        return []
+    marks = sorted({max(1, (n * q) // 4) for q in (1, 2, 3)} | {n})
+    return marks
+
+
+def _references(
+    trace: ArrivalTrace,
+    prefixes: Sequence[int],
+    reference: str,
+    oracle_inner: str,
+) -> Dict[int, Tuple[float, float]]:
+    refs: Dict[int, Tuple[float, float]] = {}
+    for k in prefixes:
+        prefix_instance = trace.prefix(k).instance()
+        if reference == "lb":
+            refs[k] = (cmax_lower_bound(prefix_instance), mmax_lower_bound(prefix_instance))
+        else:  # oracle
+            from repro.solvers.api import solve
+
+            offline = solve(prefix_instance, oracle_inner, cache=False)
+            refs[k] = (offline.cmax, offline.mmax)
+    return refs
+
+
+def competitive_report(
+    trace: ArrivalTrace,
+    spec: Union[str, SolverSpec] = "online_sbo(delta=1.0)",
+    prefixes: Optional[Sequence[int]] = None,
+    reference: str = "lb",
+    oracle_inner: str = "sbo(delta=1.0)",
+    simulate: bool = True,
+) -> OnlineCompetitiveReport:
+    """Replay ``trace`` through ``spec`` and measure prefix ratios.
+
+    Parameters
+    ----------
+    trace:
+        The arrival sequence.
+    spec:
+        Online registry spec (``"online_sbo(delta=1.0)"``).
+    prefixes:
+        Prefix lengths to measure; defaults to the quartiles plus the
+        full stream.  Values are clamped to ``[1, len(trace)]``.
+    reference:
+        ``"lb"`` (Graham lower bounds, default) or ``"oracle"`` (offline
+        solve of each prefix with ``oracle_inner``).
+    simulate:
+        Forwarded to :func:`~repro.online.arrivals.replay_trace`.
+    """
+    if reference not in ("lb", "oracle"):
+        raise ValueError(f"reference must be 'lb' or 'oracle', got {reference!r}")
+    n = len(trace)
+    if prefixes is None:
+        ks = _default_prefixes(n)
+    else:
+        ks = sorted({min(max(1, int(k)), n) for k in prefixes}) if n else []
+    scheduler = create_online(spec, m=trace.m)
+    run = replay_trace(trace, scheduler, simulate=simulate)
+    refs = _references(trace, ks, reference, oracle_inner)
+    prefix_values = {k: (cmax, mmax) for k, cmax, mmax in run.prefix_rows}
+    rows = [
+        CompetitiveRow(
+            k=k,
+            cmax=prefix_values[k][0],
+            mmax=prefix_values[k][1],
+            cmax_ref=refs[k][0],
+            mmax_ref=refs[k][1],
+        )
+        for k in ks
+    ]
+    return OnlineCompetitiveReport(run=run, reference=reference, rows=rows)

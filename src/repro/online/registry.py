@@ -1,0 +1,180 @@
+"""Registry of online schedulers, mirroring :mod:`repro.solvers.registry`.
+
+Spec strings in the same mini-language (:mod:`repro.solvers.spec`) name a
+scheduler *family* plus its parameters; :func:`create_online` resolves a
+spec into a fresh, stateful :class:`~repro.online.base.OnlineScheduler`
+instance for a given processor count::
+
+    scheduler = create_online("online_sbo(delta=2.0)", m=4)
+
+Registered families::
+
+    online_greedy(objective=time|memory)   # Graham list scheduling, 2 - 1/m
+    online_sbo(delta=)                     # threshold bi-objective scheduler
+    online_hindsight(inner='sbo(delta=1.0)')  # offline-in-hindsight oracle
+
+Entries reuse :class:`~repro.solvers.registry.ParamSpec` for typed
+parameter validation, so malformed specs fail with the same quality of
+message as the offline registry.  The registry is open:
+:func:`register_online` accepts new entries.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple, Union
+
+from repro.online.base import OnlineScheduler
+from repro.solvers.registry import ParamSpec, bind_spec_params, canonical_bound_spec
+from repro.solvers.spec import SolverSpec, SpecError
+
+__all__ = [
+    "OnlineEntry",
+    "register_online",
+    "get_online_entry",
+    "available_online_schedulers",
+    "describe_online_schedulers",
+    "create_online",
+]
+
+
+@dataclass(frozen=True)
+class OnlineEntry:
+    """One registered online scheduler family."""
+
+    name: str
+    summary: str
+    params: Tuple[ParamSpec, ...]
+    #: ``factory(m, bound_params) -> OnlineScheduler`` — a *fresh* stateful
+    #: scheduler per call (unlike offline entries, which are pure functions).
+    factory: Callable[[int, Dict[str, object]], OnlineScheduler]
+
+    def bind(self, raw: Mapping[str, object]) -> Dict[str, object]:
+        """Merge raw spec parameters with defaults and validate types."""
+        return bind_spec_params(self.name, self.params, raw, noun="online scheduler")
+
+    def canonical_spec(self, bound: Mapping[str, object]) -> str:
+        """Canonical fully-bound spec string (``None`` optionals dropped)."""
+        return canonical_bound_spec(self.name, bound)
+
+
+_REGISTRY: Dict[str, OnlineEntry] = {}
+_DEFAULTS_REGISTERED = False
+
+
+def _ensure_registered() -> None:
+    global _DEFAULTS_REGISTERED
+    if not _DEFAULTS_REGISTERED:
+        _DEFAULTS_REGISTERED = True
+        _register_defaults()
+
+
+def register_online(entry: OnlineEntry, replace: bool = False) -> None:
+    """Add an online entry to the registry (``replace=True`` to override)."""
+    _ensure_registered()
+    if entry.name in _REGISTRY and not replace:
+        raise ValueError(f"online scheduler {entry.name!r} is already registered")
+    _REGISTRY[entry.name] = entry
+
+
+def get_online_entry(name: str) -> OnlineEntry:
+    """Look up an entry; raises :class:`SpecError` listing the alternatives."""
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        options = sorted(_REGISTRY)
+        close = difflib.get_close_matches(name, options, n=3)
+        hint = f"; did you mean {', '.join(map(repr, close))}?" if close else ""
+        raise SpecError(
+            f"unknown online scheduler {name!r}; available: {', '.join(options)}{hint}"
+        ) from None
+
+
+def available_online_schedulers() -> List[str]:
+    """Sorted names of every registered online scheduler family."""
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+def describe_online_schedulers() -> List[Dict[str, object]]:
+    """One record per registered family (name, summary, params)."""
+    _ensure_registered()
+    return [
+        {
+            "name": name,
+            "summary": _REGISTRY[name].summary,
+            "params": ", ".join(
+                f"{p.name}:{p.type.__name__}" + ("(required)" if p.required else "")
+                for p in _REGISTRY[name].params
+            ),
+        }
+        for name in sorted(_REGISTRY)
+    ]
+
+
+def create_online(
+    spec: Union[str, SolverSpec],
+    m: int,
+    **params: object,
+) -> OnlineScheduler:
+    """Instantiate a fresh online scheduler from a spec string.
+
+    ``params`` are keyword overrides merged into the spec's parameters,
+    exactly like :func:`repro.solvers.solve`.  The returned scheduler
+    carries its registry ``name``, canonical bound ``spec`` string, and
+    ``bound_params`` for provenance.
+    """
+    parsed = SolverSpec.parse(spec)
+    if params:
+        parsed = parsed.with_params(**params)
+    entry = get_online_entry(parsed.name)
+    bound = entry.bind(parsed.params)
+    scheduler = entry.factory(m, bound)
+    scheduler.name = entry.name
+    scheduler.spec = entry.canonical_spec(bound)
+    scheduler.bound_params = dict(bound)
+    return scheduler
+
+
+# --------------------------------------------------------------------------- #
+# default entries
+# --------------------------------------------------------------------------- #
+def _register_defaults() -> None:
+    from repro.online.schedulers import (
+        GreedyScheduler,
+        HindsightOracle,
+        OnlineBiObjectiveScheduler,
+    )
+
+    register_online(OnlineEntry(
+        name="online_greedy",
+        summary="Graham list scheduling online: least-loaded (time) or "
+                "least-full (memory) placement, 2 - 1/m on the greedy objective",
+        params=(
+            ParamSpec("objective", str, default="time", choices=("time", "memory"),
+                      doc="which objective the greedy rule minimizes"),
+        ),
+        factory=lambda m, p: GreedyScheduler(m, objective=str(p["objective"])),
+    ))
+    register_online(OnlineEntry(
+        name="online_sbo",
+        summary="threshold bi-objective scheduler: density-classified arrivals, "
+                "greedy per objective (2 - 1/m fallback on each routed subset)",
+        params=(
+            ParamSpec("delta", float, default=1.0, positive=True,
+                      doc="routing threshold Δ > 0 (larger routes more by memory)"),
+        ),
+        factory=lambda m, p: OnlineBiObjectiveScheduler(m, delta=float(p["delta"])),  # type: ignore[arg-type]
+    ))
+    register_online(OnlineEntry(
+        name="online_hindsight",
+        summary="offline-in-hindsight oracle: provisional greedy stream, "
+                "finalize() re-solves the revealed instance with an offline spec",
+        params=(
+            ParamSpec("inner", str, default="sbo(delta=1.0)",
+                      doc="offline solver spec run on the revealed instance"),
+        ),
+        factory=lambda m, p: HindsightOracle(m, inner=str(p["inner"])),
+    ))

@@ -12,7 +12,13 @@ long-running service (the ROADMAP's production-serving seam):
 * :mod:`repro.service.stats` — :class:`ServiceStats` snapshots;
 * :mod:`repro.service.protocol` — the line-delimited JSON wire format;
 * :mod:`repro.service.server` — stdio and TCP front ends used by
-  ``repro serve``.
+  ``repro serve``;
+* :mod:`repro.service.sessions` — per-session state for streaming
+  (online) solving: ``session_open`` / ``session_submit`` /
+  ``session_result`` / ``session_close`` ops backed by
+  :mod:`repro.online` schedulers, with admission bounds and idle expiry;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the async TCP
+  client (multiplexed requests + :class:`OnlineSession` handles).
 
 Quick start (async API)::
 
@@ -36,6 +42,7 @@ default installed via :func:`repro.solvers.cache.configure_cache`.)
 
 from __future__ import annotations
 
+from repro.service.client import OnlineSession, ServiceClient, ServiceProtocolError
 from repro.service.config import ServiceConfig
 from repro.service.service import (
     ServiceClosedError,
@@ -44,15 +51,31 @@ from repro.service.service import (
     ServiceTimeoutError,
     SolverService,
 )
-from repro.service.stats import LatencyWindow, ServiceStats
+from repro.service.sessions import (
+    Session,
+    SessionError,
+    SessionLimitError,
+    SessionManager,
+    UnknownSessionError,
+)
+from repro.service.stats import FamilyLatency, LatencyWindow, ServiceStats
 
 __all__ = [
     "SolverService",
     "ServiceConfig",
     "ServiceStats",
     "LatencyWindow",
+    "FamilyLatency",
     "ServiceError",
     "ServiceClosedError",
     "ServiceOverloadedError",
     "ServiceTimeoutError",
+    "Session",
+    "SessionManager",
+    "SessionError",
+    "SessionLimitError",
+    "UnknownSessionError",
+    "ServiceClient",
+    "OnlineSession",
+    "ServiceProtocolError",
 ]

@@ -1,0 +1,225 @@
+"""Async client for the ``repro serve`` line-delimited JSON protocol.
+
+:class:`ServiceClient` owns one TCP connection and multiplexes requests
+over it: every request gets an auto-assigned ``id``, a background reader
+task resolves the matching future when the response line arrives, so any
+number of coroutines can share the connection::
+
+    client = await ServiceClient.connect("127.0.0.1", port)
+    try:
+        payload = await client.solve(instance, "sbo(delta=1.0)")
+        async with client.session("online_sbo(delta=1.0)", m=4) as session:
+            for task in arrivals:
+                placement = await session.submit(task)
+            final = await session.result()
+    finally:
+        await client.close()
+
+:class:`OnlineSession` wraps the ``session_*`` ops of one open session;
+it is returned by :meth:`ServiceClient.session` (an async context
+manager that closes the session server-side on exit).
+
+Errors come back as :class:`ServiceProtocolError` carrying the server's
+error ``type`` and ``message`` — the client never interprets them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Optional
+
+from repro.service.protocol import (
+    decode_message,
+    encode_message,
+    session_close_request,
+    session_open_request,
+    session_result_request,
+    session_submit_request,
+    solve_request,
+)
+from repro.service.server import READER_LIMIT
+
+__all__ = ["ServiceClient", "OnlineSession", "ServiceProtocolError"]
+
+
+class ServiceProtocolError(RuntimeError):
+    """An error response from the server (carries the remote type name)."""
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.remote_message = message
+
+
+class ServiceClient:
+    """One multiplexed client connection to a ``repro serve`` TCP server."""
+
+    def __init__(self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter") -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[object, "asyncio.Future"] = {}
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 8373) -> "ServiceClient":
+        """Open a connection to a running server."""
+        reader, writer = await asyncio.open_connection(host, port, limit=READER_LIMIT)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = decode_message(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, OSError, asyncio.CancelledError, ValueError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(ConnectionError("server connection closed"))
+            self._pending.clear()
+
+    async def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Send one raw request payload; returns the raw ``ok`` response.
+
+        Assigns an ``id`` when the payload has none; raises
+        :class:`ServiceProtocolError` for an ``ok: false`` response and
+        :class:`ConnectionError` when the server goes away mid-request.
+        """
+        if self._closed:
+            raise ConnectionError("client is closed")
+        if "id" not in payload:
+            payload = {**payload, "id": f"c{next(self._ids)}"}
+        future = asyncio.get_running_loop().create_future()
+        self._pending[payload["id"]] = future
+        try:
+            self._writer.write(encode_message(payload))
+            await self._writer.drain()
+            response = await future
+        finally:
+            # A cancelled/timed-out waiter or a failed write must not leak
+            # its pending entry (the reader also pops it on a response).
+            self._pending.pop(payload["id"], None)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceProtocolError(
+                str(error.get("type", "ServiceError")),
+                str(error.get("message", "request failed")),
+            )
+        return response
+
+    # ------------------------------------------------------------------ #
+    # one-shot ops
+    # ------------------------------------------------------------------ #
+    async def solve(
+        self,
+        instance,
+        spec: str,
+        timeout: Optional[float] = None,
+        params: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Solve one instance; returns the result payload dict."""
+        response = await self.request(solve_request(instance, spec, timeout=timeout, params=params))
+        return response["result"]  # type: ignore[return-value]
+
+    async def ping(self) -> Dict[str, object]:
+        return await self.request({"op": "ping"})
+
+    async def stats(self) -> Dict[str, object]:
+        response = await self.request({"op": "stats"})
+        return response["stats"]  # type: ignore[return-value]
+
+    async def shutdown(self) -> None:
+        """Ask the server to stop (the connection closes afterwards)."""
+        await self.request({"op": "shutdown"})
+
+    # ------------------------------------------------------------------ #
+    # streaming sessions
+    # ------------------------------------------------------------------ #
+    async def session_open(
+        self, spec: str, m: int, params: Optional[Dict[str, object]] = None
+    ) -> "OnlineSession":
+        """Open a streaming session; returns its :class:`OnlineSession` handle."""
+        response = await self.request(session_open_request(spec, m, params=params))
+        return OnlineSession(self, str(response["session"]), response)
+
+    def session(
+        self, spec: str, m: int, params: Optional[Dict[str, object]] = None
+    ) -> "_SessionContext":
+        """``async with client.session(spec, m) as s:`` — auto-closing session."""
+        return _SessionContext(self, spec, m, params)
+
+    async def close(self) -> None:
+        """Close the connection (pending requests fail with ConnectionError)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - peer went away
+            pass
+
+
+class OnlineSession:
+    """Client-side handle of one open streaming session."""
+
+    def __init__(self, client: ServiceClient, session_id: str, opened: Dict[str, object]) -> None:
+        self.client = client
+        self.id = session_id
+        self.spec = str(opened.get("spec", ""))
+        self.m = int(opened.get("m", 0))  # type: ignore[arg-type]
+
+    async def submit(self, task) -> Dict[str, object]:
+        """Place one arriving task; returns the placement acknowledgement."""
+        return await self.client.request(session_submit_request(self.id, task))
+
+    async def submit_many(self, tasks) -> Dict[str, object]:
+        """Place a batch of tasks in one request (applied in order)."""
+        return await self.client.request(session_submit_request(self.id, list(tasks)))
+
+    async def result(self) -> Dict[str, object]:
+        """Finalize the session; returns the solve-result payload."""
+        response = await self.client.request(session_result_request(self.id))
+        return response["result"]  # type: ignore[return-value]
+
+    async def close(self) -> Dict[str, object]:
+        """Close the session server-side; returns the final snapshot."""
+        return await self.client.request(session_close_request(self.id))
+
+
+class _SessionContext:
+    """Async context manager opening/closing an :class:`OnlineSession`."""
+
+    def __init__(self, client, spec, m, params) -> None:
+        self._client = client
+        self._spec = spec
+        self._m = m
+        self._params = params
+        self._session: Optional[OnlineSession] = None
+
+    async def __aenter__(self) -> OnlineSession:
+        self._session = await self._client.session_open(self._spec, self._m, self._params)
+        return self._session
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if self._session is not None:
+            try:
+                await self._session.close()
+            except (ServiceProtocolError, ConnectionError):
+                # Already expired/closed server-side, or the connection died;
+                # either way there is nothing left to release.
+                pass

@@ -60,7 +60,17 @@ class ServiceConfig:
         platform default.
     latency_window:
         Number of most-recent request latencies kept for the percentile
-        snapshot in :meth:`SolverService.stats`.
+        snapshot in :meth:`SolverService.stats` (also the window of each
+        per-solver-family latency breakdown).
+    max_sessions:
+        Bound on concurrently open streaming sessions
+        (:mod:`repro.service.sessions`); opening one more raises
+        ``SessionLimitError``.
+    max_session_tasks:
+        Bound on submissions accepted per streaming session.
+    session_ttl:
+        Idle seconds before an open session is expired and its slot
+        reclaimed; ``None`` keeps sessions forever.
     """
 
     workers: int = 2
@@ -72,6 +82,9 @@ class ServiceConfig:
     coalesce: bool = True
     start_method: Optional[str] = None
     latency_window: int = 2048
+    max_sessions: int = 64
+    max_session_tasks: int = 1_000_000
+    session_ttl: Optional[float] = 300.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -89,6 +102,16 @@ class ServiceConfig:
             )
         if self.latency_window < 1:
             raise ValueError(f"latency_window must be >= 1, got {self.latency_window}")
+        if self.max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {self.max_sessions}")
+        if self.max_session_tasks < 1:
+            raise ValueError(
+                f"max_session_tasks must be >= 1, got {self.max_session_tasks}"
+            )
+        if self.session_ttl is not None and self.session_ttl <= 0:
+            raise ValueError(
+                f"session_ttl must be > 0 or None, got {self.session_ttl}"
+            )
         timeouts: Dict[str, float] = {}
         for name, seconds in dict(self.spec_timeouts).items():
             seconds = float(seconds)

@@ -10,14 +10,36 @@ the response so clients can multiplex) and an ``op``:
     ``{"id": 1, "instance": {...}, "spec": "sbo(delta=1.0)",
     "params": {...}, "timeout": 5.0}`` — ``instance`` is the JSON form
     produced by ``Instance.to_dict()`` / ``repro generate`` (kinds
-    ``independent`` and ``dag``), ``params`` are optional spec overrides,
-    ``timeout`` optional seconds.
+    ``independent``, ``dag``, and ``uniform`` for speed-aware
+    :class:`~repro.extensions.uniform_machines.UniformInstance`
+    requests), ``params`` are optional spec overrides, ``timeout``
+    optional seconds.
 ``stats``
     ``{"op": "stats"}`` — returns the service stats snapshot.
 ``ping``
     ``{"op": "ping"}`` — liveness probe.
 ``shutdown``
     ``{"op": "shutdown"}`` — asks the server to stop after responding.
+
+Streaming sessions (the :mod:`repro.online` subsystem over the wire —
+one open scheduler per session, tasks placed as they arrive):
+
+``session_open``
+    ``{"op": "session_open", "spec": "online_sbo(delta=1.0)", "m": 4,
+    "params": {...}}`` — responds with ``{"session": "sess-1", ...}``.
+``session_submit``
+    ``{"op": "session_submit", "session": "sess-1",
+    "task": {"id": 0, "p": 3.0, "s": 1.5}}`` (or ``"tasks": [...]`` for
+    a batch) — responds with the placements
+    ``{"placements": [[task_id, processor], ...], "cmax": ..., "mmax":
+    ..., "n": ...}``.  Placements are irrevocable.
+``session_result``
+    ``{"op": "session_result", "session": "sess-1"}`` — finalizes the
+    session's schedule and responds with the same result payload shape
+    as ``solve`` (idempotent; later submits are rejected).
+``session_close``
+    ``{"op": "session_close", "session": "sess-1"}`` — frees the
+    session slot; responds with the final session snapshot.
 
 Responses: ``{"id": ..., "ok": true, "result": {...}}`` on success, or
 ``{"id": ..., "ok": false, "error": {"type": "SpecError", "message":
@@ -47,8 +69,13 @@ __all__ = [
     "encode_message",
     "decode_message",
     "instance_from_payload",
+    "task_from_payload",
     "result_to_payload",
     "solve_request",
+    "session_open_request",
+    "session_submit_request",
+    "session_result_request",
+    "session_close_request",
     "values_from_payload",
 ]
 
@@ -101,11 +128,32 @@ def instance_from_payload(data: object) -> Union[Instance, DAGInstance]:
             return DAGInstance.from_dict(data)
         if kind == "independent":
             return Instance.from_dict(data)
+        if kind == "uniform":
+            from repro.extensions.uniform_machines import UniformInstance
+
+            return UniformInstance.from_dict(data)
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed instance payload: {exc}") from None
     raise ProtocolError(
-        f"unknown instance kind {kind!r}; expected 'independent' or 'dag'"
+        f"unknown instance kind {kind!r}; expected 'independent', 'dag', or 'uniform'"
     )
+
+
+def task_from_payload(data: object):
+    """Rebuild one arriving task from its ``session_submit`` JSON form."""
+    from repro.core.task import Task
+
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"'task' must be a JSON object with id/p/s, got {type(data).__name__}"
+        )
+    missing = [key for key in ("id", "p", "s") if key not in data]
+    if missing:
+        raise ProtocolError(f"task payload is missing {', '.join(map(repr, missing))}")
+    try:
+        return Task(id=data["id"], p=data["p"], s=data["s"], label=data.get("label"))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed task payload: {exc}") from None
 
 
 def _clean_float(value: float) -> float:
@@ -178,6 +226,60 @@ def solve_request(
         payload["timeout"] = timeout
     if params:
         payload["params"] = dict(params)
+    return payload
+
+
+def session_open_request(
+    spec: str,
+    m: int,
+    request_id: object = None,
+    params: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build a ``session_open`` request payload."""
+    payload: Dict[str, object] = {"op": "session_open", "spec": spec, "m": int(m)}
+    if request_id is not None:
+        payload["id"] = request_id
+    if params:
+        payload["params"] = dict(params)
+    return payload
+
+
+def _task_payload(task) -> Dict[str, object]:
+    record: Dict[str, object] = {"id": task.id, "p": task.p, "s": task.s}
+    if getattr(task, "label", None):
+        record["label"] = task.label
+    return record
+
+
+def session_submit_request(
+    session: str,
+    tasks,
+    request_id: object = None,
+) -> Dict[str, object]:
+    """Build a ``session_submit`` request for one :class:`Task` or a sequence."""
+    payload: Dict[str, object] = {"op": "session_submit", "session": session}
+    if isinstance(tasks, (list, tuple)):
+        payload["tasks"] = [_task_payload(t) for t in tasks]
+    else:
+        payload["task"] = _task_payload(tasks)
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def session_result_request(session: str, request_id: object = None) -> Dict[str, object]:
+    """Build a ``session_result`` request payload."""
+    payload: Dict[str, object] = {"op": "session_result", "session": session}
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def session_close_request(session: str, request_id: object = None) -> Dict[str, object]:
+    """Build a ``session_close`` request payload."""
+    payload: Dict[str, object] = {"op": "session_close", "session": session}
+    if request_id is not None:
+        payload["id"] = request_id
     return payload
 
 

@@ -11,8 +11,20 @@ Both process requests *concurrently*: every request line spawns a task,
 responses are written as they complete (the ``id`` echo lets clients
 match them), and a per-connection lock keeps response lines atomic.
 Request-level failures (bad JSON, unknown solver, capability errors,
-timeouts, backpressure rejections) are reported as error responses on
-the same connection — they never tear the server down.
+timeouts, backpressure rejections, session errors) are reported as error
+responses on the same connection — they never tear the server down.
+
+The streaming ``session_*`` ops execute synchronously on the event loop
+(placements are O(m) CPU work), so ops pipelined on one connection are
+applied in line order even though each line runs in its own task —
+clients may stream ``session_submit`` lines back-to-back without
+awaiting each acknowledgement, **as long as each line stays under**
+:data:`INLINE_DECODE_LIMIT`: a request line at or past that size is
+JSON-decoded off-loop (an await), so a later small line can overtake
+it.  A client sending a huge batch line must await its acknowledgement
+before pipelining further ops on that session.  Expensive session
+finalization (the hindsight oracle's offline solve) also runs off-loop,
+after the session is sealed, so it never stalls other connections.
 """
 
 from __future__ import annotations
@@ -28,6 +40,7 @@ from repro.service.protocol import (
     encode_message,
     instance_from_payload,
     result_to_payload,
+    task_from_payload,
 )
 from repro.service.service import SolverService
 
@@ -45,6 +58,13 @@ READER_LIMIT = 32 * 1024 * 1024
 #: every other connection.
 INLINE_DECODE_LIMIT = 256 * 1024
 OFFLOAD_TASK_COUNT = 10_000
+
+
+def _session_id(request: Dict[str, object]) -> str:
+    session_id = request.get("session")
+    if not isinstance(session_id, str) or not session_id:
+        raise ProtocolError("'session' must be a non-empty session id string")
+    return session_id
 
 
 async def handle_request(service: SolverService, request: Dict[str, object]) -> Dict[str, object]:
@@ -84,6 +104,47 @@ async def handle_request(service: SolverService, request: Dict[str, object]) -> 
                 kwargs["timeout"] = float(timeout)
             result = await service.solve(instance, spec, **kwargs)
             return {"id": request_id, "ok": True, "result": result_to_payload(result)}
+        if op == "session_open":
+            spec = request.get("spec")
+            if not isinstance(spec, str) or not spec:
+                raise ProtocolError("'spec' must be a non-empty online spec string")
+            m = request.get("m")
+            if not isinstance(m, int) or isinstance(m, bool) or m < 1:
+                raise ProtocolError("'m' must be a positive integer processor count")
+            params = request.get("params") or {}
+            if not isinstance(params, dict):
+                raise ProtocolError("'params' must be a JSON object")
+            session = service.session_open(spec, m, **params)
+            return {"id": request_id, "ok": True, **session.describe()}
+        if op == "session_submit":
+            session_id = _session_id(request)
+            if "task" in request and "tasks" in request:
+                raise ProtocolError("give either 'task' or 'tasks', not both")
+            if "task" in request:
+                tasks = [task_from_payload(request["task"])]
+            elif "tasks" in request:
+                batch = request["tasks"]
+                if not isinstance(batch, list) or not batch:
+                    raise ProtocolError("'tasks' must be a non-empty JSON array")
+                tasks = [task_from_payload(item) for item in batch]
+            else:
+                raise ProtocolError("'session_submit' needs a 'task' or 'tasks' field")
+            # Placements are irrevocable, so a batch is all-or-nothing: the
+            # session layer validates the whole batch (duplicates, capacity,
+            # sealed session) before applying any of it.
+            acks = service.session_submit_many(session_id, tasks)
+            last = acks[-1]
+            return {
+                "id": request_id, "ok": True, "session": session_id,
+                "placements": [[ack["task_id"], ack["processor"]] for ack in acks],
+                "cmax": last["cmax"], "mmax": last["mmax"], "n": last["n"],
+            }
+        if op == "session_result":
+            result = await service.session_result(_session_id(request))
+            return {"id": request_id, "ok": True, "result": result_to_payload(result)}
+        if op == "session_close":
+            summary = service.session_close(_session_id(request))
+            return {"id": request_id, "ok": True, "closed": True, **summary}
         if op == "stats":
             return {"id": request_id, "ok": True, "stats": service.stats().to_dict()}
         if op == "ping":
@@ -92,7 +153,8 @@ async def handle_request(service: SolverService, request: Dict[str, object]) -> 
         if op == "shutdown":
             return {"id": request_id, "ok": True, "shutdown": True}
         raise ProtocolError(
-            f"unknown op {op!r}; expected solve, stats, ping, or shutdown"
+            f"unknown op {op!r}; expected solve, session_open, session_submit, "
+            f"session_result, session_close, stats, ping, or shutdown"
         )
     except asyncio.CancelledError:
         raise

@@ -50,8 +50,10 @@ from functools import partial
 from typing import Dict, Optional, Set, Union
 
 from repro.core.instance import DAGInstance, Instance
+from repro.core.task import Task
 from repro.service.config import ServiceConfig
-from repro.service.stats import LatencyWindow, ServiceStats, merge_latency
+from repro.service.sessions import Session, SessionManager
+from repro.service.stats import FamilyLatency, LatencyWindow, ServiceStats, merge_latency
 from repro.solvers.api import PreparedSolve, prepare, solve
 from repro.solvers.batch import shippable_custom_entries
 from repro.solvers.cache import LRUCache, cache_key, resolve_cache
@@ -151,6 +153,12 @@ class SolverService:
         self._inflight: Dict[str, _Job] = {}
         self._tasks: Set["asyncio.Task"] = set()
         self._latency = LatencyWindow(config.latency_window)
+        self._family_latency = FamilyLatency(config.latency_window)
+        self._sessions = SessionManager(
+            max_sessions=config.max_sessions,
+            max_session_tasks=config.max_session_tasks,
+            ttl=config.session_ttl,
+        )
         self._counters: Dict[str, int] = {
             name: 0
             for name in ("submitted", "completed", "failed", "rejected",
@@ -211,6 +219,7 @@ class SolverService:
             await loop.run_in_executor(
                 None, partial(self._fallback_pool.shutdown, wait=True, cancel_futures=True)
             )
+        self._sessions.close_all()
 
     async def __aenter__(self) -> "SolverService":
         return await self.start()
@@ -270,7 +279,7 @@ class SolverService:
             hit = await self._cache_get(content_key)
             if hit is not None:
                 self._counters["cache_hits"] += 1
-                self._latency.record(time.perf_counter() - started)
+                self._record_latency(prepared.entry.name, started)
                 return replace(hit, provenance={**hit.provenance, "cache": "hit"})
             self._counters["cache_misses"] += 1
 
@@ -282,10 +291,10 @@ class SolverService:
             if not isinstance(admitted, _Job):
                 # Late cache hit: the identical job finished while this
                 # submitter waited for admission.
-                self._latency.record(time.perf_counter() - started)
+                self._record_latency(prepared.entry.name, started)
                 return admitted
             job = admitted
-        return await self._await_job(job, timeout_s, started)
+        return await self._await_job(job, timeout_s, started, family=prepared.entry.name)
 
     async def _admit_job(
         self,
@@ -350,7 +359,15 @@ class SolverService:
         job.task.add_done_callback(self._tasks.discard)
         return job
 
-    async def _await_job(self, job: _Job, timeout_s: Optional[float], started: float):
+    def _record_latency(self, family: str, started: float) -> None:
+        """Record one successful request latency globally and per family."""
+        elapsed = time.perf_counter() - started
+        self._latency.record(elapsed)
+        self._family_latency.record(family, elapsed)
+
+    async def _await_job(
+        self, job: _Job, timeout_s: Optional[float], started: float, family: str = "?"
+    ):
         """Wait on a job's fan-out future with waiter-scoped timeout/cancel."""
         job.waiters += 1
         try:
@@ -375,7 +392,7 @@ class SolverService:
             job.waiters -= 1
             raise
         job.waiters -= 1
-        self._latency.record(time.perf_counter() - started)
+        self._record_latency(family, started)
         return result
 
     def _maybe_abandon(self, job: _Job) -> None:
@@ -572,4 +589,72 @@ class SolverService:
             "in_flight": self._running,
             "pending": self._pending,
         }
-        return merge_latency({**self._counters, **gauges}, self._latency.snapshot())
+        return merge_latency(
+            {**self._counters, **gauges, **self._sessions.stats()},
+            self._latency.snapshot(),
+            families=self._family_latency.snapshot(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # streaming sessions (the online subsystem over the service)
+    # ------------------------------------------------------------------ #
+    def _require_running(self) -> None:
+        if not self.is_running:
+            raise ServiceClosedError(
+                "service is not running (use 'async with SolverService(...)')"
+            )
+
+    def session_open(self, spec: str, m: int, **params: object) -> Session:
+        """Open a streaming session running an online spec on ``m`` processors.
+
+        Placements are O(m) CPU work, so the whole session API is
+        synchronous: the server handlers call it inline on the event
+        loop.  Raises ``SessionLimitError`` past ``config.max_sessions``,
+        or whatever :func:`repro.online.registry.create_online` raises
+        for a bad spec.
+        """
+        self._require_running()
+        return self._sessions.open(spec, m, **params)
+
+    def session_submit(self, session_id: str, task: Task) -> Dict[str, object]:
+        """Place one arriving task; returns the placement acknowledgement."""
+        self._require_running()
+        return self._sessions.submit(session_id, task)
+
+    def session_submit_many(self, session_id: str, tasks) -> list:
+        """Place a batch all-or-nothing; returns the acknowledgements in order."""
+        self._require_running()
+        return self._sessions.submit_many(session_id, tasks)
+
+    async def session_result(self, session_id: str):
+        """Finalize the session into a :class:`SolveResult` (idempotent).
+
+        The session is *sealed* on the event loop first (late submissions
+        are refused deterministically), then finalization runs off-loop:
+        for greedy/threshold schedulers it is a cheap schedule evaluation,
+        but a hindsight oracle re-solves the whole revealed instance,
+        which must not stall every other connection.
+        """
+        self._require_running()
+        session = self._sessions.seal(session_id)
+        scheduler = session.scheduler
+        if scheduler.is_finalized:
+            return scheduler.finalize()
+        if session.finalize_future is None:
+            # Memoize the in-flight finalization so concurrent
+            # session_result requests await one execution instead of
+            # racing finalize() on the same scheduler in parallel threads.
+            session.finalize_future = asyncio.get_running_loop().run_in_executor(
+                None, scheduler.finalize
+            )
+        return await asyncio.shield(session.finalize_future)
+
+    def session_close(self, session_id: str) -> Dict[str, object]:
+        """Close a session and free its slot; returns the final snapshot."""
+        self._require_running()
+        return self._sessions.close(session_id)
+
+    def session_describe(self, session_id: str) -> Dict[str, object]:
+        """Current snapshot of one open session."""
+        self._require_running()
+        return self._sessions.describe(session_id)

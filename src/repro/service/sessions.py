@@ -1,0 +1,285 @@
+"""Per-session state for streaming (online) solving in the service.
+
+A *session* is one live :class:`~repro.online.base.OnlineScheduler`
+owned by the service on behalf of one logical client: opened with an
+online spec and a processor count, fed tasks one ``submit`` at a time,
+snapshotted or finalized into a
+:class:`~repro.solvers.result.SolveResult`, and closed (explicitly, or
+reaped after sitting idle past the TTL).
+
+:class:`SessionManager` enforces the admission bounds:
+
+* ``max_sessions`` — concurrently open sessions (opening one more raises
+  :class:`SessionLimitError`; closed/expired sessions free their slot);
+* ``max_session_tasks`` — submissions accepted per session (guards a
+  runaway stream from growing one scheduler without bound);
+* ``session_ttl`` — idle seconds before a session is expired.  Expiry is
+  *lazy*: every manager operation first sweeps idle sessions, so no
+  background timer task is needed and the manager stays loop-agnostic
+  (it is plain synchronous code — scheduler placements are O(m) CPU work,
+  far too cheap to justify a pool round trip).
+
+All state is confined to the service's event loop (the server handlers
+call the manager inline), mirroring how ``SolverService`` manages its
+own gauges.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.task import Task
+from repro.online.base import OnlineScheduler
+from repro.online.registry import create_online
+from repro.solvers.result import SolveResult
+
+__all__ = [
+    "Session",
+    "SessionManager",
+    "SessionError",
+    "UnknownSessionError",
+    "SessionLimitError",
+]
+
+
+class SessionError(RuntimeError):
+    """Base class of session-layer errors."""
+
+
+class UnknownSessionError(SessionError, KeyError):
+    """No session with that id (never existed, closed, or expired)."""
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the message
+        return self.args[0] if self.args else ""
+
+
+class SessionLimitError(SessionError):
+    """An admission bound was hit (session count or per-session tasks)."""
+
+
+@dataclass
+class Session:
+    """One open streaming session."""
+
+    id: str
+    scheduler: OnlineScheduler
+    created: float
+    last_active: float
+    submitted: int = 0
+    #: In-flight off-loop finalization (an ``asyncio.Future`` set by
+    #: :meth:`SolverService.session_result`, typed loosely so this module
+    #: stays loop-agnostic).  Concurrent ``session_result`` requests all
+    #: await the same future — ``finalize()`` never runs twice.
+    finalize_future: Optional[object] = None
+
+    @property
+    def spec(self) -> str:
+        return self.scheduler.spec
+
+    @property
+    def m(self) -> int:
+        return self.scheduler.m
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe snapshot used by open/submit/close acknowledgements."""
+        return {
+            "session": self.id,
+            "spec": self.spec,
+            "m": self.m,
+            "n": self.submitted,
+            "cmax": float(self.scheduler.cmax),
+            "mmax": float(self.scheduler.mmax),
+        }
+
+
+class SessionManager:
+    """Owns every open session of one service instance.
+
+    Parameters
+    ----------
+    max_sessions:
+        Bound on concurrently open sessions.
+    max_session_tasks:
+        Bound on submissions per session.
+    ttl:
+        Idle seconds before a session is expired; ``None`` disables expiry.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = 64,
+        max_session_tasks: int = 1_000_000,
+        ttl: Optional[float] = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if max_session_tasks < 1:
+            raise ValueError(f"max_session_tasks must be >= 1, got {max_session_tasks}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be > 0 or None, got {ttl}")
+        self.max_sessions = max_sessions
+        self.max_session_tasks = max_session_tasks
+        self.ttl = ttl
+        self._clock = clock
+        self._sessions: Dict[str, Session] = {}
+        self._ids = itertools.count(1)
+        self.counters: Dict[str, int] = {
+            "sessions_opened": 0,
+            "sessions_closed": 0,
+            "sessions_expired": 0,
+            "session_tasks": 0,
+            "sessions_rejected": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        self._sweep()
+        return len(self._sessions)
+
+    def _sweep(self) -> None:
+        """Expire sessions idle past the TTL (lazy, called on every op)."""
+        if self.ttl is None or not self._sessions:
+            return
+        now = self._clock()
+        expired = [
+            sid for sid, session in self._sessions.items()
+            if now - session.last_active > self.ttl
+        ]
+        for sid in expired:
+            del self._sessions[sid]
+            self.counters["sessions_expired"] += 1
+
+    def _get(self, session_id: str) -> Session:
+        self._sweep()
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise UnknownSessionError(
+                f"unknown session {session_id!r} (never opened, closed, or expired)"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # the session protocol
+    # ------------------------------------------------------------------ #
+    def open(self, spec: str, m: int, **params: object) -> Session:
+        """Create a session running ``spec`` on ``m`` processors."""
+        self._sweep()
+        if len(self._sessions) >= self.max_sessions:
+            self.counters["sessions_rejected"] += 1
+            raise SessionLimitError(
+                f"session limit reached ({self.max_sessions} open); "
+                f"close or let idle sessions expire first"
+            )
+        scheduler = create_online(spec, m=m, **params)
+        now = self._clock()
+        session = Session(
+            id=f"sess-{next(self._ids)}",
+            scheduler=scheduler,
+            created=now,
+            last_active=now,
+        )
+        self._sessions[session.id] = session
+        self.counters["sessions_opened"] += 1
+        return session
+
+    def submit(self, session_id: str, task: Task) -> Dict[str, object]:
+        """Place one arriving task; returns the placement acknowledgement."""
+        session = self._get(session_id)
+        if session.submitted >= self.max_session_tasks:
+            self.counters["sessions_rejected"] += 1
+            raise SessionLimitError(
+                f"session {session_id!r} reached its task bound "
+                f"({self.max_session_tasks}); finalize and open a new session"
+            )
+        processor = session.scheduler.submit(task)
+        session.submitted += 1
+        session.last_active = self._clock()
+        self.counters["session_tasks"] += 1
+        ack = session.describe()
+        ack["task_id"] = task.id
+        ack["processor"] = processor
+        return ack
+
+    def submit_many(self, session_id: str, tasks: Sequence[Task]) -> List[Dict[str, object]]:
+        """Place a batch **all-or-nothing**: validate first, then apply.
+
+        Placements are irrevocable, so a batch that would fail part-way
+        (capacity, a sealed scheduler, a duplicate id — within the batch
+        or against earlier submissions) must be rejected *before* any of
+        it is applied; otherwise the client's view and the session state
+        permanently diverge.
+        """
+        session = self._get(session_id)
+        scheduler = session.scheduler
+        if session.submitted + len(tasks) > self.max_session_tasks:
+            self.counters["sessions_rejected"] += 1
+            raise SessionLimitError(
+                f"batch of {len(tasks)} would exceed session {session_id!r}'s "
+                f"task bound ({self.max_session_tasks}, {session.submitted} used); "
+                f"nothing was placed"
+            )
+        if scheduler.is_sealed:
+            # Same message the scheduler itself would raise, but *before*
+            # any placement is applied.
+            raise SessionError(
+                f"scheduler {scheduler.spec!r} is finalized; no further "
+                f"submissions (batch rejected whole)"
+            )
+        seen = set()
+        for task in tasks:
+            if scheduler.has_task(task.id) or task.id in seen:
+                raise SessionError(
+                    f"task {task.id!r} was already submitted; batch rejected whole"
+                )
+            seen.add(task.id)
+        return [self.submit(session_id, task) for task in tasks]
+
+    def seal(self, session_id: str) -> Session:
+        """Freeze a session's scheduler against further submissions.
+
+        Returns the (touched) session so the caller can finalize its
+        scheduler off-thread without racing late submissions.
+        """
+        session = self._get(session_id)
+        session.scheduler.seal()
+        session.last_active = self._clock()
+        return session
+
+    def result(self, session_id: str) -> SolveResult:
+        """Finalize the session's schedule (idempotent; session stays open)."""
+        session = self.seal(session_id)
+        return session.scheduler.finalize()
+
+    def close(self, session_id: str) -> Dict[str, object]:
+        """Close a session and free its slot; returns the final snapshot."""
+        session = self._get(session_id)
+        summary = session.describe()
+        del self._sessions[session_id]
+        self.counters["sessions_closed"] += 1
+        return summary
+
+    def describe(self, session_id: str) -> Dict[str, object]:
+        """Current snapshot of one session (touches its idle clock)."""
+        session = self._get(session_id)
+        session.last_active = self._clock()
+        return session.describe()
+
+    def close_all(self) -> int:
+        """Drop every open session (service shutdown); returns the count."""
+        count = len(self._sessions)
+        self._sessions.clear()
+        self.counters["sessions_closed"] += count
+        return count
+
+    def stats(self) -> Dict[str, int]:
+        """Counters plus the ``sessions_open`` gauge."""
+        self._sweep()
+        return {**self.counters, "sessions_open": len(self._sessions)}

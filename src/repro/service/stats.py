@@ -14,10 +14,10 @@ from __future__ import annotations
 import math
 import threading
 from collections import deque
-from dataclasses import asdict, dataclass
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Mapping, Optional
 
-__all__ = ["ServiceStats", "LatencyWindow"]
+__all__ = ["ServiceStats", "LatencyWindow", "FamilyLatency"]
 
 
 def _nearest_rank(values: list, p: float) -> float:
@@ -74,6 +74,37 @@ class LatencyWindow:
         }
 
 
+class FamilyLatency:
+    """Per-solver-family latency windows (keyed by registry entry name).
+
+    One :class:`LatencyWindow` per *spec family* — the registry entry name
+    of the request's solver (``"sbo"`` for every ``sbo(delta=...)``
+    variant), so the breakdown answers "which solver family is slow"
+    without exploding cardinality across parameterisations.  Thread-safe
+    like the windows it owns; families appear on first use.
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._families: Dict[str, LatencyWindow] = {}
+        self._lock = threading.Lock()
+
+    def record(self, family: str, seconds: float) -> None:
+        with self._lock:
+            bucket = self._families.get(family)
+            if bucket is None:
+                bucket = self._families[family] = LatencyWindow(self._window)
+        bucket.record(seconds)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """``{family: {count, p50, p90, p99, mean, max}}`` for observed families."""
+        with self._lock:
+            families = dict(self._families)
+        return {name: window.snapshot() for name, window in sorted(families.items())}
+
+
 @dataclass(frozen=True)
 class ServiceStats:
     """Point-in-time snapshot of a :class:`SolverService`.
@@ -100,7 +131,15 @@ class ServiceStats:
       quantity bounded by ``ServiceConfig.max_pending``.
 
     ``latency_*`` fields summarize end-to-end request latency (submission
-    to result, cache hits included) over the sliding window.
+    to result, cache hits included) over the sliding window;
+    ``families`` breaks the same measurement down per solver family
+    (registry entry name), so a slow family is visible even when the
+    global percentiles look healthy.
+
+    ``sessions_*`` fields cover the streaming layer
+    (:mod:`repro.service.sessions`): cumulative opened / closed /
+    expired / rejected counts, total tasks submitted through sessions,
+    and the instantaneous ``sessions_open`` gauge.
     """
 
     submitted: int = 0
@@ -122,6 +161,13 @@ class ServiceStats:
     latency_p99: float = math.nan
     latency_mean: float = math.nan
     latency_max: float = math.nan
+    families: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+    sessions_open: int = 0
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    sessions_expired: int = 0
+    sessions_rejected: int = 0
+    session_tasks: int = 0
 
     @property
     def lost(self) -> int:
@@ -143,8 +189,12 @@ class ServiceStats:
         return payload
 
 
-def merge_latency(stats: Dict[str, int], latency: Optional[Dict[str, float]]) -> ServiceStats:
-    """Build a :class:`ServiceStats` from raw counters + a latency snapshot."""
+def merge_latency(
+    stats: Dict[str, int],
+    latency: Optional[Dict[str, float]],
+    families: Optional[Mapping[str, Mapping[str, float]]] = None,
+) -> ServiceStats:
+    """Build a :class:`ServiceStats` from raw counters + latency snapshots."""
     fields = dict(stats)
     if latency is not None:
         fields.update(
@@ -155,4 +205,6 @@ def merge_latency(stats: Dict[str, int], latency: Optional[Dict[str, float]]) ->
             latency_mean=latency["mean"],
             latency_max=latency["max"],
         )
+    if families is not None:
+        fields["families"] = dict(families)
     return ServiceStats(**fields)  # type: ignore[arg-type]

@@ -55,6 +55,8 @@ __all__ = [
     "solver_capabilities",
     "describe_solvers",
     "is_builtin",
+    "bind_spec_params",
+    "canonical_bound_spec",
 ]
 
 AnyInstance = Union[Instance, DAGInstance]
@@ -124,6 +126,55 @@ class ParamSpec:
         return value
 
 
+def bind_spec_params(
+    name: str,
+    params: Tuple[ParamSpec, ...],
+    raw: Mapping[str, object],
+    noun: str = "solver",
+) -> Dict[str, object]:
+    """Merge raw spec parameters with declared defaults and validate types.
+
+    Shared by the offline :class:`SolverEntry` and the online registry
+    (:class:`repro.online.registry.OnlineEntry`) so binding semantics can
+    never diverge; ``noun`` only flavors the error messages.
+    """
+    declared = {p.name: p for p in params}
+    unknown = sorted(set(raw) - set(declared))
+    if unknown:
+        valid = ", ".join(sorted(declared)) or "(none)"
+        raise SpecError(
+            f"unknown parameter(s) {', '.join(map(repr, unknown))} for {noun} "
+            f"{name!r}; valid parameters: {valid}"
+        )
+    bound: Dict[str, object] = {}
+    for pspec in params:
+        if pspec.name in raw:
+            bound[pspec.name] = pspec.coerce(raw[pspec.name], name)
+        elif pspec.required:
+            raise SpecError(
+                f"{noun} {name!r} requires parameter {pspec.name!r} "
+                f"({pspec.doc or pspec.type.__name__})"
+            )
+        else:
+            bound[pspec.name] = pspec.default
+    return bound
+
+
+def canonical_bound_spec(name: str, bound: Mapping[str, object]) -> str:
+    """Canonical fully-bound spec string for a :func:`bind_spec_params` result.
+
+    The single normalization every cache/dedup/provenance key relies on:
+    ``None``-valued optional parameters are dropped, the rest rendered in
+    sorted key order.
+    """
+    from repro.solvers.spec import SolverSpec
+
+    return SolverSpec(
+        name=name,
+        params={key: value for key, value in bound.items() if value is not None},
+    ).canonical()
+
+
 @dataclass(frozen=True)
 class SolverCapabilities:
     """Declarative capability flags used for registry filtering."""
@@ -149,41 +200,16 @@ class SolverEntry:
 
     def bind(self, raw: Mapping[str, object]) -> Dict[str, object]:
         """Merge raw spec parameters with defaults and validate types."""
-        declared = {p.name: p for p in self.params}
-        unknown = sorted(set(raw) - set(declared))
-        if unknown:
-            valid = ", ".join(sorted(declared)) or "(none)"
-            raise SpecError(
-                f"unknown parameter(s) {', '.join(map(repr, unknown))} for solver "
-                f"{self.name!r}; valid parameters: {valid}"
-            )
-        bound: Dict[str, object] = {}
-        for pspec in self.params:
-            if pspec.name in raw:
-                bound[pspec.name] = pspec.coerce(raw[pspec.name], self.name)
-            elif pspec.required:
-                raise SpecError(
-                    f"solver {self.name!r} requires parameter {pspec.name!r} "
-                    f"({pspec.doc or pspec.type.__name__})"
-                )
-            else:
-                bound[pspec.name] = pspec.default
-        return bound
+        return bind_spec_params(self.name, self.params, raw)
 
     def canonical_spec(self, bound: Mapping[str, object]) -> str:
         """Canonical fully-bound spec string for a :meth:`bind` result.
 
         The single normalization both :func:`repro.solvers.solve`
         (``provenance["spec"]``) and :func:`repro.solvers.solve_many`
-        (dedup/cache keys) rely on — ``None``-valued optional parameters
-        are dropped, the rest rendered in sorted key order.
+        (dedup/cache keys) rely on — see :func:`canonical_bound_spec`.
         """
-        from repro.solvers.spec import SolverSpec
-
-        return SolverSpec(
-            name=self.name,
-            params={key: value for key, value in bound.items() if value is not None},
-        ).canonical()
+        return canonical_bound_spec(self.name, bound)
 
 
 _REGISTRY: Dict[str, SolverEntry] = {}

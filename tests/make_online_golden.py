@@ -1,0 +1,50 @@
+"""Golden-table generator for the online competitive-ratio experiment.
+
+Runs :func:`repro.experiments.online_ratio.run_online_ratio` at its
+golden profile (the defaults: ``seeds=(0,)``, the standard
+delta × arrival × size grid — every cell deterministic) and pins the
+full table bit-for-bit into ``tests/golden/online_ratio.json``.
+
+Regenerate only when an output change is *intended* (a scheduler change,
+a consciously accepted routing change)::
+
+    PYTHONPATH=src python tests/make_online_golden.py
+
+``tests/test_online.py`` re-runs the same profile and compares every row
+and every shape check against this fixture.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.experiments.online_ratio import run_online_ratio
+
+ONLINE_GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "online_ratio.json"
+
+
+def compute_fixture() -> Dict[str, object]:
+    result = run_online_ratio()
+    return {
+        "experiment_id": result.experiment_id,
+        "headers": result.headers,
+        "rows": result.rows,
+        "checks": result.checks,
+    }
+
+
+def main() -> None:
+    ONLINE_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    fixture = compute_fixture()
+    ONLINE_GOLDEN_PATH.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {len(fixture['rows'])} golden rows "
+        f"({sum(fixture['checks'].values())}/{len(fixture['checks'])} checks pass) "
+        f"to {ONLINE_GOLDEN_PATH}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -185,3 +185,47 @@ class TestExperimentsAndReport:
         out_path = tmp_path / "report.md"
         assert main(["report", "--output", str(out_path)]) == 0
         assert "FIG-1" in out_path.read_text()
+
+
+class TestOnline:
+    def test_online_list(self, capsys):
+        assert main(["online", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "online_sbo" in out and "online_greedy" in out
+
+    def test_online_stochastic_run_with_saved_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "online", "--arrival", "stochastic", "--n", "20", "--m", "3",
+            "--seed", "1", "--scheduler", "online_sbo(delta=1.0)",
+            "--save-trace", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "competitive ratios" in out and "online_sbo(delta=1.0)" in out
+        assert trace_path.exists()
+        # Re-run from the saved trace with explicit prefixes.
+        assert main([
+            "online", "--trace", str(trace_path),
+            "--scheduler", "online_greedy", "--prefixes", "5,10,20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "prefix k" in out
+
+    def test_online_adversarial_run(self, capsys):
+        assert main([
+            "online", "--arrival", "adversarial", "--mode", "memory_first",
+            "--n", "15", "--m", "2", "--scheduler", "online_greedy(objective=memory)",
+        ]) == 0
+        assert "adversarial" in capsys.readouterr().out
+
+    def test_online_replay_requires_input(self, capsys):
+        assert main(["online", "--arrival", "replay"]) == 2
+        assert "--input" in capsys.readouterr().err
+
+    def test_online_bad_scheduler_spec(self, capsys):
+        assert main(["online", "--n", "5", "--scheduler", "online_nope"]) == 2
+        assert "online" in capsys.readouterr().err
+
+    def test_online_bad_prefixes(self, capsys):
+        assert main(["online", "--n", "5", "--prefixes", "a,b"]) == 2
+        assert "--prefixes" in capsys.readouterr().err

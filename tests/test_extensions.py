@@ -1,4 +1,9 @@
-"""Unit tests for repro.extensions (uniform machines and online scheduling)."""
+"""Unit tests for repro.extensions (uniform machines).
+
+The online scheduler moved to :mod:`repro.online`; its tests live in
+``tests/test_online.py`` and the ``repro.extensions.online`` deprecation
+shim is covered there too.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +11,7 @@ import pytest
 
 from repro.core.bounds import mmax_lower_bound
 from repro.core.rls import InfeasibleDeltaError
-from repro.core.task import Task
 from repro.core.validation import validate_schedule
-from repro.extensions.online import OnlineBiObjectiveScheduler
 from repro.extensions.uniform_machines import (
     UniformInstance,
     uniform_cmax_lower_bound,
@@ -103,63 +106,3 @@ class TestUniformRLS:
         loose = uniform_rls(inst, delta=50.0)
         tight = uniform_rls(inst, delta=2.0)
         assert tight.mmax <= loose.mmax + 1e-9 or tight.cmax >= loose.cmax - 1e-9
-
-
-class TestOnlineScheduler:
-    def test_invalid_construction(self):
-        with pytest.raises(ValueError):
-            OnlineBiObjectiveScheduler(m=0)
-        with pytest.raises(ValueError):
-            OnlineBiObjectiveScheduler(m=2, delta=0.0)
-
-    def test_duplicate_submission_rejected(self):
-        sched = OnlineBiObjectiveScheduler(m=2)
-        sched.submit(Task(id=0, p=1, s=1))
-        with pytest.raises(ValueError):
-            sched.submit(Task(id=0, p=2, s=2))
-
-    def test_online_matches_offline_greedy_quality(self):
-        inst = uniform_instance(60, 4, seed=3)
-        online = OnlineBiObjectiveScheduler(m=4, delta=1.0)
-        online.submit_many(inst.tasks)
-        assert online.n_submitted == 60
-        snapshot = online.current_schedule()
-        assert validate_schedule(snapshot).ok
-        # The online greedy stays within the classical 2x factors of the bounds.
-        from repro.core.bounds import cmax_lower_bound
-
-        assert online.cmax <= 2.0 * cmax_lower_bound(inst) + 1e-9 or online.mmax <= 2.0 * mmax_lower_bound(inst) + 1e-9
-
-    def test_memory_routed_tasks_have_low_density(self):
-        sched = OnlineBiObjectiveScheduler(m=2, delta=1.0)
-        sched.submit(Task(id="balanced", p=5, s=5))
-        sched.submit(Task(id="heavy", p=1, s=50))
-        assert "heavy" in sched.memory_routed_tasks
-
-    def test_extreme_deltas_route_everything_one_way(self):
-        inst = uniform_instance(20, 3, seed=8)
-        time_only = OnlineBiObjectiveScheduler(m=3, delta=1e-9)
-        time_only.submit_many(inst.tasks)
-        assert not time_only.memory_routed_tasks
-        memory_only = OnlineBiObjectiveScheduler(m=3, delta=1e9)
-        memory_only.submit_many(inst.tasks)
-        assert len(memory_only.memory_routed_tasks) == 20
-
-    def test_zero_storage_stream(self):
-        sched = OnlineBiObjectiveScheduler(m=2)
-        for i in range(6):
-            sched.submit(Task(id=i, p=2, s=0))
-        assert sched.mmax == 0.0
-        assert sched.cmax == 6.0  # 6 tasks of 2 over 2 processors
-
-    def test_competitive_bounds(self):
-        sched = OnlineBiObjectiveScheduler(m=4)
-        assert sched.competitive_bounds() == (1.75, 1.75)
-
-    def test_snapshot_objective_consistency(self):
-        inst = uniform_instance(25, 3, seed=11)
-        online = OnlineBiObjectiveScheduler(m=3, delta=2.0)
-        online.submit_many(inst.tasks)
-        snapshot = online.current_schedule()
-        assert snapshot.cmax == pytest.approx(online.cmax)
-        assert snapshot.mmax == pytest.approx(online.mmax)
