@@ -1,0 +1,242 @@
+"""Cluster benchmark: warm throughput scaling across backend shards.
+
+Drives a live :class:`~repro.cluster.ClusterRouter` over real
+``repro serve`` subprocess shards sharing one read-through
+:class:`~repro.solvers.DiskCache`, twice per shard count:
+
+1. a **cold** pass — a mixed-spec request stream with natural repeats,
+   computed in the shards' worker pools (identical concurrent requests
+   coalesce per shard; the shared cache fills);
+2. a **warm** pass — the same requests again, all served from the shared
+   cache *through the shards* (the router forwards everything; it keeps
+   no cache of its own), which is the steady-state serving hot path.
+
+The same workload runs on a 1-shard and a 4-shard cluster.  Asserted
+acceptance criteria:
+
+* **zero lost requests** on every pass (each client receives exactly one
+  response per request, every shard ledger balances, the router ledger
+  accounts every forward);
+* every response **bit-identical to a direct ``solve()``** of the same
+  (instance, spec) pair — at both shard counts;
+* **warm throughput at 4 shards >= 2.5x the 1-shard throughput** — the
+  horizontal-scale criterion.  Shards are separate processes, so the
+  speedup needs real cores: the floor is asserted when the machine has
+  at least :data:`MIN_CPUS_FOR_SCALING` CPUs (e.g. CI runners) and
+  reported-but-waived on smaller boxes, like the deliberately
+  conservative floors of the sibling benchmarks.
+
+Runnable standalone (``PYTHONPATH=src python benchmarks/bench_cluster.py``,
+``--smoke`` for the CI-sized profile) or under pytest (smoke profile).
+Standalone runs write the machine-readable summary to
+``benchmarks/BENCH_cluster.json`` (``--json PATH`` overrides) so the
+perf trajectory is tracked across PRs instead of only asserted as a
+floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cluster import ClusterConfig, ClusterRouter
+from repro.service.protocol import solve_request
+from repro.solvers import solve
+from repro.workloads.independent import workload_suite
+
+CLIENTS = 16
+TOTAL_REQUESTS = 120
+SMOKE_REQUESTS = 48
+SHARD_COUNTS = (1, 4)
+MIN_SCALING = 2.5
+MIN_CPUS_FOR_SCALING = 4
+
+DEFAULT_JSON = Path(__file__).resolve().parent / "BENCH_cluster.json"
+
+#: Mixed paper-style specs (cheap and heavy interleaved); every request
+#: routes by its content hash, so the mix spreads across shards.
+SPECS = [
+    "lpt",
+    "multifit",
+    "sbo(delta=0.5)",
+    "sbo(delta=1.0)",
+    "rls(delta=2.5)",
+    "trio(delta=2.5)",
+]
+
+
+def build_requests(total: int):
+    """A deterministic mixed workload with natural repeats."""
+    instances = list(workload_suite(50, 4, seed=0).values()) + \
+        list(workload_suite(36, 3, seed=1).values())
+    return [
+        (i % len(instances), SPECS[(i * 5) % len(SPECS)])
+        for i in range(total)
+    ], instances
+
+
+async def run_pass(router: ClusterRouter, requests, payloads):
+    """Fan the request list out over CLIENTS concurrent clients.
+
+    Requests are pre-built payload dicts driven through the router's
+    message-level :meth:`~repro.cluster.ClusterRouter.handle` — exactly
+    what the wire front end does per connection line.  (A real remote
+    client pays the instance-serialization cost on its own CPU, not the
+    router's, so the bench pre-serializes once instead of per request.)
+    """
+    responses: dict = {}
+
+    async def client(client_id: int):
+        for req_idx in range(client_id, len(requests), CLIENTS):
+            response = await router.handle(payloads[requests[req_idx]])
+            assert response.get("ok"), response
+            responses[req_idx] = response["result"]
+
+    start = time.perf_counter()
+    await asyncio.gather(*(client(c) for c in range(CLIENTS)))
+    elapsed = time.perf_counter() - start
+    return responses, elapsed
+
+
+async def warm_up(router: ClusterRouter, instances):
+    """One cheap solve per shard so pools spin up before the clock starts."""
+    for name in router.shard_names():
+        await router.shard(name).request(
+            {"op": "solve", "instance": instances[0].to_dict(), "spec": "lpt"}
+        )
+
+
+async def run_scenario(shards: int, requests, instances, truth) -> dict:
+    payloads = {
+        pair: solve_request(instances[pair[0]], pair[1])
+        for pair in set(requests)
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as cache_dir:
+        config = ClusterConfig(
+            shards=shards, min_shards=1, max_shards=max(SHARD_COUNTS),
+            backend="process", workers=1, cache=cache_dir,
+        )
+        async with ClusterRouter(config) as router:
+            await warm_up(router, instances)
+            cold_responses, cold_s = await run_pass(router, requests, payloads)
+            warm_responses, warm_s = await run_pass(router, requests, payloads)
+            stats = await router.stats()
+
+    for label, responses in (("cold", cold_responses), ("warm", warm_responses)):
+        assert sorted(responses) == list(range(len(requests))), \
+            f"{shards}-shard {label}: lost responses"
+        for req_idx, payload in responses.items():
+            direct = truth[requests[req_idx]]
+            assert payload["cmax"] == direct.cmax, f"{shards}-shard {label}: cmax diverged"
+            assert payload["mmax"] == direct.mmax
+            assert payload["guarantee"] == list(direct.guarantee)
+            assert payload["spec"] == direct.spec
+            assert dict(map(tuple, payload["assignment"])) == direct.schedule.assignment
+    assert stats.lost == 0, f"{shards}-shard ledger does not balance: {stats.totals}"
+    assert stats.router["routed"] == 2 * len(requests), stats.router
+
+    return {
+        "shards": shards,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_rps": len(requests) / cold_s,
+        "warm_rps": len(requests) / warm_s,
+        "lost": stats.lost,
+        "cache_hits": stats.totals.get("cache_hits", 0),
+        "coalesced": stats.totals.get("coalesced", 0),
+        "completed": stats.totals.get("completed", 0),
+        "families": stats.families,
+    }
+
+
+def run_cluster_benchmark(total_requests: int = TOTAL_REQUESTS) -> dict:
+    requests, instances = build_requests(total_requests)
+    truth = {
+        pair: solve(instances[pair[0]], pair[1], cache=False)
+        for pair in sorted(set(requests))
+    }
+    scenarios = {}
+    for shards in SHARD_COUNTS:
+        scenarios[shards] = asyncio.run(
+            run_scenario(shards, requests, instances, truth)
+        )
+    base, wide = scenarios[SHARD_COUNTS[0]], scenarios[SHARD_COUNTS[-1]]
+    return {
+        "benchmark": "cluster",
+        "requests": total_requests,
+        "clients": CLIENTS,
+        "unique_jobs": len(truth),
+        "shard_counts": list(SHARD_COUNTS),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "scenarios": {str(k): v for k, v in scenarios.items()},
+        "warm_scaling": wide["warm_rps"] / base["warm_rps"],
+        "cold_scaling": wide["cold_rps"] / base["cold_rps"],
+        "scaling_enforced": (os.cpu_count() or 1) >= MIN_CPUS_FOR_SCALING,
+    }
+
+
+def _print_report(report: dict) -> None:
+    print(f"requests per pass   : {report['requests']} "
+          f"({report['unique_jobs']} unique jobs, {report['clients']} clients)")
+    for shards in report["shard_counts"]:
+        s = report["scenarios"][str(shards)]
+        print(f"{shards} shard(s)          : cold {s['cold_rps']:8.1f} req/s   "
+              f"warm {s['warm_rps']:8.1f} req/s   lost {s['lost']}")
+    print(f"warm scaling {report['shard_counts'][-1]} vs {report['shard_counts'][0]}"
+          f"  : {report['warm_scaling']:.2f}x "
+          f"(cold {report['cold_scaling']:.2f}x)")
+    if not report["scaling_enforced"]:
+        print(f"scaling floor waived: only {report['cpu_count']} CPU(s); "
+              f"needs >= {MIN_CPUS_FOR_SCALING} for real shard parallelism")
+
+
+def _assert_criteria(report: dict) -> None:
+    for shards in report["shard_counts"]:
+        assert report["scenarios"][str(shards)]["lost"] == 0
+    if report["scaling_enforced"]:
+        assert report["warm_scaling"] >= MIN_SCALING, (
+            f"warm throughput at {report['shard_counts'][-1]} shards only "
+            f"{report['warm_scaling']:.2f}x the 1-shard rate "
+            f"(acceptance criterion is >= {MIN_SCALING}x)"
+        )
+
+
+def write_summary(report: dict, path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def test_bench_cluster():
+    report = run_cluster_benchmark(total_requests=SMOKE_REQUESTS)
+    print()
+    _print_report(report)
+    _assert_criteria(report)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer requests, same criteria)")
+    parser.add_argument("--json", default=str(DEFAULT_JSON), metavar="PATH",
+                        help="write the machine-readable summary here "
+                             "('-' disables)")
+    args = parser.parse_args()
+    report = run_cluster_benchmark(
+        total_requests=SMOKE_REQUESTS if args.smoke else TOTAL_REQUESTS
+    )
+    _print_report(report)
+    _assert_criteria(report)
+    if args.json != "-":
+        write_summary(report, Path(args.json))
+        print(f"summary written to {args.json}")
+    print("acceptance criteria (zero lost, bit-identical, "
+          f">= {MIN_SCALING}x warm scaling on >= {MIN_CPUS_FOR_SCALING} CPUs): PASS",
+          flush=True)
+    sys.exit(0)

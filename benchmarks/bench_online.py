@@ -9,16 +9,27 @@ Measures the streaming hot path end to end in three tiers:
 3. **wire** — a live TCP ``repro serve`` loop driven by
    :class:`~repro.service.client.ServiceClient`, one full JSON round
    trip per submission (the realistic per-arrival latency a remote
-   client pays).
+   client pays);
+4. **wire windowed** — the same live loop driven through
+   :meth:`~repro.service.client.OnlineSession.submit_windowed`
+   (``ack_every=16``): every task is still its own wire line, but only
+   every 16th line asks for a response, so the stream pays one round
+   trip per *window* — the windowed-acknowledgement mode that lifts
+   thin clients over the one-round-trip-per-submission cap.
 
 Acceptance criteria (asserted):
 
 * every tier's finalized schedule is **bit-identical** to the others —
-  the wire adds latency, never placement drift;
+  the wire adds latency, never placement drift — and the windowed tier
+  returns exactly the same placements as the single-ack tier;
 * sustained throughput of at least **2000 submissions/sec in-process**
   and **200 submissions/sec over the wire** (deliberately conservative
   floors so CI noise never flakes the build; typical laptops measure
-  10-100x higher).
+  10-100x higher);
+* the windowed wire rate is at least **1.2x the single-ack wire rate**
+  (deliberately conservative like the absolute floors: ~1.8x measured
+  with client and server time-slicing one core, 2-5x with separate
+  cores, where the saved round trips dominate).
 
 Runnable standalone (``PYTHONPATH=src python benchmarks/bench_online.py``,
 ``--smoke`` for the CI-sized profile) or under pytest.
@@ -41,6 +52,8 @@ M = 4
 
 MIN_INPROCESS_RATE = 2000.0
 MIN_WIRE_RATE = 200.0
+MIN_WINDOWED_GAIN = 1.2
+ACK_EVERY = 16
 
 
 def bench_inprocess(trace) -> dict:
@@ -87,25 +100,62 @@ async def bench_wire(trace) -> dict:
     return {"elapsed": elapsed, "rate": len(trace) / elapsed, "payload": payload}
 
 
+async def bench_wire_windowed(trace) -> dict:
+    config = ServiceConfig(workers=1, max_session_tasks=len(trace) + 1)
+    async with SolverService(config) as svc:
+        shutdown = asyncio.Event()
+        server = await serve_tcp(svc, port=0, shutdown=shutdown)
+        port = server.sockets[0].getsockname()[1]
+        client = await ServiceClient.connect(port=port)
+        try:
+            session = await client.session_open(SPEC, m=trace.m)
+            tasks = [event.task for event in trace]
+            start = time.perf_counter()
+            placements = await session.submit_windowed(tasks, ack_every=ACK_EVERY)
+            elapsed = time.perf_counter() - start
+            payload = await session.result()
+            await session.close()
+        finally:
+            await client.close()
+            server.close()
+            await server.wait_closed()
+    return {
+        "elapsed": elapsed,
+        "rate": len(trace) / elapsed,
+        "payload": payload,
+        "placements": placements,
+    }
+
+
 def run_online_benchmark(n_tasks: int = N_TASKS) -> dict:
     trace = stochastic_trace(n=n_tasks, m=M, seed=0)
     inproc = bench_inprocess(trace)
     service = asyncio.run(bench_service(trace))
     wire = asyncio.run(bench_wire(trace))
+    windowed = asyncio.run(bench_wire_windowed(trace))
 
-    # Bit-identical across all three tiers.
+    # Bit-identical across all four tiers.
     local = inproc["result"]
     assert service["result"].objectives == local.objectives
     assert service["result"].schedule.assignment == local.schedule.assignment
     payload = wire["payload"]
     assert payload["cmax"] == local.cmax and payload["mmax"] == local.mmax
     assert dict(map(tuple, payload["assignment"])) == local.schedule.assignment
+    wpayload = windowed["payload"]
+    assert wpayload["cmax"] == local.cmax and wpayload["mmax"] == local.mmax
+    assert dict(map(tuple, wpayload["assignment"])) == local.schedule.assignment
+    # The windowed acks return every placement, in arrival order.
+    assert [tuple(p) for p in windowed["placements"]] == [
+        (event.task.id, local.schedule.assignment[event.task.id]) for event in trace
+    ]
 
     return {
         "n_tasks": n_tasks,
         "inprocess_rate": inproc["rate"],
         "service_rate": service["rate"],
         "wire_rate": wire["rate"],
+        "wire_windowed_rate": windowed["rate"],
+        "windowed_gain": windowed["rate"] / wire["rate"],
     }
 
 
@@ -114,6 +164,8 @@ def _print_report(report: dict) -> None:
     print(f"in-process submissions/s: {report['inprocess_rate']:10.0f}")
     print(f"service submissions/s   : {report['service_rate']:10.0f}")
     print(f"wire submissions/s      : {report['wire_rate']:10.0f}")
+    print(f"wire windowed (x{ACK_EVERY:<3}) /s: {report['wire_windowed_rate']:10.0f}"
+          f"  ({report['windowed_gain']:.1f}x single-ack)")
 
 
 def _assert_criteria(report: dict) -> None:
@@ -123,6 +175,11 @@ def _assert_criteria(report: dict) -> None:
     )
     assert report["wire_rate"] >= MIN_WIRE_RATE, (
         f"wire rate {report['wire_rate']:.0f}/s below the {MIN_WIRE_RATE:.0f}/s criterion"
+    )
+    assert report["windowed_gain"] >= MIN_WINDOWED_GAIN, (
+        f"windowed acks only {report['windowed_gain']:.2f}x the single-ack wire "
+        f"rate (criterion is >= {MIN_WINDOWED_GAIN}x: the saved round trips "
+        f"must show)"
     )
 
 

@@ -13,17 +13,27 @@ client receives exactly one response per request and the service ledger
 balances), every response **bit-identical to a direct ``solve()``** on
 the same (instance, spec) pair, and **warm throughput at least 5x cold**.
 Runnable standalone (``PYTHONPATH=src python benchmarks/bench_service.py``)
-or under pytest.
+or under pytest.  Standalone runs write the machine-readable summary to
+``benchmarks/BENCH_service.json`` (``--json PATH`` overrides) so the
+perf trajectory is tracked across PRs instead of only asserted as a
+floor.
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
+import json
+import os
+import platform
 import time
+from pathlib import Path
 
 from repro.service import ServiceConfig, SolverService
 from repro.solvers import LRUCache, solve
 from repro.workloads.independent import workload_suite
+
+DEFAULT_JSON = Path(__file__).resolve().parent / "BENCH_service.json"
 
 CLIENTS = 32
 TOTAL_REQUESTS = 200
@@ -116,9 +126,12 @@ def run_service_benchmark() -> dict:
     cold_s, warm_s = outcome["cold"][2], outcome["warm"][2]
     speedup = cold_s / warm_s if warm_s > 0 else float("inf")
     return {
+        "benchmark": "service",
         "requests": TOTAL_REQUESTS,
         "clients": CLIENTS,
         "unique_jobs": len(truth),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
         "cold_s": cold_s,
         "warm_s": warm_s,
         "speedup": speedup,
@@ -153,7 +166,16 @@ def test_bench_service():
 
 
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=str(DEFAULT_JSON), metavar="PATH",
+                        help="write the machine-readable summary here ('-' disables)")
+    args = parser.parse_args()
     report = run_service_benchmark()
     _print_report(report)
     assert report["speedup"] >= 5.0
+    if args.json != "-":
+        # Latency percentiles per solver family ride along in stats.families,
+        # so the JSON tracks tails as well as throughput across PRs.
+        Path(args.json).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"summary written to {args.json}")
     print("acceptance criteria (zero lost, bit-identical, >= 5x warm speedup): PASS")

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six sub-commands cover the typical workflows:
+The sub-commands cover the typical workflows:
 
 ``generate``
     Create a synthetic instance (independent workload or DAG family) and
@@ -22,6 +22,14 @@ Six sub-commands cover the typical workflows:
     worker fleet shared by many clients over line-delimited JSON on
     stdin/stdout (default) or TCP (``--port``), including the streaming
     ``session_*`` ops of the online subsystem.
+``cluster``
+    Run the sharded cluster front end (:mod:`repro.cluster`): one TCP
+    endpoint routing by content hash over N supervised ``repro serve``
+    backend shards sharing a read-through cache, with queue-depth
+    autoscaling (``--min-shards``/``--max-shards``/``--scale-up-at``/
+    ``--scale-down-at``) and cross-shard session handoff.  Speaks the
+    same wire protocol as ``serve`` — clients cannot tell the
+    difference.
 ``online``
     Run an arrival trace through an online scheduler
     (:mod:`repro.online`): generate or load a trace, stream it, and
@@ -40,6 +48,8 @@ Examples::
     python -m repro experiments --id FIG-3
     python -m repro report > EXPERIMENTS.md
     python -m repro serve --port 8373 --workers 4 --cache .repro-cache
+    python -m repro cluster --port 8373 --shards 4 --max-shards 8 \\
+        --scale-up-at 8 --scale-down-at 1 --cache .repro-cache
     python -m repro online --arrival stochastic --n 50 --m 4 --seed 0 \\
         --scheduler "online_sbo(delta=1.0)" --save-trace trace.json
     python -m repro online --trace trace.json --scheduler online_greedy
@@ -332,6 +342,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             start_method=args.start_method,
             max_sessions=args.max_sessions,
             session_ttl=args.session_ttl if args.session_ttl else None,
+            auto_timeouts=args.auto_timeouts,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -368,6 +379,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# cluster (sharded serving with autoscaling)
+# --------------------------------------------------------------------------- #
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster import Autoscaler, ClusterConfig, ClusterRouter, ShardStartError
+    from repro.service.server import serve_tcp
+
+    try:
+        config = ClusterConfig(
+            shards=args.shards,
+            min_shards=args.min_shards,
+            max_shards=args.max_shards,
+            backend=args.backend,
+            workers=args.workers,
+            max_pending=args.max_pending,
+            backpressure=args.policy,
+            default_timeout=args.timeout,
+            cache=args.cache,
+            auto_timeouts=args.auto_timeouts,
+            max_sessions=args.max_sessions,
+            session_ttl=args.session_ttl if args.session_ttl else None,
+            scale_up_at=args.scale_up_at,
+            scale_down_at=args.scale_down_at,
+            scale_interval=args.scale_interval,
+            hysteresis=args.hysteresis,
+            drain_timeout=args.drain_timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        async with ClusterRouter(config) as router:
+            autoscaler = Autoscaler(router)
+            if not args.no_autoscale:
+                autoscaler.start()
+            shutdown = asyncio.Event()
+            server = await serve_tcp(
+                None, args.host, args.port, shutdown, handler=router.handle
+            )
+            port = server.sockets[0].getsockname()[1]
+            print(
+                f"repro cluster listening on {args.host}:{port} "
+                f"({len(router.shard_names())} {config.backend} shards, "
+                f"workers={config.workers}/shard, "
+                f"scale=[{config.min_shards},{config.max_shards}] "
+                f"@ queue {config.scale_down_at:g}..{config.scale_up_at:g})"
+                + (f", cache={args.cache}" if args.cache else ""),
+                file=sys.stderr, flush=True,
+            )
+            try:
+                await shutdown.wait()
+            finally:
+                server.close()
+                await server.wait_closed()
+                await autoscaler.stop()
+
+    try:
+        asyncio.run(run())
+    except ShardStartError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         print("interrupted; shutting down", file=sys.stderr)
     return 0
@@ -536,7 +616,56 @@ def build_parser() -> argparse.ArgumentParser:
                      help="bound on concurrently open streaming sessions")
     srv.add_argument("--session-ttl", type=float, default=300.0,
                      help="idle seconds before an open session expires (0 disables expiry)")
+    srv.add_argument("--auto-timeouts", action="store_true",
+                     help="derive per-solver-family timeouts from observed p99 latency tails")
     srv.set_defaults(func=_cmd_serve)
+
+    clu = sub.add_parser(
+        "cluster",
+        help="run a sharded solver cluster: one TCP front end routing over N "
+             "repro-serve backend shards, with queue-depth autoscaling",
+    )
+    clu.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    clu.add_argument("--port", type=int, default=8373,
+                     help="TCP port of the cluster front end (0 picks a free one)")
+    clu.add_argument("--shards", type=int, default=2,
+                     help="initial number of backend shards")
+    clu.add_argument("--min-shards", type=int, default=1,
+                     help="autoscaler lower bound on the shard count")
+    clu.add_argument("--max-shards", type=int, default=8,
+                     help="autoscaler upper bound on the shard count")
+    clu.add_argument("--scale-up-at", type=float, default=8.0,
+                     help="average queue depth per shard at/above which a shard is added")
+    clu.add_argument("--scale-down-at", type=float, default=1.0,
+                     help="average queue depth per shard at/below which a shard is retired")
+    clu.add_argument("--scale-interval", type=float, default=2.0,
+                     help="seconds between autoscaler observations")
+    clu.add_argument("--hysteresis", type=int, default=3,
+                     help="consecutive same-direction observations before scaling")
+    clu.add_argument("--no-autoscale", action="store_true",
+                     help="keep the shard count fixed at --shards")
+    clu.add_argument("--backend", default="process", choices=["process", "inproc"],
+                     help="shard kind: repro-serve subprocesses or embedded services")
+    clu.add_argument("--workers", type=int, default=1,
+                     help="solver worker processes per shard")
+    clu.add_argument("--max-pending", type=int, default=64,
+                     help="per-shard bound on admitted unfinished jobs")
+    clu.add_argument("--policy", default="wait", choices=["wait", "reject"],
+                     help="per-shard backpressure policy")
+    clu.add_argument("--timeout", type=float, default=None,
+                     help="per-shard default request timeout in seconds")
+    clu.add_argument("--cache", default=None, metavar="DIR",
+                     help="shared read-through cache directory (all shards; strongly "
+                          "recommended — without it every shard recomputes alone)")
+    clu.add_argument("--auto-timeouts", action="store_true",
+                     help="derive per-solver-family timeouts on every shard")
+    clu.add_argument("--max-sessions", type=int, default=64,
+                     help="per-shard bound on open streaming sessions")
+    clu.add_argument("--session-ttl", type=float, default=300.0,
+                     help="per-shard idle session expiry (0 disables)")
+    clu.add_argument("--drain-timeout", type=float, default=30.0,
+                     help="seconds a retiring shard gets to finish in-flight jobs")
+    clu.set_defaults(func=_cmd_cluster)
 
     onl = sub.add_parser(
         "online",

@@ -1,0 +1,211 @@
+"""Queue-depth autoscaling of the backend shard set, with hysteresis.
+
+Two layers, split so the interesting part is a pure function:
+
+* :class:`AutoscalerPolicy` — the decision state machine.  It sees one
+  number per observation (the cluster's **average queue depth per
+  routable shard**, i.e. admitted jobs waiting for a worker slot) and
+  votes ``"up"`` when the average sits at/above ``scale_up_at``,
+  ``"down"`` at/below ``scale_down_at``, in-between resets both streaks.
+  Only ``hysteresis`` *consecutive* same-direction votes produce an
+  action — one bursty poll can never flap the shard set — and every
+  action resets the streaks, so scaling proceeds one shard per
+  ``hysteresis`` window (no thundering herd of spawns).
+
+* :class:`Autoscaler` — the loop around a
+  :class:`~repro.cluster.router.ClusterRouter`.  Each tick it first
+  *supervises* (reaps silently-dead shards and replaces them up to
+  ``min_shards`` — crash recovery takes priority over scaling), then
+  observes the merged stats and applies the policy verdict within
+  ``[min_shards, max_shards]``.  Scale-up spawns a fresh shard into the
+  rendezvous ring (~1/n of the keyspace remaps to it).  Scale-down picks
+  the victim with the fewest pinned sessions (newest shard on ties) and
+  retires it gracefully through
+  :meth:`~repro.cluster.router.ClusterRouter.remove_shard`: excluded
+  from routing, sessions handed off, in-flight jobs drained into the
+  shared cache, then stopped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+from repro.cluster.backend import ShardStartError
+from repro.cluster.config import ClusterConfig
+from repro.cluster.router import ClusterError, ClusterRouter
+
+__all__ = ["Autoscaler", "AutoscalerPolicy"]
+
+
+class AutoscalerPolicy:
+    """Pure hysteresis state machine: feed averages, read verdicts.
+
+    >>> policy = AutoscalerPolicy(scale_up_at=8, scale_down_at=1, hysteresis=2)
+    >>> [policy.observe(x) for x in (9, 0.5, 9, 9, 9, 9)]
+    [None, None, None, 'up', None, 'up']
+    """
+
+    def __init__(self, scale_up_at: float, scale_down_at: float, hysteresis: int) -> None:
+        if scale_up_at <= scale_down_at:
+            raise ValueError(
+                f"scale_up_at ({scale_up_at}) must be > scale_down_at "
+                f"({scale_down_at})"
+            )
+        if hysteresis < 1:
+            raise ValueError(f"hysteresis must be >= 1, got {hysteresis}")
+        self.scale_up_at = float(scale_up_at)
+        self.scale_down_at = float(scale_down_at)
+        self.hysteresis = int(hysteresis)
+        self.up_streak = 0
+        self.down_streak = 0
+
+    def observe(self, avg_queue_depth: float) -> Optional[str]:
+        """One observation in, a verdict out (``"up"``, ``"down"``, ``None``)."""
+        if avg_queue_depth >= self.scale_up_at:
+            self.up_streak += 1
+            self.down_streak = 0
+            if self.up_streak >= self.hysteresis:
+                self.reset()
+                return "up"
+        elif avg_queue_depth <= self.scale_down_at:
+            self.down_streak += 1
+            self.up_streak = 0
+            if self.down_streak >= self.hysteresis:
+                self.reset()
+                return "down"
+        else:
+            self.reset()
+        return None
+
+    def reset(self) -> None:
+        """Clear both streaks (after an action, or on a mid-band reading)."""
+        self.up_streak = 0
+        self.down_streak = 0
+
+
+class Autoscaler:
+    """Drive a router's shard count from its aggregated queue-depth gauge."""
+
+    def __init__(self, router: ClusterRouter, config: Optional[ClusterConfig] = None) -> None:
+        self.router = router
+        self.config = config or router.config
+        self.policy = AutoscalerPolicy(
+            scale_up_at=self.config.scale_up_at,
+            scale_down_at=self.config.scale_down_at,
+            hysteresis=self.config.hysteresis,
+        )
+        self._task: Optional["asyncio.Task"] = None
+        #: Most recent actions, newest last: ``{"action", "avg", "shards"}``.
+        self.log: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start the background tick loop (idempotent)."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Cancel the loop and wait for it to unwind."""
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+
+    async def _run(self) -> None:
+        while True:
+            try:
+                await self.tick()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - defensive: keep ticking
+                pass
+            await asyncio.sleep(self.config.scale_interval)
+
+    # ------------------------------------------------------------------ #
+    # one observation
+    # ------------------------------------------------------------------ #
+    def _record(self, action: str, avg: float) -> None:
+        self.log.append({
+            "action": action,
+            "avg": avg,
+            "shards": len(self.router.shard_names()),
+        })
+        del self.log[:-50]
+
+    def pick_victim(self) -> Optional[str]:
+        """The shard scale-down retires: fewest pinned sessions, newest on ties.
+
+        Newest-on-ties keeps the long-lived shards stable, so the bulk of
+        the rendezvous keyspace (and the coalescing/cache locality built
+        on it) stays put across a down-up-down oscillation.
+        """
+        names = self.router.shard_names(include_draining=False)
+        if len(names) <= 1:
+            return None
+        return min(
+            names,
+            key=lambda name: (
+                self.router._pinned_count(name),
+                -int(name.rsplit("-", 1)[-1]) if name.rsplit("-", 1)[-1].isdigit() else 0,
+            ),
+        )
+
+    async def tick(self) -> Optional[str]:
+        """Supervise, observe, maybe act; returns the action taken (or ``None``)."""
+        router = self.router
+        if not router.is_running:
+            return None
+        # Supervision first: replace silently-dead shards up to min_shards.
+        await router.reap_dead()
+        replaced = False
+        while len(router.shard_names()) < self.config.min_shards:
+            try:
+                await router.add_shard()
+            except (ClusterError, ShardStartError):  # pragma: no cover - spawn refused
+                break
+            replaced = True
+        if replaced:
+            self.policy.reset()
+            self._record("replace", 0.0)
+            return "replace"
+
+        stats = await router.stats()
+        routable_names = router.shard_names(include_draining=False)
+        if not routable_names:
+            return None
+        routable = len(routable_names)
+        # Average over the *routable* shards only — a draining shard's
+        # backlog is load that is already leaving the cluster; counting it
+        # in the numerator but not the denominator would overstate pressure
+        # for the whole drain window and fire spurious scale-ups.
+        depth = sum(
+            int(stats.shards.get(name, {}).get("queue_depth", 0))
+            for name in routable_names
+        )
+        avg = depth / routable
+        verdict = self.policy.observe(avg)
+        if verdict == "up" and routable < self.config.max_shards:
+            try:
+                await router.add_shard()
+            except (ClusterError, ShardStartError):
+                return None
+            self._record("up", avg)
+            return "up"
+        if verdict == "down" and routable > self.config.min_shards:
+            victim = self.pick_victim()
+            if victim is None:
+                return None
+            try:
+                await router.remove_shard(victim, drain=True)
+            except ClusterError:
+                return None
+            self._record("down", avg)
+            return "down"
+        return None

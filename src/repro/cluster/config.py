@@ -1,0 +1,151 @@
+"""Configuration of the sharded cluster layer (:class:`ClusterConfig`).
+
+One frozen dataclass holds every tunable of a
+:class:`~repro.cluster.router.ClusterRouter` and its
+:class:`~repro.cluster.autoscaler.Autoscaler`: the initial / minimum /
+maximum backend shard counts, the queue-depth scaling thresholds with
+their hysteresis, the graceful-drain budget, the backend kind
+(``"process"`` spawns real ``repro serve`` subprocesses; ``"inproc"``
+embeds :class:`~repro.service.SolverService` instances in the router's
+loop — cheap and deterministic for tests), and the per-shard
+:class:`~repro.service.ServiceConfig` knobs every backend is started
+with.  ``cache`` should name a directory shared by all shards (the
+common read-through tier); process backends *require* a directory — an
+in-memory cache cannot span processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional
+
+__all__ = ["ClusterConfig", "BACKEND_KINDS"]
+
+#: Accepted ``backend`` values: ``"process"`` spawns one ``repro serve``
+#: subprocess per shard (the production shape); ``"inproc"`` embeds the
+#: backend services in the router's own event loop (tests, quickstarts).
+BACKEND_KINDS = ("process", "inproc")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tunables of a :class:`~repro.cluster.router.ClusterRouter`.
+
+    Attributes
+    ----------
+    shards:
+        Initial number of backend shards started with the router.
+    min_shards / max_shards:
+        Bounds the autoscaler (and manual scaling) must respect.
+    backend:
+        ``"process"`` or ``"inproc"`` — see :data:`BACKEND_KINDS`.
+    workers:
+        Worker processes *per shard* (each shard is a full
+        :class:`~repro.service.SolverService` with its own pool).
+    max_pending / backpressure / default_timeout:
+        Forwarded into every shard's :class:`~repro.service.ServiceConfig`.
+    cache:
+        Shared read-through cache: a directory path (required for
+        process backends) or a cache object (inproc backends only).
+        ``None``/``False`` disables the shared tier.
+    max_sessions / max_session_tasks / session_ttl:
+        Per-shard streaming-session bounds (the cluster-wide session
+        capacity is the sum over shards).
+    auto_timeouts:
+        Enable latency-derived per-family timeouts on every shard.
+    scale_up_at:
+        Average ``queue_depth`` per shard at/above which the autoscaler
+        votes to add a shard.
+    scale_down_at:
+        Average ``queue_depth`` per shard at/below which it votes to
+        retire one.
+    scale_interval:
+        Seconds between autoscaler observations.
+    hysteresis:
+        Consecutive same-direction votes required before acting — keeps
+        one bursty poll from flapping the shard set.
+    drain_timeout:
+        Seconds a retiring shard gets to finish its in-flight jobs
+        before it is shut down regardless.
+    solve_retries:
+        Transport-failure retries per solve request (each retry re-routes
+        among the surviving shards); ``None`` retries once per remaining
+        shard.
+    """
+
+    shards: int = 2
+    min_shards: int = 1
+    max_shards: int = 8
+    backend: str = "process"
+    workers: int = 1
+    max_pending: int = 64
+    backpressure: str = "wait"
+    default_timeout: Optional[float] = None
+    spec_timeouts: Mapping[str, float] = field(default_factory=dict)
+    cache: object = None
+    max_sessions: int = 64
+    max_session_tasks: int = 1_000_000
+    session_ttl: Optional[float] = 300.0
+    auto_timeouts: bool = False
+    scale_up_at: float = 8.0
+    scale_down_at: float = 1.0
+    scale_interval: float = 0.5
+    hysteresis: int = 3
+    drain_timeout: float = 30.0
+    solve_retries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise ValueError(f"min_shards must be >= 1, got {self.min_shards}")
+        if self.max_shards < self.min_shards:
+            raise ValueError(
+                f"max_shards ({self.max_shards}) must be >= min_shards "
+                f"({self.min_shards})"
+            )
+        if not self.min_shards <= self.shards <= self.max_shards:
+            raise ValueError(
+                f"shards ({self.shards}) must lie in "
+                f"[min_shards={self.min_shards}, max_shards={self.max_shards}]"
+            )
+        if self.backend not in BACKEND_KINDS:
+            raise ValueError(
+                f"backend must be one of {BACKEND_KINDS}, got {self.backend!r}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.scale_up_at <= self.scale_down_at:
+            raise ValueError(
+                f"scale_up_at ({self.scale_up_at}) must be > scale_down_at "
+                f"({self.scale_down_at}) — equal thresholds flap"
+            )
+        if self.scale_interval <= 0:
+            raise ValueError(f"scale_interval must be > 0, got {self.scale_interval}")
+        if self.hysteresis < 1:
+            raise ValueError(f"hysteresis must be >= 1, got {self.hysteresis}")
+        if self.drain_timeout <= 0:
+            raise ValueError(f"drain_timeout must be > 0, got {self.drain_timeout}")
+        if self.solve_retries is not None and self.solve_retries < 0:
+            raise ValueError(
+                f"solve_retries must be >= 0 or None, got {self.solve_retries}"
+            )
+
+    def with_overrides(self, **overrides: object) -> "ClusterConfig":
+        """A copy of this config with ``overrides`` applied (re-validated)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+    def shard_service_config(self):
+        """The :class:`~repro.service.ServiceConfig` every shard starts with."""
+        from repro.service import ServiceConfig
+
+        return ServiceConfig(
+            workers=self.workers,
+            max_pending=self.max_pending,
+            backpressure=self.backpressure,
+            default_timeout=self.default_timeout,
+            spec_timeouts=dict(self.spec_timeouts),
+            cache=self.cache if self.cache else False,
+            auto_timeouts=self.auto_timeouts,
+            max_sessions=self.max_sessions,
+            max_session_tasks=self.max_session_tasks,
+            session_ttl=self.session_ttl,
+        )

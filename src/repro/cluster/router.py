@@ -1,0 +1,667 @@
+"""``ClusterRouter`` — the asyncio front end of a sharded solver cluster.
+
+The router owns N backend shards (each a full
+:class:`~repro.service.SolverService`, usually a ``repro serve``
+subprocess) and presents them as **one** service speaking the exact wire
+protocol of :mod:`repro.service.protocol` — a client cannot tell a
+cluster from a single process, except that it scales.
+
+Request paths:
+
+* ``solve`` — routed by **content hash**: the request's routing key
+  (:func:`~repro.cluster.routing.request_key`) is rendezvous-hashed over
+  the live shard set, so identical requests always land on the same
+  shard and PR 3's in-flight coalescing keeps working cluster-wide.  A
+  transport failure (the shard died mid-request) marks the shard dead
+  and retries on the next-ranked survivor — solvers are deterministic
+  and results content-addressed, so a retry can never produce a
+  different answer, and every client receives exactly one response.
+* ``session_*`` — streaming sessions are **pinned**: opened on the
+  least-loaded shard and addressed through a router-issued session id
+  (``csess-N``) mapped to the backend's own id, so ids never collide
+  across shards.  Per-session ops are serialized through a lock, which
+  is what makes :meth:`session_handoff` safe: export the ledger from the
+  source shard, restore-by-verified-replay on the target, repin, close
+  the source copy — submissions queued during the migration simply land
+  on the new shard, bit-identically.
+* ``stats`` — fanned out and merged (:mod:`repro.cluster.stats`),
+  counters summed and family latency percentiles merged count-weighted,
+  plus the router's own ledger (routed / retried / handoffs / shard
+  lifecycle).
+
+All shards share one read-through :class:`~repro.solvers.cache.DiskCache`
+directory, so a result computed by any shard — including one that is
+later retired or crashes — is served warm by every other.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.backend import InprocShard, ProcessShard, ShardHandle, ShardStartError
+from repro.cluster.config import ClusterConfig
+from repro.cluster.routing import rank, request_key
+from repro.cluster.stats import ClusterStats, merge_shard_stats
+from repro.service.protocol import PROTOCOL_VERSION, solve_request
+
+__all__ = ["ClusterRouter", "ClusterError", "NoShardAvailableError"]
+
+
+class ClusterError(RuntimeError):
+    """Base class of cluster-layer errors."""
+
+
+class NoShardAvailableError(ClusterError):
+    """Every shard is dead or draining; the request cannot be placed."""
+
+
+def _error_response(request: Dict[str, object], exc_type: str, message: str) -> Dict[str, object]:
+    return {
+        "id": request.get("id"),
+        "ok": False,
+        "error": {"type": exc_type, "message": message},
+    }
+
+
+class ClusterRouter:
+    """Route requests across supervised :class:`~repro.service.SolverService` shards.
+
+    Use as an async context manager::
+
+        config = ClusterConfig(shards=4, backend="process", cache="/tmp/cache")
+        async with ClusterRouter(config) as router:
+            payload = await router.solve(instance, "sbo(delta=1.0)")
+
+    or drive the wire front end by passing :meth:`handle` to
+    :func:`repro.service.server.serve_tcp` — that is exactly what
+    ``repro cluster`` does.
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None, **overrides: object) -> None:
+        if config is None:
+            config = ClusterConfig(**overrides)  # type: ignore[arg-type]
+        elif overrides:
+            config = config.with_overrides(**overrides)
+        self.config = config
+        self._started = False
+        self._closed = False
+        self._shards: Dict[str, ShardHandle] = {}
+        self._shard_seq = itertools.count(1)
+        self._sessions: Dict[str, Tuple[str, str]] = {}
+        self._session_locks: Dict[str, asyncio.Lock] = {}
+        #: Last router-side activity per pin (monotonic seconds) — drives the
+        #: lazy pin sweep so abandoned sessions cannot leak pins forever.
+        self._session_touch: Dict[str, float] = {}
+        self._session_seq = itertools.count(1)
+        self._counters: Dict[str, int] = {
+            name: 0
+            for name in ("routed", "retried", "handoffs", "handoff_failures",
+                         "shards_started", "shards_retired", "shards_lost",
+                         "sessions_lost")
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "ClusterRouter":
+        """Spawn the initial shard set (idempotent)."""
+        if self._closed:
+            raise ClusterError("cluster already closed; create a new router")
+        if self._started:
+            return self
+        if self.config.backend == "process" and self.config.cache not in (None, False):
+            if not isinstance(self.config.cache, (str, Path)):
+                raise TypeError(
+                    "process backends need a cache *directory* (a path) — an "
+                    "in-memory cache object cannot be shared across processes"
+                )
+        self._started = True
+        try:
+            await asyncio.gather(*(self.add_shard() for _ in range(self.config.shards)))
+        except ShardStartError:
+            await self.close()
+            raise
+        return self
+
+    async def close(self) -> None:
+        """Retire every shard (graceful stop) and drop the session pins."""
+        if self._closed:
+            return
+        self._closed = True
+        shards = list(self._shards.values())
+        self._shards.clear()
+        self._sessions.clear()
+        self._session_locks.clear()
+        self._session_touch.clear()
+        if shards:
+            await asyncio.gather(*(shard.stop() for shard in shards),
+                                 return_exceptions=True)
+
+    async def __aenter__(self) -> "ClusterRouter":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    @property
+    def is_running(self) -> bool:
+        return self._started and not self._closed
+
+    # ------------------------------------------------------------------ #
+    # shard-set management
+    # ------------------------------------------------------------------ #
+    def shard_names(self, include_draining: bool = True) -> List[str]:
+        """Names of the live shards (sorted; optionally minus draining ones)."""
+        return sorted(
+            name for name, shard in self._shards.items()
+            if shard.alive and (include_draining or not shard.draining)
+        )
+
+    def _routable(self) -> List[str]:
+        return self.shard_names(include_draining=False)
+
+    def shard(self, name: str) -> ShardHandle:
+        """The handle of one shard (tests and drills poke it)."""
+        return self._shards[name]
+
+    def _make_shard(self, name: str) -> ShardHandle:
+        config = self.config
+        if config.backend == "inproc":
+            return InprocShard(name, config.shard_service_config())
+        cache = config.cache
+        return ProcessShard(
+            name,
+            workers=config.workers,
+            max_pending=config.max_pending,
+            backpressure=config.backpressure,
+            default_timeout=config.default_timeout,
+            cache_dir=str(cache) if cache not in (None, False) else None,
+            max_sessions=config.max_sessions,
+            session_ttl=config.session_ttl,
+            auto_timeouts=config.auto_timeouts,
+        )
+
+    async def add_shard(self) -> ShardHandle:
+        """Start one more shard (the scale-up primitive).
+
+        Raises :class:`ClusterError` at ``max_shards``,
+        :class:`~repro.cluster.backend.ShardStartError` when the backend
+        fails to come up.  The new shard immediately joins the routing
+        ring; rendezvous hashing remaps only ~1/n of the keyspace to it.
+        """
+        if not self._started or self._closed:
+            raise ClusterError("cluster is not running")
+        if len(self.shard_names()) >= self.config.max_shards:
+            raise ClusterError(
+                f"cluster is at max_shards ({self.config.max_shards})"
+            )
+        name = f"shard-{next(self._shard_seq)}"
+        shard = self._make_shard(name)
+        await shard.start()
+        self._shards[name] = shard
+        self._counters["shards_started"] += 1
+        return shard
+
+    async def remove_shard(self, name: str, drain: bool = True) -> None:
+        """Gracefully retire one shard (the scale-down primitive).
+
+        The shard is excluded from new routing first, its pinned
+        sessions are handed off to surviving shards, then it drains —
+        in-flight jobs finish and their results land in the shared cache
+        (salvaged, not lost) — and finally it is stopped.  ``drain=False``
+        skips the handoff/drain (the supervision path for a shard that
+        is already dead).
+        """
+        shard = self._shards.get(name)
+        if shard is None:
+            raise ClusterError(f"unknown shard {name!r}")
+        if drain and len(self._routable()) <= 1:
+            raise ClusterError("refusing to retire the last routable shard")
+        shard.draining = True
+        if drain and shard.alive:
+            for router_sid, (pin, _backend_sid) in list(self._sessions.items()):
+                if pin != name:
+                    continue
+                outcome = await self.session_handoff(router_sid)
+                if not outcome.get("ok"):
+                    self._counters["handoff_failures"] += 1
+            try:
+                await shard.request({"op": "drain", "timeout": self.config.drain_timeout})
+            except (ConnectionError, OSError):
+                pass
+        self._shards.pop(name, None)
+        if shard.alive:
+            await shard.stop()
+            self._counters["shards_retired"] += 1
+        else:
+            await shard.kill()
+            self._counters["shards_lost"] += 1
+
+    async def _mark_dead(self, shard: ShardHandle) -> None:
+        """Reap a shard observed dead mid-request (the failure path)."""
+        if self._shards.get(shard.name) is shard:
+            del self._shards[shard.name]
+            self._counters["shards_lost"] += 1
+        await shard.kill()
+
+    async def reap_dead(self) -> int:
+        """Drop shards whose backend died silently; returns how many."""
+        dead = [shard for shard in self._shards.values() if not shard.alive]
+        for shard in dead:
+            await self._mark_dead(shard)
+        return len(dead)
+
+    # ------------------------------------------------------------------ #
+    # the wire front end
+    # ------------------------------------------------------------------ #
+    async def handle(self, request: Dict[str, object]) -> Optional[Dict[str, object]]:
+        """One decoded request in, one response payload (or ``None``) out.
+
+        Plug-compatible with :data:`repro.service.server.Handler` — pass
+        it to ``serve_tcp(None, ..., handler=router.handle)`` and the
+        stock transports serve the whole cluster.
+        """
+        op = request.get("op", "solve")
+        try:
+            if op == "solve":
+                return await self._forward_solve(request)
+            if op == "session_open" or op == "session_restore":
+                return await self._open_session(request)
+            if op in ("session_submit", "session_result", "session_close",
+                      "session_export"):
+                return await self._forward_session(request)
+            if op == "session_handoff":
+                session_id = request.get("session")
+                if not isinstance(session_id, str) or not session_id:
+                    raise ClusterError("'session' must be a non-empty session id string")
+                target = request.get("target")
+                if target is not None and not isinstance(target, str):
+                    raise ClusterError("'target' must be a shard name string")
+                outcome = await self.session_handoff(session_id, target)
+                outcome["id"] = request.get("id")
+                return outcome
+            if op == "stats":
+                stats = await self.stats()
+                return {"id": request.get("id"), "ok": True, "stats": stats.to_dict()}
+            if op == "ping":
+                return {"id": request.get("id"), "ok": True, "pong": True,
+                        "protocol": PROTOCOL_VERSION, "cluster": True,
+                        "shards": len(self._routable())}
+            if op == "drain":
+                timeout = request.get("timeout")
+                if timeout is not None and not isinstance(timeout, (int, float)):
+                    raise ClusterError("'timeout' must be a number of seconds")
+                drained, pending = await self.drain(
+                    timeout=float(timeout) if timeout is not None else None
+                )
+                return {"id": request.get("id"), "ok": True,
+                        "drained": drained, "pending": pending}
+            if op == "shutdown":
+                return {"id": request.get("id"), "ok": True, "shutdown": True}
+            raise ClusterError(
+                f"unknown op {op!r}; the cluster front end speaks solve, "
+                f"session_open, session_submit, session_result, session_export, "
+                f"session_restore, session_handoff, session_close, stats, ping, "
+                f"drain, and shutdown"
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # every request-level failure becomes a response
+            return _error_response(request, type(exc).__name__, str(exc))
+
+    # ------------------------------------------------------------------ #
+    # solve routing
+    # ------------------------------------------------------------------ #
+    async def _forward_solve(self, request: Dict[str, object]) -> Dict[str, object]:
+        key = request_key(request)
+        self._counters["routed"] += 1
+        inner = dict(request)
+        inner.pop("id", None)
+        tried: set = set()
+        retries_left = self.config.solve_retries
+        while True:
+            order = [name for name in rank(key, self._routable()) if name not in tried]
+            if not order:
+                return _error_response(
+                    request, "NoShardAvailableError",
+                    "no live shard available for this request "
+                    f"({len(tried)} tried and lost)",
+                )
+            name = order[0]
+            shard = self._shards[name]
+            try:
+                response = await shard.request(inner)
+            except (ConnectionError, OSError):
+                tried.add(name)
+                await self._mark_dead(shard)
+                if retries_left is not None:
+                    if retries_left <= 0:
+                        return _error_response(
+                            request, "NoShardAvailableError",
+                            f"shard {name} was lost mid-request and the retry "
+                            f"budget is exhausted",
+                        )
+                    retries_left -= 1
+                self._counters["retried"] += 1
+                continue
+            response["id"] = request.get("id")
+            return response
+
+    async def solve(
+        self,
+        instance,
+        spec: str,
+        timeout: Optional[float] = None,
+        params: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Solve one instance through the cluster; returns the result payload.
+
+        Mirrors :meth:`repro.service.client.ServiceClient.solve` (the
+        payload dict with objectives, guarantee, assignment, provenance),
+        raising :class:`ClusterError` with the remote error message on an
+        error response.
+        """
+        if not self.is_running:
+            raise ClusterError("cluster is not running (use 'async with ClusterRouter(...)')")
+        request = solve_request(instance, spec, timeout=timeout, params=params)
+        response = await self._forward_solve(request)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ClusterError(
+                f"{error.get('type', 'ClusterError')}: "
+                f"{error.get('message', 'request failed')}"
+            )
+        return response["result"]  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # session routing (pinning + handoff)
+    # ------------------------------------------------------------------ #
+    def _pinned_count(self, name: str) -> int:
+        return sum(1 for pin, _sid in self._sessions.values() if pin == name)
+
+    def _drop_pin(self, router_sid: str) -> None:
+        self._sessions.pop(router_sid, None)
+        self._session_locks.pop(router_sid, None)
+        self._session_touch.pop(router_sid, None)
+
+    def _sweep_pins(self) -> None:
+        """Drop pins whose session the backend has certainly expired.
+
+        Backends expire idle sessions after ``session_ttl``; a client that
+        disconnected without ``session_close`` would otherwise leak its
+        router pin (and lock) forever.  Twice the TTL of *router-side*
+        idleness guarantees the backend sweep ran first, so a swept pin can
+        never orphan a live backend session.  ``session_ttl=None`` disables
+        both sweeps symmetrically.
+        """
+        ttl = self.config.session_ttl
+        if ttl is None or not self._sessions:
+            return
+        now = time.monotonic()
+        stale = [sid for sid, touched in self._session_touch.items()
+                 if now - touched > 2.0 * ttl]
+        for router_sid in stale:
+            self._drop_pin(router_sid)
+
+    def _least_loaded(self, exclude: Optional[str] = None) -> Optional[str]:
+        self._sweep_pins()
+        candidates = [name for name in self._routable() if name != exclude]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda name: (self._pinned_count(name), name))
+
+    async def _open_session(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Open (or restore) a session on the least-loaded shard and pin it."""
+        inner = dict(request)
+        inner.pop("id", None)
+        while True:
+            name = self._least_loaded()
+            if name is None:
+                return _error_response(
+                    request, "NoShardAvailableError", "no live shard to host the session"
+                )
+            shard = self._shards[name]
+            try:
+                response = await shard.request(inner)
+            except (ConnectionError, OSError):
+                await self._mark_dead(shard)
+                continue
+            break
+        if response.get("ok"):
+            backend_sid = str(response.get("session"))
+            router_sid = f"csess-{next(self._session_seq)}"
+            self._sessions[router_sid] = (name, backend_sid)
+            self._session_locks[router_sid] = asyncio.Lock()
+            self._session_touch[router_sid] = time.monotonic()
+            response["session"] = router_sid
+            response["shard"] = name
+        response["id"] = request.get("id")
+        return response
+
+    def _session_pin(self, router_sid: str) -> Tuple[str, str, ShardHandle]:
+        pin = self._sessions.get(router_sid)
+        if pin is None:
+            raise ClusterError(
+                f"unknown session {router_sid!r} (never opened, closed, or "
+                f"lost with its shard)"
+            )
+        name, backend_sid = pin
+        shard = self._shards.get(name)
+        if shard is None or not shard.alive:
+            # The shard died under the session: placements are irrevocable
+            # and lived only there — surface the loss, free the pin.
+            self._drop_pin(router_sid)
+            self._counters["sessions_lost"] += 1
+            raise ClusterError(
+                f"session {router_sid!r} was lost with shard {name} "
+                f"(its shard died before a handoff)"
+            )
+        return name, backend_sid, shard
+
+    async def _forward_session(self, request: Dict[str, object]) -> Optional[Dict[str, object]]:
+        op = request.get("op")
+        unacked = op == "session_submit" and request.get("ack") is False
+        router_sid = request.get("session")
+        if not isinstance(router_sid, str) or not router_sid:
+            if unacked:
+                return None  # no response line for an unacknowledged op, ever
+            raise ClusterError("'session' must be a non-empty session id string")
+        # Serialize ops per session: a handoff holds this lock across its
+        # export/restore/repin, so ops queued behind it land on the new pin.
+        try:
+            self._session_pin(router_sid)  # fail fast before locking
+        except ClusterError:
+            if unacked:
+                return None  # unknown/lost session on an unacked line: dropped
+            raise
+        lock = self._session_locks[router_sid]
+        async with lock:
+            try:
+                name, backend_sid, shard = self._session_pin(router_sid)
+            except ClusterError:
+                if unacked:
+                    return None  # closed/lost while queued behind the lock
+                raise
+            self._session_touch[router_sid] = time.monotonic()
+            inner = {**request, "session": backend_sid}
+            inner.pop("id", None)
+            try:
+                if unacked:
+                    await shard.send(inner)
+                    return None
+                response = await shard.request(inner)
+            except (ConnectionError, OSError):
+                # The shard died under this very op: same outcome as finding
+                # it dead up front — reap it, free the pin, surface the loss
+                # (no response line for an unacknowledged op, as ever).
+                await self._mark_dead(shard)
+                self._drop_pin(router_sid)
+                self._counters["sessions_lost"] += 1
+                if unacked:
+                    return None
+                raise ClusterError(
+                    f"session {router_sid!r} was lost with shard {name} "
+                    f"(it died mid-request)"
+                ) from None
+        if response.get("ok") and op == "session_close":
+            self._drop_pin(router_sid)
+        elif (not response.get("ok")
+              and (response.get("error") or {}).get("type") == "UnknownSessionError"):
+            # The backend no longer knows the session (idle TTL expiry):
+            # the pin is a ghost — free it so it stops skewing placement.
+            self._drop_pin(router_sid)
+        if "session" in response:
+            response["session"] = router_sid
+        response["shard"] = name
+        response["id"] = request.get("id")
+        return response
+
+    async def session_handoff(
+        self, router_sid: str, target: Optional[str] = None
+    ) -> Dict[str, object]:
+        """Migrate one pinned session to another shard, bit-identically.
+
+        Protocol: under the session's lock (no op can interleave),
+
+        1. ``session_export`` on the source shard — the scheduler's full
+           ledger state (arrival stream + placements + windowed-ack
+           buffer);
+        2. ``session_restore`` on the target — rebuilds the scheduler by
+           deterministic replay, verifying every placement against the
+           export (a divergent replay is refused server-side);
+        3. repin the router id to the target and close the source copy.
+
+        A failed restore leaves the session exactly where it was.
+        Returns a response-shaped dict (``ok``/``error``) so the wire op
+        relays it directly.
+        """
+        if self._sessions.get(router_sid) is None:
+            return {"ok": False, "error": {
+                "type": "ClusterError",
+                "message": f"unknown session {router_sid!r}"}}
+        lock = self._session_locks[router_sid]
+        async with lock:
+            try:
+                source_name, backend_sid, source = self._session_pin(router_sid)
+            except ClusterError as exc:
+                return {"ok": False, "error": {"type": "ClusterError", "message": str(exc)}}
+            if target is None:
+                target_name = self._least_loaded(exclude=source_name)
+            else:
+                target_name = target if target in self._routable() else None
+                if target_name == source_name:
+                    target_name = None
+            if target_name is None:
+                return {"ok": False, "error": {
+                    "type": "NoShardAvailableError",
+                    "message": f"no live shard to receive session {router_sid!r} "
+                               f"(source {source_name})"}}
+            target_shard = self._shards[target_name]
+            try:
+                exported = await source.request(
+                    {"op": "session_export", "session": backend_sid}
+                )
+            except (ConnectionError, OSError):
+                await self._mark_dead(source)
+                return {"ok": False, "error": {
+                    "type": "ClusterError",
+                    "message": f"source shard {source_name} died during export"}}
+            if not exported.get("ok"):
+                return {**exported, "session": router_sid}
+            try:
+                restored = await target_shard.request(
+                    {"op": "session_restore", "export": exported["export"]}
+                )
+            except (ConnectionError, OSError):
+                await self._mark_dead(target_shard)
+                return {"ok": False, "error": {
+                    "type": "ClusterError",
+                    "message": f"target shard {target_name} died during restore "
+                               f"(session unchanged on {source_name})"}}
+            if not restored.get("ok"):
+                return {**restored, "session": router_sid}
+            self._sessions[router_sid] = (target_name, str(restored["session"]))
+            self._session_touch[router_sid] = time.monotonic()
+            self._counters["handoffs"] += 1
+            try:
+                await source.request({"op": "session_close", "session": backend_sid})
+            except (ConnectionError, OSError):
+                await self._mark_dead(source)
+        return {
+            "ok": True, "session": router_sid, "handoff": True,
+            "from": source_name, "shard": target_name,
+            "n": restored.get("n"), "cmax": restored.get("cmax"),
+            "mmax": restored.get("mmax"),
+        }
+
+    async def drain(self, timeout: Optional[float] = None) -> Tuple[bool, int]:
+        """Fan the ``drain`` op out to every shard; ``(all_drained, pending)``.
+
+        Keeps the wire front end protocol-compatible with a single
+        ``repro serve``: the cluster is drained when every live shard is.
+        A shard lost during the wait counts as drained (it has no pending
+        work any more — its jobs were retried elsewhere or salvaged via
+        the shared cache).
+        """
+        names = self.shard_names()
+        shards = [self._shards[name] for name in names]
+
+        async def one(shard: ShardHandle):
+            try:
+                return await shard.request({"op": "drain", "timeout": timeout})
+            except (ConnectionError, OSError):
+                await self._mark_dead(shard)
+                return None
+
+        responses = await asyncio.gather(*(one(shard) for shard in shards))
+        drained = True
+        pending = 0
+        for response in responses:
+            if response is None:
+                continue
+            drained = drained and bool(response.get("ok")) \
+                and bool(response.get("drained"))
+            value = response.get("pending", 0)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                pending += int(value)
+        return drained, pending
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def router_counters(self) -> Dict[str, int]:
+        """The router's own ledger plus instantaneous shard-set gauges."""
+        self._sweep_pins()
+        alive = self.shard_names()
+        draining = [n for n in alive if self._shards[n].draining]
+        return {
+            **self._counters,
+            "shards_alive": len(alive),
+            "shards_draining": len(draining),
+            "sessions_pinned": len(self._sessions),
+        }
+
+    async def stats(self) -> ClusterStats:
+        """Merged cluster snapshot (fans the ``stats`` op out to every shard)."""
+        await self.reap_dead()
+        names = self.shard_names()
+        shards = [self._shards[name] for name in names]
+
+        async def one(shard: ShardHandle):
+            try:
+                return await shard.request({"op": "stats"})
+            except (ConnectionError, OSError):
+                await self._mark_dead(shard)
+                return None
+
+        responses = await asyncio.gather(*(one(shard) for shard in shards))
+        payloads = {
+            name: response["stats"]
+            for name, response in zip(names, responses)
+            if response is not None and response.get("ok")
+        }
+        return merge_shard_stats(payloads, router=self.router_counters())

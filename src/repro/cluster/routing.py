@@ -1,0 +1,80 @@
+"""Content-hash request routing: which shard owns which request.
+
+Two pieces:
+
+* :func:`request_key` — the *routing key* of a solve request: a SHA-256
+  over the canonicalized wire payload (instance dict, spec string,
+  params), i.e. the content hash of the request as it travels.  Identical
+  requests — same instance content in the same serialized form, same
+  spec — always produce the same key, so they always land on the same
+  shard, which is what lets one shard's in-flight coalescing (PR 3)
+  keep working cluster-wide: N clients racing the same job still cost
+  one pool execution.  (Two *logically* identical instances serialized
+  differently may key apart; each shard still coalesces its own stream,
+  and the shared read-through cache — keyed on the true
+  ``instance.content_hash()`` by the shard — deduplicates the compute
+  across shards, so correctness and most of the savings survive.)
+
+* :func:`route` — rendezvous (highest-random-weight) hashing of a key
+  over the live shard names.  Unlike ``hash(key) % n``, adding or
+  removing one shard only remaps the keys that touched that shard
+  (~1/n of the keyspace), so autoscaling reshuffles as little routing
+  state — and as few warm coalescing/cache locality sets — as possible.
+  Deterministic across processes (no seed, no salt), so a restarted
+  router routes identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["request_key", "route", "rank"]
+
+
+def request_key(request: Dict[str, object]) -> str:
+    """The content-addressed routing key of one decoded solve request.
+
+    Canonicalizes the routed fields (``instance``, ``spec``, ``params``)
+    with sorted keys and tight separators, so the key is independent of
+    the client's JSON field order, whitespace, and request ``id``.
+    """
+    routed = [
+        request.get("instance"),
+        request.get("spec"),
+        request.get("params") or {},
+    ]
+    blob = json.dumps(routed, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _score(key: str, shard: str) -> int:
+    """The rendezvous weight of ``(key, shard)`` — deterministic, unseeded."""
+    digest = hashlib.blake2b(
+        f"{key}|{shard}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def route(key: str, shards: Sequence[str]) -> Optional[str]:
+    """The shard owning ``key`` among ``shards`` (``None`` when empty).
+
+    Highest-random-weight hashing: every shard gets a deterministic
+    pseudo-random score against the key; the highest score wins.  Ties
+    (astronomically unlikely) break on the shard name so the choice is
+    still total-ordered and deterministic.
+    """
+    if not shards:
+        return None
+    return max(shards, key=lambda shard: (_score(key, shard), shard))
+
+
+def rank(key: str, shards: Sequence[str]) -> List[str]:
+    """All ``shards`` ordered by preference for ``key`` (best first).
+
+    The retry order of a solve request: when the owner dies mid-request,
+    the next-ranked surviving shard takes over — the same order every
+    router instance would compute.
+    """
+    return sorted(shards, key=lambda shard: (_score(key, shard), shard), reverse=True)

@@ -1,0 +1,128 @@
+"""Cluster-wide observability: one merged snapshot over every shard.
+
+:func:`merge_shard_stats` folds the per-shard ``stats`` op payloads into
+a single :class:`ClusterStats`: counters and gauges are summed, the
+``lost`` ledgers are summed (zero on every shard ⇒ zero cluster-wide),
+and the per-solver-family latency breakdowns are merged
+*count-weighted*: percentiles of disjoint windows cannot be combined
+exactly from percentiles alone, so the merged ``p50/p90/p99/mean`` are
+the sample-count-weighted averages of the shard values (``max`` is the
+true max, ``count`` the true sum).  For shards serving the same routed
+traffic mix this tracks the true percentile closely; it is documented
+as an approximation in :meth:`ClusterStats.to_dict` consumers' favor —
+monitoring, not billing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+__all__ = ["ClusterStats", "merge_shard_stats", "merge_families"]
+
+#: Shard counters/gauges that sum into the cluster view.  ``lost`` is
+#: derived on each shard and sums like a counter: zero everywhere ⇒ zero.
+_SUMMED_KEYS = (
+    "submitted", "completed", "failed", "rejected", "timed_out", "cancelled",
+    "coalesced", "abandoned", "cache_hits", "cache_misses",
+    "queue_depth", "in_flight", "pending", "lost",
+    "sessions_open", "sessions_opened", "sessions_closed", "sessions_expired",
+    "sessions_rejected", "sessions_restored", "session_tasks",
+    "latency_count",
+)
+
+_WEIGHTED_KEYS = ("p50", "p90", "p99", "mean")
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Point-in-time snapshot of a whole cluster.
+
+    ``totals`` sums every shard counter and gauge (see the shard-level
+    :class:`~repro.service.stats.ServiceStats` for their semantics);
+    ``families`` is the count-weighted merge of the per-family latency
+    breakdowns; ``shards`` maps shard name to its raw stats payload;
+    ``router`` carries the router's own ledger: ``routed`` forwarded
+    solve requests, ``retried`` transport-failure re-routes,
+    ``handoffs`` completed session migrations, ``sessions_pinned`` the
+    live pin-table size, ``shards_alive``/``shards_draining`` the
+    instantaneous shard-set gauges, and the cumulative
+    ``shards_started``/``shards_retired``/``shards_lost`` lifecycle
+    counters.
+    """
+
+    totals: Dict[str, int] = field(default_factory=dict)
+    families: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    shards: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    router: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def lost(self) -> int:
+        """Sum of the shard ``lost`` ledgers (nonzero indicates a bug)."""
+        return int(self.totals.get("lost", 0))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (the cluster ``stats`` op payload)."""
+        return {
+            "cluster": True,
+            "totals": dict(self.totals),
+            "families": {k: dict(v) for k, v in self.families.items()},
+            "router": dict(self.router),
+            "shards": {k: dict(v) for k, v in self.shards.items()},
+        }
+
+
+def merge_families(
+    breakdowns: List[Mapping[str, Mapping[str, float]]],
+) -> Dict[str, Dict[str, float]]:
+    """Count-weighted merge of per-shard family latency breakdowns."""
+    merged: Dict[str, Dict[str, float]] = {}
+    for breakdown in breakdowns:
+        for family, snap in breakdown.items():
+            bucket = merged.setdefault(
+                family,
+                {"count": 0, "max": -math.inf,
+                 **{key: 0.0 for key in _WEIGHTED_KEYS}},
+            )
+            count = int(snap.get("count", 0))
+            if count <= 0:
+                continue
+            for key in _WEIGHTED_KEYS:
+                value = float(snap.get(key, math.nan))
+                if not math.isnan(value):
+                    bucket[key] += count * value
+            bucket["count"] += count
+            maximum = float(snap.get("max", math.nan))
+            if not math.isnan(maximum):
+                bucket["max"] = max(bucket["max"], maximum)
+    for family, bucket in merged.items():
+        count = bucket["count"]
+        for key in _WEIGHTED_KEYS:
+            bucket[key] = bucket[key] / count if count else math.nan
+        if bucket["max"] == -math.inf:
+            bucket["max"] = math.nan
+    return {family: merged[family] for family in sorted(merged)}
+
+
+def merge_shard_stats(
+    shard_payloads: Mapping[str, Mapping[str, object]],
+    router: Mapping[str, int],
+) -> ClusterStats:
+    """Fold per-shard ``stats`` payloads + the router ledger into one view."""
+    totals: Dict[str, int] = {key: 0 for key in _SUMMED_KEYS}
+    breakdowns: List[Mapping[str, Mapping[str, float]]] = []
+    for payload in shard_payloads.values():
+        for key in _SUMMED_KEYS:
+            value = payload.get(key, 0)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                totals[key] += int(value)
+        families = payload.get("families")
+        if isinstance(families, Mapping):
+            breakdowns.append(families)  # type: ignore[arg-type]
+    return ClusterStats(
+        totals=totals,
+        families=merge_families(breakdowns),
+        shards={name: dict(payload) for name, payload in shard_payloads.items()},
+        router=dict(router),
+    )

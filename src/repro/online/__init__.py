@@ -42,7 +42,7 @@ The same scheduler streams over the wire: ``repro serve`` exposes
 
 from __future__ import annotations
 
-from repro.online.base import OnlineScheduler, OnlineSchedulerError
+from repro.online.base import OnlineScheduler, OnlineSchedulerError, replay_state
 from repro.online.schedulers import (
     GreedyScheduler,
     HindsightOracle,
@@ -69,6 +69,7 @@ from repro.online.competitive import OnlineRunReport, competitive_report
 __all__ = [
     "OnlineScheduler",
     "OnlineSchedulerError",
+    "replay_state",
     "GreedyScheduler",
     "OnlineBiObjectiveScheduler",
     "HindsightOracle",

@@ -34,7 +34,7 @@ from repro.core.schedule import Schedule
 from repro.core.task import Task, TaskSet
 from repro.solvers.result import SolveResult
 
-__all__ = ["OnlineScheduler", "OnlineSchedulerError"]
+__all__ = ["OnlineScheduler", "OnlineSchedulerError", "replay_state"]
 
 
 class OnlineSchedulerError(ValueError):
@@ -158,6 +158,33 @@ class OnlineScheduler(abc.ABC):
         """Copy of the placement so far (task id -> processor)."""
         return dict(self._assignment)
 
+    def export_state(self) -> Dict[str, object]:
+        """Serializable ledger state: the arrival stream and its placements.
+
+        Every scheduler in the package is deterministic, so the arrival
+        sequence *is* the full ledger state: replaying the tasks in order
+        through a fresh scheduler of the same bound spec reproduces every
+        internal ledger (loads, memories, routed subsets, running
+        averages) exactly.  The exported placements double as a checksum:
+        :func:`replay_state` verifies each replayed placement against
+        them and refuses a divergent import.  The payload is JSON-safe —
+        it travels over the ``session_export`` / ``session_restore`` wire
+        ops during cross-shard session handoff.
+        """
+        tasks = [
+            [task.id, float(task.p), float(task.s), task.label]
+            for task in self._tasks
+        ]
+        return {
+            "spec": self.spec,
+            "name": self.name,
+            "m": self.m,
+            "params": dict(self.bound_params),
+            "tasks": tasks,
+            "placements": [self._assignment[task.id] for task in self._tasks],
+            "sealed": self._sealed,
+        }
+
     def current_instance(self) -> Instance:
         """The tasks seen so far as an offline :class:`Instance` (arrival order)."""
         return Instance(TaskSet(self._tasks), m=self.m, name="online-prefix")
@@ -218,3 +245,51 @@ class OnlineScheduler(abc.ABC):
             raw=self,
         )
         return self._finalized
+
+
+def replay_state(state: Dict[str, object]) -> OnlineScheduler:
+    """Rebuild a scheduler from :meth:`OnlineScheduler.export_state` output.
+
+    A fresh scheduler of the exported bound spec is created and the
+    recorded arrival stream is replayed through it in order.  Because the
+    schedulers are deterministic, the replay reproduces the exported
+    ledgers bit-for-bit; every replayed placement is verified against the
+    exported one and a mismatch raises :class:`OnlineSchedulerError`
+    (a divergent import must never silently corrupt a migrated session).
+    """
+    from repro.online.registry import create_online
+
+    spec = state.get("spec")
+    m = state.get("m")
+    if not isinstance(spec, str) or not spec:
+        raise OnlineSchedulerError("exported state is missing its 'spec' string")
+    if not isinstance(m, int) or isinstance(m, bool) or m < 1:
+        raise OnlineSchedulerError("exported state is missing a valid 'm'")
+    # ``state["params"]`` is informational: the canonical bound spec string
+    # already pins every parameter, so the spec alone rebuilds the family.
+    scheduler = create_online(spec, m=m)
+    tasks = state.get("tasks") or []
+    placements = state.get("placements") or []
+    if len(tasks) != len(placements):
+        raise OnlineSchedulerError(
+            f"exported state is inconsistent: {len(tasks)} tasks but "
+            f"{len(placements)} placements"
+        )
+    for record, expected in zip(tasks, placements):
+        try:
+            task_id, p, s = record[0], record[1], record[2]
+            label = record[3] if len(record) > 3 else None
+            task = Task(id=task_id, p=p, s=s, label=label)
+        except (IndexError, KeyError, TypeError, ValueError) as exc:
+            raise OnlineSchedulerError(
+                f"exported task record {record!r} is malformed: {exc}"
+            ) from None
+        proc = scheduler.submit(task)
+        if proc != expected:
+            raise OnlineSchedulerError(
+                f"replay diverged: task {task_id!r} placed on processor "
+                f"{proc}, exported state says {expected} — refusing the import"
+            )
+    if state.get("sealed"):
+        scheduler.seal()
+    return scheduler

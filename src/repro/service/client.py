@@ -87,11 +87,13 @@ class ServiceClient:
                     future.set_exception(ConnectionError("server connection closed"))
             self._pending.clear()
 
-    async def request(self, payload: Dict[str, object]) -> Dict[str, object]:
-        """Send one raw request payload; returns the raw ``ok`` response.
+    async def request_raw(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Send one request payload; returns the raw response dict as-is.
 
-        Assigns an ``id`` when the payload has none; raises
-        :class:`ServiceProtocolError` for an ``ok: false`` response and
+        Assigns an ``id`` when the payload has none.  Unlike
+        :meth:`request`, an ``ok: false`` response is *returned*, not
+        raised — the cluster router relays error responses to its own
+        clients verbatim instead of interpreting them.  Raises
         :class:`ConnectionError` when the server goes away mid-request.
         """
         if self._closed:
@@ -103,11 +105,20 @@ class ServiceClient:
         try:
             self._writer.write(encode_message(payload))
             await self._writer.drain()
-            response = await future
+            return await future
         finally:
             # A cancelled/timed-out waiter or a failed write must not leak
             # its pending entry (the reader also pops it on a response).
             self._pending.pop(payload["id"], None)
+
+    async def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Send one raw request payload; returns the raw ``ok`` response.
+
+        Assigns an ``id`` when the payload has none; raises
+        :class:`ServiceProtocolError` for an ``ok: false`` response and
+        :class:`ConnectionError` when the server goes away mid-request.
+        """
+        response = await self.request_raw(payload)
         if not response.get("ok"):
             error = response.get("error") or {}
             raise ServiceProtocolError(
@@ -115,6 +126,20 @@ class ServiceClient:
                 str(error.get("message", "request failed")),
             )
         return response
+
+    async def send(self, payload: Dict[str, object]) -> None:
+        """Fire-and-forget: write one request line and expect no response.
+
+        Used for unacknowledged (``ack: false``) session submissions —
+        the server writes no response line for those, so no ``id`` is
+        assigned and nothing waits.  Write backpressure is still honoured
+        (``drain``), so a slow server throttles the stream instead of
+        buffering it unboundedly.
+        """
+        if self._closed:
+            raise ConnectionError("client is closed")
+        self._writer.write(encode_message(payload))
+        await self._writer.drain()
 
     # ------------------------------------------------------------------ #
     # one-shot ops
@@ -190,6 +215,32 @@ class OnlineSession:
     async def submit_many(self, tasks) -> Dict[str, object]:
         """Place a batch of tasks in one request (applied in order)."""
         return await self.client.request(session_submit_request(self.id, list(tasks)))
+
+    async def submit_windowed(self, tasks, ack_every: int = 16) -> list:
+        """Stream tasks one line each, acknowledged every ``ack_every`` lines.
+
+        Each task is still its own wire line (placements happen strictly
+        in arrival order, exactly like :meth:`submit`), but only every
+        ``ack_every``-th line — and always the last — asks for a
+        response, so the stream pays one round trip per *window* instead
+        of one per submission.  Returns every placement as ``[task_id,
+        processor]`` pairs in arrival order.  A failure inside a window
+        surfaces on its acknowledgement as :class:`ServiceProtocolError`;
+        placements stop at the failure point.
+        """
+        if ack_every < 1:
+            raise ValueError(f"ack_every must be >= 1, got {ack_every}")
+        tasks = list(tasks)
+        placements: list = []
+        for index, task in enumerate(tasks):
+            payload = session_submit_request(self.id, task)
+            if (index + 1) % ack_every and index + 1 < len(tasks):
+                payload["ack"] = False
+                await self.client.send(payload)
+            else:
+                response = await self.client.request(payload)
+                placements.extend(response["placements"])  # type: ignore[arg-type]
+        return placements
 
     async def result(self) -> Dict[str, object]:
         """Finalize the session; returns the solve-result payload."""

@@ -44,6 +44,30 @@ class ServiceConfig:
     spec_timeouts:
         Per-solver-name timeout overrides, e.g. ``{"pareto_approx": 30.0}``
         — matched on the registry entry name, not the full spec string.
+    auto_timeouts:
+        Derive per-family timeout defaults from *observed* latency tails:
+        once a solver family has ``auto_timeout_min_samples`` recorded
+        requests, requests of that family default to
+        ``auto_timeout_multiplier x family p99``, clamped into
+        ``[auto_timeout_floor, auto_timeout_ceiling]``.  A pathological
+        request (a spec that suddenly blows up on one instance) is then
+        bounded by the family's own history instead of hanging a worker,
+        while healthy requests sit far below the derived timeout and are
+        untouched.  Explicit per-request timeouts and ``spec_timeouts``
+        entries always win over the derived value; families without
+        enough history fall back to ``default_timeout``.
+    auto_timeout_multiplier:
+        Headroom factor applied to the family p99 (default 25.0).
+    auto_timeout_floor:
+        Lower clamp of the derived timeout in seconds (default 5.0) —
+        keeps cache-hit-dominated latency histories from starving real
+        compute requests.
+    auto_timeout_ceiling:
+        Upper clamp of the derived timeout in seconds (default 300.0);
+        ``None`` leaves the derived value unclamped from above.
+    auto_timeout_min_samples:
+        Recorded requests a family needs before its tail is trusted
+        (default 20).
     cache:
         Read-through result cache consulted before dispatch and filled
         after computation.  Semantics follow ``solve(..., cache=...)``:
@@ -78,6 +102,11 @@ class ServiceConfig:
     backpressure: str = "wait"
     default_timeout: Optional[float] = None
     spec_timeouts: Mapping[str, float] = field(default_factory=dict)
+    auto_timeouts: bool = False
+    auto_timeout_multiplier: float = 25.0
+    auto_timeout_floor: float = 5.0
+    auto_timeout_ceiling: Optional[float] = 300.0
+    auto_timeout_min_samples: int = 20
     cache: CacheLike = None
     coalesce: bool = True
     start_method: Optional[str] = None
@@ -102,6 +131,25 @@ class ServiceConfig:
             )
         if self.latency_window < 1:
             raise ValueError(f"latency_window must be >= 1, got {self.latency_window}")
+        if self.auto_timeout_multiplier <= 0:
+            raise ValueError(
+                f"auto_timeout_multiplier must be > 0, got {self.auto_timeout_multiplier}"
+            )
+        if self.auto_timeout_floor <= 0:
+            raise ValueError(
+                f"auto_timeout_floor must be > 0, got {self.auto_timeout_floor}"
+            )
+        if self.auto_timeout_ceiling is not None and (
+            self.auto_timeout_ceiling < self.auto_timeout_floor
+        ):
+            raise ValueError(
+                f"auto_timeout_ceiling ({self.auto_timeout_ceiling}) must be >= "
+                f"auto_timeout_floor ({self.auto_timeout_floor}), or None"
+            )
+        if self.auto_timeout_min_samples < 1:
+            raise ValueError(
+                f"auto_timeout_min_samples must be >= 1, got {self.auto_timeout_min_samples}"
+            )
         if self.max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {self.max_sessions}")
         if self.max_session_tasks < 1:

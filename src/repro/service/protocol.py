@@ -18,6 +18,11 @@ the response so clients can multiplex) and an ``op``:
     ``{"op": "stats"}`` — returns the service stats snapshot.
 ``ping``
     ``{"op": "ping"}`` — liveness probe.
+``drain``
+    ``{"op": "drain", "timeout": 30.0}`` — waits until no admitted job
+    is pending (or the timeout elapses) and responds ``{"drained":
+    true|false, "pending": k}``; the graceful-removal hook the cluster
+    layer calls before retiring a backend shard.
 ``shutdown``
     ``{"op": "shutdown"}`` — asks the server to stop after responding.
 
@@ -32,14 +37,33 @@ one open scheduler per session, tasks placed as they arrive):
     "task": {"id": 0, "p": 3.0, "s": 1.5}}`` (or ``"tasks": [...]`` for
     a batch) — responds with the placements
     ``{"placements": [[task_id, processor], ...], "cmax": ..., "mmax":
-    ..., "n": ...}``.  Placements are irrevocable.
+    ..., "n": ...}``.  Placements are irrevocable.  With ``"ack": false``
+    the submission is applied but **no response line is written — ever**,
+    success or failure: its placements buffer server-side and are
+    prepended to the ``placements`` of the session's next acknowledged
+    op (the windowed mode thin clients use to amortize round trips).  A
+    failure inside the window poisons it and surfaces as the next
+    acknowledged op's error response; an unacknowledged line naming an
+    unknown session is dropped (the next acknowledged op fails with
+    unknown-session itself).
+``session_export``
+    ``{"op": "session_export", "session": "sess-1"}`` — responds with
+    ``{"export": {...}}``, the session's full serialized ledger state
+    (arrival stream + placements + windowed-ack buffer), the source side
+    of a cross-shard session handoff.
+``session_restore``
+    ``{"op": "session_restore", "export": {...}}`` — rebuilds an
+    exported session under a fresh id by verified deterministic replay
+    (divergent placements are refused); responds like ``session_open``.
 ``session_result``
     ``{"op": "session_result", "session": "sess-1"}`` — finalizes the
     session's schedule and responds with the same result payload shape
     as ``solve`` (idempotent; later submits are rejected).
 ``session_close``
     ``{"op": "session_close", "session": "sess-1"}`` — frees the
-    session slot; responds with the final session snapshot.
+    session slot; responds with the final session snapshot.  A buffered
+    unacknowledged-submission failure is not lost: it rides along as a
+    ``window_error`` field in the (successful) close response.
 
 Responses: ``{"id": ..., "ok": true, "result": {...}}`` on success, or
 ``{"id": ..., "ok": false, "error": {"type": "SpecError", "message":

@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import asyncio
 import sys
-from typing import Dict, Optional, Set
+from functools import partial
+from typing import Awaitable, Callable, Dict, Optional, Set
 
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -44,7 +45,16 @@ from repro.service.protocol import (
 )
 from repro.service.service import SolverService
 
-__all__ = ["handle_request", "serve_connection", "serve_tcp", "serve_stdio"]
+__all__ = ["handle_request", "serve_connection", "serve_tcp", "serve_stdio", "Handler"]
+
+#: A request handler: one decoded request in, one response payload out —
+#: or ``None`` for fire-and-forget requests that must not produce a
+#: response line (unacknowledged ``session_submit`` ops).  The transports
+#: (:func:`serve_connection` / :func:`serve_tcp` / :func:`serve_stdio`)
+#: default to ``handle_request`` bound to a :class:`SolverService`, but
+#: accept any handler — the cluster layer reuses the exact same framing,
+#: concurrency, and shutdown machinery with its router's handler.
+Handler = Callable[[Dict[str, object]], Awaitable[Optional[Dict[str, object]]]]
 
 #: Per-line buffer limit for the stream readers.  The default asyncio limit
 #: (64 KiB) is far too small for a solve request carrying a few thousand
@@ -67,11 +77,29 @@ def _session_id(request: Dict[str, object]) -> str:
     return session_id
 
 
-async def handle_request(service: SolverService, request: Dict[str, object]) -> Dict[str, object]:
+def _submit_tasks(request: Dict[str, object]) -> list:
+    """Parse the task(s) of a ``session_submit`` request (ProtocolError on misuse)."""
+    if "task" in request and "tasks" in request:
+        raise ProtocolError("give either 'task' or 'tasks', not both")
+    if "task" in request:
+        return [task_from_payload(request["task"])]
+    if "tasks" in request:
+        batch = request["tasks"]
+        if not isinstance(batch, list) or not batch:
+            raise ProtocolError("'tasks' must be a non-empty JSON array")
+        return [task_from_payload(item) for item in batch]
+    raise ProtocolError("'session_submit' needs a 'task' or 'tasks' field")
+
+
+async def handle_request(
+    service: SolverService, request: Dict[str, object]
+) -> Optional[Dict[str, object]]:
     """Execute one decoded request and build the response payload.
 
     ``shutdown`` is acknowledged here; actually stopping the loop is the
-    caller's job (it sees ``response.get("shutdown")``).
+    caller's job (it sees ``response.get("shutdown")``).  Returns ``None``
+    for successfully applied *unacknowledged* submissions (``ack: false``)
+    — the transport writes no response line for those.
     """
     request_id = request.get("id")
     op = request.get("op", "solve")
@@ -117,44 +145,102 @@ async def handle_request(service: SolverService, request: Dict[str, object]) -> 
             session = service.session_open(spec, m, **params)
             return {"id": request_id, "ok": True, **session.describe()}
         if op == "session_submit":
+            ack = request.get("ack", True)
+            # isinstance, not `in (True, False)`: 0 == False would let a
+            # loosely-typed client's `"ack": 0` slip through as acknowledged.
+            if not isinstance(ack, bool):
+                raise ProtocolError("'ack' must be a JSON boolean when given")
+            if ack is False:
+                # Windowed mode: place now, respond NEVER — whatever happens,
+                # no response line may be written for an unacknowledged op
+                # (an unsolicited line would desync a pipelined client).
+                # Parse failures poison the session's window when the
+                # session is identifiable; an unknown session is a dropped
+                # line (the client learns at its next acknowledged op, which
+                # fails with unknown-session itself).
+                try:
+                    session_id = _session_id(request)
+                    tasks = _submit_tasks(request)
+                except ProtocolError as exc:
+                    target = request.get("session")
+                    if isinstance(target, str) and target:
+                        try:
+                            service.session_poison_window(target, str(exc))
+                        except Exception:
+                            pass
+                    return None
+                try:
+                    service.session_submit_unacked(session_id, tasks)
+                except Exception:
+                    return None
+                return None
             session_id = _session_id(request)
-            if "task" in request and "tasks" in request:
-                raise ProtocolError("give either 'task' or 'tasks', not both")
-            if "task" in request:
-                tasks = [task_from_payload(request["task"])]
-            elif "tasks" in request:
-                batch = request["tasks"]
-                if not isinstance(batch, list) or not batch:
-                    raise ProtocolError("'tasks' must be a non-empty JSON array")
-                tasks = [task_from_payload(item) for item in batch]
-            else:
-                raise ProtocolError("'session_submit' needs a 'task' or 'tasks' field")
+            tasks = _submit_tasks(request)
+            # A buffered unacknowledged failure surfaces here, *before* the
+            # current batch is applied — the client's view stops exactly at
+            # the failure point.
+            service.session_check_window(session_id)
             # Placements are irrevocable, so a batch is all-or-nothing: the
             # session layer validates the whole batch (duplicates, capacity,
             # sealed session) before applying any of it.
             acks = service.session_submit_many(session_id, tasks)
+            window = service.session_take_window(session_id)
             last = acks[-1]
+            placements = list(window)
+            placements.extend([ack["task_id"], ack["processor"]] for ack in acks)
             return {
                 "id": request_id, "ok": True, "session": session_id,
-                "placements": [[ack["task_id"], ack["processor"]] for ack in acks],
+                "placements": placements,
                 "cmax": last["cmax"], "mmax": last["mmax"], "n": last["n"],
             }
         if op == "session_result":
-            result = await service.session_result(_session_id(request))
+            session_id = _session_id(request)
+            service.session_check_window(session_id)
+            result = await service.session_result(session_id)
             return {"id": request_id, "ok": True, "result": result_to_payload(result)}
+        if op == "session_export":
+            session_id = _session_id(request)
+            export = service.session_export(session_id)
+            return {"id": request_id, "ok": True, "session": session_id, "export": export}
+        if op == "session_restore":
+            export = request.get("export")
+            if not isinstance(export, dict):
+                raise ProtocolError(
+                    "'export' must be the JSON object produced by session_export"
+                )
+            session = service.session_restore(export)
+            return {"id": request_id, "ok": True, **session.describe()}
         if op == "session_close":
-            summary = service.session_close(_session_id(request))
-            return {"id": request_id, "ok": True, "closed": True, **summary}
+            session_id = _session_id(request)
+            # Close always succeeds, but a poisoned windowed-ack buffer must
+            # not vanish silently: the buffered failure rides along in the
+            # response so the client learns its stream stopped short.
+            window_error = service.session_take_window_error(session_id)
+            summary = service.session_close(session_id)
+            response = {"id": request_id, "ok": True, "closed": True, **summary}
+            if window_error is not None:
+                response["window_error"] = window_error
+            return response
         if op == "stats":
             return {"id": request_id, "ok": True, "stats": service.stats().to_dict()}
         if op == "ping":
             return {"id": request_id, "ok": True, "pong": True,
                     "protocol": PROTOCOL_VERSION}
+        if op == "drain":
+            timeout = request.get("timeout")
+            if timeout is not None and not isinstance(timeout, (int, float)):
+                raise ProtocolError("'timeout' must be a number of seconds")
+            drained = await service.drain(
+                timeout=float(timeout) if timeout is not None else None
+            )
+            return {"id": request_id, "ok": True, "drained": drained,
+                    "pending": service.stats().pending}
         if op == "shutdown":
             return {"id": request_id, "ok": True, "shutdown": True}
         raise ProtocolError(
             f"unknown op {op!r}; expected solve, session_open, session_submit, "
-            f"session_result, session_close, stats, ping, or shutdown"
+            f"session_result, session_export, session_restore, session_close, "
+            f"stats, ping, drain, or shutdown"
         )
     except asyncio.CancelledError:
         raise
@@ -167,16 +253,24 @@ async def handle_request(service: SolverService, request: Dict[str, object]) -> 
 
 
 async def serve_connection(
-    service: SolverService,
+    service: Optional[SolverService],
     reader: "asyncio.StreamReader",
     writer: "asyncio.StreamWriter",
     shutdown: Optional["asyncio.Event"] = None,
+    handler: Optional[Handler] = None,
 ) -> None:
     """Serve one client connection until EOF (or a ``shutdown`` request).
 
     Requests run concurrently; in-flight ones are awaited before the
-    connection closes so no accepted request goes unanswered.
+    connection closes so no accepted request goes unanswered.  The
+    default ``handler`` is :func:`handle_request` bound to ``service``;
+    passing another handler (the cluster router's) reuses this framing
+    and lifecycle unchanged — ``service`` may then be ``None``.
     """
+    if handler is None:
+        if service is None:
+            raise ValueError("serve_connection needs a service or an explicit handler")
+        handler = partial(handle_request, service)
     write_lock = asyncio.Lock()
     tasks: Set["asyncio.Task"] = set()
 
@@ -202,7 +296,9 @@ async def serve_connection(
             await respond({"id": None, "ok": False,
                            "error": {"type": "ProtocolError", "message": str(exc)}})
             return
-        response = await handle_request(service, request)
+        response = await handler(request)
+        if response is None:  # unacknowledged op: no response line
+            return
         await respond(response)
         if response.get("shutdown") and shutdown is not None:
             shutdown.set()
@@ -254,6 +350,13 @@ async def serve_connection(
         try:
             writer.close()
             await writer.wait_closed()
+        except asyncio.CancelledError:
+            # Loop shutdown cancelled the tail flush.  The transport is
+            # already closing; ending this coroutine *normally* keeps the
+            # task out of the cancelled state, which CPython 3.11's
+            # streams connection callback reports loudly (it calls
+            # ``task.exception()`` on cancelled connection tasks).
+            pass
         except (ConnectionError, OSError):  # pragma: no cover - peer went away
             pass
         except NotImplementedError:
@@ -263,26 +366,30 @@ async def serve_connection(
 
 
 async def serve_tcp(
-    service: SolverService,
+    service: Optional[SolverService],
     host: str = "127.0.0.1",
     port: int = 0,
     shutdown: Optional["asyncio.Event"] = None,
+    handler: Optional[Handler] = None,
 ) -> "asyncio.base_events.Server":
     """Start a TCP server; returns the listening ``asyncio.Server``.
 
     ``port=0`` picks a free port (``server.sockets[0].getsockname()[1]``).
     The caller owns the server object: close it (or set ``shutdown`` via a
     client's ``shutdown`` op and watch the event) to stop accepting.
+    ``handler`` overrides the per-request handler (cluster front end).
     """
     return await asyncio.start_server(
-        lambda reader, writer: serve_connection(service, reader, writer, shutdown),
+        lambda reader, writer: serve_connection(service, reader, writer, shutdown, handler),
         host=host,
         port=port,
         limit=READER_LIMIT,
     )
 
 
-async def serve_stdio(service: SolverService) -> None:
+async def serve_stdio(
+    service: Optional[SolverService], handler: Optional[Handler] = None
+) -> None:
     """Serve one client on this process's stdin/stdout until EOF."""
     loop = asyncio.get_running_loop()
     reader = asyncio.StreamReader(limit=READER_LIMIT)
@@ -293,4 +400,4 @@ async def serve_stdio(service: SolverService) -> None:
     )
     writer = asyncio.StreamWriter(transport, writer_protocol, None, loop)
     shutdown = asyncio.Event()
-    await serve_connection(service, reader, writer, shutdown)
+    await serve_connection(service, reader, writer, shutdown, handler)

@@ -221,6 +221,25 @@ class SolverService:
             )
         self._sessions.close_all()
 
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until no admitted job is pending (the graceful-removal hook).
+
+        Used by the cluster layer before retiring a backend shard: the
+        router stops routing new work here first, then drains, so every
+        in-flight job finishes and its result lands in the shared
+        read-through cache (paid-for work is salvaged, nothing is lost).
+        Returns ``True`` once ``pending == 0``, or ``False`` when
+        ``timeout`` seconds elapsed first.  The service keeps accepting
+        requests — refusing them is the caller's (router's) job.
+        """
+        self._require_running()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._pending > 0:
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.02)
+        return True
+
     async def __aenter__(self) -> "SolverService":
         return await self.start()
 
@@ -580,7 +599,29 @@ class SolverService:
             return seconds
         if solver_name in self.config.spec_timeouts:
             return self.config.spec_timeouts[solver_name]
+        if self.config.auto_timeouts:
+            derived = self._auto_timeout(solver_name)
+            if derived is not None:
+                return derived
         return self.config.default_timeout
+
+    def _auto_timeout(self, solver_name: str) -> Optional[float]:
+        """Timeout derived from the family's observed p99 tail (or ``None``).
+
+        ``multiplier x p99`` clamped into ``[floor, ceiling]`` — see the
+        ``auto_timeout_*`` fields of :class:`ServiceConfig`.  Requires
+        ``auto_timeout_min_samples`` recorded requests so one early
+        outlier cannot poison the derived bound.
+        """
+        config = self.config
+        count, p99 = self._family_latency.tail(solver_name, 99.0)
+        if count < config.auto_timeout_min_samples or not (p99 == p99):  # nan check
+            return None
+        derived = config.auto_timeout_multiplier * p99
+        derived = max(derived, config.auto_timeout_floor)
+        if config.auto_timeout_ceiling is not None:
+            derived = min(derived, config.auto_timeout_ceiling)
+        return derived
 
     def stats(self) -> ServiceStats:
         """An immutable snapshot of counters, gauges, and latency percentiles."""
@@ -625,6 +666,46 @@ class SolverService:
         """Place a batch all-or-nothing; returns the acknowledgements in order."""
         self._require_running()
         return self._sessions.submit_many(session_id, tasks)
+
+    def session_submit_unacked(self, session_id: str, tasks) -> None:
+        """Place tasks without acknowledgement (the windowed-ack wire mode).
+
+        Placements (or the first failure) are buffered on the session and
+        flushed back to the client by its next acknowledged op — see
+        :meth:`SessionManager.submit_unacked`.
+        """
+        self._require_running()
+        self._sessions.submit_unacked(session_id, tasks)
+
+    def session_check_window(self, session_id: str) -> None:
+        """Surface (and clear) a buffered unacknowledged-submission failure."""
+        self._require_running()
+        self._sessions.check_window(session_id)
+
+    def session_poison_window(self, session_id: str, message: str) -> None:
+        """Record an unacknowledged-line failure that never reached submit."""
+        self._require_running()
+        self._sessions.poison_window(session_id, message)
+
+    def session_take_window_error(self, session_id: str) -> Optional[str]:
+        """Pop the buffered unacknowledged failure without raising (close path)."""
+        self._require_running()
+        return self._sessions.take_window_error(session_id)
+
+    def session_take_window(self, session_id: str) -> list:
+        """Drain the buffered unacknowledged placements for an acknowledgement."""
+        self._require_running()
+        return self._sessions.take_window(session_id)
+
+    def session_export(self, session_id: str) -> Dict[str, object]:
+        """Serializable ledger snapshot of one session (handoff source side)."""
+        self._require_running()
+        return self._sessions.export(session_id)
+
+    def session_restore(self, payload: Dict[str, object]) -> Session:
+        """Rebuild a migrated session by verified replay (handoff target side)."""
+        self._require_running()
+        return self._sessions.restore(payload)
 
     async def session_result(self, session_id: str):
         """Finalize the session into a :class:`SolveResult` (idempotent).

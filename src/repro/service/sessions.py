@@ -28,11 +28,11 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.task import Task
-from repro.online.base import OnlineScheduler
+from repro.online.base import OnlineScheduler, OnlineSchedulerError, replay_state
 from repro.online.registry import create_online
 from repro.solvers.result import SolveResult
 
@@ -74,6 +74,15 @@ class Session:
     #: stays loop-agnostic).  Concurrent ``session_result`` requests all
     #: await the same future — ``finalize()`` never runs twice.
     finalize_future: Optional[object] = None
+    #: Windowed-ack buffer: placements of ``session_submit`` ops sent with
+    #: ``"ack": false`` accumulate here (as ``[task_id, processor]`` pairs)
+    #: until the next acknowledged op flushes them back to the client.
+    window: List[object] = field(default_factory=list)
+    #: First error hit by an unacknowledged submission; surfaced (and
+    #: cleared) by the next acknowledged op on the session.  While set,
+    #: further unacknowledged submissions are refused, so the client's
+    #: view never silently diverges past the failure point.
+    window_error: Optional[str] = None
 
     @property
     def spec(self) -> str:
@@ -135,6 +144,7 @@ class SessionManager:
             "sessions_expired": 0,
             "session_tasks": 0,
             "sessions_rejected": 0,
+            "sessions_restored": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -242,6 +252,73 @@ class SessionManager:
             seen.add(task.id)
         return [self.submit(session_id, task) for task in tasks]
 
+    def submit_unacked(self, session_id: str, tasks: Sequence[Task]) -> None:
+        """Place a batch without responding (the windowed-ack wire mode).
+
+        Placements are buffered on the session; the next *acknowledged*
+        op flushes them back to the client in one response, so a thin
+        wire client pays one round trip per window instead of one per
+        submission.  Failures cannot be reported inline (there is no
+        response line), so the first one poisons the window: it is
+        recorded, later unacknowledged submissions are refused without
+        being applied, and the next acknowledged op surfaces the error —
+        the client's view stops exactly at the failure point.
+
+        An unknown session raises (the caller turns that into a dropped
+        line); any in-session failure is buffered instead of raised.
+        """
+        session = self._get(session_id)
+        if session.window_error is not None:
+            return
+        try:
+            acks = self.submit_many(session_id, tasks)
+        except Exception as exc:  # buffered: there is no response line to carry it
+            session.window_error = str(exc)
+            return
+        session.window.extend([ack["task_id"], ack["processor"]] for ack in acks)
+
+    def poison_window(self, session_id: str, message: str) -> None:
+        """Record a failure that occurred before an unacked batch could apply.
+
+        Used by the wire layer for unacknowledged lines that fail *parsing*
+        (no response line may be written for them): the first failure wins,
+        matching :meth:`submit_unacked` semantics.
+        """
+        session = self._get(session_id)
+        if session.window_error is None:
+            session.window_error = str(message)
+
+    def take_window_error(self, session_id: str) -> Optional[str]:
+        """Pop the buffered unacknowledged failure without raising (close path)."""
+        session = self._get(session_id)
+        error = session.window_error
+        session.window_error = None
+        return error
+
+    def check_window(self, session_id: str) -> None:
+        """Raise (and clear) the buffered unacknowledged failure, if any.
+
+        Called at the start of every acknowledged session op: a poisoned
+        window turns into one error response, after which the window is
+        reset and the session is usable again.  Buffered placements from
+        before the failure are dropped with it — the client resynchronizes
+        from the error (its view stops at the reported failure).
+        """
+        session = self._get(session_id)
+        if session.window_error is None:
+            return
+        error = session.window_error
+        session.window_error = None
+        session.window.clear()
+        raise SessionError(f"unacknowledged submission failed: {error}")
+
+    def take_window(self, session_id: str) -> List[object]:
+        """Drain the buffered unacknowledged placements (oldest first)."""
+        session = self._get(session_id)
+        window = session.window
+        session.window = []
+        return window
+
     def seal(self, session_id: str) -> Session:
         """Freeze a session's scheduler against further submissions.
 
@@ -257,6 +334,76 @@ class SessionManager:
         """Finalize the session's schedule (idempotent; session stays open)."""
         session = self.seal(session_id)
         return session.scheduler.finalize()
+
+    def export(self, session_id: str) -> Dict[str, object]:
+        """Serializable snapshot of one session for cross-shard handoff.
+
+        The payload carries the scheduler's full ledger state
+        (:meth:`~repro.online.base.OnlineScheduler.export_state`: the
+        arrival stream in order plus every placement as a checksum) and
+        the session-level windowed-ack buffer, so :meth:`restore` on
+        another service rebuilds a bit-identical session.  The session
+        itself is left untouched (and open) — the caller decides when to
+        close the source side of a handoff.
+        """
+        session = self._get(session_id)
+        session.last_active = self._clock()
+        return {
+            "state": session.scheduler.export_state(),
+            "submitted": session.submitted,
+            "window": list(session.window),
+            "window_error": session.window_error,
+        }
+
+    def restore(self, payload: Dict[str, object]) -> Session:
+        """Rebuild an exported session under a fresh id (handoff target side).
+
+        Counts against ``max_sessions``/``max_session_tasks`` like a new
+        session.  The scheduler is rebuilt by *replaying* the exported
+        arrival stream — deterministic placement makes the replay
+        bit-identical, and every placement is verified against the
+        exported ledger (:func:`repro.online.base.replay_state` raises on
+        divergence, refusing a corrupt import).
+        """
+        self._sweep()
+        if len(self._sessions) >= self.max_sessions:
+            self.counters["sessions_rejected"] += 1
+            raise SessionLimitError(
+                f"session limit reached ({self.max_sessions} open); "
+                f"cannot restore a migrated session"
+            )
+        state = payload.get("state")
+        if not isinstance(state, dict):
+            raise SessionError("restore payload is missing its 'state' mapping")
+        submitted = payload.get("submitted", 0)
+        if not isinstance(submitted, int) or submitted < 0:
+            raise SessionError("restore payload has an invalid 'submitted' count")
+        if submitted > self.max_session_tasks:
+            self.counters["sessions_rejected"] += 1
+            raise SessionLimitError(
+                f"migrated session carries {submitted} tasks, beyond this "
+                f"service's task bound ({self.max_session_tasks})"
+            )
+        try:
+            scheduler = replay_state(state)
+        except OnlineSchedulerError as exc:
+            raise SessionError(f"session restore failed: {exc}") from None
+        now = self._clock()
+        session = Session(
+            id=f"sess-{next(self._ids)}",
+            scheduler=scheduler,
+            created=now,
+            last_active=now,
+            submitted=submitted,
+        )
+        window = payload.get("window") or []
+        session.window = [list(entry) for entry in window]  # type: ignore[union-attr]
+        error = payload.get("window_error")
+        session.window_error = str(error) if error is not None else None
+        self._sessions[session.id] = session
+        self.counters["sessions_opened"] += 1
+        self.counters["sessions_restored"] += 1
+        return session
 
     def close(self, session_id: str) -> Dict[str, object]:
         """Close a session and free its slot; returns the final snapshot."""

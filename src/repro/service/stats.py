@@ -15,7 +15,7 @@ import math
 import threading
 from collections import deque
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 __all__ = ["ServiceStats", "LatencyWindow", "FamilyLatency"]
 
@@ -104,6 +104,18 @@ class FamilyLatency:
             families = dict(self._families)
         return {name: window.snapshot() for name, window in sorted(families.items())}
 
+    def tail(self, family: str, p: float = 99.0) -> Tuple[int, float]:
+        """``(count, p-th percentile)`` of one family; ``(0, nan)`` when unseen.
+
+        Cheaper than :meth:`snapshot` when only one family's tail is
+        needed — the auto-timeout path calls this per request.
+        """
+        with self._lock:
+            window = self._families.get(family)
+        if window is None:
+            return (0, math.nan)
+        return (window.count, window.percentile(p))
+
 
 @dataclass(frozen=True)
 class ServiceStats:
@@ -138,8 +150,9 @@ class ServiceStats:
 
     ``sessions_*`` fields cover the streaming layer
     (:mod:`repro.service.sessions`): cumulative opened / closed /
-    expired / rejected counts, total tasks submitted through sessions,
-    and the instantaneous ``sessions_open`` gauge.
+    expired / rejected / restored-by-handoff counts, total tasks
+    submitted through sessions, and the instantaneous ``sessions_open``
+    gauge.
     """
 
     submitted: int = 0
@@ -167,6 +180,7 @@ class ServiceStats:
     sessions_closed: int = 0
     sessions_expired: int = 0
     sessions_rejected: int = 0
+    sessions_restored: int = 0
     session_tasks: int = 0
 
     @property

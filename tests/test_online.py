@@ -482,3 +482,89 @@ class TestExtensionShim:
             env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
         )
         assert proc.returncode == 0, proc.stderr.decode()
+
+
+class TestExportReplayState:
+    """Ledger export + verified replay (the session-handoff substrate)."""
+
+    SPECS = [
+        "online_greedy",
+        "online_greedy(objective=memory)",
+        "online_sbo(delta=0.5)",
+        "online_sbo(delta=1.0)",
+        "online_sbo(delta=2.0)",
+        "online_hindsight",
+    ]
+
+    @pytest.mark.parametrize("spec", SPECS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_replayed_scheduler_is_bit_identical(self, spec, seed):
+        """Property: export -> replay -> continue == never-exported run."""
+        from repro.online import replay_state
+
+        trace = list(stochastic_trace(n=30, m=4, seed=seed))
+        cut = 17
+        original = create_online(spec, m=4)
+        for event in trace[:cut]:
+            original.submit(event.task)
+
+        replayed = replay_state(original.export_state())
+        assert replayed.spec == original.spec
+        assert replayed.m == original.m
+        assert replayed.assignment() == original.assignment()
+        assert replayed.cmax == original.cmax
+        assert replayed.mmax == original.mmax
+
+        # Continue both streams: every subsequent placement agrees too.
+        for event in trace[cut:]:
+            assert replayed.submit(event.task) == original.submit(event.task)
+        expected = original.finalize()
+        got = replayed.finalize()
+        assert got.objectives == expected.objectives
+        assert got.guarantee == expected.guarantee
+        assert got.schedule.assignment == expected.schedule.assignment
+
+    def test_export_is_json_safe_and_replay_verifies(self):
+        from repro.online import replay_state
+
+        scheduler = create_online("online_sbo(delta=1.0)", m=3)
+        for i in range(10):
+            scheduler.submit(Task(id=i, p=float(i + 1), s=float(i % 4)))
+        state = scheduler.export_state()
+        # Round-trips through JSON (the wire form used by session handoff).
+        state = json.loads(json.dumps(state))
+        replayed = replay_state(state)
+        assert replayed.assignment() == scheduler.assignment()
+
+    def test_sealed_flag_round_trips(self):
+        from repro.online import replay_state
+
+        scheduler = create_online("online_greedy", m=2)
+        scheduler.submit(Task(id=0, p=1.0, s=1.0))
+        scheduler.seal()
+        replayed = replay_state(scheduler.export_state())
+        assert replayed.is_sealed
+        with pytest.raises(OnlineSchedulerError):
+            replayed.submit(Task(id=1, p=1.0, s=1.0))
+
+    def test_divergent_state_is_refused(self):
+        from repro.online import replay_state
+
+        scheduler = create_online("online_greedy", m=3)
+        for i in range(6):
+            scheduler.submit(Task(id=i, p=float(i + 1), s=1.0))
+        state = scheduler.export_state()
+        state["placements"] = list(reversed(state["placements"]))
+        with pytest.raises(OnlineSchedulerError, match="diverged"):
+            replay_state(state)
+
+    def test_malformed_state_is_refused(self):
+        from repro.online import replay_state
+
+        with pytest.raises(OnlineSchedulerError, match="spec"):
+            replay_state({"m": 2})
+        with pytest.raises(OnlineSchedulerError, match="'m'"):
+            replay_state({"spec": "online_greedy"})
+        with pytest.raises(OnlineSchedulerError, match="inconsistent"):
+            replay_state({"spec": "online_greedy", "m": 2,
+                          "tasks": [[0, 1.0, 1.0]], "placements": []})

@@ -651,3 +651,395 @@ class TestPipelinedSubmissions:
         elapsed = run(scenario())
         rate = len(trace) / elapsed
         assert rate >= 1000.0, f"in-service submission rate collapsed to {rate:.0f}/s"
+
+
+# --------------------------------------------------------------------------- #
+# windowed acknowledgements (ack: false) and ledger export/restore ops
+# --------------------------------------------------------------------------- #
+class TestWindowedAcks:
+    SPEC = "online_sbo(delta=1.0)"
+
+    async def _server(self, svc):
+        shutdown = asyncio.Event()
+        server = await serve_tcp(svc, port=0, shutdown=shutdown)
+        return server, server.sockets[0].getsockname()[1]
+
+    def test_windowed_placements_match_single_ack(self, trace):
+        tasks = [event.task for event in trace]
+
+        async def scenario():
+            async with SolverService(ServiceConfig(workers=1)) as svc:
+                server, port = await self._server(svc)
+                client = await ServiceClient.connect(port=port)
+                try:
+                    session = await client.session_open(self.SPEC, m=trace.m)
+                    placements = await session.submit_windowed(tasks, ack_every=8)
+                    result = await session.result()
+                finally:
+                    await client.close()
+                    server.close()
+                    await server.wait_closed()
+            return placements, result
+
+        placements, result = run(scenario())
+        local = create_online(self.SPEC, m=trace.m)
+        expected = [(t.id, local.submit(t)) for t in tasks]
+        final = local.finalize()
+        assert [tuple(p) for p in placements] == expected
+        assert result["cmax"] == final.cmax
+        assert dict(map(tuple, result["assignment"])) == final.schedule.assignment
+
+    def test_ack_counts_one_response_per_window(self, trace):
+        """ack_every=K costs ceil(n/K) responses, placements complete anyway."""
+        tasks = [event.task for event in trace][:20]
+
+        async def scenario():
+            async with SolverService(ServiceConfig(workers=1)) as svc:
+                opened = await handle_request(
+                    svc, {"op": "session_open", "spec": self.SPEC, "m": trace.m}
+                )
+                sid = opened["session"]
+                responses = 0
+                placements = []
+                for index, task in enumerate(tasks):
+                    payload = {"op": "session_submit", "session": sid,
+                               "task": {"id": task.id, "p": task.p, "s": task.s}}
+                    if (index + 1) % 5 and index + 1 < len(tasks):
+                        payload["ack"] = False
+                        assert await handle_request(svc, payload) is None
+                    else:
+                        response = await handle_request(svc, payload)
+                        responses += 1
+                        assert response["ok"]
+                        placements.extend(map(tuple, response["placements"]))
+                        assert response["n"] == index + 1
+            return responses, placements
+
+        responses, placements = run(scenario())
+        assert responses == 4  # 20 submissions, one ack per 5
+        local = create_online(self.SPEC, m=trace.m)
+        assert placements == [(t.id, local.submit(t)) for t in tasks]
+
+    def test_window_failure_surfaces_on_next_ack(self):
+        async def scenario():
+            async with SolverService(ServiceConfig(workers=1)) as svc:
+                opened = await handle_request(
+                    svc, {"op": "session_open", "spec": "online_greedy", "m": 2}
+                )
+                sid = opened["session"]
+                ok = await handle_request(svc, {
+                    "op": "session_submit", "session": sid, "ack": False,
+                    "task": {"id": 0, "p": 1.0, "s": 1.0}})
+                dup = await handle_request(svc, {
+                    "op": "session_submit", "session": sid, "ack": False,
+                    "task": {"id": 0, "p": 2.0, "s": 2.0}})
+                # Later unacked submissions are refused while poisoned.
+                skipped = await handle_request(svc, {
+                    "op": "session_submit", "session": sid, "ack": False,
+                    "task": {"id": 1, "p": 1.0, "s": 1.0}})
+                error = await handle_request(svc, {
+                    "op": "session_submit", "session": sid,
+                    "task": {"id": 2, "p": 1.0, "s": 1.0}})
+                # The error cleared the window: the session is usable again.
+                recovered = await handle_request(svc, {
+                    "op": "session_submit", "session": sid,
+                    "task": {"id": 3, "p": 1.0, "s": 1.0}})
+                described = await handle_request(svc, {"op": "stats"})
+            return ok, dup, skipped, error, recovered, described
+
+        ok, dup, skipped, error, recovered, described = run(scenario())
+        assert ok is None and dup is None and skipped is None
+        assert not error["ok"]
+        assert "unacknowledged submission failed" in error["error"]["message"]
+        assert "already submitted" in error["error"]["message"]
+        assert recovered["ok"]
+        # Only tasks 0 and 3 were placed (1 was refused, 2 rejected with the
+        # error): the session holds exactly two tasks.
+        assert recovered["n"] == 2
+
+    def test_window_failure_surfaces_on_session_result(self):
+        async def scenario():
+            async with SolverService(ServiceConfig(workers=1)) as svc:
+                opened = await handle_request(
+                    svc, {"op": "session_open", "spec": "online_greedy", "m": 2}
+                )
+                sid = opened["session"]
+                await handle_request(svc, {
+                    "op": "session_submit", "session": sid, "ack": False,
+                    "task": {"id": 0, "p": 1.0, "s": 1.0}})
+                await handle_request(svc, {
+                    "op": "session_submit", "session": sid, "ack": False,
+                    "task": {"id": 0, "p": 1.0, "s": 1.0}})  # duplicate
+                error = await handle_request(svc, {"op": "session_result",
+                                                   "session": sid})
+                retry = await handle_request(svc, {"op": "session_result",
+                                                   "session": sid})
+            return error, retry
+
+        error, retry = run(scenario())
+        assert not error["ok"]
+        assert "unacknowledged submission failed" in error["error"]["message"]
+        assert retry["ok"]  # the reported error cleared the window
+        assert retry["result"]["extras"]["n_submitted"] == 1
+
+    def test_invalid_ack_value_rejected(self):
+        async def scenario():
+            async with SolverService(ServiceConfig(workers=1)) as svc:
+                opened = await handle_request(
+                    svc, {"op": "session_open", "spec": "online_greedy", "m": 2}
+                )
+                return await handle_request(svc, {
+                    "op": "session_submit", "session": opened["session"],
+                    "ack": "maybe", "task": {"id": 0, "p": 1.0, "s": 1.0}})
+
+        response = run(scenario())
+        assert not response["ok"]
+        assert "'ack' must be a JSON boolean" in response["error"]["message"]
+
+
+class TestSessionExportRestoreOps:
+    def test_export_restore_round_trip_over_wire(self, trace):
+        tasks = [event.task for event in trace][:30]
+
+        async def scenario():
+            async with SolverService(ServiceConfig(workers=1)) as svc:
+                shutdown = asyncio.Event()
+                server = await serve_tcp(svc, port=0, shutdown=shutdown)
+                port = server.sockets[0].getsockname()[1]
+                client = await ServiceClient.connect(port=port)
+                try:
+                    session = await client.session_open(
+                        "online_sbo(delta=1.0)", m=trace.m
+                    )
+                    await session.submit_many(tasks[:20])
+                    exported = await client.request(
+                        {"op": "session_export", "session": session.id}
+                    )
+                    restored = await client.request(
+                        {"op": "session_restore", "export": exported["export"]}
+                    )
+                    # Continue on the restored copy only.
+                    new_sid = restored["session"]
+                    assert new_sid != session.id
+                    for task in tasks[20:]:
+                        await client.request({
+                            "op": "session_submit", "session": new_sid,
+                            "task": {"id": task.id, "p": task.p, "s": task.s}})
+                    result = await client.request(
+                        {"op": "session_result", "session": new_sid}
+                    )
+                finally:
+                    await client.close()
+                    server.close()
+                    await server.wait_closed()
+            return restored, result
+
+        restored, result = run(scenario())
+        assert restored["n"] == 20
+        local = create_online("online_sbo(delta=1.0)", m=trace.m)
+        for task in tasks:
+            local.submit(task)
+        expected = local.finalize()
+        assert result["result"]["cmax"] == expected.cmax
+        assert dict(map(tuple, result["result"]["assignment"])) \
+            == expected.schedule.assignment
+
+    def test_restore_respects_admission_bounds(self):
+        async def scenario():
+            config = ServiceConfig(workers=1, max_sessions=1)
+            async with SolverService(config) as svc:
+                opened = await handle_request(
+                    svc, {"op": "session_open", "spec": "online_greedy", "m": 2}
+                )
+                exported = await handle_request(
+                    svc, {"op": "session_export", "session": opened["session"]}
+                )
+                denied = await handle_request(
+                    svc, {"op": "session_restore", "export": exported["export"]}
+                )
+            return denied
+
+        denied = run(scenario())
+        assert not denied["ok"]
+        assert denied["error"]["type"] == "SessionLimitError"
+
+    def test_restore_refuses_corrupt_export(self):
+        async def scenario():
+            async with SolverService(ServiceConfig(workers=1)) as svc:
+                opened = await handle_request(
+                    svc, {"op": "session_open", "spec": "online_greedy", "m": 2}
+                )
+                sid = opened["session"]
+                for i in range(4):
+                    await handle_request(svc, {
+                        "op": "session_submit", "session": sid,
+                        "task": {"id": i, "p": float(i + 1), "s": 1.0}})
+                exported = await handle_request(
+                    svc, {"op": "session_export", "session": sid}
+                )
+                export = exported["export"]
+                export["state"]["placements"] = [
+                    (p + 1) % 2 for p in export["state"]["placements"]
+                ]
+                refused = await handle_request(
+                    svc, {"op": "session_restore", "export": export}
+                )
+                malformed = await handle_request(
+                    svc, {"op": "session_restore", "export": {"submitted": 1}}
+                )
+            return refused, malformed
+
+        refused, malformed = run(scenario())
+        assert not refused["ok"]
+        assert "diverged" in refused["error"]["message"]
+        assert not malformed["ok"]
+        assert "state" in malformed["error"]["message"]
+
+    def test_export_carries_windowed_buffer(self):
+        async def scenario():
+            async with SolverService(ServiceConfig(workers=1)) as svc:
+                opened = await handle_request(
+                    svc, {"op": "session_open", "spec": "online_greedy", "m": 2}
+                )
+                sid = opened["session"]
+                for i in range(3):
+                    await handle_request(svc, {
+                        "op": "session_submit", "session": sid, "ack": False,
+                        "task": {"id": i, "p": float(i + 1), "s": 1.0}})
+                exported = await handle_request(
+                    svc, {"op": "session_export", "session": sid}
+                )
+                restored = await handle_request(
+                    svc, {"op": "session_restore", "export": exported["export"]}
+                )
+                ack = await handle_request(svc, {
+                    "op": "session_submit", "session": restored["session"],
+                    "task": {"id": 3, "p": 4.0, "s": 1.0}})
+            return exported, ack
+
+        exported, ack = run(scenario())
+        assert len(exported["export"]["window"]) == 3
+        assert ack["ok"]
+        local = create_online("online_greedy", m=2)
+        expected = [(i, local.submit(Task(id=i, p=float(i + 1), s=1.0)))
+                    for i in range(4)]
+        assert [tuple(p) for p in ack["placements"]] == expected
+
+
+class TestDrainOp:
+    def test_drain_waits_for_pending_and_reports(self):
+        from _service_helpers import make_sleepy_entry, registered
+
+        inst = Instance.from_lists(p=[2, 1], s=[1, 1], m=1)
+
+        async def scenario():
+            with registered(make_sleepy_entry()):
+                async with SolverService(ServiceConfig(workers=1)) as svc:
+                    await svc.solve(inst, "lpt")  # warm the pool
+                    job = asyncio.create_task(
+                        svc.solve(inst, "sleepy(seconds=0.4)")
+                    )
+                    await asyncio.sleep(0.1)
+                    quick = await handle_request(
+                        svc, {"op": "drain", "timeout": 0.05}
+                    )
+                    full = await handle_request(svc, {"op": "drain", "timeout": 30})
+                    await job
+            return quick, full
+
+        quick, full = run(scenario())
+        assert quick["ok"] and quick["drained"] is False and quick["pending"] >= 1
+        assert full["ok"] and full["drained"] is True and full["pending"] == 0
+
+    def test_drain_requires_numeric_timeout(self):
+        async def scenario():
+            async with SolverService(ServiceConfig(workers=1)) as svc:
+                return await handle_request(svc, {"op": "drain", "timeout": "x"})
+
+        response = run(scenario())
+        assert not response["ok"]
+        assert "'timeout' must be a number" in response["error"]["message"]
+
+
+class TestUnackedContract:
+    """Review fixes: an unacknowledged line never produces a response."""
+
+    def test_unknown_session_noack_is_dropped(self):
+        async def scenario():
+            async with SolverService(ServiceConfig(workers=1)) as svc:
+                dropped = await handle_request(svc, {
+                    "op": "session_submit", "session": "sess-404", "ack": False,
+                    "task": {"id": 0, "p": 1.0, "s": 1.0}})
+                bad_field = await handle_request(svc, {
+                    "op": "session_submit", "session": 7, "ack": False,
+                    "task": {"id": 0, "p": 1.0, "s": 1.0}})
+            return dropped, bad_field
+
+        dropped, bad_field = run(scenario())
+        assert dropped is None
+        assert bad_field is None
+
+    def test_malformed_noack_task_poisons_window(self):
+        async def scenario():
+            async with SolverService(ServiceConfig(workers=1)) as svc:
+                opened = await handle_request(
+                    svc, {"op": "session_open", "spec": "online_greedy", "m": 2}
+                )
+                sid = opened["session"]
+                malformed = await handle_request(svc, {
+                    "op": "session_submit", "session": sid, "ack": False,
+                    "task": {"id": 0}})  # missing p/s
+                error = await handle_request(svc, {
+                    "op": "session_submit", "session": sid,
+                    "task": {"id": 1, "p": 1.0, "s": 1.0}})
+            return malformed, error
+
+        malformed, error = run(scenario())
+        assert malformed is None  # no response line, the failure buffered
+        assert not error["ok"]
+        assert "unacknowledged submission failed" in error["error"]["message"]
+        assert "missing" in error["error"]["message"]
+
+    def test_close_reports_window_error(self):
+        async def scenario():
+            async with SolverService(ServiceConfig(workers=1)) as svc:
+                opened = await handle_request(
+                    svc, {"op": "session_open", "spec": "online_greedy", "m": 2}
+                )
+                sid = opened["session"]
+                await handle_request(svc, {
+                    "op": "session_submit", "session": sid, "ack": False,
+                    "task": {"id": 0, "p": 1.0, "s": 1.0}})
+                await handle_request(svc, {
+                    "op": "session_submit", "session": sid, "ack": False,
+                    "task": {"id": 0, "p": 1.0, "s": 1.0}})  # duplicate: poisons
+                closed = await handle_request(svc, {"op": "session_close",
+                                                    "session": sid})
+                clean = await handle_request(
+                    svc, {"op": "session_open", "spec": "online_greedy", "m": 2}
+                )
+                clean_close = await handle_request(svc, {"op": "session_close",
+                                                         "session": clean["session"]})
+            return closed, clean_close
+
+        closed, clean_close = run(scenario())
+        assert closed["ok"] and closed["closed"]
+        assert "already submitted" in closed["window_error"]
+        assert clean_close["ok"] and "window_error" not in clean_close
+
+
+class TestReplayStateMalformedRecords:
+    def test_restore_rejects_truncated_task_record_cleanly(self):
+        async def scenario():
+            async with SolverService(ServiceConfig(workers=1)) as svc:
+                return await handle_request(svc, {
+                    "op": "session_restore",
+                    "export": {"state": {"spec": "online_greedy", "m": 2,
+                                         "tasks": [["x"]], "placements": [0]},
+                               "submitted": 1}})
+
+        response = run(scenario())
+        assert not response["ok"]
+        # The wire reports the session-layer refusal, not a raw IndexError.
+        assert response["error"]["type"] == "SessionError"
+        assert "malformed" in response["error"]["message"]

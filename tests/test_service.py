@@ -24,6 +24,7 @@ import json
 import math
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -907,3 +908,112 @@ class TestServeCLI:
 
         assert main(["serve", "--workers", "0"]) == 2
         assert "workers" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# latency-derived timeouts (ServiceConfig.auto_timeouts)
+# --------------------------------------------------------------------------- #
+class TestAutoTimeouts:
+    def _config(self, **overrides) -> ServiceConfig:
+        defaults = dict(
+            workers=1, auto_timeouts=True, auto_timeout_multiplier=10.0,
+            auto_timeout_floor=0.5, auto_timeout_ceiling=60.0,
+            auto_timeout_min_samples=5,
+        )
+        defaults.update(overrides)
+        return ServiceConfig(**defaults)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="auto_timeout_multiplier"):
+            ServiceConfig(auto_timeout_multiplier=0)
+        with pytest.raises(ValueError, match="auto_timeout_floor"):
+            ServiceConfig(auto_timeout_floor=-1)
+        with pytest.raises(ValueError, match="auto_timeout_ceiling"):
+            ServiceConfig(auto_timeout_floor=5.0, auto_timeout_ceiling=1.0)
+        with pytest.raises(ValueError, match="auto_timeout_min_samples"):
+            ServiceConfig(auto_timeout_min_samples=0)
+
+    def test_derivation_floor_ceiling_and_min_samples(self):
+        from repro.service.service import _UNSET
+
+        async def scenario():
+            async with SolverService(self._config()) as svc:
+                # Below min_samples: no derived timeout.
+                for _ in range(4):
+                    svc._family_latency.record("sbo", 0.01)
+                assert svc._effective_timeout(_UNSET, "sbo") is None
+                # Enough history: multiplier x p99 clamped by the floor.
+                svc._family_latency.record("sbo", 0.01)
+                assert svc._effective_timeout(_UNSET, "sbo") == 0.5
+                # A slow family derives multiplier x p99 directly.
+                for _ in range(5):
+                    svc._family_latency.record("pareto_approx", 2.0)
+                assert svc._effective_timeout(_UNSET, "pareto_approx") == 20.0
+                # A pathologically slow family hits the ceiling.
+                for _ in range(5):
+                    svc._family_latency.record("exact", 1000.0)
+                assert svc._effective_timeout(_UNSET, "exact") == 60.0
+                # Unseen families fall back to the default (None here).
+                assert svc._effective_timeout(_UNSET, "lpt") is None
+
+        run(scenario())
+
+    def test_explicit_and_spec_timeouts_win_over_derived(self):
+        from repro.service.service import _UNSET
+
+        async def scenario():
+            config = self._config(spec_timeouts={"sbo": 7.0}, default_timeout=9.0)
+            async with SolverService(config) as svc:
+                for _ in range(10):
+                    svc._family_latency.record("sbo", 0.01)
+                    svc._family_latency.record("lpt", 0.01)
+                assert svc._effective_timeout(3.0, "sbo") == 3.0      # explicit
+                assert svc._effective_timeout(None, "sbo") is None    # explicit off
+                assert svc._effective_timeout(_UNSET, "sbo") == 7.0   # spec_timeouts
+                assert svc._effective_timeout(_UNSET, "lpt") == 0.5   # derived
+                assert svc._effective_timeout(_UNSET, "rls") == 9.0   # default
+
+        run(scenario())
+
+    def test_pathological_request_bounded_healthy_untouched(self, inst):
+        """The ROADMAP scenario: a family's own history bounds its outliers."""
+
+        async def scenario():
+            with registered(make_sleepy_entry()):
+                config = self._config(
+                    auto_timeout_floor=0.3, auto_timeout_multiplier=5.0,
+                    auto_timeout_min_samples=5,
+                )
+                async with SolverService(config) as svc:
+                    # Build healthy history for the sleepy family (~20ms).
+                    for i in range(6):
+                        await svc.solve(inst, "sleepy(seconds=0.01)",
+                                        seconds=0.01 + i * 1e-6)
+                    # A pathological spec of the same family is bounded by
+                    # the derived timeout (0.3s floor), not left hanging.
+                    start = time.perf_counter()
+                    with pytest.raises(ServiceTimeoutError):
+                        await svc.solve(inst, "sleepy(seconds=2)")
+                    elapsed = time.perf_counter() - start
+                    assert elapsed < 1.5  # bounded by ~0.3s derived timeout
+                    # Healthy specs (other families, no history) are untouched.
+                    result = await svc.solve(inst, "lpt")
+                    assert result.feasible
+                    await drain(svc)
+                    stats = svc.stats()
+            return stats
+
+        stats = run(scenario())
+        assert stats.timed_out == 1
+        assert stats.lost == 0
+
+    def test_off_by_default(self):
+        from repro.service.service import _UNSET
+
+        async def scenario():
+            async with SolverService(ServiceConfig(workers=1)) as svc:
+                for _ in range(50):
+                    svc._family_latency.record("sbo", 0.01)
+                assert svc._effective_timeout(_UNSET, "sbo") is None
+
+        run(scenario())
