@@ -1,0 +1,360 @@
+"""QoS benchmark: 3-tenant fairness under saturation on a served process.
+
+Launches a **real served process** — this script re-executes itself with
+``--serve``, registers a deterministic-duration solver, and enters the
+stock ``repro serve`` CLI with ``--tenants`` — then drives it over real
+TCP with a saturating three-tenant mix:
+
+* ``vip`` — an *interactive* tenant submitting a sparse stream of
+  requests while the batch tenants keep the admission queue deep;
+* ``heavy`` — a *batch* tenant with ``weight=2.0``, many concurrent
+  clients, each looping over unique jobs (no coalescing, no cache);
+* ``bulk`` — an identical batch tenant with ``weight=1.0``.
+
+Every job runs the benchmark's ``napsched`` solver: sleep a fixed
+duration, then LPT-schedule, so service time is deterministic and every
+result has a cheap ground truth.  Asserted acceptance criteria:
+
+* **interactive p99 queue wait bounded** — ``vip``'s server-side p99
+  admission wait stays under :data:`INTERACTIVE_P99_LIMIT_S` despite the
+  deep batch backlog (strict class priority: every freed slot goes to a
+  queued interactive request first);
+* **2:1 weighted share within 25 %** — sampled mid-run while both batch
+  tenants are still backlogged, ``heavy`` has completed between 1.5x and
+  2.5x as many jobs as ``bulk``;
+* **zero lost requests** — every request is answered exactly once, the
+  service ledger balances, and every per-tenant ledger balances
+  (``admitted + rejected == submitted``, ``lost == 0``);
+* **bit-identical results** — every response matches a direct
+  ``solve()`` of the same instance.
+
+Runnable standalone (``PYTHONPATH=src python benchmarks/bench_qos.py``,
+``--smoke`` for the CI-sized profile) or under pytest (smoke profile).
+Standalone runs write the machine-readable summary to
+``benchmarks/BENCH_qos.json`` (``--json PATH`` overrides).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import os
+import platform
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+DEFAULT_JSON = Path(__file__).resolve().parent / "BENCH_qos.json"
+
+#: Absolute server-side bound on the interactive tenant's p99 admission
+#: wait.  A freed slot always goes to a queued interactive request
+#: first, so the wait is bounded by one service time plus scheduling
+#: noise — the limit leaves generous headroom for loaded CI boxes.
+INTERACTIVE_P99_LIMIT_S = 0.75
+
+#: The weighted-share acceptance band: heavy/bulk completions sampled
+#: mid-saturation must sit within 25 % of the configured 2:1 ratio.
+TARGET_RATIO = 2.0
+RATIO_TOLERANCE = 0.25
+
+TENANTS = {
+    "tenants": [
+        {"name": "vip", "priority": "interactive"},
+        {"name": "heavy", "weight": 2.0},
+        {"name": "bulk", "weight": 1.0},
+    ]
+}
+
+#: Full profile: 12 clients x 6 jobs per batch tenant at 100 ms/job.
+FULL = dict(sleep_s=0.10, batch_clients=12, jobs_per_client=6,
+            vip_jobs=24, vip_period_s=0.12, ratio_sample=48)
+#: Smoke profile: same criteria, roughly a quarter of the wall time.
+SMOKE = dict(sleep_s=0.05, batch_clients=8, jobs_per_client=4,
+             vip_jobs=12, vip_period_s=0.08, ratio_sample=30)
+
+WORKERS = 2
+MAX_PENDING = 4
+
+
+# --------------------------------------------------------------------------- #
+# the served child process
+# --------------------------------------------------------------------------- #
+def _nap_solver(instance, params):
+    """Sleep a fixed duration, then LPT-schedule (deterministic timing)."""
+    from repro.algorithms.lpt import lpt_schedule
+
+    time.sleep(float(params["seconds"]))
+    inst = instance.as_independent() if hasattr(instance, "as_independent") else instance
+    return lpt_schedule(inst), (math.inf, math.inf), None, {}
+
+
+def serve_child(argv) -> int:
+    """Register the benchmark solver, then run the stock serve CLI."""
+    from repro.cli import main
+    from repro.solvers import ParamSpec, SolverCapabilities, SolverEntry, register
+
+    register(SolverEntry(
+        name="napsched",
+        summary="benchmark solver: sleeps a fixed duration, then LPT",
+        capabilities=SolverCapabilities(),
+        params=(ParamSpec("seconds", float, default=0.1, nonnegative=True,
+                          doc="deterministic service time"),),
+        run=_nap_solver,
+        guarantee=None,
+    ), replace=True)
+    return main(["serve", *argv])
+
+
+# --------------------------------------------------------------------------- #
+# the driving side
+# --------------------------------------------------------------------------- #
+def build_instances(count: int):
+    from repro.core.instance import Instance
+
+    # The leading task's processing time encodes the index, so every
+    # instance is unique: no request coalesces with any other.
+    return [
+        Instance.from_lists(
+            p=[float(100 + i)] + [float(1 + (j * 3 + i) % 7) for j in range(5)],
+            s=[1.0] + [float(1 + (j * 5 + i) % 4) for j in range(5)],
+            m=2,
+        )
+        for i in range(count)
+    ]
+
+
+def launch_server(tenants_path: str) -> tuple:
+    proc = subprocess.Popen(
+        [sys.executable, str(Path(__file__).resolve()), "--serve",
+         "--port", "0", "--workers", str(WORKERS),
+         "--max-pending", str(MAX_PENDING),
+         "--tenants", tenants_path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        env={**os.environ,
+             "PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")},
+    )
+    banner = proc.stderr.readline().decode()
+    match = re.search(r"listening on 127\.0\.0\.1:(\d+)", banner)
+    assert match, f"no listening banner in {banner!r}"
+    assert re.search(r"tenants=3", banner), f"tenants missing from {banner!r}"
+    return proc, int(match.group(1))
+
+
+async def drive(port: int, profile: dict) -> dict:
+    from repro.service.client import ServiceClient
+
+    sleep_s = profile["sleep_s"]
+    spec = f"napsched(seconds={sleep_s})"
+    vip_spec = "napsched(seconds=0.0)"
+    batch_jobs = profile["batch_clients"] * profile["jobs_per_client"]
+    instances = build_instances(2 * batch_jobs + profile["vip_jobs"])
+    # Unique instance per request: nothing coalesces, nothing caches.
+    pools = {
+        "heavy": instances[:batch_jobs],
+        "bulk": instances[batch_jobs:2 * batch_jobs],
+        "vip": instances[2 * batch_jobs:],
+    }
+    responses = {name: {} for name in pools}
+
+    async def batch_client(tenant: str, client_id: int):
+        client = await ServiceClient.connect(port=port)
+        try:
+            jobs = range(client_id, batch_jobs, profile["batch_clients"])
+            for job_idx in jobs:
+                payload = await client.solve(
+                    pools[tenant][job_idx], spec, tenant=tenant)
+                assert job_idx not in responses[tenant], "duplicate response"
+                responses[tenant][job_idx] = payload
+        finally:
+            await client.close()
+
+    async def vip_client():
+        client = await ServiceClient.connect(port=port)
+        try:
+            for job_idx in range(profile["vip_jobs"]):
+                payload = await client.solve(
+                    pools["vip"][job_idx], vip_spec, tenant="vip")
+                responses["vip"][job_idx] = payload
+                await asyncio.sleep(profile["vip_period_s"])
+        finally:
+            await client.close()
+
+    async def sample_ratio():
+        """Poll stats until both batch tenants together completed
+        ``ratio_sample`` jobs — while both are still backlogged — and
+        record the heavy:bulk completion ratio at that instant."""
+        client = await ServiceClient.connect(port=port)
+        try:
+            while True:
+                stats = await client.stats()
+                tenants = stats.get("tenants", {})
+                done = {name: tenants.get(name, {}).get("completed", 0)
+                        for name in ("heavy", "bulk")}
+                if sum(done.values()) >= profile["ratio_sample"]:
+                    return done
+                await asyncio.sleep(0.03)
+        finally:
+            await client.close()
+
+    start = time.perf_counter()
+    sampler = asyncio.create_task(sample_ratio())
+    await asyncio.gather(
+        vip_client(),
+        *(batch_client("heavy", c) for c in range(profile["batch_clients"])),
+        *(batch_client("bulk", c) for c in range(profile["batch_clients"])),
+    )
+    elapsed = time.perf_counter() - start
+    mid_run = await sampler
+
+    final_client = await ServiceClient.connect(port=port)
+    try:
+        stats = await final_client.stats()
+        await final_client.shutdown()
+    finally:
+        await final_client.close()
+
+    return {
+        "responses": responses,
+        "pools": pools,
+        "elapsed_s": elapsed,
+        "mid_run": mid_run,
+        "stats": stats,
+        "batch_jobs": batch_jobs,
+    }
+
+
+def run_qos_benchmark(smoke: bool = False) -> dict:
+    from repro.solvers import solve
+
+    profile = SMOKE if smoke else FULL
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fh:
+        json.dump(TENANTS, fh)
+        tenants_path = fh.name
+    try:
+        proc, port = launch_server(tenants_path)
+        try:
+            outcome = asyncio.run(drive(port, profile))
+            assert proc.wait(timeout=30) == 0, "server exited non-zero"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+    finally:
+        os.unlink(tenants_path)
+
+    # Zero lost: every request answered exactly once, every ledger balances.
+    expected = {"heavy": outcome["batch_jobs"], "bulk": outcome["batch_jobs"],
+                "vip": SMOKE["vip_jobs"] if smoke else FULL["vip_jobs"]}
+    for tenant, want in expected.items():
+        got = outcome["responses"][tenant]
+        assert sorted(got) == list(range(want)), f"{tenant}: lost responses"
+    stats = outcome["stats"]
+    assert stats["lost"] == 0, {k: stats[k] for k in
+                                ("submitted", "completed", "lost")}
+    tenant_stats = stats["tenants"]
+    for name, snap in tenant_stats.items():
+        assert snap["admitted"] + snap["rejected"] == snap["submitted"], (name, snap)
+        assert snap["lost"] == 0 and snap["rejected"] == 0, (name, snap)
+        assert snap["completed"] == expected[name], (name, snap)
+
+    # Bit-identical: napsched LPT-schedules, so direct lpt is ground truth.
+    for tenant, payloads in outcome["responses"].items():
+        for job_idx, payload in payloads.items():
+            direct = solve(outcome["pools"][tenant][job_idx], "lpt", cache=False)
+            assert payload["cmax"] == direct.cmax, f"{tenant}/{job_idx}: cmax diverged"
+            assert dict(map(tuple, payload["assignment"])) \
+                == direct.schedule.assignment, f"{tenant}/{job_idx}: assignment diverged"
+
+    # Weighted share, sampled while both batch tenants were backlogged.
+    mid = outcome["mid_run"]
+    ratio = mid["heavy"] / max(1, mid["bulk"])
+    vip_p99 = tenant_stats["vip"]["queue_wait"]["p99"]
+    batch_p50 = max(tenant_stats["heavy"]["queue_wait"]["p50"],
+                    tenant_stats["bulk"]["queue_wait"]["p50"])
+
+    return {
+        "benchmark": "qos",
+        "profile": "smoke" if smoke else "full",
+        "workers": WORKERS,
+        "max_pending": MAX_PENDING,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "elapsed_s": outcome["elapsed_s"],
+        "requests": sum(expected.values()),
+        "mid_run_completions": mid,
+        "weighted_ratio": ratio,
+        "interactive_p99_wait_s": vip_p99,
+        "batch_p50_wait_s": batch_p50,
+        "tenants": {
+            name: {key: snap[key] for key in
+                   ("submitted", "admitted", "completed", "busy_s")}
+            for name, snap in tenant_stats.items()
+        },
+    }
+
+
+def _print_report(report: dict) -> None:
+    print(f"profile             : {report['profile']} "
+          f"({report['requests']} requests, {report['workers']} workers, "
+          f"{report['max_pending']} slots)")
+    print(f"elapsed             : {report['elapsed_s']:.2f}s")
+    mid = report["mid_run_completions"]
+    print(f"mid-run completions : heavy {mid['heavy']}  bulk {mid['bulk']}  "
+          f"ratio {report['weighted_ratio']:.2f} (target {TARGET_RATIO:.1f} "
+          f"+/- {RATIO_TOLERANCE:.0%})")
+    print(f"interactive p99 wait: {report['interactive_p99_wait_s'] * 1000:.1f} ms "
+          f"(limit {INTERACTIVE_P99_LIMIT_S * 1000:.0f} ms; "
+          f"batch p50 {report['batch_p50_wait_s'] * 1000:.1f} ms)")
+
+
+def _assert_criteria(report: dict) -> None:
+    low = TARGET_RATIO * (1 - RATIO_TOLERANCE)
+    high = TARGET_RATIO * (1 + RATIO_TOLERANCE)
+    assert low <= report["weighted_ratio"] <= high, (
+        f"heavy:bulk completion ratio {report['weighted_ratio']:.2f} outside "
+        f"[{low:.2f}, {high:.2f}] (acceptance criterion: 2:1 within 25%)"
+    )
+    assert report["interactive_p99_wait_s"] <= INTERACTIVE_P99_LIMIT_S, (
+        f"interactive p99 queue wait {report['interactive_p99_wait_s']:.3f}s "
+        f"exceeds the {INTERACTIVE_P99_LIMIT_S}s bound"
+    )
+
+
+def test_bench_qos():
+    report = run_qos_benchmark(smoke=True)
+    print()
+    _print_report(report)
+    _assert_criteria(report)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer requests, same criteria)")
+    parser.add_argument("--json", default=str(DEFAULT_JSON), metavar="PATH",
+                        help="write the machine-readable summary here "
+                             "('-' disables)")
+    parser.add_argument("--serve", action="store_true",
+                        help=argparse.SUPPRESS)  # child mode (see serve_child)
+    args, extra = parser.parse_known_args()
+    if args.serve:
+        return serve_child(extra)
+    report = run_qos_benchmark(smoke=args.smoke)
+    _print_report(report)
+    _assert_criteria(report)
+    if args.json != "-":
+        Path(args.json).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"summary written to {args.json}")
+    print("acceptance criteria (bounded interactive p99, 2:1 within 25%, "
+          "zero lost, bit-identical): PASS", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -343,8 +343,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_sessions=args.max_sessions,
             session_ttl=args.session_ttl if args.session_ttl else None,
             auto_timeouts=args.auto_timeouts,
+            tenants=args.tenants,
+            default_tenant=args.default_tenant,
         )
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -368,7 +370,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     f"repro service listening on {args.host}:{port} "
                     f"({config.workers} workers, max_pending={config.max_pending}, "
                     f"policy={config.backpressure})"
-                    + (f", cache={args.cache}" if args.cache else ""),
+                    + (f", cache={args.cache}" if args.cache else "")
+                    + (f", tenants={len(config.tenants)}"
+                       if config.tenants is not None else ""),
                     file=sys.stderr, flush=True,
                 )
                 try:
@@ -412,8 +416,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             scale_interval=args.scale_interval,
             hysteresis=args.hysteresis,
             drain_timeout=args.drain_timeout,
+            tenants=args.tenants,
+            default_tenant=args.default_tenant,
         )
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -433,7 +439,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 f"workers={config.workers}/shard, "
                 f"scale=[{config.min_shards},{config.max_shards}] "
                 f"@ queue {config.scale_down_at:g}..{config.scale_up_at:g})"
-                + (f", cache={args.cache}" if args.cache else ""),
+                + (f", cache={args.cache}" if args.cache else "")
+                + (f", tenants={len(config.tenants)}"
+                   if config.tenants is not None else ""),
                 file=sys.stderr, flush=True,
             )
             try:
@@ -618,6 +626,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="idle seconds before an open session expires (0 disables expiry)")
     srv.add_argument("--auto-timeouts", action="store_true",
                      help="derive per-solver-family timeouts from observed p99 latency tails")
+    srv.add_argument("--tenants", default=None, metavar="FILE",
+                     help="tenant registry JSON enabling multi-tenant QoS "
+                          "(quotas, rate limits, weighted-fair admission)")
+    srv.add_argument("--default-tenant", default=None, metavar="NAME",
+                     help="tenant charged for requests that name none "
+                          "(requires --tenants; otherwise such requests are rejected)")
     srv.set_defaults(func=_cmd_serve)
 
     clu = sub.add_parser(
@@ -665,6 +679,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-shard idle session expiry (0 disables)")
     clu.add_argument("--drain-timeout", type=float, default=30.0,
                      help="seconds a retiring shard gets to finish in-flight jobs")
+    clu.add_argument("--tenants", default=None, metavar="FILE",
+                     help="tenant registry JSON enabling cluster-wide multi-tenant "
+                          "QoS, enforced at the router")
+    clu.add_argument("--default-tenant", default=None, metavar="NAME",
+                     help="tenant charged for requests that name none "
+                          "(requires --tenants; otherwise such requests are rejected)")
     clu.set_defaults(func=_cmd_cluster)
 
     onl = sub.add_parser(

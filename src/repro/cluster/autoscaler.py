@@ -4,7 +4,10 @@ Two layers, split so the interesting part is a pure function:
 
 * :class:`AutoscalerPolicy` — the decision state machine.  It sees one
   number per observation (the cluster's **average queue depth per
-  routable shard**, i.e. admitted jobs waiting for a worker slot) and
+  routable shard**, i.e. admitted jobs waiting for a worker slot; with
+  QoS configured the router's
+  :meth:`~repro.cluster.router.ClusterRouter.scaling_signal`
+  urgency-weights that depth and adds the pre-admission tenant backlog) and
   votes ``"up"`` when the average sits at/above ``scale_up_at``,
   ``"down"`` at/below ``scale_down_at``, in-between resets both streaks.
   Only ``hysteresis`` *consecutive* same-direction votes produce an
@@ -189,7 +192,9 @@ class Autoscaler:
             int(stats.shards.get(name, {}).get("queue_depth", 0))
             for name in routable_names
         )
-        avg = depth / routable
+        # With QoS configured the router urgency-weights the admitted depth
+        # and adds its pre-admission backlog; without, this is `depth` as-is.
+        avg = router.scaling_signal(depth) / routable
         verdict = self.policy.observe(avg)
         if verdict == "up" and routable < self.config.max_shards:
             try:

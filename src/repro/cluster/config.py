@@ -71,6 +71,14 @@ class ClusterConfig:
         Transport-failure retries per solve request (each retry re-routes
         among the surviving shards); ``None`` retries once per remaining
         shard.
+    tenants / default_tenant / qos_policy:
+        Multi-tenant QoS (:mod:`repro.qos`), enforced **at the router**:
+        one cluster-wide admission controller whose slot capacity is
+        ``routable shards x max_pending`` (tracking shard churn), so
+        quotas and fair shares hold over the whole cluster, not per
+        shard.  Shards are started *without* tenants — a request the
+        router admitted is never second-guessed by a backend.  Semantics
+        of the three knobs match :class:`~repro.service.ServiceConfig`.
     """
 
     shards: int = 2
@@ -93,6 +101,9 @@ class ClusterConfig:
     hysteresis: int = 3
     drain_timeout: float = 30.0
     solve_retries: Optional[int] = None
+    tenants: object = None
+    default_tenant: Optional[str] = None
+    qos_policy: str = "wfq"
 
     def __post_init__(self) -> None:
         if self.min_shards < 1:
@@ -128,6 +139,20 @@ class ClusterConfig:
             raise ValueError(
                 f"solve_retries must be >= 0 or None, got {self.solve_retries}"
             )
+        # Same normalization as ServiceConfig: the tenants source (path /
+        # mapping / registry) becomes a validated registry at construction.
+        from repro.qos.fairshare import POLICY_NAMES
+        from repro.qos.tenants import load_tenants
+
+        if self.qos_policy not in POLICY_NAMES:
+            raise ValueError(
+                f"qos_policy must be one of {POLICY_NAMES}, got {self.qos_policy!r}"
+            )
+        object.__setattr__(
+            self, "tenants", load_tenants(self.tenants, default=self.default_tenant)
+        )
+        if self.tenants is not None:
+            object.__setattr__(self, "default_tenant", self.tenants.default)
 
     def with_overrides(self, **overrides: object) -> "ClusterConfig":
         """A copy of this config with ``overrides`` applied (re-validated)."""

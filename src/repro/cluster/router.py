@@ -46,7 +46,9 @@ from repro.cluster.backend import InprocShard, ProcessShard, ShardHandle, ShardS
 from repro.cluster.config import ClusterConfig
 from repro.cluster.routing import rank, request_key
 from repro.cluster.stats import ClusterStats, merge_shard_stats
-from repro.service.protocol import PROTOCOL_VERSION, solve_request
+from repro.qos.admission import AdmissionController
+from repro.qos.tenants import CLASS_URGENCY, QosError, TenantConfig
+from repro.service.protocol import PROTOCOL_VERSION, error_code_for, solve_request
 
 __all__ = ["ClusterRouter", "ClusterError", "NoShardAvailableError"]
 
@@ -59,12 +61,16 @@ class NoShardAvailableError(ClusterError):
     """Every shard is dead or draining; the request cannot be placed."""
 
 
-def _error_response(request: Dict[str, object], exc_type: str, message: str) -> Dict[str, object]:
-    return {
-        "id": request.get("id"),
-        "ok": False,
-        "error": {"type": exc_type, "message": message},
-    }
+def _error_response(
+    request: Dict[str, object],
+    exc_type: str,
+    message: str,
+    code: Optional[str] = None,
+) -> Dict[str, object]:
+    error: Dict[str, object] = {"type": exc_type, "message": message}
+    if code is not None:
+        error["code"] = code
+    return {"id": request.get("id"), "ok": False, "error": error}
 
 
 class ClusterRouter:
@@ -103,6 +109,11 @@ class ClusterRouter:
                          "shards_started", "shards_retired", "shards_lost",
                          "sessions_lost")
         }
+        #: Cluster-wide QoS admission (``None`` when no tenants configured).
+        #: Enforcement lives here, not on the shards: one controller whose
+        #: slot capacity tracks ``routable shards x max_pending``, so quotas
+        #: and weighted fair shares hold over the whole cluster.
+        self._qos: Optional[AdmissionController] = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -125,6 +136,12 @@ class ClusterRouter:
         except ShardStartError:
             await self.close()
             raise
+        if self.config.tenants is not None:
+            self._qos = AdmissionController(
+                self.config.tenants,
+                capacity=self._qos_capacity(),
+                policy=self.config.qos_policy,
+            )
         return self
 
     async def close(self) -> None:
@@ -168,6 +185,20 @@ class ClusterRouter:
         """The handle of one shard (tests and drills poke it)."""
         return self._shards[name]
 
+    def _qos_capacity(self) -> int:
+        """Cluster admission slots: routable shards x per-shard max_pending."""
+        return max(1, len(self._routable())) * self.config.max_pending
+
+    def _update_qos_capacity(self) -> None:
+        """Retarget the admission queue after any shard-set change.
+
+        Growth dispatches queued waiters immediately; shrink drains as
+        in-flight requests release their slots — admitted work is never
+        revoked by a scale-down or a crash.
+        """
+        if self._qos is not None:
+            self._qos.set_capacity(self._qos_capacity())
+
     def _make_shard(self, name: str) -> ShardHandle:
         config = self.config
         if config.backend == "inproc":
@@ -204,6 +235,7 @@ class ClusterRouter:
         await shard.start()
         self._shards[name] = shard
         self._counters["shards_started"] += 1
+        self._update_qos_capacity()
         return shard
 
     async def remove_shard(self, name: str, drain: bool = True) -> None:
@@ -234,6 +266,7 @@ class ClusterRouter:
             except (ConnectionError, OSError):
                 pass
         self._shards.pop(name, None)
+        self._update_qos_capacity()
         if shard.alive:
             await shard.stop()
             self._counters["shards_retired"] += 1
@@ -246,6 +279,7 @@ class ClusterRouter:
         if self._shards.get(shard.name) is shard:
             del self._shards[shard.name]
             self._counters["shards_lost"] += 1
+            self._update_qos_capacity()
         await shard.kill()
 
     async def reap_dead(self) -> int:
@@ -268,7 +302,7 @@ class ClusterRouter:
         op = request.get("op", "solve")
         try:
             if op == "solve":
-                return await self._forward_solve(request)
+                return await self._admit_solve(request)
             if op == "session_open" or op == "session_restore":
                 return await self._open_session(request)
             if op in ("session_submit", "session_result", "session_close",
@@ -311,11 +345,66 @@ class ClusterRouter:
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # every request-level failure becomes a response
-            return _error_response(request, type(exc).__name__, str(exc))
+            return _error_response(request, type(exc).__name__, str(exc),
+                                   code=error_code_for(exc))
 
     # ------------------------------------------------------------------ #
     # solve routing
     # ------------------------------------------------------------------ #
+    def _qos_begin(
+        self, request: Dict[str, object]
+    ) -> Tuple[Optional[TenantConfig], Optional[Dict[str, object]]]:
+        """Attribute + rate-limit one request; ``(cfg, error_response)``.
+
+        With QoS off both halves are ``None``.  A rejection comes back as
+        a ready-to-send error response carrying the stable ``error.code``.
+        """
+        if self._qos is None:
+            return None, None
+        tenant = request.get("tenant")
+        if tenant is not None and (not isinstance(tenant, str) or not tenant):
+            return None, _error_response(
+                request, "ProtocolError", "'tenant' must be a non-empty string"
+            )
+        try:
+            return self._qos.begin(tenant), None
+        except QosError as exc:
+            return None, _error_response(request, type(exc).__name__, str(exc),
+                                         code=exc.code)
+
+    async def _admit_solve(self, request: Dict[str, object]) -> Dict[str, object]:
+        """QoS-gate one solve request, then route it.
+
+        With no tenants configured this is exactly :meth:`_forward_solve`.
+        Otherwise the request passes the cluster-wide admission controller
+        first — rate limiter, quota, then a weighted-fair slot — and its
+        outcome (completed / failed / abandoned) is ledgered against the
+        tenant, keeping per-tenant ``admitted + rejected == submitted``.
+        """
+        if self._qos is None:
+            return await self._forward_solve(request)
+        cfg, rejection = self._qos_begin(request)
+        if cfg is None:
+            assert rejection is not None
+            return rejection
+        try:
+            await self._qos.acquire_slot(
+                cfg, reject_on_full=self.config.backpressure == "reject"
+            )
+        except QosError as exc:
+            return _error_response(request, type(exc).__name__, str(exc),
+                                   code=exc.code)
+        self._qos.job_admitted(cfg)
+        try:
+            response = await self._forward_solve(request)
+        except BaseException:
+            self._qos.release_slot(cfg)
+            self._qos.finish(cfg, "abandoned")
+            raise
+        self._qos.release_slot(cfg)
+        self._qos.finish(cfg, "completed" if response.get("ok") else "failed")
+        return response
+
     async def _forward_solve(self, request: Dict[str, object]) -> Dict[str, object]:
         key = request_key(request)
         self._counters["routed"] += 1
@@ -357,18 +446,21 @@ class ClusterRouter:
         spec: str,
         timeout: Optional[float] = None,
         params: Optional[Dict[str, object]] = None,
+        tenant: Optional[str] = None,
     ) -> Dict[str, object]:
         """Solve one instance through the cluster; returns the result payload.
 
         Mirrors :meth:`repro.service.client.ServiceClient.solve` (the
         payload dict with objectives, guarantee, assignment, provenance),
         raising :class:`ClusterError` with the remote error message on an
-        error response.
+        error response.  ``tenant`` attributes the request when QoS is
+        configured (ignored otherwise).
         """
         if not self.is_running:
             raise ClusterError("cluster is not running (use 'async with ClusterRouter(...)')")
-        request = solve_request(instance, spec, timeout=timeout, params=params)
-        response = await self._forward_solve(request)
+        request = solve_request(instance, spec, timeout=timeout, params=params,
+                                tenant=tenant)
+        response = await self._admit_solve(request)
         if not response.get("ok"):
             error = response.get("error") or {}
             raise ClusterError(
@@ -415,7 +507,17 @@ class ClusterRouter:
         return min(candidates, key=lambda name: (self._pinned_count(name), name))
 
     async def _open_session(self, request: Dict[str, object]) -> Dict[str, object]:
-        """Open (or restore) a session on the least-loaded shard and pin it."""
+        """Open (or restore) a session on the least-loaded shard and pin it.
+
+        Session opens pass the tenant's rate limiter (slot-free admission,
+        same contract as the single-service layer: a session's per-placement
+        work never occupies an admission slot, so quotas don't apply).
+        """
+        cfg, rejection = self._qos_begin(request)
+        if rejection is not None:
+            return rejection
+        if cfg is not None:
+            self._qos.admit_fast(cfg)
         inner = dict(request)
         inner.pop("id", None)
         while True:
@@ -633,6 +735,26 @@ class ClusterRouter:
     # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
+    def scaling_signal(self, raw_depth: float) -> float:
+        """The autoscaler's pressure number, QoS-weighted when tenants exist.
+
+        With QoS off this is the raw summed shard ``queue_depth`` —
+        byte-identical autoscaler behavior.  With QoS on, the admitted
+        work is scaled by the average :data:`~repro.qos.tenants.CLASS_URGENCY`
+        of the slots in use (a batch-only cluster is damped, an interactive
+        one is not) and the router's own *pre-admission* backlog — requests
+        the shards cannot even see yet — is added at its class urgency, so
+        interactive queueing drives scale-up at full strength.
+        """
+        if self._qos is None:
+            return float(raw_depth)
+        mix = self._qos.in_use_by_class()
+        total = sum(mix.values())
+        urgency = 1.0 if not total else (
+            sum(CLASS_URGENCY.get(cls, 1.0) * n for cls, n in mix.items()) / total
+        )
+        return float(raw_depth) * urgency + self._qos.weighted_backlog()
+
     def router_counters(self) -> Dict[str, int]:
         """The router's own ledger plus instantaneous shard-set gauges."""
         self._sweep_pins()
@@ -664,4 +786,8 @@ class ClusterRouter:
             for name, response in zip(names, responses)
             if response is not None and response.get("ok")
         }
-        return merge_shard_stats(payloads, router=self.router_counters())
+        return merge_shard_stats(
+            payloads,
+            router=self.router_counters(),
+            tenants=self._qos.snapshot() if self._qos is not None else None,
+        )

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
+
+from repro.qos.stats import merge_tenant_snapshots
 
 __all__ = ["ClusterStats", "merge_shard_stats", "merge_families"]
 
@@ -42,7 +44,12 @@ class ClusterStats:
     ``totals`` sums every shard counter and gauge (see the shard-level
     :class:`~repro.service.stats.ServiceStats` for their semantics);
     ``families`` is the count-weighted merge of the per-family latency
-    breakdowns; ``shards`` maps shard name to its raw stats payload;
+    breakdowns; ``phases`` does the same merge per lifecycle phase
+    (``queue_wait`` / ``exec``, the split the QoS benchmark bounds);
+    ``tenants`` is the cluster-wide per-tenant QoS ledger — the router's
+    own admission controller slice merged with any per-shard slices via
+    :func:`repro.qos.stats.merge_tenant_snapshots` (empty with QoS off);
+    ``shards`` maps shard name to its raw stats payload;
     ``router`` carries the router's own ledger: ``routed`` forwarded
     solve requests, ``retried`` transport-failure re-routes,
     ``handoffs`` completed session migrations, ``sessions_pinned`` the
@@ -54,6 +61,8 @@ class ClusterStats:
 
     totals: Dict[str, int] = field(default_factory=dict)
     families: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    phases: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    tenants: Dict[str, Dict[str, object]] = field(default_factory=dict)
     shards: Dict[str, Dict[str, object]] = field(default_factory=dict)
     router: Dict[str, int] = field(default_factory=dict)
 
@@ -68,6 +77,9 @@ class ClusterStats:
             "cluster": True,
             "totals": dict(self.totals),
             "families": {k: dict(v) for k, v in self.families.items()},
+            "phases": {phase: {k: dict(v) for k, v in families.items()}
+                       for phase, families in self.phases.items()},
+            "tenants": {k: dict(v) for k, v in self.tenants.items()},
             "router": dict(self.router),
             "shards": {k: dict(v) for k, v in self.shards.items()},
         }
@@ -108,10 +120,21 @@ def merge_families(
 def merge_shard_stats(
     shard_payloads: Mapping[str, Mapping[str, object]],
     router: Mapping[str, int],
+    tenants: Optional[Mapping[str, Mapping[str, object]]] = None,
 ) -> ClusterStats:
-    """Fold per-shard ``stats`` payloads + the router ledger into one view."""
+    """Fold per-shard ``stats`` payloads + the router ledger into one view.
+
+    ``tenants`` is the router's own admission-controller snapshot (QoS is
+    enforced at the router, so this is normally the authoritative slice);
+    any per-shard ``tenants`` slices are merged in on top, so a topology
+    that does run QoS on its shards still adds up.
+    """
     totals: Dict[str, int] = {key: 0 for key in _SUMMED_KEYS}
     breakdowns: List[Mapping[str, Mapping[str, float]]] = []
+    phase_breakdowns: Dict[str, List[Mapping[str, Mapping[str, float]]]] = {}
+    tenant_slices: List[Mapping[str, Mapping[str, object]]] = []
+    if tenants:
+        tenant_slices.append(tenants)
     for payload in shard_payloads.values():
         for key in _SUMMED_KEYS:
             value = payload.get(key, 0)
@@ -120,9 +143,20 @@ def merge_shard_stats(
         families = payload.get("families")
         if isinstance(families, Mapping):
             breakdowns.append(families)  # type: ignore[arg-type]
+        phases = payload.get("phases")
+        if isinstance(phases, Mapping):
+            for phase, breakdown in phases.items():
+                if isinstance(breakdown, Mapping):
+                    phase_breakdowns.setdefault(str(phase), []).append(breakdown)
+        tenant_slice = payload.get("tenants")
+        if isinstance(tenant_slice, Mapping) and tenant_slice:
+            tenant_slices.append(tenant_slice)  # type: ignore[arg-type]
     return ClusterStats(
         totals=totals,
         families=merge_families(breakdowns),
+        phases={phase: merge_families(phase_breakdowns[phase])
+                for phase in sorted(phase_breakdowns)},
+        tenants=merge_tenant_snapshots(tenant_slices),
         shards={name: dict(payload) for name, payload in shard_payloads.items()},
         router=dict(router),
     )

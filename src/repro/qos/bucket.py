@@ -1,0 +1,77 @@
+"""Token-bucket rate limiting (the per-tenant ``rate`` / ``burst`` knobs).
+
+The classic shape: a bucket holds up to ``burst`` tokens and refills
+continuously at ``rate`` tokens per second; each admitted request takes
+one token, and an empty bucket means the tenant has exceeded its
+sustained rate — the caller turns that into a structured
+``rate_limited`` rejection.  Refill is computed lazily from the elapsed
+monotonic time on every ``take``, so an idle bucket costs nothing.
+
+The clock is injectable, which keeps the fairness/starvation property
+tests deterministic (they step a fake clock instead of sleeping).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """A token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    ``rate=None`` builds an unlimited bucket (``take`` always succeeds)
+    so callers need no special-casing for rate-exempt tenants.  When
+    ``burst`` is omitted it defaults to ``max(1, rate)`` — one second of
+    headroom, and never so small that a conforming tenant is rejected on
+    its very first request.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and not rate > 0:
+            raise ValueError(f"rate must be > 0 or None, got {rate!r}")
+        if burst is not None and not burst >= 1:
+            raise ValueError(f"burst must be >= 1, got {burst!r}")
+        self.rate = float(rate) if rate is not None else None
+        self.burst = (
+            float(burst) if burst is not None
+            else (max(1.0, self.rate) if self.rate is not None else None)
+        )
+        self._clock = clock
+        self._tokens = self.burst if self.burst is not None else 0.0
+        self._refilled_at = clock()
+
+    @property
+    def unlimited(self) -> bool:
+        return self.rate is None
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._refilled_at
+        self._refilled_at = now
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def take(self, n: float = 1.0) -> bool:
+        """Consume ``n`` tokens if available; ``False`` means rate-limited."""
+        if self.rate is None:
+            return True
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    def available(self) -> float:
+        """Current token count (after refill); ``inf`` for unlimited buckets."""
+        if self.rate is None:
+            return float("inf")
+        self._refill()
+        return self._tokens

@@ -1,0 +1,296 @@
+"""The tenant model: who is asking, and what are they entitled to.
+
+A *tenant* is one identified consumer of the serving stack — an
+interactive notebook user, a bulk experiment grid, a CI pipeline.  Each
+is described by a :class:`TenantConfig`:
+
+* ``quota`` — maximum *concurrently admitted* unique jobs (the tenant's
+  slice of ``max_pending``); exceeding it is an immediate structured
+  ``over_quota`` rejection, never a wait;
+* ``rate`` / ``burst`` — a token-bucket request-rate limit
+  (:mod:`repro.qos.bucket`); an empty bucket is an immediate
+  ``rate_limited`` rejection;
+* ``weight`` — the tenant's weighted-fair share of dequeue capacity
+  relative to other tenants of the same priority class
+  (:mod:`repro.qos.fairshare`);
+* ``priority`` — the tenant's class.  ``"interactive"`` requests
+  preempt ``"batch"`` requests *in the admission queue* (never
+  mid-solve: a running job is never revoked), which is what bounds an
+  interactive tenant's queue wait under any bulk backlog.
+
+A :class:`TenantRegistry` holds the tenant set plus the optional
+*default tenant* untagged requests are attributed to.  Registries load
+from a JSON file (``repro serve --tenants tenants.json``)::
+
+    {
+      "default": "bulk",
+      "tenants": [
+        {"name": "alice", "priority": "interactive", "rate": 50},
+        {"name": "bulk",  "weight": 2.0, "quota": 16}
+      ]
+    }
+
+(A plain ``{"name": {...}, ...}`` mapping without the ``tenants`` key is
+accepted too.)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+__all__ = [
+    "PRIORITY_CLASSES",
+    "CLASS_URGENCY",
+    "TenantConfig",
+    "TenantRegistry",
+    "load_tenants",
+    "QosError",
+    "UnknownTenantError",
+    "OverQuotaError",
+    "RateLimitedError",
+    "BackpressureError",
+]
+
+#: Priority classes in strict dequeue order: every queued request of an
+#: earlier class is granted before any request of a later class.
+PRIORITY_CLASSES = ("interactive", "batch")
+
+#: Scale-up urgency of one queued request per class — the weights behind
+#: the autoscaler's QoS-weighted backlog signal: a pile of batch work is
+#: real load, but it does not warrant the same urgency as interactive
+#: backlog (batch tenants are *expected* to absorb queueing).
+CLASS_URGENCY = {"interactive": 1.0, "batch": 0.25}
+
+
+class QosError(RuntimeError):
+    """Base class of the admission/QoS-layer errors."""
+
+    #: Stable machine-readable rejection code carried on wire responses
+    #: (the ``error.code`` field); subclasses override.
+    code: Optional[str] = None
+
+
+class UnknownTenantError(QosError):
+    """The request names no registered tenant and there is no default."""
+
+    code = "unknown_tenant"
+
+
+class OverQuotaError(QosError):
+    """The tenant already has ``quota`` jobs admitted and unfinished."""
+
+    code = "over_quota"
+
+
+class RateLimitedError(QosError):
+    """The tenant's token bucket is empty (sustained rate exceeded)."""
+
+    code = "rate_limited"
+
+
+class BackpressureError(QosError):
+    """Every admission slot is taken and the policy is ``"reject"``."""
+
+    code = "backpressure"
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's entitlements (immutable; see the module docstring)."""
+
+    name: str
+    quota: Optional[int] = None
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+    weight: float = 1.0
+    priority: str = "batch"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("tenant name must be a non-empty string")
+        if self.quota is not None and (
+            not isinstance(self.quota, int) or isinstance(self.quota, bool) or self.quota < 1
+        ):
+            raise ValueError(
+                f"tenant {self.name!r}: quota must be a positive int or None, "
+                f"got {self.quota!r}"
+            )
+        if self.rate is not None and not self.rate > 0:
+            raise ValueError(
+                f"tenant {self.name!r}: rate must be > 0 requests/s or None, "
+                f"got {self.rate!r}"
+            )
+        if self.burst is not None:
+            if self.rate is None:
+                raise ValueError(
+                    f"tenant {self.name!r}: burst needs a rate to apply to"
+                )
+            if not self.burst >= 1:
+                raise ValueError(
+                    f"tenant {self.name!r}: burst must be >= 1, got {self.burst!r}"
+                )
+        if not self.weight > 0:
+            raise ValueError(
+                f"tenant {self.name!r}: weight must be > 0, got {self.weight!r}"
+            )
+        if self.priority not in PRIORITY_CLASSES:
+            raise ValueError(
+                f"tenant {self.name!r}: priority must be one of "
+                f"{PRIORITY_CLASSES}, got {self.priority!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping[str, object]) -> "TenantConfig":
+        """Build one tenant from its JSON form (unknown keys rejected)."""
+        known = {"name", "quota", "rate", "burst", "weight", "priority"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"tenant {name!r}: unknown keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known - {'name'})}"
+            )
+        fields = {key: data[key] for key in known & set(data) if key != "name"}
+        if "quota" in fields and fields["quota"] is not None:
+            fields["quota"] = int(fields["quota"])  # type: ignore[arg-type]
+        for key in ("rate", "burst", "weight"):
+            if key in fields and fields[key] is not None:
+                fields[key] = float(fields[key])  # type: ignore[arg-type]
+        return cls(name=name, **fields)  # type: ignore[arg-type]
+
+
+class TenantRegistry:
+    """An immutable set of tenants plus the optional default attribution.
+
+    ``resolve(None)`` maps an untagged request to the default tenant; a
+    missing default makes untagged requests an ``unknown_tenant``
+    rejection — with a registry configured, *every* request is
+    attributed to someone.
+    """
+
+    def __init__(
+        self,
+        tenants: Iterable[TenantConfig],
+        default: Optional[str] = None,
+    ) -> None:
+        self._tenants: Dict[str, TenantConfig] = {}
+        for tenant in tenants:
+            if tenant.name in self._tenants:
+                raise ValueError(f"duplicate tenant {tenant.name!r}")
+            self._tenants[tenant.name] = tenant
+        if not self._tenants:
+            raise ValueError("a tenant registry needs at least one tenant")
+        if default is not None and default not in self._tenants:
+            raise ValueError(
+                f"default tenant {default!r} is not in the registry "
+                f"({sorted(self._tenants)})"
+            )
+        self.default = default
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __iter__(self):
+        return iter(self._tenants.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tenants
+
+    def names(self) -> list:
+        return sorted(self._tenants)
+
+    def get(self, name: str) -> Optional[TenantConfig]:
+        return self._tenants.get(name)
+
+    def resolve(self, name: Optional[str]) -> TenantConfig:
+        """The tenant a request belongs to; :class:`UnknownTenantError` otherwise."""
+        if name is None:
+            if self.default is None:
+                raise UnknownTenantError(
+                    "request names no tenant and the registry has no default "
+                    "tenant (configure one with \"default\": NAME)"
+                )
+            return self._tenants[self.default]
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise UnknownTenantError(
+                f"unknown tenant {name!r}; registered: {', '.join(self.names())}"
+            )
+        return tenant
+
+    def with_default(self, default: Optional[str]) -> "TenantRegistry":
+        """A copy of this registry with another default tenant."""
+        return TenantRegistry(list(self), default=default)
+
+    @classmethod
+    def from_payload(cls, data: object, default: Optional[str] = None) -> "TenantRegistry":
+        """Build a registry from the JSON forms the module docstring shows.
+
+        ``default`` (the CLI's ``--default-tenant``) overrides a
+        ``"default"`` key in the payload.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"tenants payload must be a JSON object, got {type(data).__name__}"
+            )
+        payload_default = data.get("default")
+        if payload_default is not None and not isinstance(payload_default, str):
+            raise ValueError("'default' must be a tenant name string")
+        entries = data.get("tenants", None)
+        tenants = []
+        if entries is not None:
+            if not isinstance(entries, list):
+                raise ValueError("'tenants' must be a JSON array of tenant objects")
+            for item in entries:
+                if not isinstance(item, Mapping) or not isinstance(item.get("name"), str):
+                    raise ValueError(
+                        "each tenant entry must be an object with a 'name' string"
+                    )
+                tenants.append(TenantConfig.from_dict(item["name"], item))
+        else:
+            for name, item in data.items():
+                if name == "default":
+                    continue
+                if not isinstance(item, Mapping):
+                    raise ValueError(
+                        f"tenant {name!r} must map to a JSON object of fields"
+                    )
+                tenants.append(TenantConfig.from_dict(name, item))
+        return cls(tenants, default=default or payload_default)
+
+    @classmethod
+    def load(cls, path: Union[str, Path], default: Optional[str] = None) -> "TenantRegistry":
+        """Load a registry from a ``tenants.json`` file."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"cannot load tenants file {path}: {exc}") from None
+        return cls.from_payload(data, default=default)
+
+
+def load_tenants(
+    source: object, default: Optional[str] = None
+) -> Optional[TenantRegistry]:
+    """Normalize any accepted ``tenants`` config value into a registry.
+
+    ``None``/``False`` disable QoS (returns ``None``); a
+    :class:`TenantRegistry` passes through (re-defaulted when ``default``
+    is given); a mapping is parsed like a tenants file payload; a string
+    or path loads the file.
+    """
+    if source is None or source is False:
+        if default is not None:
+            raise ValueError("default_tenant needs a tenant registry to resolve in")
+        return None
+    if isinstance(source, TenantRegistry):
+        return source.with_default(default) if default is not None else source
+    if isinstance(source, Mapping):
+        return TenantRegistry.from_payload(source, default=default)
+    if isinstance(source, (str, Path)):
+        return TenantRegistry.load(source, default=default)
+    raise TypeError(
+        f"tenants must be None, a mapping, a path, or a TenantRegistry; "
+        f"got {type(source).__name__}"
+    )

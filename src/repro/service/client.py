@@ -20,14 +20,19 @@ it is returned by :meth:`ServiceClient.session` (an async context
 manager that closes the session server-side on exit).
 
 Errors come back as :class:`ServiceProtocolError` carrying the server's
-error ``type`` and ``message`` — the client never interprets them.
+error ``type`` and ``message``.  When the error response carries a
+stable ``code`` (structured rejections: over-quota, rate-limited,
+backpressure, timeout, unknown tenant), the raised exception is the
+matching *typed* subclass — ``except RateLimitedRejection:`` instead of
+string-matching the remote message; everything else stays the base
+class, uninterpreted.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Dict, Optional
+from typing import Dict, Optional, Type
 
 from repro.service.protocol import (
     decode_message,
@@ -40,16 +45,72 @@ from repro.service.protocol import (
 )
 from repro.service.server import READER_LIMIT
 
-__all__ = ["ServiceClient", "OnlineSession", "ServiceProtocolError"]
+__all__ = [
+    "ServiceClient",
+    "OnlineSession",
+    "ServiceProtocolError",
+    "ServiceRejection",
+    "OverQuotaRejection",
+    "RateLimitedRejection",
+    "BackpressureRejection",
+    "TimeoutRejection",
+    "UnknownTenantRejection",
+    "rejection_class",
+]
 
 
 class ServiceProtocolError(RuntimeError):
-    """An error response from the server (carries the remote type name)."""
+    """An error response from the server (carries the remote type name).
 
-    def __init__(self, error_type: str, message: str) -> None:
+    ``code`` is the stable machine-readable rejection code when the
+    server sent one (``error.code``), else ``None``.
+    """
+
+    def __init__(self, error_type: str, message: str, code: Optional[str] = None) -> None:
         super().__init__(f"{error_type}: {message}")
         self.error_type = error_type
         self.remote_message = message
+        self.code = code
+
+
+class ServiceRejection(ServiceProtocolError):
+    """Base of the typed, code-carrying rejections (retryable semantics)."""
+
+
+class OverQuotaRejection(ServiceRejection):
+    """The tenant is at its concurrent-jobs quota (``over_quota``)."""
+
+
+class RateLimitedRejection(ServiceRejection):
+    """The tenant exceeded its request rate (``rate_limited``)."""
+
+
+class BackpressureRejection(ServiceRejection):
+    """The server is at capacity with the reject policy (``backpressure``)."""
+
+
+class TimeoutRejection(ServiceRejection):
+    """The per-request timeout elapsed server-side (``timeout``)."""
+
+
+class UnknownTenantRejection(ServiceRejection):
+    """The request named no registered tenant (``unknown_tenant``)."""
+
+
+_REJECTIONS: Dict[str, Type[ServiceRejection]] = {
+    "over_quota": OverQuotaRejection,
+    "rate_limited": RateLimitedRejection,
+    "backpressure": BackpressureRejection,
+    "timeout": TimeoutRejection,
+    "unknown_tenant": UnknownTenantRejection,
+}
+
+
+def rejection_class(code: Optional[str]) -> Type[ServiceProtocolError]:
+    """The exception class an ``error.code`` maps to (base class when unknown)."""
+    if code is None:
+        return ServiceProtocolError
+    return _REJECTIONS.get(code, ServiceRejection)
 
 
 class ServiceClient:
@@ -121,9 +182,12 @@ class ServiceClient:
         response = await self.request_raw(payload)
         if not response.get("ok"):
             error = response.get("error") or {}
-            raise ServiceProtocolError(
+            code = error.get("code")
+            code = str(code) if isinstance(code, str) else None
+            raise rejection_class(code)(
                 str(error.get("type", "ServiceError")),
                 str(error.get("message", "request failed")),
+                code=code,
             )
         return response
 
@@ -150,9 +214,12 @@ class ServiceClient:
         spec: str,
         timeout: Optional[float] = None,
         params: Optional[Dict[str, object]] = None,
+        tenant: Optional[str] = None,
     ) -> Dict[str, object]:
         """Solve one instance; returns the result payload dict."""
-        response = await self.request(solve_request(instance, spec, timeout=timeout, params=params))
+        response = await self.request(
+            solve_request(instance, spec, timeout=timeout, params=params, tenant=tenant)
+        )
         return response["result"]  # type: ignore[return-value]
 
     async def ping(self) -> Dict[str, object]:
@@ -170,17 +237,27 @@ class ServiceClient:
     # streaming sessions
     # ------------------------------------------------------------------ #
     async def session_open(
-        self, spec: str, m: int, params: Optional[Dict[str, object]] = None
+        self,
+        spec: str,
+        m: int,
+        params: Optional[Dict[str, object]] = None,
+        tenant: Optional[str] = None,
     ) -> "OnlineSession":
         """Open a streaming session; returns its :class:`OnlineSession` handle."""
-        response = await self.request(session_open_request(spec, m, params=params))
+        response = await self.request(
+            session_open_request(spec, m, params=params, tenant=tenant)
+        )
         return OnlineSession(self, str(response["session"]), response)
 
     def session(
-        self, spec: str, m: int, params: Optional[Dict[str, object]] = None
+        self,
+        spec: str,
+        m: int,
+        params: Optional[Dict[str, object]] = None,
+        tenant: Optional[str] = None,
     ) -> "_SessionContext":
         """``async with client.session(spec, m) as s:`` — auto-closing session."""
-        return _SessionContext(self, spec, m, params)
+        return _SessionContext(self, spec, m, params, tenant)
 
     async def close(self) -> None:
         """Close the connection (pending requests fail with ConnectionError)."""
@@ -255,15 +332,18 @@ class OnlineSession:
 class _SessionContext:
     """Async context manager opening/closing an :class:`OnlineSession`."""
 
-    def __init__(self, client, spec, m, params) -> None:
+    def __init__(self, client, spec, m, params, tenant=None) -> None:
         self._client = client
         self._spec = spec
         self._m = m
         self._params = params
+        self._tenant = tenant
         self._session: Optional[OnlineSession] = None
 
     async def __aenter__(self) -> OnlineSession:
-        self._session = await self._client.session_open(self._spec, self._m, self._params)
+        self._session = await self._client.session_open(
+            self._spec, self._m, self._params, tenant=self._tenant
+        )
         return self._session
 
     async def __aexit__(self, exc_type, exc, tb) -> None:

@@ -95,6 +95,22 @@ class ServiceConfig:
     session_ttl:
         Idle seconds before an open session is expired and its slot
         reclaimed; ``None`` keeps sessions forever.
+    tenants:
+        Multi-tenant QoS (:mod:`repro.qos`).  ``None`` (default) keeps
+        the flat admission path — behaviour is exactly the un-tenanted
+        service.  Otherwise a :class:`~repro.qos.tenants.TenantRegistry`,
+        a mapping in the tenants-file shape, or a path to a
+        ``tenants.json`` file; requests are then attributed to tenants
+        and admitted through per-tenant rate limits, quotas, priority
+        classes, and the weighted-fair queue.
+    default_tenant:
+        Tenant that untagged requests are attributed to (must name a
+        registry entry).  ``None`` with tenants configured makes an
+        untagged request an ``unknown_tenant`` rejection.
+    qos_policy:
+        Dequeue policy arbitrating admission slots between backlogged
+        tenants: ``"wfq"`` (weighted-fair, the default) or ``"fifo"``
+        (weight-blind baseline).
     """
 
     workers: int = 2
@@ -114,6 +130,9 @@ class ServiceConfig:
     max_sessions: int = 64
     max_session_tasks: int = 1_000_000
     session_ttl: Optional[float] = 300.0
+    tenants: object = None
+    default_tenant: Optional[str] = None
+    qos_policy: str = "wfq"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -170,6 +189,22 @@ class ServiceConfig:
             timeouts[name] = seconds
         # Freeze a validated private copy, decoupled from the caller's dict.
         object.__setattr__(self, "spec_timeouts", timeouts)
+        # Normalize the tenants source (path / mapping / registry) into a
+        # validated registry once, at construction — bad tenants files fail
+        # here, not mid-serving.  Imported lazily: repro.qos depends on
+        # repro.service.stats, and eager imports would tangle module load.
+        from repro.qos.fairshare import POLICY_NAMES
+        from repro.qos.tenants import load_tenants
+
+        if self.qos_policy not in POLICY_NAMES:
+            raise ValueError(
+                f"qos_policy must be one of {POLICY_NAMES}, got {self.qos_policy!r}"
+            )
+        object.__setattr__(
+            self, "tenants", load_tenants(self.tenants, default=self.default_tenant)
+        )
+        if self.tenants is not None:
+            object.__setattr__(self, "default_tenant", self.tenants.default)
 
     def with_overrides(self, **overrides: object) -> "ServiceConfig":
         """A copy of this config with ``overrides`` applied (re-validated)."""

@@ -65,9 +65,20 @@ one open scheduler per session, tasks placed as they arrive):
     unacknowledged-submission failure is not lost: it rides along as a
     ``window_error`` field in the (successful) close response.
 
+Multi-tenant QoS (:mod:`repro.qos`): ``solve`` and ``session_open``
+accept an optional ``"tenant": "name"`` field attributing the request;
+servers without tenants configured ignore it.  QoS rejections (and the
+pre-existing backpressure/timeout rejections) carry a stable
+machine-readable ``code`` inside the error object — see below.
+
 Responses: ``{"id": ..., "ok": true, "result": {...}}`` on success, or
 ``{"id": ..., "ok": false, "error": {"type": "SpecError", "message":
-"..."}}``.  The solve result payload carries everything a client needs to
+"..."}}``.  Rejections with a stable meaning additionally carry
+``"code"`` in the error object — one of ``over_quota``,
+``rate_limited``, ``backpressure``, ``timeout``, ``unknown_tenant``
+(:func:`error_code_for`); the free-text ``message`` and exception-class
+``type`` are unchanged, so pre-QoS clients keep working.  The solve
+result payload carries everything a client needs to
 reconstruct the outcome: objectives, guarantee tuple, feasibility,
 canonical spec, provenance extras, wall time, and the schedule as a
 ``[[task_id, processor], ...]`` assignment list (task ids may be
@@ -89,7 +100,9 @@ from repro.solvers.result import SolveResult
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "ERROR_CODES",
     "ProtocolError",
+    "error_code_for",
     "encode_message",
     "decode_message",
     "instance_from_payload",
@@ -111,6 +124,34 @@ _PROVENANCE_KEYS = ("solver", "spec", "params", "version", "cache")
 
 class ProtocolError(ValueError):
     """A request line that cannot be parsed or is structurally invalid."""
+
+
+#: The stable machine-readable rejection codes an error response may
+#: carry in ``error.code`` (absent for failures without a stable
+#: meaning, e.g. solver errors).
+ERROR_CODES = (
+    "over_quota", "rate_limited", "backpressure", "timeout", "unknown_tenant",
+)
+
+
+def error_code_for(exc: BaseException) -> Optional[str]:
+    """The stable wire code of a rejection exception, or ``None``.
+
+    QoS errors carry their own ``code`` attribute; the pre-existing
+    service rejections map to ``backpressure`` (overloaded) and
+    ``timeout``.  Imported lazily so this module stays importable
+    without dragging the service/QoS stacks in.
+    """
+    from repro.qos.tenants import QosError
+    from repro.service.service import ServiceOverloadedError, ServiceTimeoutError
+
+    if isinstance(exc, QosError):
+        return exc.code
+    if isinstance(exc, ServiceTimeoutError):
+        return "timeout"
+    if isinstance(exc, ServiceOverloadedError):
+        return "backpressure"
+    return None
 
 
 def encode_message(payload: Dict[str, object]) -> bytes:
@@ -241,6 +282,7 @@ def solve_request(
     request_id: object = None,
     timeout: Optional[float] = None,
     params: Optional[Dict[str, object]] = None,
+    tenant: Optional[str] = None,
 ) -> Dict[str, object]:
     """Build a ``solve`` request payload for an instance/spec pair."""
     payload: Dict[str, object] = {"op": "solve", "instance": instance.to_dict(), "spec": spec}
@@ -250,6 +292,8 @@ def solve_request(
         payload["timeout"] = timeout
     if params:
         payload["params"] = dict(params)
+    if tenant is not None:
+        payload["tenant"] = tenant
     return payload
 
 
@@ -258,6 +302,7 @@ def session_open_request(
     m: int,
     request_id: object = None,
     params: Optional[Dict[str, object]] = None,
+    tenant: Optional[str] = None,
 ) -> Dict[str, object]:
     """Build a ``session_open`` request payload."""
     payload: Dict[str, object] = {"op": "session_open", "spec": spec, "m": int(m)}
@@ -265,6 +310,8 @@ def session_open_request(
         payload["id"] = request_id
     if params:
         payload["params"] = dict(params)
+    if tenant is not None:
+        payload["tenant"] = tenant
     return payload
 
 

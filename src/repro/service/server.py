@@ -39,6 +39,7 @@ from repro.service.protocol import (
     ProtocolError,
     decode_message,
     encode_message,
+    error_code_for,
     instance_from_payload,
     result_to_payload,
     task_from_payload,
@@ -68,6 +69,16 @@ READER_LIMIT = 32 * 1024 * 1024
 #: every other connection.
 INLINE_DECODE_LIMIT = 256 * 1024
 OFFLOAD_TASK_COUNT = 10_000
+
+
+def _tenant_field(request: Dict[str, object]) -> Optional[str]:
+    """The optional ``tenant`` attribution of a request (validated)."""
+    tenant = request.get("tenant")
+    if tenant is None:
+        return None
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError("'tenant' must be a non-empty tenant name string")
+    return tenant
 
 
 def _session_id(request: Dict[str, object]) -> str:
@@ -127,9 +138,12 @@ async def handle_request(
             timeout = request.get("timeout")
             if timeout is not None and not isinstance(timeout, (int, float)):
                 raise ProtocolError("'timeout' must be a number of seconds")
+            tenant = _tenant_field(request)
             kwargs: Dict[str, object] = dict(params)
             if timeout is not None:
                 kwargs["timeout"] = float(timeout)
+            if tenant is not None:
+                kwargs["tenant"] = tenant
             result = await service.solve(instance, spec, **kwargs)
             return {"id": request_id, "ok": True, "result": result_to_payload(result)}
         if op == "session_open":
@@ -142,7 +156,8 @@ async def handle_request(
             params = request.get("params") or {}
             if not isinstance(params, dict):
                 raise ProtocolError("'params' must be a JSON object")
-            session = service.session_open(spec, m, **params)
+            tenant = _tenant_field(request)
+            session = service.session_open(spec, m, tenant=tenant, **params)
             return {"id": request_id, "ok": True, **session.describe()}
         if op == "session_submit":
             ack = request.get("ack", True)
@@ -245,11 +260,11 @@ async def handle_request(
     except asyncio.CancelledError:
         raise
     except Exception as exc:  # every request-level failure becomes a response
-        return {
-            "id": request_id,
-            "ok": False,
-            "error": {"type": type(exc).__name__, "message": str(exc)},
-        }
+        error: Dict[str, object] = {"type": type(exc).__name__, "message": str(exc)}
+        code = error_code_for(exc)
+        if code is not None:
+            error["code"] = code
+        return {"id": request_id, "ok": False, "error": error}
 
 
 async def serve_connection(

@@ -51,6 +51,8 @@ from typing import Dict, Optional, Set, Union
 
 from repro.core.instance import DAGInstance, Instance
 from repro.core.task import Task
+from repro.qos.admission import AdmissionController
+from repro.qos.tenants import QosError, TenantConfig
 from repro.service.config import ServiceConfig
 from repro.service.sessions import Session, SessionManager
 from repro.service.stats import FamilyLatency, LatencyWindow, ServiceStats, merge_latency
@@ -110,15 +112,25 @@ def _pool_solve(instance: AnyInstance, spec: SolverSpec, entries: tuple):
 class _Job:
     """One unique in-flight computation and its fan-out future."""
 
-    __slots__ = ("key", "cache_key", "future", "waiters", "task", "pool_future")
+    __slots__ = ("key", "cache_key", "future", "waiters", "task", "pool_future",
+                 "tenant")
 
-    def __init__(self, key: str, cache_key_: Optional[str], future: "asyncio.Future") -> None:
+    def __init__(
+        self,
+        key: str,
+        cache_key_: Optional[str],
+        future: "asyncio.Future",
+        tenant: Optional[TenantConfig] = None,
+    ) -> None:
         self.key = key
         self.cache_key = cache_key_
         self.future = future
         self.waiters = 0
         self.task: Optional["asyncio.Task"] = None
         self.pool_future: Optional[ConcurrentFuture] = None
+        # The tenant whose admission slot this job holds (None on the flat
+        # path): _conclude must return the slot to the same ledger.
+        self.tenant = tenant
 
 
 class SolverService:
@@ -152,8 +164,14 @@ class SolverService:
         self._slots: Optional[asyncio.Semaphore] = None
         self._inflight: Dict[str, _Job] = {}
         self._tasks: Set["asyncio.Task"] = set()
+        self._qos: Optional[AdmissionController] = None
         self._latency = LatencyWindow(config.latency_window)
         self._family_latency = FamilyLatency(config.latency_window)
+        # Phase breakdown of unique jobs: time queued for a worker slot vs
+        # time executing in the pool (end-to-end latency alone cannot show
+        # whether a slow family is compute-bound or queue-bound).
+        self._phase_queue_wait = FamilyLatency(config.latency_window)
+        self._phase_exec = FamilyLatency(config.latency_window)
         self._sessions = SessionManager(
             max_sessions=config.max_sessions,
             max_session_tasks=config.max_session_tasks,
@@ -189,6 +207,13 @@ class SolverService:
         self._cache = resolve_cache(self.config.cache)
         self._admit = asyncio.Semaphore(self.config.max_pending)
         self._slots = asyncio.Semaphore(self.config.workers)
+        if self.config.tenants is not None:
+            self._qos = AdmissionController(
+                self.config.tenants,
+                capacity=self.config.max_pending,
+                policy=self.config.qos_policy,
+                window=self.config.latency_window,
+            )
         self._started = True
         return self
 
@@ -259,6 +284,7 @@ class SolverService:
         spec: Union[str, SolverSpec],
         *,
         timeout: object = _UNSET,
+        tenant: Optional[str] = None,
         **params: object,
     ):
         """Solve one request through the shared worker fleet.
@@ -266,8 +292,12 @@ class SolverService:
         Parameters mirror :func:`repro.solvers.solve` (``params`` are spec
         overrides); ``timeout`` (seconds) overrides the configured
         per-spec/default timeout for this request — pass ``None`` to wait
-        indefinitely.  Raises :class:`ServiceTimeoutError`,
-        :class:`ServiceOverloadedError`, :class:`ServiceClosedError`, or
+        indefinitely.  ``tenant`` attributes the request for QoS when the
+        service has tenants configured (``None`` maps to the default
+        tenant); without tenants it is ignored.  Raises
+        :class:`ServiceTimeoutError`, :class:`ServiceOverloadedError`,
+        :class:`ServiceClosedError`, a :class:`repro.qos.tenants.QosError`
+        rejection (unknown tenant / rate limit / quota / backpressure), or
         whatever the underlying solver/spec validation raises.
         """
         if not self.is_running:
@@ -277,6 +307,15 @@ class SolverService:
         # request never unbalances the stats ledger (``lost`` stays 0).
         timeout_s = self._effective_timeout(timeout, prepared.entry.name)
         self._counters["submitted"] += 1
+        tenant_cfg: Optional[TenantConfig] = None
+        if self._qos is not None:
+            try:
+                tenant_cfg = self._qos.begin(tenant)
+            except QosError:
+                # Attribution/rate rejections are real rejections in the
+                # global ledger too — ``lost`` must stay 0.
+                self._counters["rejected"] += 1
+                raise
         started = time.perf_counter()
 
         if instance.n >= _OFFLOAD_TASK_COUNT:
@@ -298,6 +337,8 @@ class SolverService:
             hit = await self._cache_get(content_key)
             if hit is not None:
                 self._counters["cache_hits"] += 1
+                if tenant_cfg is not None:
+                    self._qos.admit_fast(tenant_cfg, "cache_hits")
                 self._record_latency(prepared.entry.name, started)
                 return replace(hit, provenance={**hit.provenance, "cache": "hit"})
             self._counters["cache_misses"] += 1
@@ -305,8 +346,12 @@ class SolverService:
         job = self._inflight.get(coalesce_key) if self.config.coalesce else None
         if job is not None:
             self._counters["coalesced"] += 1
+            if tenant_cfg is not None:
+                self._qos.admit_fast(tenant_cfg, "coalesced")
         else:
-            admitted = await self._admit_job(coalesce_key, content_key, instance, prepared)
+            admitted = await self._admit_job(
+                coalesce_key, content_key, instance, prepared, tenant_cfg
+            )
             if not isinstance(admitted, _Job):
                 # Late cache hit: the identical job finished while this
                 # submitter waited for admission.
@@ -321,6 +366,7 @@ class SolverService:
         content_key: Optional[str],
         instance: AnyInstance,
         prepared: PreparedSolve,
+        tenant_cfg: Optional[TenantConfig] = None,
     ):
         """Acquire a pending slot (honouring backpressure) and start the job.
 
@@ -328,20 +374,40 @@ class SolverService:
         to completion *while this submitter waited for admission*, the
         finished :class:`SolveResult` straight from the cache (the pre-wait
         cache check cannot see results that land during the wait).
+
+        With a ``tenant_cfg`` (QoS on) the flat semaphore is replaced by
+        the controller's quota check and weighted-fair queue; every other
+        step — closed re-check, late cache hit, final coalesce re-check —
+        is identical, so the two paths stay behaviourally aligned.
         """
-        assert self._admit is not None
-        if self.config.backpressure == "reject" and self._admit.locked():
-            self._counters["rejected"] += 1
-            raise ServiceOverloadedError(
-                f"service at capacity ({self.config.max_pending} pending jobs); "
-                f"retry later or use backpressure='wait'"
-            )
-        waited = self._admit.locked()
-        await self._admit.acquire()
+        if tenant_cfg is None:
+            assert self._admit is not None
+            if self.config.backpressure == "reject" and self._admit.locked():
+                self._counters["rejected"] += 1
+                raise ServiceOverloadedError(
+                    f"service at capacity ({self.config.max_pending} pending jobs); "
+                    f"retry later or use backpressure='wait'"
+                )
+            waited = self._admit.locked()
+            await self._admit.acquire()
+        else:
+            assert self._qos is not None
+            try:
+                waited = await self._qos.acquire_slot(
+                    tenant_cfg, reject_on_full=self.config.backpressure == "reject"
+                )
+            except (QosError, asyncio.CancelledError):
+                # Quota/backpressure rejections — and a submitter cancelled
+                # while queued — are ledgered rejections on both the tenant
+                # and the global ledger (``lost`` stays 0 either way).
+                self._counters["rejected"] += 1
+                raise
         if self._closed:
-            self._admit.release()
+            self._release_admission(tenant_cfg)
             # Counted as a rejection so the submission stays accounted for
             # in the stats ledger (``lost`` must stay 0).
+            if tenant_cfg is not None:
+                self._qos.reject(tenant_cfg, "closed")
             self._counters["rejected"] += 1
             raise ServiceClosedError("service closed while waiting for admission")
         if waited and content_key is not None:
@@ -350,8 +416,10 @@ class SolverService:
             # recomputing (the pre-wait cache check could not see it).
             hit = await self._cache_get(content_key)
             if hit is not None:
-                self._admit.release()
+                self._release_admission(tenant_cfg)
                 self._counters["cache_hits"] += 1
+                if tenant_cfg is not None:
+                    self._qos.admit_fast(tenant_cfg, "cache_hits")
                 return replace(hit, provenance={**hit.provenance, "cache": "hit"})
         if self.config.coalesce:
             # Final synchronous re-check right before creation: the waits
@@ -360,11 +428,15 @@ class SolverService:
             # rather than compute twice.
             existing = self._inflight.get(key)
             if existing is not None:
-                self._admit.release()
+                self._release_admission(tenant_cfg)
                 self._counters["coalesced"] += 1
+                if tenant_cfg is not None:
+                    self._qos.admit_fast(tenant_cfg, "coalesced")
                 return existing
         loop = asyncio.get_running_loop()
-        job = _Job(key, content_key, loop.create_future())
+        job = _Job(key, content_key, loop.create_future(), tenant=tenant_cfg)
+        if tenant_cfg is not None:
+            self._qos.job_admitted(tenant_cfg)
         # Always consume the outcome so an abandoned job (every waiter gone)
         # never logs "exception was never retrieved".
         job.future.add_done_callback(
@@ -378,11 +450,27 @@ class SolverService:
         job.task.add_done_callback(self._tasks.discard)
         return job
 
+    def _release_admission(self, tenant_cfg: Optional[TenantConfig]) -> None:
+        """Return one admission slot to whichever gate issued it."""
+        if tenant_cfg is None:
+            assert self._admit is not None
+            self._admit.release()
+        else:
+            assert self._qos is not None
+            self._qos.release_slot(tenant_cfg)
+
     def _record_latency(self, family: str, started: float) -> None:
         """Record one successful request latency globally and per family."""
         elapsed = time.perf_counter() - started
         self._latency.record(elapsed)
         self._family_latency.record(family, elapsed)
+
+    def _record_exec(self, job: _Job, family: str, exec_at: float) -> None:
+        """Record one pool execution: phase percentile + tenant usage."""
+        elapsed = time.perf_counter() - exec_at
+        self._phase_exec.record(family, elapsed)
+        if job.tenant is not None and self._qos is not None:
+            self._qos.charge_usage(job.tenant, elapsed)
 
     async def _await_job(
         self, job: _Job, timeout_s: Optional[float], started: float, family: str = "?"
@@ -429,6 +517,7 @@ class SolverService:
     async def _run_job(self, job: _Job, instance: AnyInstance, prepared: PreparedSolve) -> None:
         assert self._slots is not None
         loop = asyncio.get_running_loop()
+        queued_at = time.perf_counter()
         self._queued += 1
         try:
             await self._slots.acquire()
@@ -438,6 +527,7 @@ class SolverService:
             raise
         self._queued -= 1
         self._running += 1
+        self._phase_queue_wait.record(prepared.entry.name, time.perf_counter() - queued_at)
 
         try:
             job.pool_future = self._submit(instance, prepared)
@@ -463,16 +553,21 @@ class SolverService:
             lambda f: loop.call_soon_threadsafe(self._release_slot)
         )
 
+        exec_at = time.perf_counter()
         try:
             result = await asyncio.wrap_future(job.pool_future, loop=loop)
         except asyncio.CancelledError:
+            # Abandoned mid-flight: execution time is unknowable here (the
+            # worker may still be running); skip the phase sample.
             self._handle_abandoned_pool_future(job)
             self._conclude(job, cancelled=True)
             raise
         except Exception as exc:
+            self._record_exec(job, prepared.entry.name, exec_at)
             self._counters["failed"] += 1
             self._conclude(job, error=exc)
             return
+        self._record_exec(job, prepared.entry.name, exec_at)
 
         if job.cache_key is not None and self._cache is not None:
             try:
@@ -553,13 +648,16 @@ class SolverService:
         cancelled: bool = False,
     ) -> None:
         """Retire a job: release its admission slot and resolve its future."""
-        assert self._admit is not None
         if self._inflight.get(job.key) is job:
             del self._inflight[job.key]
         self._pending -= 1
-        self._admit.release()
+        self._release_admission(job.tenant)
         if cancelled:
             self._counters["abandoned"] += 1
+        if job.tenant is not None:
+            assert self._qos is not None
+            outcome = "abandoned" if cancelled else ("failed" if error is not None else "completed")
+            self._qos.finish(job.tenant, outcome)
         if job.future.done():
             return
         if cancelled:
@@ -634,7 +732,17 @@ class SolverService:
             {**self._counters, **gauges, **self._sessions.stats()},
             self._latency.snapshot(),
             families=self._family_latency.snapshot(),
+            phases={
+                "queue_wait": self._phase_queue_wait.snapshot(),
+                "exec": self._phase_exec.snapshot(),
+            },
+            tenants=self._qos.snapshot() if self._qos is not None else None,
         )
+
+    @property
+    def qos(self) -> Optional[AdmissionController]:
+        """The admission controller, or ``None`` when QoS is off."""
+        return self._qos
 
     # ------------------------------------------------------------------ #
     # streaming sessions (the online subsystem over the service)
@@ -645,16 +753,24 @@ class SolverService:
                 "service is not running (use 'async with SolverService(...)')"
             )
 
-    def session_open(self, spec: str, m: int, **params: object) -> Session:
+    def session_open(
+        self, spec: str, m: int, tenant: Optional[str] = None, **params: object
+    ) -> Session:
         """Open a streaming session running an online spec on ``m`` processors.
 
         Placements are O(m) CPU work, so the whole session API is
         synchronous: the server handlers call it inline on the event
         loop.  Raises ``SessionLimitError`` past ``config.max_sessions``,
         or whatever :func:`repro.online.registry.create_online` raises
-        for a bad spec.
+        for a bad spec.  With QoS configured, ``tenant`` attributes the
+        session and session opens pass the tenant's rate limiter (a
+        session never holds an admission slot — its per-placement work is
+        O(m) on the loop, not pool work — so quotas do not apply).
         """
         self._require_running()
+        if self._qos is not None:
+            cfg = self._qos.begin(tenant)
+            self._qos.admit_fast(cfg)
         return self._sessions.open(spec, m, **params)
 
     def session_submit(self, session_id: str, task: Task) -> Dict[str, object]:

@@ -148,6 +148,17 @@ class ServiceStats:
     (registry entry name), so a slow family is visible even when the
     global percentiles look healthy.
 
+    ``phases`` splits *unique job* latency into its two phases, each a
+    per-family breakdown like ``families``: ``phases["queue_wait"]`` is
+    time spent admitted but waiting for a worker slot,
+    ``phases["exec"]`` is time executing in the pool — so a slow family
+    is attributable to queueing vs compute at a glance (and QoS effects
+    on queue wait are observable at all).
+
+    ``tenants`` is the per-tenant QoS ledger
+    (:func:`repro.qos.stats.tenant_snapshot` per tenant) when the
+    service has tenants configured; empty otherwise.
+
     ``sessions_*`` fields cover the streaming layer
     (:mod:`repro.service.sessions`): cumulative opened / closed /
     expired / rejected / restored-by-handoff counts, total tasks
@@ -175,6 +186,8 @@ class ServiceStats:
     latency_mean: float = math.nan
     latency_max: float = math.nan
     families: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+    phases: Mapping[str, Mapping[str, Mapping[str, float]]] = field(default_factory=dict)
+    tenants: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
     sessions_open: int = 0
     sessions_opened: int = 0
     sessions_closed: int = 0
@@ -207,6 +220,8 @@ def merge_latency(
     stats: Dict[str, int],
     latency: Optional[Dict[str, float]],
     families: Optional[Mapping[str, Mapping[str, float]]] = None,
+    phases: Optional[Mapping[str, Mapping[str, Mapping[str, float]]]] = None,
+    tenants: Optional[Mapping[str, Mapping[str, object]]] = None,
 ) -> ServiceStats:
     """Build a :class:`ServiceStats` from raw counters + latency snapshots."""
     fields = dict(stats)
@@ -221,4 +236,8 @@ def merge_latency(
         )
     if families is not None:
         fields["families"] = dict(families)
+    if phases is not None:
+        fields["phases"] = {name: dict(snap) for name, snap in phases.items()}
+    if tenants is not None:
+        fields["tenants"] = {name: dict(snap) for name, snap in tenants.items()}
     return ServiceStats(**fields)  # type: ignore[arg-type]
