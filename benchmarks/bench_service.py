@@ -8,12 +8,14 @@ request stream fanned out over 32 async clients, twice:
 2. a **warm** pass replaying the same 200 requests (served entirely from
    the cache).
 
-Asserts the PR's acceptance criteria: **zero lost requests** (every
-client receives exactly one response per request and the service ledger
+Asserts the acceptance criteria: **zero lost requests** (every client
+receives exactly one response per request and the service ledger
 balances), every response **bit-identical to a direct ``solve()``** on
-the same (instance, spec) pair, and **warm throughput at least 5x cold**.
-Runnable standalone (``PYTHONPATH=src python benchmarks/bench_service.py``)
-or under pytest.  Standalone runs write the machine-readable summary to
+the same (instance, spec) pair, warm throughput at least
+:data:`MIN_SPEEDUP` x cold, and the absolute :data:`MIN_WARM_RPS` /
+:data:`MIN_COLD_RPS` floors.  Runnable standalone
+(``PYTHONPATH=src python benchmarks/bench_service.py``, ``--smoke`` for
+the CI-sized profile) or under pytest.  Standalone runs write the machine-readable summary to
 ``benchmarks/BENCH_service.json`` (``--json PATH`` overrides) so the
 perf trajectory is tracked across PRs instead of only asserted as a
 floor.
@@ -37,6 +39,17 @@ DEFAULT_JSON = Path(__file__).resolve().parent / "BENCH_service.json"
 
 CLIENTS = 32
 TOTAL_REQUESTS = 200
+SMOKE_REQUESTS = 100
+
+#: Warm-path floors, raised after the kernel fast-path PR (heap-based
+#: placement kernels, memoized content hashes, batched cache lookups):
+#: the warm pass previously recorded ~9.1k req/s at 7.9x; it now runs
+#: ~12-21k req/s at 9-14x on the same reference box.  The cold floor is
+#: deliberately slack — the cold pass is dominated by worker-pool
+#: startup and raw solve compute, which are noisy across machines.
+MIN_SPEEDUP = 8.0
+MIN_WARM_RPS = 9500.0
+MIN_COLD_RPS = 700.0
 
 #: Mixed paper-style specs: cheap single-objective runs next to heavier
 #: bi-objective sweeps, so the stream is realistically lumpy.
@@ -52,13 +65,13 @@ SPECS = [
 ]
 
 
-def build_requests():
-    """A deterministic 200-request mixed workload with natural repeats."""
+def build_requests(total: int = TOTAL_REQUESTS):
+    """A deterministic mixed workload with natural repeats."""
     instances = list(workload_suite(60, 4, seed=0).values()) + \
         list(workload_suite(40, 3, seed=1).values())
     return [
         (i % len(instances), SPECS[(i * 3) % len(SPECS)])
-        for i in range(TOTAL_REQUESTS)
+        for i in range(total)
     ], instances
 
 
@@ -81,8 +94,8 @@ async def run_pass(svc: SolverService, requests, instances):
     return responses, counts, elapsed
 
 
-def run_service_benchmark() -> dict:
-    requests, instances = build_requests()
+def run_service_benchmark(total_requests: int = TOTAL_REQUESTS) -> dict:
+    requests, instances = build_requests(total_requests)
 
     # Ground truth: one direct solve per unique (instance, spec) pair.
     truth = {
@@ -109,8 +122,8 @@ def run_service_benchmark() -> dict:
     for label in ("cold", "warm"):
         responses, counts, _ = outcome[label]
         # Zero lost requests: every request slot answered exactly once.
-        assert sum(counts) == TOTAL_REQUESTS, f"{label}: lost requests"
-        assert sorted(responses) == list(range(TOTAL_REQUESTS)), f"{label}: missing responses"
+        assert sum(counts) == total_requests, f"{label}: lost requests"
+        assert sorted(responses) == list(range(total_requests)), f"{label}: missing responses"
         # Bit-identical to direct solve().
         for req_idx, result in responses.items():
             direct = truth[requests[req_idx]]
@@ -121,13 +134,13 @@ def run_service_benchmark() -> dict:
 
     stats = outcome["stats"]
     assert stats.lost == 0, f"service ledger does not balance: {stats}"
-    assert stats.submitted == 2 * TOTAL_REQUESTS
+    assert stats.submitted == 2 * total_requests
 
     cold_s, warm_s = outcome["cold"][2], outcome["warm"][2]
     speedup = cold_s / warm_s if warm_s > 0 else float("inf")
     return {
         "benchmark": "service",
-        "requests": TOTAL_REQUESTS,
+        "requests": total_requests,
         "clients": CLIENTS,
         "unique_jobs": len(truth),
         "cpu_count": os.cpu_count(),
@@ -135,8 +148,8 @@ def run_service_benchmark() -> dict:
         "cold_s": cold_s,
         "warm_s": warm_s,
         "speedup": speedup,
-        "cold_rps": TOTAL_REQUESTS / cold_s,
-        "warm_rps": TOTAL_REQUESTS / warm_s,
+        "cold_rps": total_requests / cold_s,
+        "warm_rps": total_requests / warm_s,
         "stats": stats.to_dict(),
     }
 
@@ -154,28 +167,45 @@ def _print_report(report: dict) -> None:
     print(f"lost                 : {stats['lost']}")
 
 
+def _assert_criteria(report: dict) -> None:
+    assert report["stats"]["lost"] == 0
+    assert report["speedup"] >= MIN_SPEEDUP, (
+        f"warm pass only {report['speedup']:.1f}x faster than cold "
+        f"(acceptance criterion is >= {MIN_SPEEDUP}x)"
+    )
+    assert report["warm_rps"] >= MIN_WARM_RPS, (
+        f"warm pass only {report['warm_rps']:.0f} req/s "
+        f"(acceptance criterion is >= {MIN_WARM_RPS:.0f} req/s)"
+    )
+    assert report["cold_rps"] >= MIN_COLD_RPS, (
+        f"cold pass only {report['cold_rps']:.0f} req/s "
+        f"(acceptance criterion is >= {MIN_COLD_RPS:.0f} req/s)"
+    )
+
+
 def test_bench_service():
     report = run_service_benchmark()
     print()
     _print_report(report)
-    assert report["stats"]["lost"] == 0
-    assert report["speedup"] >= 5.0, (
-        f"warm pass only {report['speedup']:.1f}x faster than cold "
-        f"(acceptance criterion is >= 5x)"
-    )
+    _assert_criteria(report)
 
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer requests, same criteria)")
     parser.add_argument("--json", default=str(DEFAULT_JSON), metavar="PATH",
                         help="write the machine-readable summary here ('-' disables)")
     args = parser.parse_args()
-    report = run_service_benchmark()
+    report = run_service_benchmark(
+        total_requests=SMOKE_REQUESTS if args.smoke else TOTAL_REQUESTS
+    )
     _print_report(report)
-    assert report["speedup"] >= 5.0
+    _assert_criteria(report)
     if args.json != "-":
         # Latency percentiles per solver family ride along in stats.families,
         # so the JSON tracks tails as well as throughput across PRs.
         Path(args.json).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"summary written to {args.json}")
-    print("acceptance criteria (zero lost, bit-identical, >= 5x warm speedup): PASS")
+    print("acceptance criteria (zero lost, bit-identical, "
+          f">= {MIN_SPEEDUP}x warm speedup, >= {MIN_WARM_RPS:.0f} warm req/s): PASS")

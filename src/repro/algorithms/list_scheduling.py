@@ -18,6 +18,7 @@ Two entry points are provided:
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Sequence, Union
 
 from repro.core.instance import DAGInstance, Instance
@@ -94,15 +95,29 @@ def list_schedule(
     1/(3m)`` when combined with the LPT/LMS order.
     """
     tasks = resolve_order(instance, order, objective=objective)
-    loads = [0.0] * instance.m
+    if objective == "time":
+        weights = [t.p for t in tasks]
+    elif objective == "memory":
+        weights = [t.s for t in tasks]
+    else:
+        raise ValueError(f"unknown objective {objective!r}; expected 'time' or 'memory'")
     assignment: Dict[object, int] = {}
     per_proc: Dict[int, List[object]] = {q: [] for q in range(instance.m)}
-    for task in tasks:
-        q = min(range(instance.m), key=lambda j: (loads[j], j))
+    # Machine ledger as a min-heap of (load, q): the root is exactly the
+    # ``min(range(m), key=(load, q))`` machine of the naive scan — tuple
+    # comparison breaks load ties by processor index — and each machine
+    # always has exactly one live entry (pop root, push it back updated),
+    # so placement is O(log m) instead of O(m) with no stale entries.
+    # Loads accumulate the same floats in the same per-machine order as
+    # the scan, hence assignments are bit-identical.
+    ledger = [(0.0, q) for q in range(instance.m)]
+    heapreplace = heapq.heapreplace
+    for task, w in zip(tasks, weights):
+        load, q = ledger[0]
         assignment[task.id] = q
         per_proc[q].append(task.id)
-        loads[q] += _weight(task, objective)
-    return Schedule(instance, assignment, order=per_proc)
+        heapreplace(ledger, (load + w, q))
+    return Schedule._trusted(instance, assignment, per_proc)
 
 
 def graham_dag_schedule(
@@ -128,37 +143,58 @@ def graham_dag_schedule(
     graph = instance.graph
     p = instance.tasks.processing_times()
 
-    load = [0.0] * instance.m
+    # The target machine is the least-loaded processor — it does not depend
+    # on which ready task is being considered, so it is chosen once per
+    # step (the seed implementation re-evaluated a ``min`` over machines
+    # inside the ready-task scan, making each step O(|ready| * m)).  The
+    # machine ledger is a min-heap of (load, q) with one live entry per
+    # machine; tuple order reproduces the scan's (load, index) tie-break.
+    ledger = [(0.0, q) for q in range(instance.m)]
     remaining_preds = {tid: graph.in_degree(tid) for tid in instance.tasks.ids}
     completion: Dict[object, float] = {}
     assignment: Dict[object, int] = {}
     starts: Dict[object, float] = {}
-    ready = {tid for tid, deg in remaining_preds.items() if deg == 0}
-    scheduled = 0
 
-    while scheduled < instance.n:
-        # Earliest possible start of each ready task on the least-loaded processor.
-        best_task = None
-        best_key = None
-        for tid in ready:
-            release = max((completion[u] for u in graph.predecessors(tid)), default=0.0)
-            q = min(range(instance.m), key=lambda j: (load[j], j))
-            start = max(release, load[q])
-            key = (start, rank[tid])
-            if best_key is None or key < best_key:
-                best_key = key
-                best_task = (tid, q, start)
-        assert best_task is not None
-        tid, q, start = best_task
-        ready.discard(tid)
+    # Ready tasks, keyed for the (start, rank) selection where
+    # ``start = max(release, load_q)`` and ``load_q`` is the root load of
+    # the machine ledger.  ``load_q`` never decreases (only the committed
+    # machine's load grows each step), so the ready set splits into
+    #   * ``avail``  — release <= load_q: start == load_q for all of them,
+    #     the winner is simply the smallest rank;
+    #   * ``future`` — release > load_q: start == release, the winner is
+    #     the smallest (release, rank);
+    # and tasks migrate monotonically from ``future`` to ``avail`` as
+    # ``load_q`` advances.  Ranks are a permutation (unique), so each
+    # selection has a unique winner — identical to the seed's full scan.
+    avail: List[tuple] = []  # (rank, tid)
+    future: List[tuple] = []  # (release, rank, tid)
+    for tid, deg in remaining_preds.items():
+        if deg == 0:
+            future.append((0.0, rank[tid], tid))
+    heapq.heapify(future)
+
+    heappush, heappop = heapq.heappush, heapq.heappop
+    for _ in range(instance.n):
+        load_q, q = ledger[0]
+        while future and future[0][0] <= load_q:
+            release, r, tid = heappop(future)
+            heappush(avail, (r, tid))
+        if avail:
+            r, tid = heappop(avail)
+            start = load_q
+        else:
+            assert future, "DAG has unscheduled tasks but none ready"
+            release, r, tid = heappop(future)
+            start = release
         assignment[tid] = q
         starts[tid] = start
-        completion[tid] = start + p[tid]
-        load[q] = completion[tid]
-        scheduled += 1
+        done = start + p[tid]
+        completion[tid] = done
+        heapq.heapreplace(ledger, (done, q))
         for succ in graph.successors(tid):
             remaining_preds[succ] -= 1
             if remaining_preds[succ] == 0:
-                ready.add(succ)
+                rel = max((completion[u] for u in graph.predecessors(succ)), default=0.0)
+                heappush(future, (rel, rank[succ], succ))
 
     return DAGSchedule(instance, assignment, starts)

@@ -14,7 +14,7 @@ packed weight is the processing time (``Cmax``) or the storage size
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
@@ -34,6 +34,47 @@ def _weight(task: Task, objective: str) -> float:
     raise ValueError(f"unknown objective {objective!r}; expected 'time' or 'memory'")
 
 
+def _ffd_pack_sorted(
+    ordered: List[tuple], m: int, capacity: float
+) -> Optional[List[List[object]]]:
+    """FFD core over presorted ``(weight, task_id)`` pairs.
+
+    Split out so :func:`multifit_schedule` sorts the tasks *once* instead
+    of once per binary-search probe (the sort dominated the kernel's
+    profile).  Semantics are exactly first-fit: each item goes to the
+    lowest-indexed bin it fits in.
+    """
+    bins: List[float] = [0.0] * m
+    contents: List[List[object]] = [[] for _ in range(m)]
+    eps = 1e-12 * max(1.0, capacity)
+    limit = capacity + eps
+    for w, tid in ordered:
+        for j in range(m):
+            if bins[j] + w <= limit:
+                bins[j] += w
+                contents[j].append(tid)
+                break
+        else:
+            return None
+    return contents
+
+
+def _sorted_weights(tasks: List[Task], objective: str) -> List[tuple]:
+    """``(weight, task_id)`` pairs in decreasing-weight order.
+
+    The sort is stable, so ties keep instance order — the same
+    deterministic tie-break the seed implementation had.
+    """
+    if objective == "time":
+        pairs = [(t.p, t.id) for t in tasks]
+    elif objective == "memory":
+        pairs = [(t.s, t.id) for t in tasks]
+    else:
+        raise ValueError(f"unknown objective {objective!r}; expected 'time' or 'memory'")
+    pairs.sort(key=lambda pair: -pair[0])
+    return pairs
+
+
 def ffd_pack(
     tasks: List[Task], m: int, capacity: float, objective: str = "time"
 ) -> Optional[List[List[object]]]:
@@ -43,21 +84,7 @@ def ffd_pack(
     task does not fit.  Ties in the decreasing-weight order are broken by
     instance order to keep the algorithm deterministic.
     """
-    bins: List[float] = [0.0] * m
-    contents: List[List[object]] = [[] for _ in range(m)]
-    eps = 1e-12 * max(1.0, capacity)
-    for task in sorted(tasks, key=lambda t: -_weight(t, objective)):
-        w = _weight(task, objective)
-        placed = False
-        for j in range(m):
-            if bins[j] + w <= capacity + eps:
-                bins[j] += w
-                contents[j].append(task.id)
-                placed = True
-                break
-        if not placed:
-            return None
-    return contents
+    return _ffd_pack_sorted(_sorted_weights(tasks, objective), m, capacity)
 
 
 def multifit_schedule(
@@ -84,23 +111,30 @@ def multifit_schedule(
     if not tasks:
         return Schedule(instance, {}, order={q: [] for q in range(m)})
     total = sum(weights)
+    ordered = _sorted_weights(tasks, objective)
     # Classical MULTIFIT bracket: CL <= OPT <= CU and FFD always succeeds at CU.
     lower = max(total / m, max(weights))
     upper = max(2.0 * total / m, max(weights))
-    best: Optional[List[List[object]]] = ffd_pack(tasks, m, upper, objective)
+    best: Optional[List[List[object]]] = _ffd_pack_sorted(ordered, m, upper)
     if best is None:  # pragma: no cover - the bracket guarantees success
         upper = total + max(weights)
-        best = ffd_pack(tasks, m, upper, objective)
+        best = _ffd_pack_sorted(ordered, m, upper)
         assert best is not None
     for _ in range(iterations):
         mid = 0.5 * (lower + upper)
-        packed = ffd_pack(tasks, m, mid, objective)
+        packed = _ffd_pack_sorted(ordered, m, mid)
         if packed is None:
             lower = mid
         else:
             best = packed
             upper = mid
-    return Schedule.from_processor_lists(instance, best)
+    assignment: Dict[object, int] = {}
+    order: Dict[int, List[object]] = {}
+    for q, ids in enumerate(best):
+        order[q] = ids
+        for tid in ids:
+            assignment[tid] = q
+    return Schedule._trusted(instance, assignment, order)
 
 
 def multifit_guarantee(iterations: int = 40) -> float:

@@ -45,12 +45,13 @@ class Instance:
         Optional name used in experiment reports.
     """
 
-    __slots__ = ("tasks", "m", "name")
+    __slots__ = ("tasks", "m", "name", "_content_hash")
 
     def __init__(self, tasks: Iterable[Task], m: int, name: Optional[str] = None) -> None:
         self.tasks: TaskSet = tasks if isinstance(tasks, TaskSet) else TaskSet(tasks)
         self.m: int = _check_m(m)
         self.name: Optional[str] = name
+        self._content_hash: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -119,8 +120,16 @@ class Instance:
         persistent cache key for solver results
         (:mod:`repro.solvers.cache`).
         """
+        # Instances are immutable after construction, so the digest is
+        # computed once and memoized.  ``getattr`` guards objects
+        # unpickled from caches written before the slot existed.
+        cached = getattr(self, "_content_hash", None)
+        if cached is not None:
+            return cached
         payload = "\n".join(self._fingerprint_parts())
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        self._content_hash = digest
+        return digest
 
     # ------------------------------------------------------------------ #
     # transforms

@@ -177,6 +177,7 @@ def rls(
     lb = mmax_lower_bound(dag)
     budget = delta * lb
     eps = 1e-12 * max(1.0, budget)
+    budget_eps = budget + eps
 
     load = [0.0] * m
     memsize = [0.0] * m
@@ -187,26 +188,38 @@ def rls(
 
     remaining_preds = {tid: graph.in_degree(tid) for tid in dag.tasks.ids}
     ready: Set[object] = {tid for tid, deg in remaining_preds.items() if deg == 0}
+    # A task's release time is fixed the moment it becomes ready (every
+    # predecessor has completed), so it is computed once on entry to the
+    # ready set instead of once per ready task per step.
+    release_of: Dict[object, float] = {tid: 0.0 for tid in ready}
     n_scheduled = 0
 
     while n_scheduled < dag.n:
+        # The (load, index) machine ordering is the same for every ready
+        # task in this step — loads only change when a task commits — so
+        # sort it once per step, not once per ready task.
+        machine_order = sorted(range(m), key=lambda q: (load[q], q))
+        min_load = load[machine_order[0]]
         best: Optional[Tuple[float, int, object, int]] = None  # (ready time, rank, task, proc)
         for tid in ready:
             # Least-loaded processor that still has memory budget for the task.
             proc: Optional[int] = None
-            for j in sorted(range(m), key=lambda q: (load[q], q)):
-                if memsize[j] + s[tid] <= budget + eps:
+            s_tid = s[tid]
+            for j in machine_order:
+                if memsize[j] + s_tid <= budget_eps:
                     proc = j
                     break
             if proc is None:
                 raise InfeasibleDeltaError(tid, delta, budget)
             # Analysis bookkeeping of Lemma 4: processors strictly less loaded
             # than the chosen one were skipped because of their memory budget.
-            for j in range(m):
-                if load[j] < load[proc] - eps:
-                    marked.add(j)
-            release = max((completion[u] for u in graph.predecessors(tid)), default=0.0)
-            start = max(release, load[proc])
+            # (No machine qualifies unless even the least-loaded one does.)
+            if min_load < load[proc] - eps:
+                for j in range(m):
+                    if load[j] < load[proc] - eps:
+                        marked.add(j)
+            release = release_of[tid]
+            start = release if release > load[proc] else load[proc]
             key = (start, rank[tid], tid, proc)
             if best is None or (key[0], key[1]) < (best[0], best[1]):
                 best = key
@@ -223,6 +236,9 @@ def rls(
             remaining_preds[succ] -= 1
             if remaining_preds[succ] == 0:
                 ready.add(succ)
+                release_of[succ] = max(
+                    (completion[u] for u in graph.predecessors(succ)), default=0.0
+                )
 
     schedule = DAGSchedule(dag, assignment, starts)
     cmax_g, mmax_g = rls_guarantee(delta, m)

@@ -159,26 +159,29 @@ def sbo(
 
     assignment: Dict[object, int] = {}
     memory_driven: List[object] = []
-    for task in inst.tasks:
-        # Threshold test of Algorithm 1: p_i / C < delta * s_i / M.
-        # Cross-multiplied to stay robust when C or M is zero.
-        lhs = task.p * (reference_mmax if reference_mmax > 0 else 0.0)
-        rhs = delta * task.s * (reference_cmax if reference_cmax > 0 else 0.0)
-        if reference_cmax == 0.0 and reference_mmax == 0.0:
-            follow_memory = False
-        elif reference_cmax == 0.0:
+    # The zero-reference degenerate cases are loop-invariant, so the
+    # per-task work reduces to the cross-multiplied threshold test of
+    # Algorithm 1 (p_i / C < delta * s_i / M, robust to C or M being 0).
+    assign1 = pi1.assignment
+    assign2 = pi2.assignment
+    if reference_cmax == 0.0:
+        if reference_mmax == 0.0:
+            assignment = dict(assign1)
+        else:
             # Every task has zero processing time; memory is the only concern.
-            follow_memory = True
-        elif reference_mmax == 0.0:
-            # Every task has zero storage; makespan is the only concern.
-            follow_memory = False
-        else:
-            follow_memory = lhs < rhs
-        if follow_memory:
-            assignment[task.id] = pi2.processor_of(task.id)
-            memory_driven.append(task.id)
-        else:
-            assignment[task.id] = pi1.processor_of(task.id)
+            assignment = dict(assign2)
+            memory_driven = [t.id for t in inst.tasks]
+    elif reference_mmax == 0.0:
+        # Every task has zero storage; makespan is the only concern.
+        assignment = dict(assign1)
+    else:
+        for task in inst.tasks:
+            tid = task.id
+            if task.p * reference_mmax < delta * task.s * reference_cmax:
+                assignment[tid] = assign2[tid]
+                memory_driven.append(tid)
+            else:
+                assignment[tid] = assign1[tid]
 
     schedule = Schedule(inst, assignment)
     cmax_guarantee, mmax_guarantee = sbo_guarantee(delta, rho1, rho2)

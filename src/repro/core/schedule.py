@@ -102,6 +102,32 @@ class Schedule:
         return per_proc
 
     @classmethod
+    def _trusted(
+        cls,
+        instance: Instance,
+        assignment: Dict[object, int],
+        order: Dict[int, List[object]],
+    ) -> "Schedule":
+        """Kernel-internal constructor that skips validation.
+
+        The placement kernels (:mod:`repro.algorithms`) build complete,
+        valid ``assignment``/``order`` structures by construction; paying
+        the public constructor's O(n) re-validation per solve is pure
+        overhead on the serving hot path.  Callers *must* hand over a
+        fully-populated assignment and a per-processor order dict keyed
+        by every ``q in range(instance.m)``; ownership of both transfers
+        to the schedule (no defensive copies).
+        """
+        self = object.__new__(cls)
+        self.instance = instance
+        self._assignment = assignment
+        self._order = order
+        self._loads = None
+        self._memories = None
+        self._completion = None
+        return self
+
+    @classmethod
     def from_processor_lists(
         cls, instance: Instance, processors: Sequence[Sequence[object]]
     ) -> "Schedule":

@@ -35,8 +35,11 @@ import itertools
 from typing import Dict, Optional, Type
 
 from repro.service.protocol import (
-    decode_message,
-    encode_message,
+    DEFAULT_FRAMING,
+    FRAME_HEADER,
+    MAX_FRAME_BYTES,
+    get_framing,
+    negotiate_request,
     session_close_request,
     session_open_request,
     session_result_request,
@@ -121,6 +124,7 @@ class ServiceClient:
         self._writer = writer
         self._ids = itertools.count(1)
         self._pending: Dict[object, "asyncio.Future"] = {}
+        self._framing = get_framing(DEFAULT_FRAMING)
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
         self._closed = False
 
@@ -130,13 +134,38 @@ class ServiceClient:
         reader, writer = await asyncio.open_connection(host, port, limit=READER_LIMIT)
         return cls(reader, writer)
 
+    @property
+    def framing(self) -> str:
+        """Name of the wire framing this connection currently speaks."""
+        return self._framing.name
+
+    async def _read_frame(self) -> Optional[Dict[str, object]]:
+        """One response in the current framing, or ``None`` at EOF."""
+        framing = self._framing
+        if framing.line_delimited:
+            line = await self._reader.readline()
+            if not line:
+                return None
+            return framing.decode_body(line)
+        try:
+            header = await self._reader.readexactly(FRAME_HEADER.size)
+        except asyncio.IncompleteReadError:
+            return None
+        (length,) = FRAME_HEADER.unpack(header)
+        if length == 0 or length > MAX_FRAME_BYTES:
+            raise ConnectionError(f"invalid frame length {length} from server")
+        try:
+            body = await self._reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return None
+        return framing.decode_body(body)
+
     async def _read_loop(self) -> None:
         try:
             while True:
-                line = await self._reader.readline()
-                if not line:
+                response = await self._read_frame()
+                if response is None:
                     break
-                response = decode_message(line)
                 future = self._pending.pop(response.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(response)
@@ -147,6 +176,36 @@ class ServiceClient:
                 if not future.done():
                     future.set_exception(ConnectionError("server connection closed"))
             self._pending.clear()
+
+    async def negotiate(self, framings=("msgpack",)) -> str:
+        """Switch the connection to the first framing the server supports.
+
+        Sends a ``negotiate`` request (preference order as given) and —
+        when the server picks something other than the current framing —
+        restarts the reader in the agreed framing.  Returns the name of
+        the framing now in effect; the server keeps line-delimited JSON
+        when it supports none of the requested framings, so this never
+        fails, it degrades.  Do not issue concurrent requests on this
+        connection while a negotiation is in flight: the negotiate
+        response must be the last frame the server writes in the old
+        framing.
+        """
+        response = await self.request(negotiate_request(list(framings)))
+        name = str(response.get("framing", DEFAULT_FRAMING))
+        chosen = get_framing(name)
+        if chosen.name != self._framing.name:
+            # The reader is parked on the old framing's read; no data can
+            # be in flight (responses only follow requests, and the
+            # negotiate response was the last old-framing frame), so a
+            # cancel/restart loses nothing.
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._framing = chosen
+            self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+        return chosen.name
 
     async def request_raw(self, payload: Dict[str, object]) -> Dict[str, object]:
         """Send one request payload; returns the raw response dict as-is.
@@ -164,7 +223,7 @@ class ServiceClient:
         future = asyncio.get_running_loop().create_future()
         self._pending[payload["id"]] = future
         try:
-            self._writer.write(encode_message(payload))
+            self._writer.write(self._framing.encode(payload))
             await self._writer.drain()
             return await future
         finally:
@@ -202,7 +261,7 @@ class ServiceClient:
         """
         if self._closed:
             raise ConnectionError("client is closed")
-        self._writer.write(encode_message(payload))
+        self._writer.write(self._framing.encode(payload))
         await self._writer.drain()
 
     # ------------------------------------------------------------------ #

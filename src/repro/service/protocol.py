@@ -93,10 +93,17 @@ tolerate them.
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional, Tuple, Union
+import math
+import struct
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.instance import DAGInstance, Instance
 from repro.solvers.result import SolveResult
+
+try:  # optional accelerator; the wire format is unchanged when present
+    import orjson as _orjson  # type: ignore
+except ImportError:  # pragma: no cover - exercised via stub injection in tests
+    _orjson = None
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -105,6 +112,14 @@ __all__ = [
     "error_code_for",
     "encode_message",
     "decode_message",
+    "Framing",
+    "register_framing",
+    "get_framing",
+    "available_framings",
+    "negotiate_request",
+    "choose_framing",
+    "encode_frame",
+    "FRAME_HEADER",
     "instance_from_payload",
     "task_from_payload",
     "result_to_payload",
@@ -116,7 +131,7 @@ __all__ = [
     "values_from_payload",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Provenance keys surfaced to clients next to the result payload.
 _PROVENANCE_KEYS = ("solver", "spec", "params", "version", "cache")
@@ -154,8 +169,41 @@ def error_code_for(exc: BaseException) -> Optional[str]:
     return None
 
 
+def _has_non_finite(value: object) -> bool:
+    """True when ``value`` contains a float ``orjson`` cannot round-trip.
+
+    ``orjson`` silently serializes ``inf``/``nan`` as ``null`` (and rejects
+    the ``Infinity`` literal on parse), while this protocol's documented
+    wire form uses the JSON-extension literals stdlib ``json`` emits.  Any
+    payload containing a non-finite float must therefore take the stdlib
+    path; this scan is cheap (C-level isinstance checks) next to the
+    serialization it guards.
+    """
+    if isinstance(value, float):
+        return not math.isfinite(value)
+    if isinstance(value, dict):
+        return any(_has_non_finite(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return any(_has_non_finite(v) for v in value)
+    return False
+
+
 def encode_message(payload: Dict[str, object]) -> bytes:
-    """Serialize one message to a single ``\\n``-terminated line."""
+    """Serialize one message to a single ``\\n``-terminated line.
+
+    Uses ``orjson`` when installed and the payload is expressible in strict
+    JSON (finite floats, string keys); otherwise the stdlib encoder, whose
+    output is byte-compatible modulo key-order-preserving compact
+    separators — both emit the same wire format, so the fast path needs no
+    negotiation and is invisible to peers.
+    """
+    if _orjson is not None and not _has_non_finite(payload):
+        try:
+            return _orjson.dumps(payload) + b"\n"
+        except TypeError:
+            # Non-string keys and exotic types: stdlib json coerces more
+            # (e.g. int dict keys become strings) — fall through.
+            pass
     return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
 
 
@@ -169,15 +217,192 @@ def decode_message(line: Union[str, bytes]) -> Dict[str, object]:
     line = line.strip()
     if not line:
         raise ProtocolError("empty request line")
-    try:
-        payload = json.loads(line)
-    except json.JSONDecodeError as exc:
-        raise ProtocolError(f"request line is not valid JSON: {exc}") from None
+    if _orjson is not None:
+        try:
+            payload = _orjson.loads(line)
+        except _orjson.JSONDecodeError:
+            # Not strict JSON — possibly Infinity/NaN literals, which the
+            # stdlib parser accepts; retry there before reporting.
+            payload = _decode_stdlib(line)
+    else:
+        payload = _decode_stdlib(line)
     if not isinstance(payload, dict):
         raise ProtocolError(
             f"request must be a JSON object, got {type(payload).__name__}"
         )
     return payload
+
+
+def _decode_stdlib(line: str) -> object:
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request line is not valid JSON: {exc}") from None
+
+
+# ------------------------------------------------------------------------- #
+# wire framings and negotiation
+# ------------------------------------------------------------------------- #
+#: 4-byte big-endian body length preceding every non-line-delimited frame.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound accepted for one length-prefixed frame (matches the spirit
+#: of the server's line-length cap; a corrupt header must not allocate GiB).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class Framing:
+    """One negotiable wire framing.
+
+    A *line-delimited* framing terminates every frame with ``\\n`` — the
+    legacy default any client (or a human with ``nc``) can speak.  All
+    other framings are *length-prefixed*: each frame is a
+    :data:`FRAME_HEADER` (4-byte big-endian body length) followed by the
+    body, so binary encodings whose bodies may contain newline bytes work.
+
+    ``encode_body`` maps a payload dict to one frame body (for
+    line-delimited framings: the full newline-terminated line);
+    ``decode_body`` is its inverse and must raise :class:`ProtocolError`
+    on malformed input.  ``probe`` (optional) reports whether the
+    framing's dependencies are importable — unavailable framings stay
+    registered but are never advertised or negotiated.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        encode_body: Callable[[Dict[str, object]], bytes],
+        decode_body: Callable[[bytes], Dict[str, object]],
+        line_delimited: bool = False,
+        probe: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.name = name
+        self._encode_body = encode_body
+        self.decode_body = decode_body
+        self.line_delimited = line_delimited
+        self._probe = probe
+
+    @property
+    def available(self) -> bool:
+        """Whether the framing can actually run in this process."""
+        if self._probe is None:
+            return True
+        try:
+            return bool(self._probe())
+        except Exception:
+            return False
+
+    def encode(self, payload: Dict[str, object]) -> bytes:
+        """Serialize ``payload`` to one complete frame (header included)."""
+        body = self._encode_body(payload)
+        if self.line_delimited:
+            return body
+        return FRAME_HEADER.pack(len(body)) + body
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "line" if self.line_delimited else "length-prefixed"
+        return f"Framing({self.name!r}, {kind}, available={self.available})"
+
+
+_FRAMINGS: "Dict[str, Framing]" = {}
+
+#: Name of the framing every connection starts in.
+DEFAULT_FRAMING = "json"
+
+
+def register_framing(framing: Framing, replace: bool = False) -> Framing:
+    """Register a framing for negotiation (``replace=True`` to override)."""
+    if not replace and framing.name in _FRAMINGS:
+        raise ValueError(f"framing {framing.name!r} is already registered")
+    _FRAMINGS[framing.name] = framing
+    return framing
+
+
+def get_framing(name: str) -> Framing:
+    """Look up a registered framing by name (:class:`ProtocolError` if unknown)."""
+    try:
+        return _FRAMINGS[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown framing {name!r}; registered: {sorted(_FRAMINGS)}"
+        ) from None
+
+
+def available_framings() -> List[str]:
+    """Names of the framings this process can speak, default first."""
+    names = [name for name, f in _FRAMINGS.items() if f.available]
+    names.sort(key=lambda name: (name != DEFAULT_FRAMING, name))
+    return names
+
+
+def choose_framing(preferences) -> Framing:
+    """Server-side negotiation: first available framing the client prefers.
+
+    Falls back to the default line-delimited JSON framing when nothing in
+    ``preferences`` is registered and available — negotiation never fails,
+    it degrades.
+    """
+    if isinstance(preferences, (str, bytes)) or not hasattr(preferences, "__iter__"):
+        raise ProtocolError("'framings' must be a list of framing names")
+    for name in preferences:
+        framing = _FRAMINGS.get(name) if isinstance(name, str) else None
+        if framing is not None and framing.available:
+            return framing
+    return _FRAMINGS[DEFAULT_FRAMING]
+
+
+def negotiate_request(framings, request_id: object = None) -> Dict[str, object]:
+    """Build a ``negotiate`` request payload (client's framings, preferred first)."""
+    payload: Dict[str, object] = {"op": "negotiate", "framings": list(framings)}
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def _msgpack_mod():
+    import msgpack  # type: ignore
+
+    return msgpack
+
+
+def _msgpack_probe() -> bool:
+    try:
+        _msgpack_mod()
+    except ImportError:
+        return False
+    return True
+
+
+def _msgpack_encode(payload: Dict[str, object]) -> bytes:
+    return _msgpack_mod().packb(payload, use_bin_type=True)
+
+
+def _msgpack_decode(body: bytes) -> Dict[str, object]:
+    try:
+        obj = _msgpack_mod().unpackb(body, raw=False, strict_map_key=False)
+    except Exception as exc:
+        raise ProtocolError(f"frame body is not valid msgpack: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"request must decode to a map, got {type(obj).__name__}")
+    return obj
+
+
+register_framing(
+    Framing(
+        DEFAULT_FRAMING,
+        encode_body=encode_message,
+        decode_body=decode_message,
+        line_delimited=True,
+    )
+)
+register_framing(
+    Framing(
+        "msgpack",
+        encode_body=_msgpack_encode,
+        decode_body=_msgpack_decode,
+        probe=_msgpack_probe,
+    )
+)
 
 
 def instance_from_payload(data: object) -> Union[Instance, DAGInstance]:
@@ -228,21 +453,33 @@ def _clean_float(value: float) -> float:
 
 
 def result_to_payload(result: SolveResult) -> Dict[str, object]:
-    """Flatten a :class:`SolveResult` into its JSON wire form."""
+    """Flatten a :class:`SolveResult` into its JSON wire form.
+
+    Provenance extras that cannot be expressed in JSON (native solver
+    objects, non-string dict keys, structures nested past
+    :data:`_JSON_SAFE_MAX_DEPTH`) are dropped — but never silently: the
+    payload then carries ``"provenance_truncated": [key, ...]`` naming
+    every dropped extra, so clients can tell an absent record from an
+    unserializable one.
+    """
     provenance = {
         key: result.provenance[key]
         for key in _PROVENANCE_KEYS
         if key in result.provenance
     }
-    extras = {
-        key: value
-        for key, value in result.provenance.items()
-        if key not in _PROVENANCE_KEYS and _is_json_safe(value)
-    }
+    extras: Dict[str, object] = {}
+    truncated = []
+    for key, value in result.provenance.items():
+        if key in _PROVENANCE_KEYS:
+            continue
+        if _is_json_safe(value):
+            extras[key] = value
+        else:
+            truncated.append(key)
     assignment = None
     if result.schedule is not None:
         assignment = [[tid, proc] for tid, proc in result.schedule.assignment.items()]
-    return {
+    payload: Dict[str, object] = {
         "solver": result.solver,
         "spec": result.spec,
         "feasible": result.feasible,
@@ -255,9 +492,19 @@ def result_to_payload(result: SolveResult) -> Dict[str, object]:
         "provenance": provenance,
         "extras": extras,
     }
+    if truncated:
+        payload["provenance_truncated"] = truncated
+    return payload
 
 
-def _is_json_safe(value: object, depth: int = 3) -> bool:
+#: Nesting depth past which provenance extras are considered unsafe.  A
+#: genuine recursion guard, not a payload policy: any legitimately nested
+#: provenance record fits well within it (the pre-fix cutoff of 3 silently
+#: dropped real depth-4 records).
+_JSON_SAFE_MAX_DEPTH = 64
+
+
+def _is_json_safe(value: object, depth: int = _JSON_SAFE_MAX_DEPTH) -> bool:
     """True when ``value`` serializes to JSON without a custom encoder."""
     if value is None or isinstance(value, (bool, int, float, str)):
         return True

@@ -35,13 +35,18 @@ from functools import partial
 from typing import Awaitable, Callable, Dict, Optional, Set
 
 from repro.service.protocol import (
+    DEFAULT_FRAMING,
+    FRAME_HEADER,
+    MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    Framing,
     ProtocolError,
-    decode_message,
-    encode_message,
-    error_code_for,
-    instance_from_payload,
+    available_framings,
+    choose_framing,
+    get_framing,
     result_to_payload,
+    instance_from_payload,
+    error_code_for,
     task_from_payload,
 )
 from repro.service.service import SolverService
@@ -240,7 +245,8 @@ async def handle_request(
             return {"id": request_id, "ok": True, "stats": service.stats().to_dict()}
         if op == "ping":
             return {"id": request_id, "ok": True, "pong": True,
-                    "protocol": PROTOCOL_VERSION}
+                    "protocol": PROTOCOL_VERSION,
+                    "framings": available_framings()}
         if op == "drain":
             timeout = request.get("timeout")
             if timeout is not None and not isinstance(timeout, (int, float)):
@@ -281,6 +287,15 @@ async def serve_connection(
     default ``handler`` is :func:`handle_request` bound to ``service``;
     passing another handler (the cluster router's) reuses this framing
     and lifecycle unchanged — ``service`` may then be ``None``.
+
+    Every connection starts in the default line-delimited JSON framing.
+    A ``negotiate`` request is handled here at the transport level, not
+    by the handler, because it mutates connection state: in-flight
+    requests are drained, the response (naming the chosen framing) is
+    written in the *old* framing, and only then does the connection
+    switch.  A client must therefore not pipeline requests past an
+    unanswered ``negotiate``.  Clients that never send one stay on
+    line-delimited JSON forever — old clients are unaffected.
     """
     if handler is None:
         if service is None:
@@ -288,29 +303,33 @@ async def serve_connection(
         handler = partial(handle_request, service)
     write_lock = asyncio.Lock()
     tasks: Set["asyncio.Task"] = set()
+    framing: Framing = get_framing(DEFAULT_FRAMING)
 
     async def respond(payload: Dict[str, object]) -> None:
         async with write_lock:
             try:
-                writer.write(encode_message(payload))
+                writer.write(framing.encode(payload))
                 await writer.drain()
             except (ConnectionError, OSError):
                 # Peer went away before reading its response; the request's
                 # outcome is already recorded in the service stats.
                 pass
 
-    async def process(line: bytes) -> None:
+    async def process(raw: bytes, frame_framing: Framing) -> None:
         try:
-            if len(line) >= INLINE_DECODE_LIMIT:
+            if len(raw) >= INLINE_DECODE_LIMIT:
                 request = await asyncio.get_running_loop().run_in_executor(
-                    None, decode_message, line
+                    None, frame_framing.decode_body, raw
                 )
             else:
-                request = decode_message(line)
+                request = frame_framing.decode_body(raw)
         except ProtocolError as exc:
             await respond({"id": None, "ok": False,
                            "error": {"type": "ProtocolError", "message": str(exc)}})
             return
+        await dispatch(request)
+
+    async def dispatch(request: Dict[str, object]) -> None:
         response = await handler(request)
         if response is None:  # unacknowledged op: no response line
             return
@@ -318,12 +337,30 @@ async def serve_connection(
         if response.get("shutdown") and shutdown is not None:
             shutdown.set()
 
+    async def read_frame() -> bytes:
+        """One frame body in the connection's current framing (b'' at EOF)."""
+        if framing.line_delimited:
+            return await reader.readline()
+        try:
+            header = await reader.readexactly(FRAME_HEADER.size)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:  # clean EOF between frames
+                return b""
+            raise ConnectionResetError("connection closed mid-frame-header") from None
+        (length,) = FRAME_HEADER.unpack(header)
+        if length == 0 or length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"invalid frame length {length}")
+        try:
+            return await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ConnectionResetError("connection closed mid-frame") from None
+
     shutdown_wait: Optional["asyncio.Task"] = (
         asyncio.create_task(shutdown.wait()) if shutdown is not None else None
     )
     try:
         while shutdown_wait is None or not shutdown_wait.done():
-            read = asyncio.create_task(reader.readline())
+            read = asyncio.create_task(read_frame())
             # Race the read against shutdown so a client that keeps the
             # connection open after sending {"op": "shutdown"} cannot park
             # the server in readline() forever.
@@ -338,6 +375,12 @@ async def serve_connection(
                 break
             try:
                 line = read.result()
+            except ProtocolError as exc:
+                # A corrupt length header leaves the stream unframeable.
+                await respond({"id": None, "ok": False,
+                               "error": {"type": "ProtocolError",
+                                         "message": str(exc)}})
+                break
             except ValueError as exc:
                 # A line exceeding READER_LIMIT cannot be framed: report it
                 # on the connection instead of dying silently, then close
@@ -352,9 +395,40 @@ async def serve_connection(
                 break
             if not line:
                 break
-            if not line.strip():
+            if framing.line_delimited and not line.strip():
                 continue
-            task = asyncio.create_task(process(line))
+            # Cheap sniff for the transport-level op.  False positives
+            # (payloads merely containing the word) decode here and fall
+            # through to normal dispatch with the decode already done.
+            if b"negotiate" in line and len(line) < INLINE_DECODE_LIMIT:
+                try:
+                    request = framing.decode_body(line)
+                except ProtocolError:
+                    request = None
+                if isinstance(request, dict) and request.get("op") == "negotiate":
+                    if tasks:
+                        # Drain in-flight requests: their responses must go
+                        # out in the framing their client spoke at the time.
+                        await asyncio.gather(*tasks, return_exceptions=True)
+                    try:
+                        chosen = choose_framing(request.get("framings", []))
+                    except ProtocolError as exc:
+                        await respond({"id": request.get("id"), "ok": False,
+                                       "error": {"type": "ProtocolError",
+                                                 "message": str(exc)}})
+                        continue
+                    await respond({"id": request.get("id"), "ok": True,
+                                   "framing": chosen.name,
+                                   "framings": available_framings(),
+                                   "protocol": PROTOCOL_VERSION})
+                    framing = chosen
+                    continue
+                if request is not None:
+                    task = asyncio.create_task(dispatch(request))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                    continue
+            task = asyncio.create_task(process(line, framing))
             tasks.add(task)
             task.add_done_callback(tasks.discard)
     finally:

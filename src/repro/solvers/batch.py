@@ -202,11 +202,16 @@ def solve_many(
     results: Dict[str, SolveResult] = {}
     cache_lookups = 0
     if cache_obj is not None:
-        for key, (_inst, _spec, content_key) in unique.items():
-            if content_key is None:
-                continue
-            cache_lookups += 1
-            hit = cache_obj.get(content_key)
+        # One batched lookup for the whole chunk: backends take their lock
+        # once instead of once per key (see ResultCache.get_many).
+        lookup_keys = [
+            (key, content_key)
+            for key, (_inst, _spec, content_key) in unique.items()
+            if content_key is not None
+        ]
+        cache_lookups = len(lookup_keys)
+        hits = cache_obj.get_many([content_key for _, content_key in lookup_keys])
+        for (key, _content_key), hit in zip(lookup_keys, hits):
             if hit is not None:
                 results[key] = replace(hit, provenance={**hit.provenance, "cache": "hit"})
     cache_hits = len(results)

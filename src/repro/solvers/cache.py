@@ -109,10 +109,17 @@ def cache_key(instance, canonical_spec: str) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters kept by every cache backend."""
+    """Hit/miss counters kept by every cache backend.
+
+    ``corrupt`` counts entries that were found but could not be served —
+    truncated/corrupt pickles and stale payloads that are not a
+    :class:`SolveResult` — and were removed from the backing store.  Each
+    such lookup also counts as a miss.
+    """
 
     hits: int = 0
     misses: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -125,6 +132,7 @@ class CacheStats:
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
 
 class ResultCache:
@@ -148,9 +156,23 @@ class ResultCache:
                 self.stats.hits += 1
         return result
 
+    def get_many(self, keys) -> list:
+        """Batched :meth:`get`: one result slot per key (``None`` on miss).
+
+        The base implementation is a plain loop; backends with per-lookup
+        synchronisation overhead (:class:`LRUCache`) override it to take
+        their lock once per batch instead of once per key.
+        """
+        return [self.get(key) for key in keys]
+
     def put(self, key: str, result: SolveResult) -> None:
         """Store ``result`` under ``key`` (overwrites silently)."""
         self._store(key, result)
+
+    def _note_corrupt(self) -> None:
+        """Record a corrupt/stale entry dropped by a backend's ``_load``."""
+        with self._stats_lock:
+            self.stats.corrupt += 1
 
     def _load(self, key: str) -> Optional[SolveResult]:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -176,6 +198,21 @@ class LRUCache(ResultCache):
             if result is not None:
                 self._entries.move_to_end(key)
             return result
+
+    def get_many(self, keys) -> list:
+        results = []
+        hits = 0
+        with self._lock:
+            for key in keys:
+                result = self._entries.get(key)
+                if result is not None:
+                    self._entries.move_to_end(key)
+                    hits += 1
+                results.append(result)
+        with self._stats_lock:
+            self.stats.hits += hits
+            self.stats.misses += len(results) - hits
+        return results
 
     def _store(self, key: str, result: SolveResult) -> None:
         with self._lock:
@@ -244,8 +281,11 @@ class DiskCache(ResultCache):
             except FileNotFoundError:
                 continue
             except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
-                # Corrupt / truncated / stale entry: degrade to a miss.
+                # Corrupt / truncated / stale entry: degrade to a miss and
+                # remove it so every future lookup doesn't re-pay the failed
+                # read (and the dead file doesn't occupy max_bytes budget).
                 self._unlink(path)
+                self._note_corrupt()
                 continue
             if isinstance(result, SolveResult):
                 try:
@@ -253,6 +293,10 @@ class DiskCache(ResultCache):
                 except OSError:
                     pass
                 return result
+            # Unpickled cleanly but is not a SolveResult — a stale payload
+            # from a foreign writer.  Previously skipped but left on disk.
+            self._unlink(path)
+            self._note_corrupt()
         return None
 
     def _store(self, key: str, result: SolveResult) -> None:

@@ -459,3 +459,107 @@ class TestDiskCacheEviction:
     def test_invalid_max_bytes(self, tmp_path):
         with pytest.raises(ValueError):
             DiskCache(tmp_path, max_bytes=0)
+
+
+class TestCorruptEntryAccounting:
+    """The corrupt-entry bugfix: bad entries are unlinked *and* counted."""
+
+    def test_corrupt_pickle_is_unlinked_and_counted(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        solve(REFERENCE, "lpt", cache=cache)
+        entry = next(tmp_path.rglob("*.pkl"))
+        entry.write_bytes(b"not a pickle")
+        fresh = DiskCache(tmp_path)
+        key = entry.stem
+        assert fresh.get(key) is None
+        assert not entry.exists(), "corrupt entry must be removed from disk"
+        assert fresh.stats.corrupt == 1
+
+    def test_stale_non_result_payload_is_unlinked_and_counted(self, tmp_path):
+        # A cleanly-unpickling payload that is not a SolveResult (a foreign
+        # writer's leftovers) previously skipped the isinstance branch but
+        # stayed on disk, re-read and re-skipped on every lookup.
+        import pickle as _pickle
+
+        cache = DiskCache(tmp_path)
+        key = "ab" + "0" * 62
+        path = cache._path(key)
+        path.parent.mkdir(exist_ok=True)
+        path.write_bytes(_pickle.dumps({"stale": "payload"}))
+        assert cache.get(key) is None
+        assert not path.exists(), "stale entry must be removed from disk"
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+
+    def test_corrupt_counter_resets(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.stats.corrupt = 3
+        cache.stats.reset()
+        assert cache.stats.corrupt == 0
+
+    def test_healthy_entries_unaffected(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        miss = solve(REFERENCE, "lpt", cache=cache)
+        hit = solve(REFERENCE, "lpt", cache=cache)
+        assert miss.provenance["cache"] == "miss"
+        assert hit.provenance["cache"] == "hit"
+        assert cache.stats.corrupt == 0
+
+
+class TestGetMany:
+    def test_lru_get_many_matches_serial_gets(self):
+        cache = LRUCache(maxsize=8)
+        a = solve(REFERENCE, "lpt", cache=False)
+        b = solve(REFERENCE, "spt", cache=False)
+        cache.put("ka", a)
+        cache.put("kb", b)
+        got = cache.get_many(["ka", "missing", "kb"])
+        assert got[0] is a and got[1] is None and got[2] is b
+        assert cache.stats.hits == 2 and cache.stats.misses == 1
+
+    def test_get_many_refreshes_lru_recency(self):
+        cache = LRUCache(maxsize=2)
+        a = solve(REFERENCE, "lpt", cache=False)
+        b = solve(REFERENCE, "spt", cache=False)
+        cache.put("ka", a)
+        cache.put("kb", b)
+        cache.get_many(["ka"])  # ka becomes most-recent; kb is LRU
+        cache.put("kc", a)
+        assert cache.get("kb") is None and cache.get("ka") is a
+
+    def test_disk_get_many_base_loop(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        result = solve(REFERENCE, "lpt", cache=False)
+        cache.put("k" * 64, result)
+        got = cache.get_many(["k" * 64, "m" * 64])
+        assert got[0] is not None and got[1] is None
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+class TestContentHashMemoized:
+    def test_hash_computed_once(self, monkeypatch):
+        import hashlib as _hashlib
+
+        inst = random_instance(random.Random(7))
+        first = inst.content_hash()
+        calls = []
+        real = _hashlib.sha256
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(_hashlib, "sha256", counting)
+        assert inst.content_hash() == first
+        assert not calls, "memoized content_hash must not re-digest"
+
+    def test_unpickled_pre_slot_instance_still_hashes(self):
+        # Simulate an Instance unpickled from a cache written before the
+        # _content_hash slot existed: the attribute is simply absent.
+        import pickle as _pickle
+
+        inst = random_instance(random.Random(8))
+        expected = inst.content_hash()
+        clone = _pickle.loads(_pickle.dumps(inst))
+        object.__delattr__(clone, "_content_hash")
+        assert clone.content_hash() == expected

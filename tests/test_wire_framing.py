@@ -1,0 +1,402 @@
+"""Wire-protocol fast path: JSON safety, orjson gating, framing negotiation.
+
+Covers the three wire-layer changes of the kernel fast-path PR:
+
+* the deep ``_is_json_safe`` check with the ``provenance_truncated``
+  marker (deeply nested provenance used to be *silently* dropped past
+  depth 3);
+* the ``orjson`` encode/decode fast path — exercised through a stub
+  module, since the accelerator is optional and absent here: payloads
+  containing non-finite floats must take the stdlib path (orjson would
+  silently serialize ``inf`` as ``null``), strict payloads may take the
+  fast path, and both produce the identical documented wire format;
+* framing negotiation — a test-registered length-prefixed JSON framing
+  drives the whole negotiate/switch machinery over a real TCP server
+  without needing msgpack installed, and clients that never negotiate
+  keep speaking line-delimited JSON untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from dataclasses import replace
+
+import pytest
+
+import repro.service.protocol as protocol
+from repro.core.instance import Instance
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    DEFAULT_FRAMING,
+    FRAME_HEADER,
+    Framing,
+    ProtocolError,
+    available_framings,
+    choose_framing,
+    decode_message,
+    encode_message,
+    get_framing,
+    negotiate_request,
+    register_framing,
+    result_to_payload,
+)
+from repro.service.server import serve_tcp
+from repro.service.service import SolverService
+from repro.solvers import solve
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def inst():
+    return Instance.from_lists(p=[4, 3, 2, 2, 1], s=[1, 5, 2, 4, 3], m=2)
+
+
+# --------------------------------------------------------------------------- #
+# deep JSON safety + provenance_truncated (the silent-truncation bugfix)
+# --------------------------------------------------------------------------- #
+class TestProvenanceDepth:
+    def _result_with_extras(self, inst, extras):
+        result = solve(inst, "lpt", cache=False)
+        return replace(result, provenance={**result.provenance, **extras})
+
+    def test_depth_four_provenance_survives(self, inst):
+        # Depth-4 nesting was silently dropped by the old depth-3 cutoff.
+        deep = {"l1": {"l2": {"l3": {"l4": "value"}}}}
+        payload = result_to_payload(self._result_with_extras(inst, {"deep": deep}))
+        assert payload["extras"]["deep"] == deep
+        assert "provenance_truncated" not in payload
+        # And it must round-trip the wire intact.
+        decoded = decode_message(encode_message(payload))
+        assert decoded["extras"]["deep"] == deep
+
+    def test_very_deep_provenance_survives(self, inst):
+        nested: object = "leaf"
+        for _ in range(20):
+            nested = {"n": nested}
+        payload = result_to_payload(self._result_with_extras(inst, {"deep": nested}))
+        assert payload["extras"]["deep"] == nested
+        assert "provenance_truncated" not in payload
+
+    def test_unserializable_extra_is_marked_not_silent(self, inst):
+        result = self._result_with_extras(
+            inst, {"native": object(), "fine": {"a": [1, 2]}}
+        )
+        payload = result_to_payload(result)
+        assert payload["extras"]["fine"] == {"a": [1, 2]}
+        assert "native" not in payload["extras"]
+        assert payload["provenance_truncated"] == ["native"]
+
+    def test_non_string_keys_are_marked(self, inst):
+        payload = result_to_payload(
+            self._result_with_extras(inst, {"intkeys": {1: "x"}})
+        )
+        assert payload["provenance_truncated"] == ["intkeys"]
+
+    def test_pathological_depth_still_bounded(self, inst):
+        nested: object = "leaf"
+        for _ in range(500):
+            nested = [nested]
+        payload = result_to_payload(self._result_with_extras(inst, {"mad": nested}))
+        assert payload["provenance_truncated"] == ["mad"]
+
+
+# --------------------------------------------------------------------------- #
+# orjson gating (via stub: the accelerator is not installed in CI)
+# --------------------------------------------------------------------------- #
+class _FakeOrjson:
+    """Mimics orjson's contract: strict JSON only, bytes out, TypeError on
+    non-string keys, rejects Infinity/NaN literals on parse.  ``dumps``
+    raises ``ValueError`` if a non-finite float ever reaches it — which is
+    exactly the bug the ``_has_non_finite`` guard must prevent."""
+
+    class JSONDecodeError(ValueError):
+        pass
+
+    calls: list
+
+    def __init__(self):
+        self.calls = []
+
+    def dumps(self, obj) -> bytes:
+        self._check_keys(obj)
+        self.calls.append("dumps")
+        return json.dumps(obj, separators=(",", ":"), allow_nan=False).encode()
+
+    def loads(self, data):
+        self.calls.append("loads")
+
+        def reject(const):
+            raise _FakeOrjson.JSONDecodeError(f"non-finite literal {const}")
+
+        try:
+            return json.loads(data, parse_constant=reject)
+        except json.JSONDecodeError as exc:
+            raise _FakeOrjson.JSONDecodeError(str(exc)) from None
+
+    @classmethod
+    def _check_keys(cls, obj):
+        if isinstance(obj, dict):
+            for k, v in obj.items():
+                if not isinstance(k, str):
+                    raise TypeError(f"non-str key {k!r}")
+                cls._check_keys(v)
+        elif isinstance(obj, (list, tuple)):
+            for v in obj:
+                cls._check_keys(v)
+
+
+class TestOrjsonGate:
+    @pytest.fixture
+    def fake(self, monkeypatch):
+        stub = _FakeOrjson()
+        monkeypatch.setattr(protocol, "_orjson", stub)
+        return stub
+
+    def test_strict_payload_takes_fast_path(self, fake):
+        payload = {"op": "solve", "spec": "lpt", "n": 3, "xs": [1.5, 2.0]}
+        line = encode_message(payload)
+        assert "dumps" in fake.calls
+        # Byte-identical to the documented stdlib wire format.
+        assert line == (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+        assert decode_message(line) == payload
+
+    def test_non_finite_payload_falls_back_to_stdlib(self, fake):
+        payload = {"guarantee": [2.0, math.inf], "nan": math.nan}
+        line = encode_message(payload)  # must NOT raise, must NOT nullify
+        assert b"Infinity" in line
+        assert "dumps" not in fake.calls
+        decoded = decode_message(line)
+        assert decoded["guarantee"][1] == math.inf
+        assert math.isnan(decoded["nan"])
+
+    def test_non_finite_nested_in_tuple_detected(self, fake):
+        line = encode_message({"t": ({"x": [math.inf]},)})
+        assert b"Infinity" in line and "dumps" not in fake.calls
+
+    def test_non_str_keys_fall_back(self, fake):
+        # stdlib json coerces int keys to strings; orjson raises TypeError.
+        line = encode_message({"m": {1: "x"}})
+        assert decode_message(line) == {"m": {"1": "x"}}
+
+    def test_decode_falls_back_on_infinity_literal(self, fake):
+        decoded = decode_message(b'{"cmax": Infinity}\n')
+        assert decoded["cmax"] == math.inf
+        assert "loads" in fake.calls  # tried the fast path first
+
+    def test_decode_invalid_json_still_protocol_error(self, fake):
+        with pytest.raises(ProtocolError):
+            decode_message(b"{nope\n")
+
+    def test_without_accelerator_everything_works(self, monkeypatch):
+        monkeypatch.setattr(protocol, "_orjson", None)
+        payload = {"a": [1.0, math.inf], "b": "x"}
+        assert decode_message(encode_message(payload)) == payload
+
+
+# --------------------------------------------------------------------------- #
+# framing registry
+# --------------------------------------------------------------------------- #
+def _len_json_framing(name="len-json") -> Framing:
+    """Length-prefixed JSON: exercises the binary frame path sans msgpack."""
+
+    def decode_body(body: bytes):
+        try:
+            obj = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"bad len-json body: {exc}") from None
+        if not isinstance(obj, dict):
+            raise ProtocolError("len-json frame must decode to an object")
+        return obj
+
+    return Framing(
+        name,
+        encode_body=lambda payload: json.dumps(payload).encode(),
+        decode_body=decode_body,
+    )
+
+
+@pytest.fixture
+def len_json():
+    framing = register_framing(_len_json_framing())
+    try:
+        yield framing
+    finally:
+        protocol._FRAMINGS.pop(framing.name, None)
+
+
+class TestFramingRegistry:
+    def test_default_framing_always_first(self):
+        names = available_framings()
+        assert names[0] == DEFAULT_FRAMING
+
+    def test_msgpack_advertised_only_when_importable(self):
+        try:
+            import msgpack  # noqa: F401
+
+            assert "msgpack" in available_framings()
+        except ImportError:
+            assert "msgpack" not in available_framings()
+            # Registered but unavailable: negotiation degrades to default.
+            assert choose_framing(["msgpack"]).name == DEFAULT_FRAMING
+
+    def test_duplicate_registration_rejected(self, len_json):
+        with pytest.raises(ValueError, match="already registered"):
+            register_framing(_len_json_framing())
+        register_framing(_len_json_framing(), replace=True)  # explicit override ok
+
+    def test_unknown_framing_lookup(self):
+        with pytest.raises(ProtocolError, match="unknown framing"):
+            get_framing("carrier-pigeon")
+
+    def test_choose_framing_prefers_first_available(self, len_json):
+        assert choose_framing(["carrier-pigeon", "len-json", "json"]).name == "len-json"
+        assert choose_framing([]).name == DEFAULT_FRAMING
+        assert choose_framing([42, None]).name == DEFAULT_FRAMING
+
+    def test_choose_framing_rejects_non_list(self):
+        with pytest.raises(ProtocolError):
+            choose_framing("json")
+
+    def test_length_prefixed_frame_layout(self, len_json):
+        frame = len_json.encode({"a": 1})
+        (length,) = FRAME_HEADER.unpack(frame[: FRAME_HEADER.size])
+        body = frame[FRAME_HEADER.size:]
+        assert length == len(body)
+        assert len_json.decode_body(body) == {"a": 1}
+
+    def test_negotiate_request_builder(self):
+        payload = negotiate_request(["msgpack", "json"], request_id=7)
+        assert payload == {"op": "negotiate", "framings": ["msgpack", "json"], "id": 7}
+
+
+# --------------------------------------------------------------------------- #
+# negotiation over a live TCP server
+# --------------------------------------------------------------------------- #
+class TestNegotiationTCP:
+    def _serve(self):
+        return SolverService(workers=1)
+
+    def test_negotiate_switch_and_solve(self, inst, len_json):
+        async def scenario():
+            async with self._serve() as svc:
+                server = await serve_tcp(svc, port=0)
+                port = server.sockets[0].getsockname()[1]
+                client = await ServiceClient.connect(port=port)
+                try:
+                    pong = await client.ping()
+                    assert "len-json" in pong["framings"]
+                    assert client.framing == DEFAULT_FRAMING
+
+                    name = await client.negotiate(["len-json"])
+                    assert name == "len-json"
+                    assert client.framing == "len-json"
+
+                    # Full request/response over the binary framing.
+                    payload = await client.solve(inst, "lpt")
+                    direct = solve(inst, "lpt", cache=False)
+                    assert payload["cmax"] == direct.cmax
+                    assert payload["mmax"] == direct.mmax
+                    assert dict(map(tuple, payload["assignment"])) == \
+                        direct.schedule.assignment
+
+                    # Ping flows over the new framing too.
+                    pong = await client.ping()
+                    assert pong["pong"] is True
+
+                    # And the connection can negotiate back down to JSON.
+                    assert await client.negotiate(["json"]) == "json"
+                    assert (await client.ping())["pong"] is True
+                finally:
+                    await client.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_unavailable_preference_degrades_to_json(self, inst):
+        async def scenario():
+            async with self._serve() as svc:
+                server = await serve_tcp(svc, port=0)
+                port = server.sockets[0].getsockname()[1]
+                client = await ServiceClient.connect(port=port)
+                try:
+                    name = await client.negotiate(["carrier-pigeon"])
+                    assert name == DEFAULT_FRAMING
+                    assert client.framing == DEFAULT_FRAMING
+                    assert (await client.solve(inst, "lpt"))["feasible"]
+                finally:
+                    await client.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_old_client_untouched_by_negotiating_peer(self, inst, len_json):
+        async def scenario():
+            async with self._serve() as svc:
+                server = await serve_tcp(svc, port=0)
+                port = server.sockets[0].getsockname()[1]
+                modern = await ServiceClient.connect(port=port)
+                legacy_reader, legacy_writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                try:
+                    await modern.negotiate(["len-json"])
+                    # The legacy connection still speaks raw line JSON.
+                    from repro.service.protocol import solve_request
+
+                    request = solve_request(inst, "lpt", request_id="legacy-1")
+                    legacy_writer.write((json.dumps(request) + "\n").encode())
+                    await legacy_writer.drain()
+                    line = await legacy_reader.readline()
+                    response = json.loads(line)
+                    assert response["ok"] and response["id"] == "legacy-1"
+                    # Meanwhile the negotiated connection works in parallel.
+                    assert (await modern.solve(inst, "lpt"))["feasible"]
+                finally:
+                    legacy_writer.close()
+                    await modern.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_solve_payload_with_negotiate_substring_not_intercepted(self, len_json):
+        # A request merely *containing* the word must go to the normal
+        # handler (the sniff is an optimization, not a parser).
+        async def scenario():
+            async with self._serve() as svc:
+                server = await serve_tcp(svc, port=0)
+                port = server.sockets[0].getsockname()[1]
+                client = await ServiceClient.connect(port=port)
+                try:
+                    inst2 = Instance.from_lists(
+                        p=[1, 2], s=[1, 1], m=1, name="negotiate-me"
+                    )
+                    payload = await client.solve(inst2, "lpt")
+                    assert payload["feasible"]
+                    assert client.framing == DEFAULT_FRAMING
+                finally:
+                    await client.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+
+class TestFramingAvailabilityProbe:
+    def test_probe_failure_means_unavailable(self):
+        def boom():
+            raise RuntimeError("probe exploded")
+
+        framing = Framing("probed", lambda p: b"", lambda b: {}, probe=boom)
+        assert framing.available is False
+
+    def test_probe_true_means_available(self):
+        framing = Framing("probed", lambda p: b"", lambda b: {}, probe=lambda: True)
+        assert framing.available is True
