@@ -1,17 +1,23 @@
-"""Cluster benchmark: warm throughput scaling across backend shards.
+"""Cluster benchmark: warm throughput scaling and crash failover.
 
 Drives a live :class:`~repro.cluster.ClusterRouter` over real
-``repro serve`` subprocess shards sharing one read-through
-:class:`~repro.solvers.DiskCache`, twice per shard count:
+``repro serve`` subprocess shards, each with its own read-through
+:class:`~repro.solvers.DiskCache` subdirectory (cache affinity comes
+from rendezvous routing, not shared storage), twice per shard count:
 
 1. a **cold** pass — a mixed-spec request stream with natural repeats,
    computed in the shards' worker pools (identical concurrent requests
-   coalesce per shard; the shared cache fills);
-2. a **warm** pass — the same requests again, all served from the shared
-   cache *through the shards* (the router forwards everything; it keeps
-   no cache of its own), which is the steady-state serving hot path.
+   coalesce per shard; each shard's cache fills with the keys it owns);
+2. a **warm** pass — the same requests again, all served from the
+   per-shard caches *through the shards* (the router's own read-through
+   tier is disabled for the bench so every request exercises the
+   routing + shard path), which is the steady-state serving hot path;
 
-The same workload runs on a 1-shard and a 4-shard cluster.  Asserted
+plus one **failover** pass: a windowed streaming session pinned to a
+shard that is SIGKILLed mid-stream — the router's arrival journal
+replays it onto a survivor and the stream continues.
+
+The scaling workload runs on a 1-shard and a 4-shard cluster.  Asserted
 acceptance criteria:
 
 * **zero lost requests** on every pass (each client receives exactly one
@@ -19,6 +25,9 @@ acceptance criteria:
   accounts every forward);
 * every response **bit-identical to a direct ``solve()``** of the same
   (instance, spec) pair — at both shard counts;
+* the killed-mid-stream session **replays with zero loss**: exactly one
+  journal replay, every placement and the final objectives bit-identical
+  to an uninterrupted single-scheduler run;
 * **warm throughput at 4 shards >= 2.5x the 1-shard throughput** — the
   horizontal-scale criterion.  Shards are separate processes, so the
   speedup needs real cores: the floor is asserted when the machine has
@@ -47,6 +56,7 @@ import time
 from pathlib import Path
 
 from repro.cluster import ClusterConfig, ClusterRouter
+from repro.online import create_online, stochastic_trace
 from repro.service.protocol import solve_request
 from repro.solvers import solve
 from repro.workloads.independent import workload_suite
@@ -122,6 +132,10 @@ async def run_scenario(shards: int, requests, instances, truth) -> dict:
         config = ClusterConfig(
             shards=shards, min_shards=1, max_shards=max(SHARD_COUNTS),
             backend="process", workers=1, cache=cache_dir,
+            # The router's own read-through tier would absorb the warm pass
+            # before it ever reached a shard; the bench measures the
+            # routing + shard path, so it stays off here.
+            router_cache=0,
         )
         async with ClusterRouter(config) as router:
             await warm_up(router, instances)
@@ -156,6 +170,75 @@ async def run_scenario(shards: int, requests, instances, truth) -> dict:
     }
 
 
+async def run_failover_scenario(n_events: int = 40) -> dict:
+    """Kill the shard pinned under a mid-stream session; journal replays it.
+
+    The acceptance half of the bench: a windowed streaming session (every
+    4th line unacked, including the one in flight at the kill) pinned to
+    a real subprocess shard that gets SIGKILLed half way through.  The
+    router's arrival journal must replay the session onto a survivor with
+    every placement and the final objectives bit-identical to an
+    uninterrupted single-scheduler run, and zero lost requests anywhere.
+    """
+    events = list(stochastic_trace(n=n_events, m=4, seed=2))
+    cut = len(events) // 2
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as cache_dir:
+        config = ClusterConfig(
+            shards=3, min_shards=1, max_shards=4,
+            backend="process", workers=1, cache=cache_dir,
+        )
+        async with ClusterRouter(config) as router:
+            start = time.perf_counter()
+            opened = await router.handle({
+                "op": "session_open", "spec": "online_sbo(delta=1.0)", "m": 4})
+            sid = opened["session"]
+            placements: list = []
+
+            async def submit(event, acked: bool):
+                request = {"op": "session_submit", "session": sid,
+                           "task": {"id": event.task.id, "p": event.task.p,
+                                    "s": event.task.s}}
+                if not acked:
+                    request["ack"] = False
+                ack = await router.handle(request)
+                if ack is not None:
+                    assert ack.get("ok"), ack
+                    placements.extend(map(tuple, ack["placements"]))
+
+            for i, event in enumerate(events[:cut]):
+                await submit(event, acked=i % 4 != 2)
+            await router.shard(opened["shard"]).kill()  # SIGKILL, mid-stream
+            for i, event in enumerate(events[cut:]):
+                await submit(event, acked=i % 4 != 1)
+            result = await router.handle({"op": "session_result", "session": sid})
+            elapsed = time.perf_counter() - start
+            stats = await router.stats()
+
+    local = create_online("online_sbo(delta=1.0)", m=4)
+    expected_placements = [(e.task.id, local.submit(e.task)) for e in events]
+    expected = local.finalize()
+    bit_identical = (
+        placements == expected_placements
+        and result.get("ok")
+        and result["result"]["cmax"] == expected.cmax
+        and result["result"]["mmax"] == expected.mmax
+        and dict(map(tuple, result["result"]["assignment"]))
+        == expected.schedule.assignment
+    )
+    assert bit_identical, "failover replay diverged from the uninterrupted run"
+    assert stats.lost == 0, f"failover pass lost requests: {stats.totals}"
+    assert stats.router["sessions_lost"] == 0, stats.router
+    assert stats.router["sessions_replayed"] == 1, stats.router
+    return {
+        "events": len(events),
+        "elapsed_s": elapsed,
+        "replayed": stats.router["sessions_replayed"],
+        "sessions_lost": stats.router["sessions_lost"],
+        "lost": stats.lost,
+        "bit_identical": bit_identical,
+    }
+
+
 def run_cluster_benchmark(total_requests: int = TOTAL_REQUESTS) -> dict:
     requests, instances = build_requests(total_requests)
     truth = {
@@ -167,9 +250,11 @@ def run_cluster_benchmark(total_requests: int = TOTAL_REQUESTS) -> dict:
         scenarios[shards] = asyncio.run(
             run_scenario(shards, requests, instances, truth)
         )
+    failover = asyncio.run(run_failover_scenario())
     base, wide = scenarios[SHARD_COUNTS[0]], scenarios[SHARD_COUNTS[-1]]
     return {
         "benchmark": "cluster",
+        "failover": failover,
         "requests": total_requests,
         "clients": CLIENTS,
         "unique_jobs": len(truth),
@@ -198,6 +283,11 @@ def _print_report(report: dict) -> None:
     print(f"warm scaling {report['shard_counts'][-1]} vs {report['shard_counts'][0]}"
           f"  : {report['warm_scaling']:.2f}x "
           f"(cold {report['cold_scaling']:.2f}x)")
+    failover = report["failover"]
+    print(f"failover            : {failover['events']} events, kill mid-stream, "
+          f"{failover['replayed']} journal replay, lost {failover['lost']}, "
+          f"bit-identical {failover['bit_identical']} "
+          f"({failover['elapsed_s']:.2f}s)")
     if not report["scaling_enforced"]:
         print(f"scaling floor waived: only {report['cpu_count']} CPU(s); "
               f"needs >= {MIN_CPUS_FOR_SCALING} for real shard parallelism")
@@ -206,6 +296,9 @@ def _print_report(report: dict) -> None:
 def _assert_criteria(report: dict) -> None:
     for shards in report["shard_counts"]:
         assert report["scenarios"][str(shards)]["lost"] == 0
+    failover = report["failover"]
+    assert failover["lost"] == 0 and failover["sessions_lost"] == 0
+    assert failover["replayed"] == 1 and failover["bit_identical"]
     if report["scaling_enforced"]:
         assert report["warm_scaling"] >= MIN_SCALING, (
             f"warm throughput at {report['shard_counts'][-1]} shards only "
@@ -241,7 +334,8 @@ if __name__ == "__main__":
     if args.json != "-":
         write_summary(report, Path(args.json))
         print(f"summary written to {args.json}")
-    print("acceptance criteria (zero lost, bit-identical, "
+    print("acceptance criteria (zero lost, bit-identical, kill-mid-session "
+          "replayed from the journal, "
           f">= {MIN_SCALING}x warm scaling on >= {MIN_CPUS_FOR_SCALING} CPUs): PASS",
           flush=True)
     sys.exit(0)

@@ -402,6 +402,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             shards=args.shards,
             min_shards=args.min_shards,
             max_shards=args.max_shards,
+            attach=tuple(args.attach or ()),
+            probe_interval=args.probe_interval,
+            probe_failures=args.probe_failures,
             backend=args.backend,
             workers=args.workers,
             max_pending=args.max_pending,
@@ -439,6 +442,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 f"workers={config.workers}/shard, "
                 f"scale=[{config.min_shards},{config.max_shards}] "
                 f"@ queue {config.scale_down_at:g}..{config.scale_up_at:g})"
+                + (f", attached={len(config.attach)}" if config.attach else "")
                 + (f", cache={args.cache}" if args.cache else "")
                 + (f", tenants={len(config.tenants)}"
                    if config.tenants is not None else ""),
@@ -643,7 +647,18 @@ def build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--port", type=int, default=8373,
                      help="TCP port of the cluster front end (0 picks a free one)")
     clu.add_argument("--shards", type=int, default=2,
-                     help="initial number of backend shards")
+                     help="initial number of local backend shards (0 allowed "
+                          "when --attach supplies the capacity)")
+    clu.add_argument("--attach", action="append", default=None,
+                     metavar="HOST:PORT",
+                     help="attach an already-running repro-serve at HOST:PORT "
+                          "as a remote shard (repeatable; never spawned, "
+                          "never retired, health-checked by periodic pings)")
+    clu.add_argument("--probe-interval", type=float, default=2.0,
+                     help="seconds between health probes of attached remote shards")
+    clu.add_argument("--probe-failures", type=int, default=3,
+                     help="consecutive failed probes before a remote shard "
+                          "is declared dead")
     clu.add_argument("--min-shards", type=int, default=1,
                      help="autoscaler lower bound on the shard count")
     clu.add_argument("--max-shards", type=int, default=8,
@@ -669,8 +684,9 @@ def build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--timeout", type=float, default=None,
                      help="per-shard default request timeout in seconds")
     clu.add_argument("--cache", default=None, metavar="DIR",
-                     help="shared read-through cache directory (all shards; strongly "
-                          "recommended — without it every shard recomputes alone)")
+                     help="read-through cache directory (each local shard gets "
+                          "its own subdirectory; the router adds its own cache "
+                          "tier on top — strongly recommended)")
     clu.add_argument("--auto-timeouts", action="store_true",
                      help="derive per-solver-family timeouts on every shard")
     clu.add_argument("--max-sessions", type=int, default=64,

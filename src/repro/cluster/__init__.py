@@ -9,8 +9,13 @@ scale" seam:
   shards, retry-on-shard-loss, pinned streaming sessions with
   bit-identical cross-shard handoff, merged cluster stats;
 * :mod:`repro.cluster.backend` — shard handles: ``repro serve``
-  subprocesses (:class:`ProcessShard`) or embedded services
-  (:class:`InprocShard`), interchangeable behind one interface;
+  subprocesses (:class:`ProcessShard`), embedded services
+  (:class:`InprocShard`), or already-running remote hosts attached by
+  address (:class:`RemoteShard`, health-checked by periodic pings),
+  interchangeable behind one interface;
+* :mod:`repro.cluster.journal` — :class:`SessionJournal`, the
+  router-side arrival journal that makes a pinned-shard crash a
+  bit-identical replay onto a survivor instead of a lost session;
 * :mod:`repro.cluster.routing` — content-addressed routing keys and
   rendezvous hashing (minimal remapping under scaling);
 * :mod:`repro.cluster.autoscaler` — :class:`Autoscaler` /
@@ -43,9 +48,21 @@ works unchanged.
 from __future__ import annotations
 
 from repro.cluster.autoscaler import Autoscaler, AutoscalerPolicy
-from repro.cluster.backend import InprocShard, ProcessShard, ShardHandle, ShardStartError
+from repro.cluster.backend import (
+    InprocShard,
+    ProcessShard,
+    RemoteShard,
+    ShardHandle,
+    ShardStartError,
+)
 from repro.cluster.config import ClusterConfig
-from repro.cluster.router import ClusterError, ClusterRouter, NoShardAvailableError
+from repro.cluster.journal import SessionJournal
+from repro.cluster.router import (
+    ClusterError,
+    ClusterRouter,
+    NoShardAvailableError,
+    SessionLostError,
+)
 from repro.cluster.routing import rank, request_key, route
 from repro.cluster.stats import ClusterStats, merge_shard_stats
 
@@ -55,11 +72,14 @@ __all__ = [
     "ClusterStats",
     "ClusterError",
     "NoShardAvailableError",
+    "SessionLostError",
     "Autoscaler",
     "AutoscalerPolicy",
     "ShardHandle",
     "InprocShard",
     "ProcessShard",
+    "RemoteShard",
+    "SessionJournal",
     "ShardStartError",
     "request_key",
     "route",

@@ -27,6 +27,13 @@ Two layers, split so the interesting part is a pure function:
   :meth:`~repro.cluster.router.ClusterRouter.remove_shard`: excluded
   from routing, sessions handed off, in-flight jobs drained into the
   shared cache, then stopped.
+
+Attached :class:`~repro.cluster.backend.RemoteShard` instances are
+*supervised but never spawned*: a remote that stops answering probes is
+reaped like any dead shard (and, below ``min_shards``, its capacity is
+replaced by spawning a **local** shard — the router can never conjure a
+process on another host), but scale-down never selects a remote victim
+and scale-up never attaches one.
 """
 
 from __future__ import annotations
@@ -147,10 +154,16 @@ class Autoscaler:
 
         Newest-on-ties keeps the long-lived shards stable, so the bulk of
         the rendezvous keyspace (and the coalescing/cache locality built
-        on it) stays put across a down-up-down oscillation.
+        on it) stays put across a down-up-down oscillation.  Attached
+        remote shards (``spawned == False``) are never victims: the
+        router does not own their capacity, so scale-down cannot spend it
+        — detaching is an operator decision, not a load decision.
         """
-        names = self.router.shard_names(include_draining=False)
-        if len(names) <= 1:
+        names = [
+            name for name in self.router.shard_names(include_draining=False)
+            if getattr(self.router.shard(name), "spawned", True)
+        ]
+        if not names or len(self.router.shard_names(include_draining=False)) <= 1:
             return None
         return min(
             names,

@@ -15,6 +15,12 @@ two implementations are interchangeable:
   loop and calls :func:`~repro.service.server.handle_request` directly.
   No subprocess, no sockets: cheap, deterministic, ideal for tests and
   quickstarts, with identical protocol semantics.
+* :class:`RemoteShard` — the multi-host shape: *attaches* to an
+  already-running ``repro serve`` at ``host:port`` instead of spawning
+  one.  The router does not own the remote process, so ``stop()`` and
+  ``kill()`` only sever the connection — never send ``shutdown`` — and
+  liveness is established by periodic ``ping`` probes rather than a
+  child-process returncode.
 
 Transport-level failures (the shard process died, the connection
 dropped) surface as :class:`ConnectionError` from :meth:`ShardHandle.request`
@@ -32,7 +38,13 @@ import re
 import sys
 from typing import Dict, List, Optional
 
-__all__ = ["ShardHandle", "InprocShard", "ProcessShard", "ShardStartError"]
+__all__ = [
+    "ShardHandle",
+    "InprocShard",
+    "ProcessShard",
+    "RemoteShard",
+    "ShardStartError",
+]
 
 #: Seconds a spawning ``repro serve`` subprocess gets to print its
 #: listening banner before the spawn is declared failed.
@@ -53,6 +65,12 @@ class ShardHandle(abc.ABC):
     replacement shard (a new shard gets a new name, so routing state
     never aliases a dead backend).
     """
+
+    #: True for shards whose process the router owns (spawned locally).
+    #: Attached :class:`RemoteShard` instances override this with False:
+    #: the autoscaler supervises them (dead-reap) but never retires them
+    #: to scale down and never "replaces" one by spawning a local process.
+    spawned = True
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -171,8 +189,12 @@ class ProcessShard(ShardHandle):
         session_ttl: Optional[float] = 300.0,
         auto_timeouts: bool = False,
         host: str = "127.0.0.1",
+        stop_timeout: float = 10.0,
     ) -> None:
         super().__init__(name)
+        # Orderly-shutdown budget (``ClusterConfig.drain_timeout``): bounds
+        # both the ``shutdown`` round-trip and the SIGTERM exit wait.
+        self._stop_timeout = float(stop_timeout)
         self._argv = [
             sys.executable, "-m", "repro", "serve",
             "--host", host, "--port", "0",
@@ -274,7 +296,8 @@ class ProcessShard(ShardHandle):
         if self.alive:
             try:
                 await asyncio.wait_for(
-                    self._client.request_raw({"op": "shutdown"}), timeout=10.0
+                    self._client.request_raw({"op": "shutdown"}),
+                    timeout=self._stop_timeout,
                 )
             except (ConnectionError, OSError, asyncio.TimeoutError):
                 pass
@@ -320,7 +343,7 @@ class ProcessShard(ShardHandle):
         if proc.returncode is None:
             if graceful:
                 self._signal_group(signal.SIGTERM)
-                if not await self._wait_exit(proc, 10.0):  # pragma: no cover
+                if not await self._wait_exit(proc, self._stop_timeout):  # pragma: no cover
                     self._signal_group(signal.SIGKILL)
                     await self._wait_exit(proc, 10.0)
             else:
@@ -358,3 +381,110 @@ class ProcessShard(ShardHandle):
     def stderr_tail(self) -> List[str]:
         """Last stderr lines of the subprocess (diagnostics)."""
         return list(self._stderr_tail)
+
+
+class RemoteShard(ShardHandle):
+    """A shard on another host, attached by ``host:port`` rather than spawned.
+
+    The remote ``repro serve`` belongs to somebody else — another box,
+    another supervisor.  This handle therefore owns only the *connection*:
+    ``start()`` connects, ``stop()``/``kill()`` sever (never a ``shutdown``
+    request), and death is detected by the router's periodic :meth:`probe`
+    on the wire-level ``ping`` op rather than by a child returncode.
+
+    Each remote host runs against its **own** cache directory — there is
+    no shared filesystem to assume.  Cross-host cache coherence comes
+    from routing, not storage: rendezvous hashing sends a given request
+    key to one shard, so one host's cache sees every repeat of the keys
+    it owns (see the affinity note in ``router.py``).
+    """
+
+    spawned = False
+
+    def __init__(self, name: str, host: str, port: int) -> None:
+        super().__init__(name)
+        self.host = host
+        self.port = int(port)
+        self._client = None
+        self._severed = False
+        #: Consecutive failed probes; reset to zero by any success.  The
+        #: router marks the shard dead once this crosses
+        #: ``ClusterConfig.probe_failures``.
+        self.probe_failures = 0
+        #: The last ``load`` summary a successful probe brought back.
+        self.last_load: Optional[Dict[str, object]] = None
+
+    @classmethod
+    def parse(cls, name: str, address: str) -> "RemoteShard":
+        """Build a handle from a CLI-style ``host:port`` address."""
+        host, sep, port = str(address).rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise ValueError(
+                f"invalid shard address {address!r} (expected host:port)"
+            )
+        return cls(name, host, int(port))
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        from repro.service.client import ServiceClient
+
+        try:
+            self._client = await ServiceClient.connect(self.host, self.port)
+        except OSError as exc:
+            raise ShardStartError(
+                f"shard {self.name}: connect to {self.address} failed: {exc}"
+            ) from None
+        self._severed = False
+
+    @property
+    def alive(self) -> bool:
+        return self._client is not None and not self._severed
+
+    async def request(self, payload: Dict[str, object]) -> Dict[str, object]:
+        if not self.alive:
+            raise ConnectionError(f"shard {self.name} is down")
+        return await self._client.request_raw(payload)
+
+    async def send(self, payload: Dict[str, object]) -> None:
+        if not self.alive:
+            raise ConnectionError(f"shard {self.name} is down")
+        await self._client.send(payload)
+
+    async def probe(self, timeout: float) -> Dict[str, object]:
+        """One health probe: ``ping`` with a deadline.
+
+        Success resets the failure streak and caches the response's
+        ``load`` summary; failure (timeout or transport loss) increments
+        the streak and raises ``ConnectionError`` so callers share the
+        router's usual dead-shard vocabulary.
+        """
+        try:
+            response = await asyncio.wait_for(
+                self.request({"op": "ping"}), timeout=timeout
+            )
+        except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+            self.probe_failures += 1
+            raise ConnectionError(
+                f"shard {self.name}: probe failed: {exc}"
+            ) from None
+        self.probe_failures = 0
+        load = response.get("load")
+        if isinstance(load, dict):
+            self.last_load = load
+        return response
+
+    async def stop(self) -> None:
+        # Not ours to shut down: detaching must leave the remote serving.
+        await self._sever()
+
+    async def kill(self) -> None:
+        await self._sever()
+
+    async def _sever(self) -> None:
+        self._severed = True
+        if self._client is not None:
+            client, self._client = self._client, None
+            await client.close()

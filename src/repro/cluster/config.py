@@ -9,22 +9,35 @@ their hysteresis, the graceful-drain budget, the backend kind
 embeds :class:`~repro.service.SolverService` instances in the router's
 loop — cheap and deterministic for tests), and the per-shard
 :class:`~repro.service.ServiceConfig` knobs every backend is started
-with.  ``cache`` should name a directory shared by all shards (the
-common read-through tier); process backends *require* a directory — an
-in-memory cache cannot span processes.
+with.  ``cache`` names the read-through tier; process backends require
+a directory — an in-memory cache cannot span processes.  By default
+(``cache_layout="per-shard"``) each spawned shard gets its **own**
+subdirectory of it, matching the multi-host reality that attached
+:class:`~repro.cluster.backend.RemoteShard` hosts never share a
+filesystem; cross-shard reuse comes from rendezvous routing affinity
+plus the router's own cache tier (``router_cache``), not from shared
+storage.  ``attach`` lists remote ``host:port`` shards joined at start,
+health-checked every ``probe_interval`` seconds and declared dead after
+``probe_failures`` consecutive failed probes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Sequence, Tuple
 
-__all__ = ["ClusterConfig", "BACKEND_KINDS"]
+__all__ = ["ClusterConfig", "BACKEND_KINDS", "CACHE_LAYOUTS"]
 
 #: Accepted ``backend`` values: ``"process"`` spawns one ``repro serve``
 #: subprocess per shard (the production shape); ``"inproc"`` embeds the
 #: backend services in the router's own event loop (tests, quickstarts).
 BACKEND_KINDS = ("process", "inproc")
+
+#: Accepted ``cache_layout`` values: ``"per-shard"`` gives every spawned
+#: process shard its own subdirectory of ``cache`` (the multi-host-safe
+#: default); ``"shared"`` keeps the pre-multi-host behavior of one
+#: directory for every local shard.
+CACHE_LAYOUTS = ("shared", "per-shard")
 
 
 @dataclass(frozen=True)
@@ -34,7 +47,19 @@ class ClusterConfig:
     Attributes
     ----------
     shards:
-        Initial number of backend shards started with the router.
+        Initial number of *local* backend shards started with the router
+        (``0`` is allowed when ``attach`` supplies the capacity).
+    attach:
+        Remote shards to attach at start — ``host:port`` addresses of
+        already-running ``repro serve`` instances, joined as
+        :class:`~repro.cluster.backend.RemoteShard` handles.  Attached
+        shards count toward ``min_shards``/``max_shards`` but are never
+        spawned, retired, or shut down by the router.
+    probe_interval / probe_failures:
+        Remote health checking: every ``probe_interval`` seconds the
+        router pings each attached shard; ``probe_failures`` consecutive
+        failures mark it dead (reaped through the usual dead-shard path,
+        journaled sessions replayed onto survivors).
     min_shards / max_shards:
         Bounds the autoscaler (and manual scaling) must respect.
     backend:
@@ -45,9 +70,25 @@ class ClusterConfig:
     max_pending / backpressure / default_timeout:
         Forwarded into every shard's :class:`~repro.service.ServiceConfig`.
     cache:
-        Shared read-through cache: a directory path (required for
-        process backends) or a cache object (inproc backends only).
-        ``None``/``False`` disables the shared tier.
+        Read-through cache: a directory path (required for process
+        backends) or a cache object (inproc backends only).
+        ``None``/``False`` disables the tier.
+    cache_layout:
+        ``"per-shard"`` (default) gives each spawned process shard its
+        own subdirectory of ``cache`` — no shard ever assumes another
+        host's filesystem; ``"shared"`` restores the old one-directory
+        layout for single-box deployments.  Inproc backends always share
+        the in-memory cache object (one process *is* one host).
+    router_cache:
+        Capacity (entries) of the router's own read-through solve-cache
+        tier, consulted before routing; ``0`` disables it.  With
+        per-host caches this tier plus rendezvous affinity is what makes
+        a repeated request cheap no matter which client asks.
+    session_journal:
+        When true (default) the router keeps a bounded arrival journal
+        (:mod:`repro.cluster.journal`) for every pinned session so a
+        shard crash replays the session onto a survivor bit-identically;
+        false restores the pre-journal behavior (crash ⇒ session lost).
     max_sessions / max_session_tasks / session_ttl:
         Per-shard streaming-session bounds (the cluster-wide session
         capacity is the sum over shards).
@@ -84,6 +125,9 @@ class ClusterConfig:
     shards: int = 2
     min_shards: int = 1
     max_shards: int = 8
+    attach: Sequence[str] = ()
+    probe_interval: float = 2.0
+    probe_failures: int = 3
     backend: str = "process"
     workers: int = 1
     max_pending: int = 64
@@ -91,6 +135,9 @@ class ClusterConfig:
     default_timeout: Optional[float] = None
     spec_timeouts: Mapping[str, float] = field(default_factory=dict)
     cache: object = None
+    cache_layout: str = "per-shard"
+    router_cache: int = 2048
+    session_journal: bool = True
     max_sessions: int = 64
     max_session_tasks: int = 1_000_000
     session_ttl: Optional[float] = 300.0
@@ -113,10 +160,18 @@ class ClusterConfig:
                 f"max_shards ({self.max_shards}) must be >= min_shards "
                 f"({self.min_shards})"
             )
-        if not self.min_shards <= self.shards <= self.max_shards:
+        object.__setattr__(self, "attach", self._normalized_attach())
+        if self.shards < 0 or (self.shards == 0 and not self.attach):
             raise ValueError(
-                f"shards ({self.shards}) must lie in "
-                f"[min_shards={self.min_shards}, max_shards={self.max_shards}]"
+                f"shards ({self.shards}) must be >= 1 "
+                f"(0 is allowed only with attached remote shards)"
+            )
+        initial = self.shards + len(self.attach)
+        if not self.min_shards <= initial <= self.max_shards:
+            raise ValueError(
+                f"shards ({self.shards}) plus attached ({len(self.attach)}) "
+                f"must lie in [min_shards={self.min_shards}, "
+                f"max_shards={self.max_shards}]"
             )
         if self.backend not in BACKEND_KINDS:
             raise ValueError(
@@ -139,6 +194,23 @@ class ClusterConfig:
             raise ValueError(
                 f"solve_retries must be >= 0 or None, got {self.solve_retries}"
             )
+        if self.probe_interval <= 0:
+            raise ValueError(
+                f"probe_interval must be > 0, got {self.probe_interval}"
+            )
+        if self.probe_failures < 1:
+            raise ValueError(
+                f"probe_failures must be >= 1, got {self.probe_failures}"
+            )
+        if self.cache_layout not in CACHE_LAYOUTS:
+            raise ValueError(
+                f"cache_layout must be one of {CACHE_LAYOUTS}, "
+                f"got {self.cache_layout!r}"
+            )
+        if self.router_cache < 0:
+            raise ValueError(
+                f"router_cache must be >= 0, got {self.router_cache}"
+            )
         # Same normalization as ServiceConfig: the tenants source (path /
         # mapping / registry) becomes a validated registry at construction.
         from repro.qos.fairshare import POLICY_NAMES
@@ -153,6 +225,22 @@ class ClusterConfig:
         )
         if self.tenants is not None:
             object.__setattr__(self, "default_tenant", self.tenants.default)
+
+    def _normalized_attach(self) -> Tuple[str, ...]:
+        """``attach`` as a validated tuple of ``host:port`` strings."""
+        source = self.attach
+        if isinstance(source, str):
+            source = (source,)
+        addresses = []
+        for entry in source or ():
+            address = str(entry).strip()
+            host, sep, port = address.rpartition(":")
+            if not sep or not host or not port.isdigit() or not 0 < int(port) < 65536:
+                raise ValueError(
+                    f"attach entry {entry!r} is not a host:port address"
+                )
+            addresses.append(f"{host}:{int(port)}")
+        return tuple(addresses)
 
     def with_overrides(self, **overrides: object) -> "ClusterConfig":
         """A copy of this config with ``overrides`` applied (re-validated)."""

@@ -23,15 +23,37 @@ Request paths:
   is what makes :meth:`session_handoff` safe: export the ledger from the
   source shard, restore-by-verified-replay on the target, repin, close
   the source copy — submissions queued during the migration simply land
-  on the new shard, bit-identically.
+  on the new shard, bit-identically.  When a pinned shard dies *without*
+  a handoff, the router's arrival journal
+  (:class:`~repro.cluster.journal.SessionJournal`, on by default) holds
+  a shadow of the session: the next op — or the dead-shard reaper —
+  replays it onto a survivor through the same verified
+  ``session_restore`` path, so a crash is a repin, not a loss.  Only
+  when the journal is disabled (or diverged) does the session die with
+  its shard, surfaced as :class:`SessionLostError` with the stable
+  ``error.code`` ``session_lost``.
 * ``stats`` — fanned out and merged (:mod:`repro.cluster.stats`),
   counters summed and family latency percentiles merged count-weighted,
   plus the router's own ledger (routed / retried / handoffs / shard
-  lifecycle).
+  lifecycle / journal replays / remote probes).
 
-All shards share one read-through :class:`~repro.solvers.cache.DiskCache`
-directory, so a result computed by any shard — including one that is
-later retired or crashes — is served warm by every other.
+**Cache affinity invariant.**  Shards do *not* share cache storage: by
+default every spawned shard gets its own cache subdirectory, and an
+attached :class:`~repro.cluster.backend.RemoteShard` is on another host
+entirely.  Cross-shard reuse is a property of *routing*, not storage —
+``request_key`` rendezvous-hashes identical solve requests to the same
+shard, so each key's repeats land where its result is already cached;
+on top of that the router keeps its own bounded read-through tier
+(``ClusterConfig.router_cache``) consulted before routing, which keeps
+repeats warm even across shard churn (a key remapped by a crash finds
+its result at the router without recomputing).  The one invariant to
+preserve when changing routing: *a given key must map to one routable
+shard at a time* — rendezvous hashing guarantees it for any live set.
+
+Attached remote shards are health-checked by a periodic ``ping`` probe
+(``probe_interval``); after ``probe_failures`` consecutive failures the
+remote is reaped through the same dead-shard path as a crashed local
+subprocess, and its journaled sessions replay onto survivors.
 """
 
 from __future__ import annotations
@@ -39,18 +61,34 @@ from __future__ import annotations
 import asyncio
 import itertools
 import time
+from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.cluster.backend import InprocShard, ProcessShard, ShardHandle, ShardStartError
+from repro.cluster.backend import (
+    InprocShard,
+    ProcessShard,
+    RemoteShard,
+    ShardHandle,
+    ShardStartError,
+)
 from repro.cluster.config import ClusterConfig
+from repro.cluster.journal import SessionJournal
 from repro.cluster.routing import rank, request_key
 from repro.cluster.stats import ClusterStats, merge_shard_stats
 from repro.qos.admission import AdmissionController
 from repro.qos.tenants import CLASS_URGENCY, QosError, TenantConfig
 from repro.service.protocol import PROTOCOL_VERSION, error_code_for, solve_request
 
-__all__ = ["ClusterRouter", "ClusterError", "NoShardAvailableError"]
+__all__ = [
+    "ClusterRouter",
+    "ClusterError",
+    "NoShardAvailableError",
+    "SessionLostError",
+]
+
+#: Closed-session tombstones kept for typed errors; oldest evicted first.
+_LOST_SESSION_TOMBSTONES = 4096
 
 
 class ClusterError(RuntimeError):
@@ -59,6 +97,19 @@ class ClusterError(RuntimeError):
 
 class NoShardAvailableError(ClusterError):
     """Every shard is dead or draining; the request cannot be placed."""
+
+
+class SessionLostError(ClusterError):
+    """A pinned session died with its shard and could not be replayed.
+
+    Carries the stable wire code ``session_lost`` (``error.code``), so
+    clients can distinguish "reopen and resubmit" from a mere unknown
+    session id.  Raised only when the journal is disabled, diverged, or
+    found no survivor — with the journal on, a crash is normally a
+    transparent replay instead.
+    """
+
+    code = "session_lost"
 
 
 def _error_response(
@@ -103,12 +154,35 @@ class ClusterRouter:
         #: lazy pin sweep so abandoned sessions cannot leak pins forever.
         self._session_touch: Dict[str, float] = {}
         self._session_seq = itertools.count(1)
+        # Per-counter balance invariant: every routing *decision* increments
+        # ``routed`` and ends in exactly one of ``completed`` (a shard
+        # response was relayed), ``retried`` (transport failure, the request
+        # re-decides), or ``lost`` (no shard / retry budget exhausted), so
+        # ``routed == completed + retried + lost`` holds at every quiescent
+        # point.
         self._counters: Dict[str, int] = {
             name: 0
-            for name in ("routed", "retried", "handoffs", "handoff_failures",
-                         "shards_started", "shards_retired", "shards_lost",
-                         "sessions_lost")
+            for name in ("routed", "completed", "retried", "lost",
+                         "handoffs", "handoff_failures",
+                         "shards_started", "shards_attached",
+                         "shards_retired", "shards_lost",
+                         "sessions_lost", "sessions_replayed", "replays_failed",
+                         "probes", "probe_failures",
+                         "router_cache_hits", "router_cache_misses")
         }
+        #: Arrival journal for crash-safe session failover (``None`` when
+        #: ``config.session_journal`` is off).
+        self._journal: Optional[SessionJournal] = (
+            SessionJournal(config.max_session_tasks)
+            if config.session_journal else None
+        )
+        #: Why a session id no longer routes (bounded FIFO of tombstones):
+        #: lets a later op on a lost session fail with the typed
+        #: ``session_lost`` code instead of a generic unknown-session error.
+        self._lost_sessions: "OrderedDict[str, str]" = OrderedDict()
+        #: The router's own read-through solve cache (LRU over request_key).
+        self._solve_cache: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._probe_task: Optional["asyncio.Task"] = None
         #: Cluster-wide QoS admission (``None`` when no tenants configured).
         #: Enforcement lives here, not on the shards: one controller whose
         #: slot capacity tracks ``routable shards x max_pending``, so quotas
@@ -133,6 +207,8 @@ class ClusterRouter:
         self._started = True
         try:
             await asyncio.gather(*(self.add_shard() for _ in range(self.config.shards)))
+            for address in self.config.attach:
+                await self.attach_shard(address)
         except ShardStartError:
             await self.close()
             raise
@@ -149,6 +225,13 @@ class ClusterRouter:
         if self._closed:
             return
         self._closed = True
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+            self._probe_task = None
         shards = list(self._shards.values())
         self._shards.clear()
         self._sessions.clear()
@@ -202,18 +285,28 @@ class ClusterRouter:
     def _make_shard(self, name: str) -> ShardHandle:
         config = self.config
         if config.backend == "inproc":
+            # One process is one host: inproc shards legitimately share the
+            # in-memory cache object regardless of cache_layout.
             return InprocShard(name, config.shard_service_config())
-        cache = config.cache
+        cache_dir: Optional[str] = None
+        if config.cache not in (None, False):
+            cache_dir = str(config.cache)
+            if config.cache_layout == "per-shard":
+                # Every shard owns its directory — the layout a remote host
+                # forces anyway, kept uniform for local spawns so no code
+                # path ever assumes cross-shard cache storage.
+                cache_dir = str(Path(cache_dir) / name)
         return ProcessShard(
             name,
             workers=config.workers,
             max_pending=config.max_pending,
             backpressure=config.backpressure,
             default_timeout=config.default_timeout,
-            cache_dir=str(cache) if cache not in (None, False) else None,
+            cache_dir=cache_dir,
             max_sessions=config.max_sessions,
             session_ttl=config.session_ttl,
             auto_timeouts=config.auto_timeouts,
+            stop_timeout=config.drain_timeout,
         )
 
     async def add_shard(self) -> ShardHandle:
@@ -238,6 +331,66 @@ class ClusterRouter:
         self._update_qos_capacity()
         return shard
 
+    async def attach_shard(self, address: str) -> ShardHandle:
+        """Attach an already-running ``repro serve`` at ``host:port``.
+
+        The remote joins the routing ring like any shard, but the router
+        does not own its process: detaching severs the connection, the
+        autoscaler never retires it to scale down, and its liveness is
+        established by the periodic probe loop (started here on first
+        attach) rather than a subprocess returncode.
+        """
+        if not self._started or self._closed:
+            raise ClusterError("cluster is not running")
+        if len(self.shard_names()) >= self.config.max_shards:
+            raise ClusterError(
+                f"cluster is at max_shards ({self.config.max_shards})"
+            )
+        name = f"remote-{next(self._shard_seq)}"
+        shard = RemoteShard.parse(name, address)
+        await shard.start()
+        self._shards[name] = shard
+        self._counters["shards_attached"] += 1
+        self._update_qos_capacity()
+        self._ensure_probe_task()
+        return shard
+
+    def _ensure_probe_task(self) -> None:
+        if self._probe_task is None or self._probe_task.done():
+            self._probe_task = asyncio.get_running_loop().create_task(
+                self._probe_loop()
+            )
+
+    async def _probe_loop(self) -> None:
+        while not self._closed:
+            await asyncio.sleep(self.config.probe_interval)
+            await self.probe_remotes()
+
+    async def probe_remotes(self) -> int:
+        """One probe round over the attached remotes; returns failures seen.
+
+        Probe state machine, per remote: every success resets its failure
+        streak; every failure (timeout or transport loss) increments it;
+        at ``config.probe_failures`` consecutive failures the remote is
+        reaped through :meth:`_mark_dead` — the same path a crashed local
+        subprocess takes — and any sessions pinned to it are replayed
+        from the journal (or surfaced lost) by :meth:`_recover_orphans`.
+        """
+        failures = 0
+        for shard in list(self._shards.values()):
+            if not isinstance(shard, RemoteShard) or not shard.alive:
+                continue
+            self._counters["probes"] += 1
+            try:
+                await shard.probe(timeout=self.config.probe_interval)
+            except ConnectionError:
+                failures += 1
+                self._counters["probe_failures"] += 1
+                if shard.probe_failures >= self.config.probe_failures:
+                    await self._mark_dead(shard)
+        await self._recover_orphans()
+        return failures
+
     async def remove_shard(self, name: str, drain: bool = True) -> None:
         """Gracefully retire one shard (the scale-down primitive).
 
@@ -261,18 +414,36 @@ class ClusterRouter:
                 outcome = await self.session_handoff(router_sid)
                 if not outcome.get("ok"):
                     self._counters["handoff_failures"] += 1
+                    # The shard is going away regardless, so a pin that
+                    # survived a failed handoff would point at a name that
+                    # no longer exists — the next op would hit an unknown
+                    # shard instead of a typed error.  Fail the session
+                    # over now: journal replay onto a survivor when
+                    # possible, an accounted ``session_lost`` otherwise.
+                    if (self._sessions.get(router_sid) or (None,))[0] == name:
+                        await self._failover_session(
+                            router_sid, exclude=name,
+                            reason=f"handoff failed while shard {name} retired",
+                        )
             try:
                 await shard.request({"op": "drain", "timeout": self.config.drain_timeout})
             except (ConnectionError, OSError):
                 pass
-        self._shards.pop(name, None)
-        self._update_qos_capacity()
-        if shard.alive:
-            await shard.stop()
-            self._counters["shards_retired"] += 1
+        if self._shards.get(name) is shard:
+            # Identity-checked pop: supervision (`reap_dead`/`_mark_dead`)
+            # may have reaped this very shard — or replaced the name —
+            # while the drain above awaited; popping blindly would drop
+            # the replacement or double-count the loss.
+            self._shards.pop(name)
+            self._update_qos_capacity()
+            if shard.alive:
+                await shard.stop()
+                self._counters["shards_retired"] += 1
+            else:
+                await shard.kill()
+                self._counters["shards_lost"] += 1
         else:
             await shard.kill()
-            self._counters["shards_lost"] += 1
 
     async def _mark_dead(self, shard: ShardHandle) -> None:
         """Reap a shard observed dead mid-request (the failure path)."""
@@ -283,10 +454,16 @@ class ClusterRouter:
         await shard.kill()
 
     async def reap_dead(self) -> int:
-        """Drop shards whose backend died silently; returns how many."""
+        """Drop shards whose backend died silently; returns how many.
+
+        Also the scheduled recovery point for sessions orphaned by any
+        earlier :meth:`_mark_dead` (which deliberately leaves pins alone:
+        its callers may hold session locks).
+        """
         dead = [shard for shard in self._shards.values() if not shard.alive]
         for shard in dead:
             await self._mark_dead(shard)
+        await self._recover_orphans()
         return len(dead)
 
     # ------------------------------------------------------------------ #
@@ -405,16 +582,59 @@ class ClusterRouter:
         self._qos.finish(cfg, "completed" if response.get("ok") else "failed")
         return response
 
+    def _cache_get(self, key: str) -> Optional[Dict[str, object]]:
+        """The router cache tier's copy of a solve response (LRU touch)."""
+        if self.config.router_cache <= 0:
+            return None
+        entry = self._solve_cache.get(key)
+        if entry is None:
+            self._counters["router_cache_misses"] += 1
+            return None
+        self._solve_cache.move_to_end(key)
+        self._counters["router_cache_hits"] += 1
+        return entry
+
+    def _cache_put(self, key: str, response: Dict[str, object]) -> None:
+        if self.config.router_cache <= 0:
+            return
+        entry = dict(response)
+        entry.pop("id", None)
+        self._solve_cache[key] = entry
+        self._solve_cache.move_to_end(key)
+        while len(self._solve_cache) > self.config.router_cache:
+            self._solve_cache.popitem(last=False)
+
     async def _forward_solve(self, request: Dict[str, object]) -> Dict[str, object]:
         key = request_key(request)
-        self._counters["routed"] += 1
+        # Read-through cache tier *before* routing: a hit never touches a
+        # shard (and makes no routing decision, so ``routed`` holds still).
+        # Sound because solvers are deterministic and results
+        # content-addressed by the same key rendezvous routing hashes.
+        cached = self._cache_get(key)
+        if cached is not None:
+            response = dict(cached)
+            result = response.get("result")
+            if isinstance(result, dict):
+                # Report the serve truthfully: whatever the original shard
+                # computation said, *this* response came from a cache.
+                provenance = result.get("provenance")
+                if isinstance(provenance, dict):
+                    response["result"] = {
+                        **result, "provenance": {**provenance, "cache": "hit"}
+                    }
+            response["id"] = request.get("id")
+            return response
         inner = dict(request)
         inner.pop("id", None)
         tried: set = set()
         retries_left = self.config.solve_retries
         while True:
+            # One loop iteration == one routing decision; it ends in exactly
+            # one of completed / retried / lost (see the counter invariant).
+            self._counters["routed"] += 1
             order = [name for name in rank(key, self._routable()) if name not in tried]
             if not order:
+                self._counters["lost"] += 1
                 return _error_response(
                     request, "NoShardAvailableError",
                     "no live shard available for this request "
@@ -427,16 +647,22 @@ class ClusterRouter:
             except (ConnectionError, OSError):
                 tried.add(name)
                 await self._mark_dead(shard)
+                if retries_left is not None and retries_left <= 0:
+                    # This decision's request died AND cannot re-decide:
+                    # terminal — the decision ends as lost, not retried.
+                    self._counters["lost"] += 1
+                    return _error_response(
+                        request, "NoShardAvailableError",
+                        f"shard {name} was lost mid-request and the retry "
+                        f"budget is exhausted",
+                    )
                 if retries_left is not None:
-                    if retries_left <= 0:
-                        return _error_response(
-                            request, "NoShardAvailableError",
-                            f"shard {name} was lost mid-request and the retry "
-                            f"budget is exhausted",
-                        )
                     retries_left -= 1
                 self._counters["retried"] += 1
                 continue
+            self._counters["completed"] += 1
+            if response.get("ok"):
+                self._cache_put(key, response)
             response["id"] = request.get("id")
             return response
 
@@ -479,6 +705,29 @@ class ClusterRouter:
         self._sessions.pop(router_sid, None)
         self._session_locks.pop(router_sid, None)
         self._session_touch.pop(router_sid, None)
+        if self._journal is not None:
+            self._journal.forget(router_sid)
+
+    def _lose_session(self, router_sid: str, reason: str) -> None:
+        """Account one unrecoverable session: free the pin, tombstone the id."""
+        self._drop_pin(router_sid)
+        self._counters["sessions_lost"] += 1
+        self._lost_sessions[router_sid] = reason
+        while len(self._lost_sessions) > _LOST_SESSION_TOMBSTONES:
+            self._lost_sessions.popitem(last=False)
+
+    def _session_missing(self, router_sid: str) -> ClusterError:
+        """The right error for a session id with no pin (typed when lost)."""
+        reason = self._lost_sessions.get(router_sid)
+        if reason is not None:
+            return SessionLostError(
+                f"session {router_sid!r} was lost with its shard ({reason}); "
+                f"reopen and resubmit to continue"
+            )
+        return ClusterError(
+            f"unknown session {router_sid!r} (never opened, closed, or "
+            f"lost with its shard)"
+        )
 
     def _sweep_pins(self) -> None:
         """Drop pins whose session the backend has certainly expired.
@@ -539,30 +788,156 @@ class ClusterRouter:
             self._sessions[router_sid] = (name, backend_sid)
             self._session_locks[router_sid] = asyncio.Lock()
             self._session_touch[router_sid] = time.monotonic()
+            if self._journal is not None:
+                if request.get("op") == "session_restore":
+                    export = request.get("export")
+                    if isinstance(export, dict):
+                        self._journal.restore(router_sid, export)
+                else:
+                    self._journal.open(
+                        router_sid,
+                        str(request.get("spec")),
+                        int(request.get("m", 0) or 0),
+                        dict(request.get("params") or {}),
+                    )
             response["session"] = router_sid
             response["shard"] = name
         response["id"] = request.get("id")
         return response
 
-    def _session_pin(self, router_sid: str) -> Tuple[str, str, ShardHandle]:
-        pin = self._sessions.get(router_sid)
-        if pin is None:
-            raise ClusterError(
-                f"unknown session {router_sid!r} (never opened, closed, or "
-                f"lost with its shard)"
+    async def _replay_session(
+        self, router_sid: str, exclude: Optional[str] = None
+    ) -> Optional[Dict[str, object]]:
+        """Restore a journaled session onto a survivor (caller holds its lock).
+
+        Exports the shadow and drives it through the normal
+        ``session_restore`` wire op — the receiving shard verifies the
+        replay placement-by-placement, so a successful return means the
+        survivor now holds a bit-identical copy of the lost session.
+        Returns the restore response, or ``None`` when the journal is
+        off/diverged or every candidate shard failed.
+        """
+        if self._journal is None:
+            return None
+        export = self._journal.export(router_sid)
+        if export is None:
+            return None
+        tried: set = set()
+        while True:
+            candidates = [
+                name for name in self._routable()
+                if name != exclude and name not in tried
+            ]
+            if not candidates:
+                return None
+            target_name = min(
+                candidates, key=lambda name: (self._pinned_count(name), name)
             )
-        name, backend_sid = pin
-        shard = self._shards.get(name)
-        if shard is None or not shard.alive:
-            # The shard died under the session: placements are irrevocable
-            # and lived only there — surface the loss, free the pin.
-            self._drop_pin(router_sid)
-            self._counters["sessions_lost"] += 1
-            raise ClusterError(
-                f"session {router_sid!r} was lost with shard {name} "
-                f"(its shard died before a handoff)"
+            shard = self._shards[target_name]
+            try:
+                restored = await shard.request(
+                    {"op": "session_restore", "export": export}
+                )
+            except (ConnectionError, OSError):
+                tried.add(target_name)
+                await self._mark_dead(shard)
+                continue
+            if not restored.get("ok"):
+                # The survivor refused the verified replay: the journal is
+                # not trustworthy for this session — treat as unreplayable.
+                return None
+            self._sessions[router_sid] = (target_name, str(restored["session"]))
+            self._session_touch[router_sid] = time.monotonic()
+            self._counters["sessions_replayed"] += 1
+            return restored
+
+    async def _failover_pin(
+        self, router_sid: str, shard_name: str, reason: Optional[str] = None
+    ) -> bool:
+        """Replay-or-lose one pinned session (caller holds its lock).
+
+        True when the session now lives on a survivor; False when it was
+        lost (pin freed, ``sessions_lost`` counted, id tombstoned).
+        """
+        if self._journal is not None:
+            if await self._replay_session(router_sid, exclude=shard_name):
+                return True
+            self._counters["replays_failed"] += 1
+        self._lose_session(
+            router_sid,
+            reason or f"shard {shard_name} died before a handoff",
+        )
+        return False
+
+    async def _failover_session(
+        self, router_sid: str, exclude: Optional[str] = None,
+        reason: Optional[str] = None,
+    ) -> bool:
+        """Lock-acquiring wrapper of :meth:`_failover_pin` (re-checks the pin)."""
+        lock = self._session_locks.get(router_sid)
+        if lock is None:
+            return False
+        async with lock:
+            pin = self._sessions.get(router_sid)
+            if pin is None:
+                return False
+            return await self._failover_pin(
+                router_sid, exclude or pin[0], reason=reason
             )
-        return name, backend_sid, shard
+
+    async def _recover_orphans(self) -> None:
+        """Fail over every session whose pinned shard is gone or dead.
+
+        Safe to call from any lock-free context (the dead-shard reaper,
+        the probe loop); per-session locks serialize against live ops and
+        the pin is re-checked under the lock before acting.
+        """
+        for router_sid in list(self._sessions):
+            pin = self._sessions.get(router_sid)
+            if pin is None:
+                continue
+            shard = self._shards.get(pin[0])
+            if shard is not None and shard.alive:
+                continue
+            lock = self._session_locks.get(router_sid)
+            if lock is None:
+                continue
+            async with lock:
+                pin = self._sessions.get(router_sid)
+                if pin is None:
+                    continue
+                shard = self._shards.get(pin[0])
+                if shard is not None and shard.alive:
+                    continue  # recovered (or repinned) while we waited
+                await self._failover_pin(router_sid, pin[0])
+
+    def _journal_response(
+        self,
+        router_sid: str,
+        op: object,
+        request: Dict[str, object],
+        response: Dict[str, object],
+    ) -> None:
+        """Mirror one acknowledged session response into the journal."""
+        if self._journal is None:
+            return
+        ok = bool(response.get("ok"))
+        if op == "session_submit":
+            if ok:
+                placements = response.get("placements")
+                self._journal.applied(
+                    router_sid, request,
+                    placements if isinstance(placements, list) else None,
+                )
+            else:
+                self._journal.rejected(router_sid)
+        elif op == "session_result":
+            if ok:
+                self._journal.sealed(router_sid)
+            else:
+                # ``session_result`` runs check_window first: an error may
+                # be the poisoned window surfacing (and clearing) itself.
+                self._journal.rejected(router_sid)
 
     async def _forward_session(self, request: Dict[str, object]) -> Optional[Dict[str, object]]:
         op = request.get("op")
@@ -572,43 +947,64 @@ class ClusterRouter:
             if unacked:
                 return None  # no response line for an unacknowledged op, ever
             raise ClusterError("'session' must be a non-empty session id string")
-        # Serialize ops per session: a handoff holds this lock across its
-        # export/restore/repin, so ops queued behind it land on the new pin.
-        try:
-            self._session_pin(router_sid)  # fail fast before locking
-        except ClusterError:
+        if router_sid not in self._sessions:  # fail fast before locking
             if unacked:
                 return None  # unknown/lost session on an unacked line: dropped
-            raise
+            raise self._session_missing(router_sid)
+        # Serialize ops per session: a handoff holds this lock across its
+        # export/restore/repin, so ops queued behind it land on the new pin.
         lock = self._session_locks[router_sid]
         async with lock:
-            try:
-                name, backend_sid, shard = self._session_pin(router_sid)
-            except ClusterError:
+            while True:
+                pin = self._sessions.get(router_sid)
+                if pin is None:
+                    if unacked:
+                        return None  # closed/lost while queued behind the lock
+                    raise self._session_missing(router_sid)
+                name, backend_sid = pin
+                shard = self._shards.get(name)
+                if shard is None or not shard.alive:
+                    # Found dead before sending anything: replay the journal
+                    # onto a survivor and fall through to forward there.
+                    if await self._failover_pin(router_sid, name):
+                        continue
+                    if unacked:
+                        return None
+                    raise self._session_missing(router_sid)
+                self._session_touch[router_sid] = time.monotonic()
+                inner = {**request, "session": backend_sid}
+                inner.pop("id", None)
                 if unacked:
-                    return None  # closed/lost while queued behind the lock
-                raise
-            self._session_touch[router_sid] = time.monotonic()
-            inner = {**request, "session": backend_sid}
-            inner.pop("id", None)
-            try:
-                if unacked:
-                    await shard.send(inner)
+                    # Journal BEFORE the send: an unacked line gets no
+                    # response, so the shadow is the only record of it.  If
+                    # the shard dies under the send, the replayed session
+                    # already contains this batch — recovery must NOT
+                    # resend it (a resend would double-submit).
+                    if self._journal is not None:
+                        self._journal.unacked(router_sid, inner)
+                    try:
+                        await shard.send(inner)
+                    except (ConnectionError, OSError):
+                        await self._mark_dead(shard)
+                        await self._failover_pin(router_sid, name)
                     return None
-                response = await shard.request(inner)
-            except (ConnectionError, OSError):
-                # The shard died under this very op: same outcome as finding
-                # it dead up front — reap it, free the pin, surface the loss
-                # (no response line for an unacknowledged op, as ever).
-                await self._mark_dead(shard)
-                self._drop_pin(router_sid)
-                self._counters["sessions_lost"] += 1
-                if unacked:
-                    return None
-                raise ClusterError(
-                    f"session {router_sid!r} was lost with shard {name} "
-                    f"(it died mid-request)"
-                ) from None
+                try:
+                    response = await shard.request(inner)
+                except (ConnectionError, OSError):
+                    # The shard died under this very op.  The journal only
+                    # records acked batches once the backend *answered*, so
+                    # the shadow cannot contain this one — after a replay
+                    # the loop retries the op on the new pin (idempotent:
+                    # exactly the state the backend would have reached).
+                    await self._mark_dead(shard)
+                    if await self._failover_pin(router_sid, name):
+                        continue
+                    raise SessionLostError(
+                        f"session {router_sid!r} was lost with shard {name} "
+                        f"(it died mid-request); reopen and resubmit to continue"
+                    ) from None
+                break
+            self._journal_response(router_sid, op, inner, response)
         if response.get("ok") and op == "session_close":
             self._drop_pin(router_sid)
         elif (not response.get("ok")
@@ -642,15 +1038,37 @@ class ClusterRouter:
         relays it directly.
         """
         if self._sessions.get(router_sid) is None:
-            return {"ok": False, "error": {
-                "type": "ClusterError",
-                "message": f"unknown session {router_sid!r}"}}
+            exc = self._session_missing(router_sid)
+            error: Dict[str, object] = {
+                "type": type(exc).__name__, "message": str(exc)}
+            code = getattr(exc, "code", None)
+            if code is not None:
+                error["code"] = code
+            return {"ok": False, "error": error}
         lock = self._session_locks[router_sid]
         async with lock:
-            try:
-                source_name, backend_sid, source = self._session_pin(router_sid)
-            except ClusterError as exc:
-                return {"ok": False, "error": {"type": "ClusterError", "message": str(exc)}}
+            pin = self._sessions.get(router_sid)
+            if pin is None:
+                exc = self._session_missing(router_sid)
+                return {"ok": False, "error": {
+                    "type": type(exc).__name__, "message": str(exc)}}
+            source_name, backend_sid = pin
+            source = self._shards.get(source_name)
+            if source is None or not source.alive:
+                # The source died before this handoff: a live export is
+                # impossible, but the journal can still deliver the same
+                # outcome — the session, bit-identical, on a survivor.
+                if await self._failover_pin(router_sid, source_name):
+                    new_name, _sid = self._sessions[router_sid]
+                    self._counters["handoffs"] += 1
+                    return {"ok": True, "session": router_sid, "handoff": True,
+                            "from": source_name, "shard": new_name,
+                            "replayed": True}
+                return {"ok": False, "error": {
+                    "type": "SessionLostError", "code": "session_lost",
+                    "message": f"session {router_sid!r} was lost with shard "
+                               f"{source_name} (it died before a handoff and "
+                               f"could not be replayed)"}}
             if target is None:
                 target_name = self._least_loaded(exclude=source_name)
             else:
@@ -765,6 +1183,9 @@ class ClusterRouter:
             "shards_alive": len(alive),
             "shards_draining": len(draining),
             "sessions_pinned": len(self._sessions),
+            "sessions_journaled": (
+                len(self._journal) if self._journal is not None else 0
+            ),
         }
 
     async def stats(self) -> ClusterStats:

@@ -50,13 +50,23 @@ class ClusterStats:
     own admission controller slice merged with any per-shard slices via
     :func:`repro.qos.stats.merge_tenant_snapshots` (empty with QoS off);
     ``shards`` maps shard name to its raw stats payload;
-    ``router`` carries the router's own ledger: ``routed`` forwarded
-    solve requests, ``retried`` transport-failure re-routes,
-    ``handoffs`` completed session migrations, ``sessions_pinned`` the
-    live pin-table size, ``shards_alive``/``shards_draining`` the
-    instantaneous shard-set gauges, and the cumulative
-    ``shards_started``/``shards_retired``/``shards_lost`` lifecycle
-    counters.
+    ``router`` carries the router's own ledger: ``routed`` solve routing
+    decisions, each ending in exactly one of ``completed`` (a shard
+    response relayed), ``retried`` (transport-failure re-route), or
+    ``lost`` (no shard / retry budget exhausted) — so
+    ``routed == completed + retried + lost`` at every quiescent point;
+    ``router_cache_hits``/``router_cache_misses`` for the router's own
+    read-through solve tier (a hit makes no routing decision);
+    ``handoffs`` completed session migrations and ``handoff_failures``;
+    ``sessions_lost`` unrecoverable pinned sessions,
+    ``sessions_replayed`` crash failovers replayed bit-identically from
+    the arrival journal, ``replays_failed`` failovers the journal could
+    not deliver; ``probes``/``probe_failures`` remote health probes;
+    ``sessions_pinned``/``sessions_journaled`` the live pin/journal
+    table sizes; ``shards_alive``/``shards_draining`` the instantaneous
+    shard-set gauges; and the cumulative ``shards_started``
+    / ``shards_attached`` / ``shards_retired`` / ``shards_lost``
+    lifecycle counters.
     """
 
     totals: Dict[str, int] = field(default_factory=dict)

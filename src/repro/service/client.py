@@ -58,6 +58,7 @@ __all__ = [
     "BackpressureRejection",
     "TimeoutRejection",
     "UnknownTenantRejection",
+    "SessionLostRejection",
     "rejection_class",
 ]
 
@@ -100,12 +101,18 @@ class UnknownTenantRejection(ServiceRejection):
     """The request named no registered tenant (``unknown_tenant``)."""
 
 
+class SessionLostRejection(ServiceRejection):
+    """A pinned session died with its shard and could not be replayed
+    (``session_lost``) — reopen and resubmit to continue."""
+
+
 _REJECTIONS: Dict[str, Type[ServiceRejection]] = {
     "over_quota": OverQuotaRejection,
     "rate_limited": RateLimitedRejection,
     "backpressure": BackpressureRejection,
     "timeout": TimeoutRejection,
     "unknown_tenant": UnknownTenantRejection,
+    "session_lost": SessionLostRejection,
 }
 
 
@@ -127,6 +134,7 @@ class ServiceClient:
         self._framing = get_framing(DEFAULT_FRAMING)
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
         self._closed = False
+        self._dead = False
 
     @classmethod
     async def connect(cls, host: str = "127.0.0.1", port: int = 8373) -> "ServiceClient":
@@ -169,13 +177,21 @@ class ServiceClient:
                 future = self._pending.pop(response.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(response)
-        except (ConnectionError, OSError, asyncio.CancelledError, ValueError):
+        except asyncio.CancelledError:
+            # negotiate() cancels and restarts the reader mid-connection;
+            # the transport is still good, so don't latch the dead state.
+            return
+        except (ConnectionError, OSError, ValueError):
             pass
-        finally:
-            for future in self._pending.values():
-                if not future.done():
-                    future.set_exception(ConnectionError("server connection closed"))
-            self._pending.clear()
+        # EOF or transport loss: the connection is gone for good.  Fail
+        # everything in flight AND latch `_dead` so a request issued
+        # after this point raises instead of parking a future that no
+        # reader will ever resolve.
+        self._dead = True
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ConnectionError("server connection closed"))
+        self._pending.clear()
 
     async def negotiate(self, framings=("msgpack",)) -> str:
         """Switch the connection to the first framing the server supports.
@@ -218,6 +234,8 @@ class ServiceClient:
         """
         if self._closed:
             raise ConnectionError("client is closed")
+        if self._dead:
+            raise ConnectionError("server connection closed")
         if "id" not in payload:
             payload = {**payload, "id": f"c{next(self._ids)}"}
         future = asyncio.get_running_loop().create_future()
@@ -261,6 +279,8 @@ class ServiceClient:
         """
         if self._closed:
             raise ConnectionError("client is closed")
+        if self._dead:
+            raise ConnectionError("server connection closed")
         self._writer.write(self._framing.encode(payload))
         await self._writer.drain()
 

@@ -146,6 +146,7 @@ class ProtocolError(ValueError):
 #: meaning, e.g. solver errors).
 ERROR_CODES = (
     "over_quota", "rate_limited", "backpressure", "timeout", "unknown_tenant",
+    "session_lost",
 )
 
 
@@ -154,7 +155,9 @@ def error_code_for(exc: BaseException) -> Optional[str]:
 
     QoS errors carry their own ``code`` attribute; the pre-existing
     service rejections map to ``backpressure`` (overloaded) and
-    ``timeout``.  Imported lazily so this module stays importable
+    ``timeout``.  Any other exception advertising a registered code via
+    a ``code`` attribute (e.g. the cluster's ``SessionLostError``) is
+    honored as-is.  Imported lazily so this module stays importable
     without dragging the service/QoS stacks in.
     """
     from repro.qos.tenants import QosError
@@ -166,6 +169,9 @@ def error_code_for(exc: BaseException) -> Optional[str]:
         return "timeout"
     if isinstance(exc, ServiceOverloadedError):
         return "backpressure"
+    code = getattr(exc, "code", None)
+    if isinstance(code, str) and code in ERROR_CODES:
+        return code
     return None
 
 

@@ -244,9 +244,12 @@ async def handle_request(
         if op == "stats":
             return {"id": request_id, "ok": True, "stats": service.stats().to_dict()}
         if op == "ping":
+            # Pings double as cluster health probes: the ``load`` summary
+            # is O(1) gauges, cheap enough to poll every couple of seconds.
             return {"id": request_id, "ok": True, "pong": True,
                     "protocol": PROTOCOL_VERSION,
-                    "framings": available_framings()}
+                    "framings": available_framings(),
+                    "load": service.load_summary()}
         if op == "drain":
             timeout = request.get("timeout")
             if timeout is not None and not isinstance(timeout, (int, float)):

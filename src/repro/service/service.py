@@ -721,6 +721,20 @@ class SolverService:
             derived = min(derived, config.auto_timeout_ceiling)
         return derived
 
+    def load_summary(self) -> Dict[str, int]:
+        """Cheap O(1) load gauges for health probes (the ``ping`` op).
+
+        A strict subset of :meth:`stats` — no latency percentiles, no
+        counter merge — so remote routers can poll it every couple of
+        seconds without measurable load.
+        """
+        return {
+            "queue_depth": self._queued,
+            "in_flight": self._running,
+            "pending": self._pending,
+            "sessions_open": len(self._sessions),
+        }
+
     def stats(self) -> ServiceStats:
         """An immutable snapshot of counters, gauges, and latency percentiles."""
         gauges = {

@@ -375,8 +375,12 @@ class TestClusterSessions:
         assert stats.lost == 0
 
     def test_unknown_session_and_lost_shard_session(self):
+        # journal off: the pre-journal contract — a crash loses the session,
+        # but now with the stable ``session_lost`` error code.
         async def scenario():
-            async with ClusterRouter(inproc_config(shards=2)) as router:
+            async with ClusterRouter(
+                inproc_config(shards=2, session_journal=False)
+            ) as router:
                 unknown = await router.handle({"op": "session_result",
                                                "session": "csess-99"})
                 opened = await router.handle({"op": "session_open",
@@ -390,8 +394,11 @@ class TestClusterSessions:
 
         unknown, lost, stats = run(scenario())
         assert not unknown["ok"] and "unknown session" in unknown["error"]["message"]
-        assert not lost["ok"] and "lost with shard" in lost["error"]["message"]
+        assert not lost["ok"] and "lost with" in lost["error"]["message"]
+        assert lost["error"]["type"] == "SessionLostError"
+        assert lost["error"]["code"] == "session_lost"
         assert stats.router["sessions_lost"] == 1
+        assert stats.router["sessions_replayed"] == 0
 
     @pytest.mark.parametrize("spec", [
         "online_greedy",
@@ -809,8 +816,13 @@ class TestReviewRegressions:
     and the autoscaler's draining-shard average."""
 
     def test_session_op_on_shard_dying_mid_request_reports_loss(self):
+        # journal off: a mid-request crash loses the session with the typed
+        # ``session_lost`` code, and later ops on the id stay typed too
+        # (tombstone) instead of degrading to "unknown session".
         async def scenario():
-            async with ClusterRouter(inproc_config(shards=2)) as router:
+            async with ClusterRouter(
+                inproc_config(shards=2, session_journal=False)
+            ) as router:
                 opened = await router.handle({"op": "session_open",
                                               "spec": "online_greedy", "m": 2})
                 sid = opened["session"]
@@ -832,11 +844,47 @@ class TestReviewRegressions:
         lost, again, counters, victim = run(scenario())
         assert not lost["ok"]
         assert "lost with shard" in lost["error"]["message"]
-        assert lost["error"]["type"] == "ClusterError"
-        assert not again["ok"] and "unknown session" in again["error"]["message"]
+        assert lost["error"]["type"] == "SessionLostError"
+        assert lost["error"]["code"] == "session_lost"
+        assert not again["ok"]
+        assert again["error"]["type"] == "SessionLostError"
+        assert again["error"]["code"] == "session_lost"
         assert counters["sessions_lost"] == 1
         assert counters["shards_lost"] == 1
         assert counters["sessions_pinned"] == 0
+
+    def test_session_op_on_shard_dying_mid_request_replays_with_journal(self):
+        # journal on (the default): the same crash is a transparent failover —
+        # the op retries on the survivor and the placements stay bit-identical.
+        async def scenario():
+            async with ClusterRouter(inproc_config(shards=2)) as router:
+                opened = await router.handle({"op": "session_open",
+                                              "spec": "online_greedy", "m": 2})
+                sid = opened["session"]
+                first = await router.handle({
+                    "op": "session_submit", "session": sid,
+                    "task": {"id": 0, "p": 3.0, "s": 1.0}})
+                shard = router.shard(opened["shard"])
+
+                async def dying_request(payload):
+                    raise ConnectionError("shard fell over mid-request")
+
+                shard.request = dying_request  # the op is already in flight
+                survived = await router.handle({
+                    "op": "session_submit", "session": sid,
+                    "task": {"id": 1, "p": 1.0, "s": 1.0}})
+                counters = router.router_counters()
+            return opened, first, survived, counters
+
+        opened, first, survived, counters = run(scenario())
+        assert first["ok"] and first["placements"] == [[0, 0]]
+        assert survived["ok"]
+        assert survived["shard"] != opened["shard"]
+        assert survived["placements"] == [[1, 1]]  # least-loaded proc, as ever
+        assert counters["sessions_replayed"] == 1
+        assert counters["sessions_lost"] == 0
+        assert counters["replays_failed"] == 0
+        assert counters["sessions_pinned"] == 1
 
     def test_noack_line_never_produces_a_response(self):
         async def scenario():
