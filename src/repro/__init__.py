@@ -59,6 +59,7 @@ from repro.core.pareto_approx import (
     approximate_pareto_set_dag,
 )
 from repro.core import impossibility
+from repro.periodic import HyperperiodBudgetError, PeriodicInstance, PeriodicTask
 from repro.simulator import simulate_schedule, SimulationReport
 from repro.solvers import (
     DiskCache,
@@ -74,7 +75,7 @@ from repro.solvers import (
     solve_many,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Task",
@@ -107,6 +108,9 @@ __all__ = [
     "approximate_pareto_set",
     "approximate_pareto_set_dag",
     "impossibility",
+    "PeriodicTask",
+    "PeriodicInstance",
+    "HyperperiodBudgetError",
     "simulate_schedule",
     "SimulationReport",
     "solve",

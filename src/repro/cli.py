@@ -35,6 +35,11 @@ The sub-commands cover the typical workflows:
     (:mod:`repro.online`): generate or load a trace, stream it, and
     report prefix-wise Cmax/Mmax with competitive ratios;
     ``--list`` enumerates the online registry.
+``periodic``
+    Periodic real-time workloads (:mod:`repro.periodic`): generate
+    harmonic / log-uniform task sets, solve them with deadline-aware
+    solvers (or any one-shot solver via hyperperiod unrolling), and run
+    the EXT-P1 utilization sweep.
 
 Examples::
 
@@ -53,6 +58,10 @@ Examples::
     python -m repro online --arrival stochastic --n 50 --m 4 --seed 0 \\
         --scheduler "online_sbo(delta=1.0)" --save-trace trace.json
     python -m repro online --trace trace.json --scheduler online_greedy
+    python -m repro periodic generate --family harmonic --n 5 --utilization 0.9 \\
+        --output ptasks.json
+    python -m repro periodic solve --input ptasks.json --solver periodic_edf
+    python -m repro periodic sweep
 """
 
 from __future__ import annotations
@@ -117,6 +126,10 @@ def _load_instance(path: str) -> Instance:
     data = json.loads(Path(path).read_text())
     if data.get("kind") == "dag":
         return DAGInstance.from_dict(data)
+    if data.get("kind") == "periodic":
+        from repro.periodic import PeriodicInstance
+
+        return PeriodicInstance.from_dict(data)
     return Instance.from_dict(data)
 
 
@@ -192,6 +205,13 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------- #
 def _cmd_schedule(args: argparse.Namespace) -> int:
     instance = _load_instance(args.input)
+    if getattr(instance, "kind", None) == "periodic":
+        print(
+            "error: `schedule` only handles one-shot instances; solve periodic "
+            "instances with `repro solve --solver periodic_edf` or `repro periodic solve`",
+            file=sys.stderr,
+        )
+        return 2
     algorithm = args.algorithm
     guarantees = ""
     if algorithm == "sbo":
@@ -254,6 +274,7 @@ def _experiment_runners() -> Dict[str, Callable[[], object]]:
         run_figure2,
         run_figure3,
         run_online_ratio,
+        run_periodic_study,
         run_rls_ablation,
         run_rls_ratio,
         run_sbo_ablation,
@@ -274,6 +295,7 @@ def _experiment_runners() -> Dict[str, Callable[[], object]]:
         "EXT-A2": lambda: run_rls_ablation(seeds=(0, 1)),
         "EXT-A3": lambda: run_simulation_validation(seeds=(0, 1)),
         "EXT-O1": lambda: run_online_ratio(seeds=(0,)),
+        "EXT-P1": lambda: run_periodic_study(seeds=(0, 1)),
     }
 
 
@@ -542,6 +564,101 @@ def _cmd_online(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# periodic (real-time workloads)
+# --------------------------------------------------------------------------- #
+def _cmd_periodic(args: argparse.Namespace) -> int:
+    from repro.periodic import HyperperiodBudgetError
+
+    try:
+        if args.action == "generate":
+            return _periodic_generate(args)
+        if args.action == "solve":
+            return _periodic_solve(args)
+        if args.action == "sweep":
+            return _periodic_sweep(args)
+        return _periodic_report(args)
+    except HyperperiodBudgetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _periodic_taskset(args: argparse.Namespace):
+    from repro.workloads.periodic import harmonic_taskset, loguniform_taskset
+
+    maker = harmonic_taskset if args.family == "harmonic" else loguniform_taskset
+    return maker(args.n, args.utilization, m=args.m, seed=args.seed)
+
+
+def _periodic_generate(args: argparse.Namespace) -> int:
+    pinst = _periodic_taskset(args)
+    text = json.dumps(pinst.to_dict(), indent=2, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(
+            f"wrote {pinst.n} periodic tasks ({args.family}, U={pinst.utilization:g}, "
+            f"hyperperiod={pinst.hyperperiod:g}) to {args.output}"
+        )
+    else:
+        print(text)
+    return 0
+
+
+def _periodic_solve(args: argparse.Namespace) -> int:
+    if not args.input:
+        print("error: --input is required for `periodic solve`", file=sys.stderr)
+        return 2
+    instance = _load_instance(args.input)
+    if getattr(instance, "kind", None) != "periodic":
+        print(f"error: {args.input!r} is not a periodic instance", file=sys.stderr)
+        return 2
+    try:
+        result = solve(instance, args.solver)
+    except (SpecError, SolverCapabilityError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"instance: {instance.name or args.input} (n={instance.n} tasks, m={instance.m}, "
+        f"U={instance.utilization:g}, hyperperiod={instance.hyperperiod:g})"
+    )
+    print(f"spec: {result.spec}")
+    print(f"Cmax = {result.cmax:g}")
+    print(f"Mmax = {result.mmax:g} (job-level)")
+    for key, label in (
+        ("unrolled_jobs", "unrolled jobs"),
+        ("deadline_misses", "deadline misses"),
+        ("deadline_miss_ratio", "miss ratio"),
+        ("max_lateness", "max lateness"),
+        ("sim_makespan", "timed makespan"),
+        ("task_mmax", "Mmax (task-level)"),
+    ):
+        if key in result.provenance:
+            value = result.provenance[key]
+            print(f"{label} = {value:g}" if isinstance(value, float) else f"{label} = {value}")
+    return 0
+
+
+def _periodic_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.periodic_study import run_periodic_study
+
+    result = run_periodic_study(seeds=tuple(range(args.seeds)))
+    print(result.to_text())
+    return 0 if result.all_checks_pass else 1
+
+
+def _periodic_report(args: argparse.Namespace) -> int:
+    from repro.experiments.periodic_study import run_periodic_study
+
+    result = run_periodic_study(seeds=tuple(range(args.seeds)))
+    text = result.to_markdown()
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote periodic report to {args.output}")
+    else:
+        print(text)
+    return 0 if result.all_checks_pass else 1
+
+
+# --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
@@ -735,6 +852,30 @@ def build_parser() -> argparse.ArgumentParser:
     onl.add_argument("--save-trace", default=None, metavar="FILE",
                      help="write the (generated) trace to this JSON file")
     onl.set_defaults(func=_cmd_online)
+
+    per = sub.add_parser(
+        "periodic",
+        help="periodic real-time workloads: generate task sets, solve via "
+             "deadline-aware or unrolling solvers, run the EXT-P1 sweep",
+    )
+    per.add_argument("action", choices=["generate", "solve", "sweep", "report"],
+                     help="generate a task set, solve one, run the utilization "
+                          "sweep, or render it as Markdown")
+    per.add_argument("--family", default="harmonic", choices=["harmonic", "loguniform"],
+                     help="period family of generated task sets")
+    per.add_argument("--n", type=int, default=5, help="number of periodic tasks")
+    per.add_argument("--m", type=int, default=1, help="number of processors")
+    per.add_argument("--utilization", type=float, default=0.9,
+                     help="total utilization of the generated task set")
+    per.add_argument("--seed", type=int, default=0, help="random seed")
+    per.add_argument("--input", default=None, help="periodic instance JSON (solve)")
+    per.add_argument("--solver", default="periodic_edf",
+                     help="solver spec; deadline-aware (periodic_edf/rm/list) or any "
+                          "one-shot solver via transparent hyperperiod unrolling")
+    per.add_argument("--seeds", type=int, default=2,
+                     help="number of seeds per sweep cell (sweep/report)")
+    per.add_argument("--output", default=None, help="output path (generate/report)")
+    per.set_defaults(func=_cmd_periodic)
 
     return parser
 

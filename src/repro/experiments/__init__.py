@@ -23,6 +23,7 @@ from repro.experiments.rls_ablation import run_rls_ablation
 from repro.experiments.simulation_validation import run_simulation_validation
 from repro.experiments.online_ratio import run_online_ratio
 from repro.experiments.pareto_approx_study import run_pareto_approx_study
+from repro.experiments.periodic_study import run_periodic_study
 from repro.experiments.report import generate_experiments_report
 
 __all__ = [
@@ -40,5 +41,6 @@ __all__ = [
     "run_simulation_validation",
     "run_online_ratio",
     "run_pareto_approx_study",
+    "run_periodic_study",
     "generate_experiments_report",
 ]

@@ -1,0 +1,124 @@
+"""EXT-P1 — periodic utilization sweep: the EDF schedulability boundary.
+
+Sweeps ``per-machine utilization × period family × m`` and measures the
+deadline-miss ratio of the three native periodic schedulers
+(:func:`~repro.periodic.schedulers.periodic_edf` /
+``periodic_rm`` / ``periodic_list``) over one hyperperiod.
+
+Shapes that must hold (classical real-time facts, transplanted — the
+source paper is one-shot only):
+
+* **EDF boundary** — on ``m=1``, partitioned preemptive EDF has miss
+  ratio exactly 0 for every harmonic task set with ``U <= 1``, and a
+  strictly positive miss ratio for every ``U > 1`` (total demand over the
+  hyperperiod exceeds its length, so some job must miss);
+* **RM on harmonic sets** — rate-monotonic matches EDF's zero-miss
+  region on harmonic sets (the RM utilization bound is 1 there);
+* **monotonicity** — for fixed family/solver/m, raising utilization
+  never lowers the aggregated miss count;
+* **bounded unroll** — every cell unrolls within the default hyperperiod
+  budget (the log-uniform family is snapped to an LCM-bounded period
+  grid precisely so this holds).
+
+The golden profile (the default grid, ``seeds=(0, 1)``) is pinned
+bit-for-bit in ``tests/golden/periodic_study.json`` — regenerate with
+``PYTHONPATH=src python tests/make_periodic_golden.py`` when a change is
+intended.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.harness import ExperimentResult
+from repro.periodic.schedulers import periodic_edf, periodic_list, periodic_rm
+from repro.workloads.periodic import harmonic_taskset, loguniform_taskset
+
+__all__ = ["run_periodic_study"]
+
+_SOLVERS = {
+    "periodic_edf": periodic_edf,
+    "periodic_rm": periodic_rm,
+    "periodic_list": periodic_list,
+}
+
+
+def _taskset(family: str, n: int, total_u: float, m: int, seed: int):
+    if family == "harmonic":
+        return harmonic_taskset(n, total_u, m=m, seed=seed)
+    if family == "loguniform":
+        return loguniform_taskset(n, total_u, m=m, seed=seed)
+    raise ValueError(f"unknown period family {family!r}")
+
+
+def run_periodic_study(
+    utilizations: Sequence[float] = (0.6, 0.8, 0.95, 1.0, 1.1, 1.3),
+    families: Sequence[str] = ("harmonic", "loguniform"),
+    m_values: Sequence[int] = (1, 2),
+    seeds: Sequence[int] = (0, 1),
+    tasks_per_machine: int = 4,
+) -> ExperimentResult:
+    """Measure miss-ratio curves over the utilization × family × m grid.
+
+    ``utilizations`` are *per machine*; each cell generates ``m *
+    tasks_per_machine`` tasks with total utilization ``u * m`` and runs
+    every native periodic scheduler over one hyperperiod.
+    """
+    result = ExperimentResult(
+        experiment_id="EXT-P1",
+        title="Periodic utilization sweep: EDF schedulability boundary and miss-ratio curves",
+        headers=[
+            "family", "m", "U/m", "solver", "seed",
+            "jobs", "misses", "miss ratio", "max lateness",
+        ],
+    )
+    edf_boundary_ok = True
+    rm_harmonic_ok = True
+    overload_misses_ok = True
+    # aggregated miss counts keyed by (family, solver, m) in utilization order
+    curves: Dict[Tuple[str, str, int], Dict[float, int]] = {}
+    for family in families:
+        for m in m_values:
+            n = m * tasks_per_machine
+            for u in utilizations:
+                for seed in seeds:
+                    pinst = _taskset(family, n, u * m, m, seed)
+                    for solver, fn in _SOLVERS.items():
+                        run = fn(pinst)
+                        metrics = run.metrics
+                        curve = curves.setdefault((family, solver, m), {})
+                        curve[u] = curve.get(u, 0) + metrics.misses
+                        if family == "harmonic" and m == 1:
+                            if solver == "periodic_edf":
+                                if u <= 1.0 and metrics.misses != 0:
+                                    edf_boundary_ok = False
+                                if u > 1.0 and metrics.misses == 0:
+                                    overload_misses_ok = False
+                            if solver == "periodic_rm" and u <= 1.0 and metrics.misses != 0:
+                                rm_harmonic_ok = False
+                        result.add_row(**{
+                            "family": family, "m": m, "U/m": u,
+                            "solver": solver, "seed": seed,
+                            "jobs": metrics.n_jobs,
+                            "misses": metrics.misses,
+                            "miss ratio": round(metrics.miss_ratio, 6),
+                            "max lateness": round(metrics.max_lateness, 6),
+                        })
+    monotone = all(
+        all(
+            curve[a] <= curve[b]
+            for a, b in zip(sorted(curve), sorted(curve)[1:])
+        )
+        for curve in curves.values()
+    )
+    result.add_check("EDF on m=1 harmonic: zero misses iff U <= 1 (boundary)", edf_boundary_ok)
+    result.add_check("EDF on m=1 harmonic: overload U > 1 always misses", overload_misses_ok)
+    result.add_check("RM matches EDF's zero-miss region on harmonic m=1", rm_harmonic_ok)
+    result.add_check("aggregated misses are non-decreasing in utilization", monotone)
+    edf_m1 = curves.get(("harmonic", "periodic_edf", 1), {})
+    result.summary.append(
+        "harmonic m=1 EDF aggregated misses by U: "
+        + ", ".join(f"{u:g}:{edf_m1[u]}" for u in sorted(edf_m1))
+        + f" (grid: {len(result.rows)} rows)"
+    )
+    return result

@@ -293,6 +293,13 @@ class OnlineRunReport:
         Arrival-aware makespan measured by replaying the placements
         through the discrete-event simulator with release dates honoured
         (``>=`` the load-based ``cmax`` by construction).
+    sim_completions:
+        Per-task completion times from the same simulator replay (empty
+        when ``simulate=False``).  Deadline-aware callers — e.g. the
+        periodic cross-check in
+        :func:`repro.workloads.periodic.trace_from_periodic` tests — feed
+        this straight into
+        :func:`repro.core.objectives.deadline_metrics`.
     """
 
     spec: str
@@ -302,6 +309,7 @@ class OnlineRunReport:
     prefix_rows: List[Tuple[int, float, float]] = field(default_factory=list)
     result: Optional[SolveResult] = None
     sim_makespan: float = 0.0
+    sim_completions: Dict[object, float] = field(default_factory=dict)
 
 
 def replay_trace(
@@ -346,6 +354,7 @@ def replay_trace(
         for task_id, proc, start, task in starts:
             engine.submit_task(task_id, proc, start=start, duration=task.p, storage=task.s)
         report.sim_makespan = engine.run()
+        report.sim_completions = dict(engine.completion_times)
         measured = engine.memory_per_processor
         expected_mmax = max(measured) if measured else 0.0
         # Cross-check against the *streaming* placements (scheduler.mmax),

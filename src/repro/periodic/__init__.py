@@ -1,0 +1,51 @@
+"""Periodic / real-time scheduling subsystem.
+
+First-class periodic workloads end to end: the model
+(:class:`PeriodicTask` / :class:`PeriodicInstance` with an exact
+``Fraction``-based hyperperiod and an explicit unroll budget), the
+hyperperiod-unrolling adapter onto the one-shot solver facade
+(:func:`unroll` / :func:`ensure_unrollable`), and native deadline-aware
+schedulers (:func:`periodic_edf`, :func:`periodic_rm`,
+:func:`periodic_list`) exposed through the capability-aware solver
+registry via the ``supports_periodic`` flag.
+"""
+
+from repro.periodic.model import (
+    DEFAULT_UNROLL_BUDGET,
+    HyperperiodBudgetError,
+    PeriodicInstance,
+    PeriodicJob,
+    PeriodicTask,
+)
+from repro.periodic.schedulers import (
+    PARTITION_STRATEGIES,
+    PeriodicScheduleResult,
+    partition_tasks,
+    periodic_edf,
+    periodic_list,
+    periodic_rm,
+)
+from repro.periodic.unroll import (
+    UNROLL_JOB_CAPS,
+    UnrolledPeriodic,
+    ensure_unrollable,
+    unroll,
+)
+
+__all__ = [
+    "DEFAULT_UNROLL_BUDGET",
+    "HyperperiodBudgetError",
+    "PeriodicInstance",
+    "PeriodicJob",
+    "PeriodicTask",
+    "PARTITION_STRATEGIES",
+    "PeriodicScheduleResult",
+    "partition_tasks",
+    "periodic_edf",
+    "periodic_list",
+    "periodic_rm",
+    "UNROLL_JOB_CAPS",
+    "UnrolledPeriodic",
+    "ensure_unrollable",
+    "unroll",
+]

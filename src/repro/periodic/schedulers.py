@@ -1,0 +1,326 @@
+"""Native deadline-aware periodic schedulers: EDF, RM, and list.
+
+Three scheduler families over one hyperperiod unroll:
+
+* :func:`periodic_edf` — **partitioned preemptive EDF**: tasks are
+  partitioned onto machines (worst-fit decreasing by utilization, the
+  classical partitioned real-time heuristic), then each machine runs its
+  jobs under preemptive earliest-deadline-first.  On one machine this is
+  Liu & Layland's optimal dynamic-priority policy: zero misses for any
+  implicit-deadline task set with utilization ``U <= 1`` — the
+  schedulability boundary EXT-P1 pins.
+* :func:`periodic_rm` — **partitioned preemptive rate-monotonic**: fixed
+  priorities by shorter period.  For harmonic task sets the RM
+  utilization bound is exactly 1, matching EDF on the golden families.
+* :func:`periodic_list` — **non-preemptive global list scheduling**:
+  jobs in release order, each placed where it can start earliest — the
+  repo's Graham ledger transposed onto dated jobs (no migration cost
+  model, placements irrevocable).
+
+Every scheduler returns a :class:`PeriodicScheduleResult`: an
+assignment-level :class:`~repro.core.schedule.Schedule` over the
+unrolled job instance (so the facade's ``Cmax``/``Mmax``/``sum Ci``
+evaluation works unchanged), the preemption-aware timed completion
+table, the :class:`~repro.core.objectives.DeadlineMetrics`, and the
+exact task-level memory per machine (storage charged once per task per
+processor — the paper's model; the job-level ``Mmax`` of the unrolled
+schedule is its occurrence-counting upper bound).
+
+Determinism: all ties break on ``(priority, admission order)`` where the
+admission order follows the deterministic job order of
+:meth:`PeriodicInstance.jobs`, so results are bit-stable across runs and
+processes — a requirement of the golden corpus and the result cache.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.objectives import DeadlineMetrics, deadline_metrics
+from repro.core.schedule import Schedule
+from repro.periodic.model import PeriodicInstance, PeriodicJob
+from repro.periodic.unroll import UnrolledPeriodic, unroll
+
+__all__ = [
+    "PeriodicScheduleResult",
+    "periodic_edf",
+    "periodic_rm",
+    "periodic_list",
+    "partition_tasks",
+    "PARTITION_STRATEGIES",
+]
+
+PARTITION_STRATEGIES = ("worst-fit", "first-fit")
+
+#: Priority key of a job: smaller sorts first.  The trailing components
+#: (task position, job index) make every key unique and deterministic.
+PriorityKey = Callable[[PeriodicJob], Tuple]
+
+
+@dataclass
+class PeriodicScheduleResult:
+    """Outcome of one native periodic scheduling run.
+
+    Attributes
+    ----------
+    algorithm:
+        ``"edf"``, ``"rm"`` or ``"list"``.
+    schedule:
+        Assignment-level schedule over ``unrolled.instance`` (job ids),
+        per-machine order by first dispatch time.
+    unrolled:
+        The hyperperiod unroll that was scheduled.
+    start / completion:
+        First dispatch and final completion time per job id (preemptive
+        runs may pause in between).
+    metrics:
+        Deadline objective values of the timed execution.
+    sim_makespan:
+        Largest completion time (``>=`` the load-based ``schedule.cmax``).
+    task_assignment:
+        Periodic-task-to-machine map for partitioned runs (``None`` for
+        the global list scheduler, whose jobs migrate freely).
+    task_memory_per_processor:
+        Exact task-level memory: each periodic task's storage charged
+        once per machine *any* of its jobs ran on.
+    preemptive:
+        Whether the timeline allowed preemption.
+    """
+
+    algorithm: str
+    schedule: Schedule
+    unrolled: UnrolledPeriodic
+    start: Dict[str, float]
+    completion: Dict[str, float]
+    metrics: DeadlineMetrics
+    sim_makespan: float
+    task_assignment: Optional[Dict[object, int]]
+    task_memory_per_processor: List[float]
+    preemptive: bool
+
+    @property
+    def task_mmax(self) -> float:
+        """Max per-machine task-level memory (the paper's ``Mmax``)."""
+        return max(self.task_memory_per_processor, default=0.0)
+
+
+def partition_tasks(
+    pinst: PeriodicInstance, strategy: str = "worst-fit"
+) -> Dict[object, int]:
+    """Partition periodic tasks onto machines by utilization.
+
+    ``worst-fit`` (default) places each task — considered in decreasing
+    utilization, ties by declaration order — on the machine with the
+    lowest assigned utilization; ``first-fit`` fills machines in index
+    order subject to a per-machine utilization cap of 1 where possible
+    (falling back to the least-loaded machine when nothing fits).  Both
+    are deterministic.
+    """
+    if strategy not in PARTITION_STRATEGIES:
+        raise ValueError(
+            f"unknown partition strategy {strategy!r}; expected one of "
+            f"{', '.join(PARTITION_STRATEGIES)}"
+        )
+    order = sorted(
+        range(len(pinst.tasks)), key=lambda i: (-pinst.tasks[i].utilization, i)
+    )
+    load = [0.0] * pinst.m
+    assignment: Dict[object, int] = {}
+    for i in order:
+        task = pinst.tasks[i]
+        if strategy == "worst-fit":
+            q = min(range(pinst.m), key=lambda j: (load[j], j))
+        else:  # first-fit with a soft per-machine utilization cap of 1
+            q = next(
+                (j for j in range(pinst.m) if load[j] + task.utilization <= 1.0 + 1e-12),
+                None,
+            )
+            if q is None:
+                q = min(range(pinst.m), key=lambda j: (load[j], j))
+        assignment[task.id] = q
+        load[q] += task.utilization
+    return assignment
+
+
+def _uniprocessor_timeline(
+    jobs: Sequence[PeriodicJob],
+    key: PriorityKey,
+    preemptive: bool,
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Run one machine's jobs under a priority policy; returns (start, completion).
+
+    Event-driven sweep: admit released jobs, run the highest-priority one
+    until it finishes or (when preemptive) the next release arrives.
+    Priorities are static per job (EDF keys on the absolute deadline, RM
+    on the period), so preempted jobs re-enter the heap with their
+    original key.  ``start`` records the first dispatch.
+    """
+    ordered = sorted(jobs, key=lambda j: (j.release, key(j)))
+    start: Dict[str, float] = {}
+    completion: Dict[str, float] = {}
+    heap: List[Tuple[Tuple, int, float]] = []  # (priority, admission seq, remaining)
+    by_seq: Dict[int, PeriodicJob] = {}
+    t = 0.0
+    i = 0
+    n = len(ordered)
+    while heap or i < n:
+        if not heap:
+            t = max(t, ordered[i].release)
+        while i < n and ordered[i].release <= t:
+            by_seq[i] = ordered[i]
+            heapq.heappush(heap, (key(ordered[i]), i, ordered[i].wcet))
+            i += 1
+        priority, seq, remaining = heapq.heappop(heap)
+        job = by_seq[seq]
+        start.setdefault(job.job_id, t)
+        if remaining <= 0.0:
+            completion[job.job_id] = t
+            continue
+        limit = ordered[i].release if (preemptive and i < n) else math.inf
+        run = min(remaining, limit - t)
+        t += run
+        remaining -= run
+        if remaining <= 0.0:
+            completion[job.job_id] = t
+        else:
+            heapq.heappush(heap, (priority, seq, remaining))
+    return start, completion
+
+
+def _edf_key(pinst: PeriodicInstance) -> PriorityKey:
+    task_pos = {task.id: pos for pos, task in enumerate(pinst.tasks)}
+    return lambda job: (job.deadline, job.release, task_pos[job.task_id], job.index)
+
+
+def _rm_key(pinst: PeriodicInstance) -> PriorityKey:
+    task_pos = {task.id: pos for pos, task in enumerate(pinst.tasks)}
+    period = {task.id: task.period for task in pinst.tasks}
+    return lambda job: (period[job.task_id], task_pos[job.task_id], job.index)
+
+
+def _build_result(
+    algorithm: str,
+    pinst: PeriodicInstance,
+    unrolled: UnrolledPeriodic,
+    assignment: Dict[str, int],
+    start: Dict[str, float],
+    completion: Dict[str, float],
+    task_assignment: Optional[Dict[object, int]],
+    preemptive: bool,
+) -> PeriodicScheduleResult:
+    # Per-machine execution order by (first dispatch, completion, job order).
+    job_pos = {job.job_id: pos for pos, job in enumerate(unrolled.jobs)}
+    order: Dict[int, List[str]] = {q: [] for q in range(pinst.m)}
+    for job in unrolled.jobs:
+        order[assignment[job.job_id]].append(job.job_id)
+    for q in order:
+        order[q].sort(key=lambda jid: (start[jid], completion[jid], job_pos[jid]))
+    schedule = Schedule(unrolled.instance, assignment, order=order)
+
+    # Exact task-level memory: storage once per task per machine it touched.
+    machines_of_task: Dict[object, set] = {}
+    for job in unrolled.jobs:
+        machines_of_task.setdefault(job.task_id, set()).add(assignment[job.job_id])
+    task_memory = [0.0] * pinst.m
+    for task in pinst.tasks:
+        for q in machines_of_task.get(task.id, ()):
+            task_memory[q] += task.s
+
+    metrics = deadline_metrics(completion, unrolled.deadlines, releases=unrolled.releases)
+    return PeriodicScheduleResult(
+        algorithm=algorithm,
+        schedule=schedule,
+        unrolled=unrolled,
+        start=start,
+        completion=completion,
+        metrics=metrics,
+        sim_makespan=max(completion.values(), default=0.0),
+        task_assignment=task_assignment,
+        task_memory_per_processor=task_memory,
+        preemptive=preemptive,
+    )
+
+
+def _run_partitioned(
+    algorithm: str,
+    pinst: PeriodicInstance,
+    key: PriorityKey,
+    horizon: Optional[float],
+    partition: str,
+    preemptive: bool,
+) -> PeriodicScheduleResult:
+    unrolled = unroll(pinst, horizon)
+    task_assignment = partition_tasks(pinst, partition)
+    assignment = {job.job_id: task_assignment[job.task_id] for job in unrolled.jobs}
+    start: Dict[str, float] = {}
+    completion: Dict[str, float] = {}
+    for q in range(pinst.m):
+        machine_jobs = [job for job in unrolled.jobs if assignment[job.job_id] == q]
+        s, c = _uniprocessor_timeline(machine_jobs, key, preemptive)
+        start.update(s)
+        completion.update(c)
+    return _build_result(
+        algorithm, pinst, unrolled, assignment, start, completion,
+        task_assignment, preemptive,
+    )
+
+
+def periodic_edf(
+    pinst: PeriodicInstance,
+    horizon: Optional[float] = None,
+    partition: str = "worst-fit",
+    preemptive: bool = True,
+) -> PeriodicScheduleResult:
+    """Partitioned preemptive earliest-deadline-first over one hyperperiod.
+
+    On ``m = 1`` this is optimal for implicit-deadline periodic sets:
+    zero deadline misses if and only if utilization ``U <= 1``.
+    """
+    return _run_partitioned("edf", pinst, _edf_key(pinst), horizon, partition, preemptive)
+
+
+def periodic_rm(
+    pinst: PeriodicInstance,
+    horizon: Optional[float] = None,
+    partition: str = "worst-fit",
+    preemptive: bool = True,
+) -> PeriodicScheduleResult:
+    """Partitioned preemptive rate-monotonic (shorter period = higher priority).
+
+    For harmonic task sets the RM utilization bound is 1, so on ``m = 1``
+    harmonic sets with ``U <= 1`` run without misses, like EDF.
+    """
+    return _run_partitioned("rm", pinst, _rm_key(pinst), horizon, partition, preemptive)
+
+
+def periodic_list(
+    pinst: PeriodicInstance,
+    horizon: Optional[float] = None,
+) -> PeriodicScheduleResult:
+    """Non-preemptive global list scheduling of the dated jobs.
+
+    Jobs are considered in the deterministic unroll order (release, then
+    deadline) and each is placed where it can *start* earliest
+    (``max(release, machine ready)``), ties to the lowest machine index
+    — Graham's ledger with release dates.  No optimality guarantee; the
+    deadline-agnostic baseline the EXT-P1 curves compare against.
+    """
+    unrolled = unroll(pinst, horizon)
+    ready = [0.0] * pinst.m
+    assignment: Dict[str, int] = {}
+    start: Dict[str, float] = {}
+    completion: Dict[str, float] = {}
+    for job in unrolled.jobs:
+        q = min(range(pinst.m), key=lambda j: (max(job.release, ready[j]), j))
+        begin = max(job.release, ready[q])
+        assignment[job.job_id] = q
+        start[job.job_id] = begin
+        completion[job.job_id] = begin + job.wcet
+        ready[q] = begin + job.wcet
+    return _build_result(
+        "list", pinst, unrolled, assignment, start, completion,
+        task_assignment=None, preemptive=False,
+    )

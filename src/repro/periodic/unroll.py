@@ -1,0 +1,132 @@
+"""Hyperperiod unrolling: periodic instances onto the one-shot facade.
+
+:func:`unroll` expands a :class:`~repro.periodic.model.PeriodicInstance`
+into a release-dated job-level :class:`~repro.core.instance.Instance`
+(one task per job, id ``"{task_id}#{k}"``), carrying the release and
+absolute-deadline side tables every deadline-aware consumer needs.  The
+solver facade (:func:`repro.solvers.solve`) routes periodic instances
+through this adapter transparently for any solver without the
+``supports_periodic`` capability, so every existing solver — and the
+result cache, service, cluster and QoS layers above it, which key on the
+*periodic* instance's content hash — works on periodic input unchanged.
+
+Unrolling is always bounded by the instance's ``unroll_budget``
+(:class:`~repro.periodic.model.HyperperiodBudgetError` on overflow), and
+additionally by per-solver job caps (:data:`UNROLL_JOB_CAPS`): solvers
+with super-polynomial cost in the task count (branch-and-bound ``exact``,
+the dual-approximation PTAS family) are refused beyond a small unrolled
+size with a :class:`~repro.solvers.registry.SolverCapabilityError`
+naming the periodic-capable alternatives, instead of hanging.
+
+Memory semantics of the unrolled view: each job carries its task's full
+storage ``s``, so job-level ``Mmax`` counts one copy per *job occurrence*
+— an upper bound on the paper's once-per-task-per-processor model.  The
+native periodic schedulers (:mod:`repro.periodic.schedulers`) report the
+exact task-level memory alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.instance import Instance
+from repro.core.task import Task, TaskSet
+from repro.periodic.model import PeriodicInstance, PeriodicJob
+
+__all__ = ["UnrolledPeriodic", "unroll", "ensure_unrollable", "UNROLL_JOB_CAPS"]
+
+#: Per-solver caps on the unrolled job count.  Solvers whose cost is
+#: super-polynomial in the task count are refused beyond these sizes
+#: with a capability error instead of hanging; everything else scales to
+#: the instance's own ``unroll_budget``.
+UNROLL_JOB_CAPS: Dict[str, int] = {
+    "exact": 10,
+    "ptas": 64,
+    "ptas-fine": 64,
+}
+
+
+@dataclass(frozen=True)
+class UnrolledPeriodic:
+    """One hyperperiod unroll: the job-level instance plus its side tables.
+
+    Attributes
+    ----------
+    source:
+        The periodic instance this unroll came from.
+    instance:
+        Job-level one-shot :class:`~repro.core.instance.Instance`
+        (``p = wcet``, ``s = task storage``), in deterministic
+        ``(release, deadline, task, index)`` order.
+    jobs:
+        The dated jobs, aligned with ``instance`` task order.
+    releases / deadlines:
+        Absolute release and deadline per job id.
+    task_of:
+        Job id back to the owning periodic task id.
+    horizon:
+        The study window ``[0, horizon)`` that was unrolled.
+    """
+
+    source: PeriodicInstance
+    instance: Instance
+    jobs: Tuple[PeriodicJob, ...]
+    releases: Dict[str, float]
+    deadlines: Dict[str, float]
+    task_of: Dict[str, object]
+    horizon: float
+
+
+def unroll(pinst: PeriodicInstance, horizon: Optional[float] = None) -> UnrolledPeriodic:
+    """Expand one hyperperiod (or ``horizon``) into a job-level instance.
+
+    Budget-checked: raises
+    :class:`~repro.periodic.model.HyperperiodBudgetError` before
+    materialising anything when the job count exceeds the instance's
+    ``unroll_budget``.
+    """
+    jobs = tuple(pinst.jobs(horizon))
+    tasks = TaskSet(
+        Task(id=job.job_id, p=job.wcet, s=job.s, label=str(job.task_id)) for job in jobs
+    )
+    name = f"{pinst.name or 'periodic'}[unrolled]"
+    instance = Instance(tasks, m=pinst.m, name=name)
+    return UnrolledPeriodic(
+        source=pinst,
+        instance=instance,
+        jobs=jobs,
+        releases={job.job_id: job.release for job in jobs},
+        deadlines={job.job_id: job.deadline for job in jobs},
+        task_of={job.job_id: job.task_id for job in jobs},
+        horizon=pinst.effective_horizon(horizon),
+    )
+
+
+def ensure_unrollable(
+    pinst: PeriodicInstance,
+    solver: str,
+    horizon: Optional[float] = None,
+) -> int:
+    """Gate a non-periodic solver before it sees a periodic instance.
+
+    Returns the unrolled job count.  Raises
+    :class:`~repro.periodic.model.HyperperiodBudgetError` when the count
+    exceeds the instance budget, and
+    :class:`~repro.solvers.registry.SolverCapabilityError` when it
+    exceeds ``solver``'s own cap in :data:`UNROLL_JOB_CAPS` — the error
+    names the periodic-capable solvers so callers know what to use
+    instead.
+    """
+    count = pinst.check_budget(horizon)
+    cap = UNROLL_JOB_CAPS.get(solver)
+    if cap is not None and count > cap:
+        from repro.solvers.registry import SolverCapabilityError, available_solvers
+
+        periodic_capable = ", ".join(available_solvers(supports_periodic=True))
+        raise SolverCapabilityError(
+            f"solver {solver!r} cannot handle the {count} unrolled jobs of this "
+            f"periodic instance (its unroll cap is {cap} jobs); use a "
+            f"deadline-aware periodic solver instead: {periodic_capable}"
+        )
+    return count

@@ -428,10 +428,15 @@ def instance_from_payload(data: object) -> Union[Instance, DAGInstance]:
             from repro.extensions.uniform_machines import UniformInstance
 
             return UniformInstance.from_dict(data)
+        if kind == "periodic":
+            from repro.periodic.model import PeriodicInstance
+
+            return PeriodicInstance.from_dict(data)
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed instance payload: {exc}") from None
     raise ProtocolError(
-        f"unknown instance kind {kind!r}; expected 'independent', 'dag', or 'uniform'"
+        f"unknown instance kind {kind!r}; expected 'independent', 'dag', "
+        f"'uniform', or 'periodic'"
     )
 
 

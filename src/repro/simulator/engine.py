@@ -52,6 +52,7 @@ class SimulationEngine:
         self.trace: List[TraceRecord] = []
         self.completion_times: Dict[object, float] = {}
         self._finish_callbacks: List[Callable[[Event], None]] = []
+        self._busy: List[float] = [0.0] * m
 
     # ------------------------------------------------------------------ #
     # submission
@@ -67,6 +68,11 @@ class SimulationEngine:
         """Queue a task start at an absolute time on a given processor."""
         if not (0 <= processor < len(self.processors)):
             raise ValueError(f"invalid processor index {processor}")
+        if not start >= 0:  # rejects negative *and* NaN
+            raise ValueError(
+                f"task {task_id!r} has start time {start!r}; release/start times "
+                f"must be >= 0"
+            )
         self.queue.push(
             Event(
                 time=start,
@@ -98,6 +104,7 @@ class SimulationEngine:
             start = proc.busy_until
         proc.reserve_memory(event.task_id, info["storage"])
         finish = proc.execute(event.task_id, start, info["duration"])
+        self._busy[proc.id] += finish - start
         self.trace.append(
             TraceRecord(
                 task_id=event.task_id,
@@ -144,3 +151,20 @@ class SimulationEngine:
     def memory_per_processor(self) -> List[float]:
         """Cumulative memory charged to each processor."""
         return [proc.memory_used for proc in self.processors]
+
+    @property
+    def busy_per_processor(self) -> List[float]:
+        """Total executed time per processor."""
+        return list(self._busy)
+
+    @property
+    def idle_per_processor(self) -> List[float]:
+        """Idle time per processor over ``[0, makespan]``.
+
+        Leading gaps count as idle: when every machine waits on a future
+        release (first event strictly after t=0) the wait shows up here,
+        not in ``busy_per_processor`` — release-dated traces replayed from
+        :func:`repro.workloads.periodic.trace_from_periodic` rely on this.
+        """
+        horizon = self.makespan
+        return [max(0.0, horizon - busy) for busy in self._busy]

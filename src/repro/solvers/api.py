@@ -100,6 +100,26 @@ def prepare(
             f"DAG-capable solvers: {dag_capable}"
         )
 
+    if getattr(instance, "kind", None) == "periodic":
+        if not entry.capabilities.supports_periodic:
+            # Deadline-agnostic solvers see one hyperperiod unroll; gate it
+            # here so a budget overflow or a super-polynomial solver's job
+            # cap rejects the request before anything runs (or is cached).
+            from repro.periodic.unroll import ensure_unrollable
+
+            horizon = bound.get("horizon") if "horizon" in bound else None
+            ensure_unrollable(
+                instance,
+                parsed.name,
+                horizon=horizon if isinstance(horizon, float) else None,
+            )
+    elif entry.capabilities.supports_periodic:
+        raise SolverCapabilityError(
+            f"solver {parsed.name!r} is deadline-aware and only handles periodic "
+            f"instances (kind='periodic'); one-shot solvers: "
+            f"{', '.join(available_solvers(supports_periodic=False))}"
+        )
+
     return PreparedSolve(
         spec=parsed,
         entry=entry,
@@ -170,9 +190,29 @@ def solve(
         if hit is not None:
             return replace(hit, provenance={**hit.provenance, "cache": "hit"})
 
+    run_instance: object = instance
+    unroll_extras: dict = {}
+    if (
+        getattr(instance, "kind", None) == "periodic"
+        and not entry.capabilities.supports_periodic
+    ):
+        # Transparent hyperperiod unroll: the solver sees release-dated
+        # one-shot jobs while the cache key above stays on the *periodic*
+        # instance hash, so cache/service/cluster layers work unchanged.
+        from repro.periodic.unroll import unroll
+
+        unrolled = unroll(instance)
+        run_instance = unrolled.instance
+        unroll_extras = {
+            "periodic_unroll": True,
+            "unrolled_jobs": len(unrolled.jobs),
+            "horizon": unrolled.horizon,
+        }
+
     start = time.perf_counter()
-    schedule, guarantee, raw, extras = entry.run(instance, bound)
+    schedule, guarantee, raw, extras = entry.run(run_instance, bound)
     wall_time = time.perf_counter() - start
+    extras = {**unroll_extras, **extras}
 
     if schedule is not None:
         objectives = evaluate(schedule)

@@ -182,6 +182,9 @@ class SolverCapabilities:
     supports_dag: bool = False
     supports_constraint: bool = False
     is_bi_objective: bool = False
+    #: Deadline-aware: accepts a :class:`repro.periodic.PeriodicInstance`
+    #: natively (no hyperperiod unroll through the facade needed).
+    supports_periodic: bool = False
     objectives: Tuple[str, ...] = ("cmax",)
 
 
@@ -264,6 +267,7 @@ def available_solvers(
     supports_dag: Optional[bool] = None,
     supports_constraint: Optional[bool] = None,
     is_bi_objective: Optional[bool] = None,
+    supports_periodic: Optional[bool] = None,
 ) -> List[str]:
     """Names of registered solvers, optionally filtered by capability.
 
@@ -281,6 +285,8 @@ def available_solvers(
         if supports_constraint is not None and caps.supports_constraint != supports_constraint:
             continue
         if is_bi_objective is not None and caps.is_bi_objective != is_bi_objective:
+            continue
+        if supports_periodic is not None and caps.supports_periodic != supports_periodic:
             continue
         names.append(name)
     return sorted(names)
@@ -304,6 +310,7 @@ def describe_solvers() -> List[Dict[str, object]]:
                 "supports_dag": entry.capabilities.supports_dag,
                 "supports_constraint": entry.capabilities.supports_constraint,
                 "is_bi_objective": entry.capabilities.is_bi_objective,
+                "supports_periodic": entry.capabilities.supports_periodic,
                 "objectives": entry.capabilities.objectives,
                 "params": ", ".join(
                     f"{p.name}:{p.type.__name__}" + ("(required)" if p.required else "")
@@ -317,6 +324,56 @@ def describe_solvers() -> List[Dict[str, object]]:
 # --------------------------------------------------------------------------- #
 # helpers shared by the entries
 # --------------------------------------------------------------------------- #
+def _as_periodic(instance: AnyInstance, solver: str):
+    """Require a periodic instance or explain which facade path to use."""
+    if getattr(instance, "kind", None) != "periodic":
+        raise SolverCapabilityError(
+            f"solver {solver!r} is deadline-aware and only handles periodic "
+            f"instances (kind='periodic'); one-shot instances are served by "
+            f"the standard solvers: {', '.join(available_solvers(supports_periodic=False))}"
+        )
+    return instance
+
+
+def _periodic_extras(result) -> Dict[str, object]:
+    """JSON-safe provenance extras shared by the native periodic entries."""
+    return {
+        "deadline_misses": result.metrics.misses,
+        "deadline_miss_ratio": result.metrics.miss_ratio,
+        "max_lateness": result.metrics.max_lateness,
+        "sim_makespan": result.sim_makespan,
+        "unrolled_jobs": len(result.unrolled.jobs),
+        "hyperperiod": result.unrolled.source.hyperperiod,
+        "horizon": result.unrolled.horizon,
+        "task_mmax": result.task_mmax,
+        "preemptive": result.preemptive,
+    }
+
+
+def _make_periodic_run(name: str) -> Callable[[AnyInstance, Dict[str, object]], RunOutcome]:
+    def run(instance: AnyInstance, params: Dict[str, object]) -> RunOutcome:
+        from repro.periodic.schedulers import periodic_edf, periodic_list, periodic_rm
+
+        pinst = _as_periodic(instance, name)
+        horizon = params.get("horizon")
+        if name == "periodic_list":
+            result = periodic_list(pinst, horizon=horizon)
+        else:
+            fn = periodic_edf if name == "periodic_edf" else periodic_rm
+            result = fn(
+                pinst,
+                horizon=horizon,
+                partition=str(params["partition"]),
+                preemptive=bool(params["preemptive"]),
+            )
+        extras = _periodic_extras(result)
+        if result.task_assignment is not None:
+            extras["partition"] = params.get("partition")
+        return result.schedule, (math.inf, math.inf), result, extras
+
+    return run
+
+
 def _as_independent(instance: AnyInstance, solver: str) -> Instance:
     """Coerce to an independent-task instance or explain which solvers can help."""
     if isinstance(instance, DAGInstance):
@@ -703,4 +760,40 @@ def _register_defaults() -> None:
         ),
         run=_run_uniform_rls,
         guarantee=lambda m, p: (math.inf, float(p.get("delta", 2.5))),
+    ))
+    periodic_caps = SolverCapabilities(
+        supports_periodic=True, objectives=("cmax", "mmax", "deadlines")
+    )
+    _HORIZON = ParamSpec(
+        "horizon", float, positive=True,
+        doc="study window [0, horizon); default one hyperperiod",
+    )
+    _PARTITION = ParamSpec(
+        "partition", str, default="worst-fit", choices=("worst-fit", "first-fit"),
+        doc="task-to-machine partitioning strategy (by decreasing utilization)",
+    )
+    _PREEMPTIVE = ParamSpec(
+        "preemptive", bool, default=True,
+        doc="allow preemption at job releases (required for the EDF U<=1 bound)",
+    )
+    for pname, psummary in (
+        ("periodic_edf",
+         "Partitioned preemptive EDF over one hyperperiod (optimal on m=1 for U<=1)"),
+        ("periodic_rm",
+         "Partitioned preemptive rate-monotonic over one hyperperiod"),
+    ):
+        register(SolverEntry(
+            name=pname, summary=psummary,
+            capabilities=periodic_caps,
+            params=(_HORIZON, _PARTITION, _PREEMPTIVE),
+            run=_make_periodic_run(pname),
+            guarantee=None,
+        ))
+    register(SolverEntry(
+        name="periodic_list",
+        summary="Non-preemptive global list scheduling of release-dated periodic jobs",
+        capabilities=periodic_caps,
+        params=(_HORIZON,),
+        run=_make_periodic_run("periodic_list"),
+        guarantee=None,
     ))

@@ -11,7 +11,9 @@ embedded multi-SoC task sets):
   generators with controllable correlation between processing time and
   storage size;
 * :mod:`~repro.workloads.adversarial` — instances engineered to stress the
-  algorithms (the paper's Lemma instances at scale, memory-hostile packs).
+  algorithms (the paper's Lemma instances at scale, memory-hostile packs);
+* :mod:`~repro.workloads.periodic` — harmonic / log-uniform periodic task
+  sets for :mod:`repro.periodic` and the arrival-trace bridge.
 """
 
 from __future__ import annotations
@@ -37,6 +39,12 @@ from repro.workloads.adversarial import (
     high_variance_instance,
     few_big_many_small_instance,
 )
+from repro.workloads.periodic import (
+    LOGUNIFORM_PERIOD_GRID,
+    harmonic_taskset,
+    loguniform_taskset,
+    trace_from_periodic,
+)
 
 __all__ = [
     "Sampler",
@@ -54,4 +62,8 @@ __all__ = [
     "memory_hostile_instance",
     "high_variance_instance",
     "few_big_many_small_instance",
+    "LOGUNIFORM_PERIOD_GRID",
+    "harmonic_taskset",
+    "loguniform_taskset",
+    "trace_from_periodic",
 ]

@@ -1,0 +1,166 @@
+"""Periodic task-set generators and the trace bridge.
+
+Two period families drive the EXT-P1 utilization sweep:
+
+* :func:`harmonic_taskset` — periods are octaves of one base
+  (``base * 2^k``), so every period divides every longer one.  Harmonic
+  sets have a small hyperperiod (the longest period) and are the regime
+  where both EDF *and* rate-monotonic are schedulable up to utilization 1
+  on one machine — the boundary EXT-P1 pins.
+* :func:`loguniform_taskset` — periods drawn log-uniformly and snapped to
+  the grid ``{2^a * b : b in {1, 3, 5}}`` within ``[2, 64]``.  The snap
+  keeps the hyperperiod bounded (LCM of the full grid is 960) while
+  staying genuinely non-harmonic, so task sets unroll within the default
+  budget instead of tripping it.
+
+Both distribute a target total utilization ``U`` over ``n`` tasks with
+uniformly random weights (each task gets ``u_i = U * w_i / sum w``,
+``w ~ U(0.1, 1)``) and derive ``wcet_i = u_i * period_i``, so the
+generated set hits ``U`` exactly up to float rounding.  All generators
+take an explicit ``seed`` and are deterministic given it.
+
+:func:`trace_from_periodic` bridges to the online subsystem: one
+hyperperiod of jobs becomes a release-dated
+:class:`~repro.online.arrivals.ArrivalTrace` that replays through any
+online scheduler and the :class:`~repro.simulator.engine.SimulationEngine`,
+whose per-job completion times feed
+:func:`~repro.core.objectives.deadline_metrics` for a deadline-miss
+cross-check against the native periodic schedulers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = [
+    "harmonic_taskset",
+    "loguniform_taskset",
+    "trace_from_periodic",
+    "LOGUNIFORM_PERIOD_GRID",
+]
+
+#: The snap grid of :func:`loguniform_taskset`: ``2^a * b`` for ``b`` in
+#: {1, 3, 5}, clipped to [2, 64].  lcm(grid) = 960, so any task set drawn
+#: from it unrolls within a small fixed hyperperiod.
+LOGUNIFORM_PERIOD_GRID: List[float] = sorted(
+    {
+        float((1 << a) * b)
+        for a in range(7)
+        for b in (1, 3, 5)
+        if 2 <= (1 << a) * b <= 64
+    }
+)
+
+
+def _utilization_shares(n: int, utilization: float, rng: np.random.Generator) -> np.ndarray:
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not utilization > 0:
+        raise ValueError(f"utilization must be > 0, got {utilization!r}")
+    weights = rng.uniform(0.1, 1.0, size=n)
+    return utilization * weights / weights.sum()
+
+
+def harmonic_taskset(
+    n: int,
+    utilization: float,
+    m: int = 1,
+    seed: Optional[int] = None,
+    base_period: float = 2.0,
+    octaves: int = 4,
+    s_low: float = 0.5,
+    s_high: float = 4.0,
+    name: Optional[str] = None,
+):
+    """Harmonic periodic instance: periods ``base_period * 2^k``, total utilization ``U``.
+
+    ``utilization`` is the *total* over all tasks (compare against ``m``
+    for schedulability: a partitioned set needs roughly ``U <= m``).
+    Hyperperiod = ``base_period * 2^(octaves-1)`` regardless of ``n``.
+    """
+    from repro.periodic.model import PeriodicInstance, PeriodicTask
+
+    if octaves < 1:
+        raise ValueError(f"octaves must be >= 1, got {octaves}")
+    rng = np.random.default_rng(seed)
+    shares = _utilization_shares(n, utilization, rng)
+    periods = base_period * (2.0 ** rng.integers(0, octaves, size=n))
+    storages = rng.uniform(s_low, s_high, size=n)
+    tasks = [
+        PeriodicTask(
+            id=f"h{i}",
+            wcet=float(shares[i] * periods[i]),
+            s=float(storages[i]),
+            period=float(periods[i]),
+        )
+        for i in range(n)
+    ]
+    return PeriodicInstance(
+        tasks, m=m, name=name or f"harmonic-n{n}-U{utilization:g}-m{m}"
+    )
+
+
+def loguniform_taskset(
+    n: int,
+    utilization: float,
+    m: int = 1,
+    seed: Optional[int] = None,
+    s_low: float = 0.5,
+    s_high: float = 4.0,
+    name: Optional[str] = None,
+):
+    """Log-uniform periodic instance snapped to :data:`LOGUNIFORM_PERIOD_GRID`.
+
+    Periods are drawn log-uniformly over [2, 64] and snapped to the
+    nearest grid point, so the set is non-harmonic in general but its
+    hyperperiod divides 960 — bounded unrolling without budget games.
+    """
+    from repro.periodic.model import PeriodicInstance, PeriodicTask
+
+    rng = np.random.default_rng(seed)
+    shares = _utilization_shares(n, utilization, rng)
+    raw = np.exp(rng.uniform(np.log(2.0), np.log(64.0), size=n))
+    grid = np.asarray(LOGUNIFORM_PERIOD_GRID)
+    periods = grid[np.abs(np.log(grid)[None, :] - np.log(raw)[:, None]).argmin(axis=1)]
+    storages = rng.uniform(s_low, s_high, size=n)
+    tasks = [
+        PeriodicTask(
+            id=f"u{i}",
+            wcet=float(shares[i] * periods[i]),
+            s=float(storages[i]),
+            period=float(periods[i]),
+        )
+        for i in range(n)
+    ]
+    return PeriodicInstance(
+        tasks, m=m, name=name or f"loguniform-n{n}-U{utilization:g}-m{m}"
+    )
+
+
+def trace_from_periodic(pinst, horizon: Optional[float] = None):
+    """One hyperperiod of jobs as a release-dated :class:`ArrivalTrace`.
+
+    Each unrolled job becomes one arrival (``time = release``, ``p =
+    wcet``, ``s = task storage``, job id ``"{task}#{k}"``), in the
+    deterministic unroll order — ready to replay through any online
+    scheduler via :func:`repro.online.arrivals.replay_trace`, with the
+    simulator's completion times available for a deadline cross-check
+    against :func:`repro.core.objectives.deadline_metrics` and the
+    unroll's deadline side table.
+    """
+    from repro.core.task import Task
+    from repro.online.arrivals import ArrivalEvent, ArrivalTrace
+    from repro.periodic.unroll import unroll
+
+    unrolled = unroll(pinst, horizon)
+    events = [
+        ArrivalEvent(
+            time=job.release,
+            task=Task(id=job.job_id, p=job.wcet, s=job.s, label=str(job.task_id)),
+        )
+        for job in unrolled.jobs
+    ]
+    name = f"{pinst.name or 'periodic'}[trace]"
+    return ArrivalTrace(events, m=pinst.m, name=name)

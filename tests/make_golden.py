@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.instance import DAGInstance, Instance
 from repro.extensions.uniform_machines import UniformInstance
+from repro.periodic import PeriodicInstance, PeriodicTask
 from repro.solvers import available_solvers, solve
 
 GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "golden.json"
@@ -64,6 +65,22 @@ DAG_SPECS = [
     "pareto_approx(epsilon=0.5)",
 ]
 
+#: Specs pinned on the periodic instance: every native deadline-aware
+#: solver, plus one-shot solvers served through the transparent
+#: hyperperiod unroll (``exact`` works here because the instance unrolls
+#: to 9 jobs, inside its 10-job cap).
+PERIODIC_SPECS = [
+    "periodic_edf",
+    "periodic_edf(partition=first-fit)",
+    "periodic_rm",
+    "periodic_rm(preemptive=false)",
+    "periodic_list",
+    "lpt",
+    "list",
+    "exact",
+    "sbo(delta=1.0)",
+]
+
 
 def golden_instances() -> Dict[str, Instance]:
     """The fixed instance suite: hand-coded, RNG-free, exact-solver sized."""
@@ -85,10 +102,26 @@ def golden_instances() -> Dict[str, Instance]:
             p=[6, 5, 4, 3, 2, 1], s=[1, 2, 3, 1, 2, 3], speeds=[1.0, 2.0, 4.0],
             name="uniform-3speeds",
         ),
+        # Dyadic wcet/periods -> exact float hyperperiod (8) and 9 jobs,
+        # small enough for every unroll-capped solver including `exact`.
+        "periodic-harmonic": PeriodicInstance(
+            [
+                PeriodicTask(id="a", wcet=1.0, s=2.0, period=2.0),
+                PeriodicTask(id="b", wcet=1.0, s=1.0, period=4.0),
+                PeriodicTask(id="c", wcet=0.5, s=3.0, period=4.0),
+                PeriodicTask(id="d", wcet=2.0, s=1.5, period=8.0),
+            ],
+            m=2,
+            name="periodic-harmonic",
+        ),
     }
 
 
 def golden_specs(name: str, instance: Instance) -> List[str]:
+    if getattr(instance, "kind", None) == "periodic":
+        # No constrained-budget case: the budget heuristic below keys on
+        # one-shot task storage; periodic memory is a per-solver extra.
+        return list(PERIODIC_SPECS)
     if isinstance(instance, DAGInstance) and not instance.is_independent():
         specs = list(DAG_SPECS)
     else:

@@ -1,0 +1,51 @@
+"""Golden-table generator for the EXT-P1 periodic utilization sweep.
+
+Runs :func:`repro.experiments.periodic_study.run_periodic_study` at its
+golden profile (the defaults: ``seeds=(0, 1)``, the standard
+utilization × family × m grid — every cell deterministic) and pins the
+full table bit-for-bit into ``tests/golden/periodic_study.json``,
+including the EDF schedulability-boundary shape checks.
+
+Regenerate only when an output change is *intended* (a scheduler change,
+a consciously accepted generator change)::
+
+    PYTHONPATH=src python tests/make_periodic_golden.py
+
+``tests/test_periodic.py`` re-runs the same profile and compares every
+row and every shape check against this fixture.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.experiments.periodic_study import run_periodic_study
+
+PERIODIC_GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "periodic_study.json"
+
+
+def compute_fixture() -> Dict[str, object]:
+    result = run_periodic_study()
+    return {
+        "experiment_id": result.experiment_id,
+        "headers": result.headers,
+        "rows": result.rows,
+        "checks": result.checks,
+    }
+
+
+def main() -> None:
+    PERIODIC_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    fixture = compute_fixture()
+    PERIODIC_GOLDEN_PATH.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {len(fixture['rows'])} golden rows "
+        f"({sum(fixture['checks'].values())}/{len(fixture['checks'])} checks pass) "
+        f"to {PERIODIC_GOLDEN_PATH}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -43,7 +43,7 @@ class TestReadme:
         design = (REPO_ROOT / "DESIGN.md").read_text()
         # Every experiment id referenced by the harness is indexed in DESIGN.md.
         for exp_id in ("FIG-1", "FIG-2", "FIG-3", "EXT-T1", "EXT-T2", "EXT-T3", "EXT-T4",
-                       "EXT-A1", "EXT-A2", "EXT-A3", "EXT-A4", "EXT-O1"):
+                       "EXT-A1", "EXT-A2", "EXT-A3", "EXT-A4", "EXT-O1", "EXT-P1"):
             assert exp_id in design, exp_id
 
     def test_experiments_md_reports_matches(self):
