@@ -30,6 +30,12 @@ The sub-commands cover the typical workflows:
     ``--scale-down-at``) and cross-shard session handoff.  Speaks the
     same wire protocol as ``serve`` — clients cannot tell the
     difference.
+``stats`` / ``top`` / ``trace``
+    Observability clients for a running service or cluster
+    (:mod:`repro.obs`): one-shot stats snapshot (``stats``), a live
+    refreshing terminal view (``top``), and a JSONL dump of recorded
+    trace spans (``trace dump``).  The servers opt in with ``--trace``
+    / ``--metrics-port`` / ``--slow-request-threshold``.
 ``online``
     Run an arrival trace through an online scheduler
     (:mod:`repro.online`): generate or load a trace, stream it, and
@@ -55,6 +61,11 @@ Examples::
     python -m repro serve --port 8373 --workers 4 --cache .repro-cache
     python -m repro cluster --port 8373 --shards 4 --max-shards 8 \\
         --scale-up-at 8 --scale-down-at 1 --cache .repro-cache
+    python -m repro serve --port 8373 --trace --metrics-port 9100 \\
+        --slow-request-threshold 0.5
+    python -m repro stats --port 8373
+    python -m repro top --port 8373 --interval 1
+    python -m repro trace dump --port 8373 --clear
     python -m repro online --arrival stochastic --n 50 --m 4 --seed 0 \\
         --scheduler "online_sbo(delta=1.0)" --save-trace trace.json
     python -m repro online --trace trace.json --scheduler online_greedy
@@ -345,6 +356,28 @@ def _cmd_report(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------- #
 # serve (async solver service)
 # --------------------------------------------------------------------------- #
+def _print_metrics_banner(server: object) -> None:
+    """Report the bound scrape endpoint (after the main banner line).
+
+    Order matters: process-backend shards parse the *first* stderr line
+    as the service banner, so the metrics line must never precede it.
+    """
+    if server is None:
+        return
+    sockname = server.sockets[0].getsockname()  # type: ignore[attr-defined]
+    print(
+        f"metrics exposition on http://{sockname[0]}:{sockname[1]}/metrics",
+        file=sys.stderr, flush=True,
+    )
+
+
+async def _close_server(server: object) -> None:
+    if server is None:
+        return
+    server.close()  # type: ignore[attr-defined]
+    await server.wait_closed()  # type: ignore[attr-defined]
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -367,6 +400,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             auto_timeouts=args.auto_timeouts,
             tenants=args.tenants,
             default_tenant=args.default_tenant,
+            trace=args.trace,
+            metrics=args.metrics_port is not None,
+            slow_request_threshold=args.slow_request_threshold,
         )
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -374,6 +410,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def run() -> None:
         async with SolverService(config) as svc:
+            metrics_server = None
+            if args.metrics_port is not None:
+                from repro.obs.adapters import build_metrics_registry
+                from repro.obs.httpd import start_metrics_server
+
+                def render_metrics() -> str:
+                    return build_metrics_registry(svc.stats().to_dict()).render()
+
+                metrics_server = await start_metrics_server(
+                    render_metrics, host=args.host, port=args.metrics_port
+                )
             if args.port is None:
                 print(
                     f"repro service on stdio ({config.workers} workers, "
@@ -381,7 +428,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     + (f", cache={args.cache}" if args.cache else ""),
                     file=sys.stderr, flush=True,
                 )
-                await serve_stdio(svc)
+                _print_metrics_banner(metrics_server)
+                try:
+                    await serve_stdio(svc)
+                finally:
+                    await _close_server(metrics_server)
             else:
                 shutdown = asyncio.Event()
                 server = await serve_tcp(svc, args.host, args.port, shutdown)
@@ -397,11 +448,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                        if config.tenants is not None else ""),
                     file=sys.stderr, flush=True,
                 )
+                _print_metrics_banner(metrics_server)
                 try:
                     await shutdown.wait()
                 finally:
                     server.close()
                     await server.wait_closed()
+                    await _close_server(metrics_server)
 
     try:
         asyncio.run(run())
@@ -443,6 +496,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             drain_timeout=args.drain_timeout,
             tenants=args.tenants,
             default_tenant=args.default_tenant,
+            trace=args.trace,
         )
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -453,6 +507,20 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             autoscaler = Autoscaler(router)
             if not args.no_autoscale:
                 autoscaler.start()
+            metrics_server = None
+            if args.metrics_port is not None:
+                from repro.obs.httpd import start_metrics_server
+
+                async def render_metrics() -> str:
+                    # The `metrics` wire op already merges router counters
+                    # with the per-shard registry fan-out; scrape the same
+                    # path so HTTP and wire expositions cannot diverge.
+                    response = await router.handle({"op": "metrics", "id": 0})
+                    return str(response.get("text", ""))
+
+                metrics_server = await start_metrics_server(
+                    render_metrics, host=args.host, port=args.metrics_port
+                )
             shutdown = asyncio.Event()
             server = await serve_tcp(
                 None, args.host, args.port, shutdown, handler=router.handle
@@ -470,11 +538,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                    if config.tenants is not None else ""),
                 file=sys.stderr, flush=True,
             )
+            _print_metrics_banner(metrics_server)
             try:
                 await shutdown.wait()
             finally:
                 server.close()
                 await server.wait_closed()
+                await _close_server(metrics_server)
                 await autoscaler.stop()
 
     try:
@@ -484,6 +554,173 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         return 1
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# stats / top / trace (observability clients)
+# --------------------------------------------------------------------------- #
+_STATS_COUNTER_KEYS = ("submitted", "completed", "failed", "rejected",
+                       "timed_out", "coalesced", "cache_hits", "cache_misses")
+_STATS_GAUGE_KEYS = ("pending", "queue_depth", "in_flight", "sessions_open")
+
+
+def _fmt_num(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _fmt_ms(value: object) -> str:
+    """Milliseconds with two decimals; ``-`` for absent/non-finite values.
+
+    The protocol boundary sanitizes NaN percentiles (empty latency
+    windows) to ``null``, which arrives here as ``None``.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return "-"
+    if not math.isfinite(float(value)):
+        return "-"
+    return f"{float(value) * 1e3:.2f}"
+
+
+def _render_stats(stats: Dict[str, object]) -> str:
+    """Human-readable stats summary shared by ``repro stats`` and ``repro top``.
+
+    Accepts both the flat service shape and the cluster shape
+    (``{"cluster": true, "totals": {...}, "router": {...}, ...}``).
+    """
+    lines = []
+    if stats.get("cluster"):
+        router = stats.get("router") or {}
+        if isinstance(router, dict):
+            lines.append(
+                f"cluster: {_fmt_num(router.get('shards_alive'))} shards alive, "
+                f"{_fmt_num(router.get('routed'))} routed, "
+                f"{_fmt_num(router.get('retried'))} retried, "
+                f"{_fmt_num(router.get('lost'))} lost"
+            )
+        body = stats.get("totals") or {}
+    else:
+        body = stats
+    if not isinstance(body, dict):
+        body = {}
+    lines.append("counters: " + "  ".join(
+        f"{key}={_fmt_num(body.get(key, 0))}" for key in _STATS_COUNTER_KEYS))
+    lines.append("gauges:   " + "  ".join(
+        f"{key}={_fmt_num(body.get(key, 0))}" for key in _STATS_GAUGE_KEYS))
+    families = stats.get("families")
+    if isinstance(families, dict) and families:
+        headers = ["family", "count", "p50 ms", "p90 ms", "p99 ms", "mean ms", "max ms"]
+        rows = [
+            [name, _fmt_num(snap.get("count")), _fmt_ms(snap.get("p50")),
+             _fmt_ms(snap.get("p90")), _fmt_ms(snap.get("p99")),
+             _fmt_ms(snap.get("mean")), _fmt_ms(snap.get("max"))]
+            for name, snap in sorted(families.items())
+            if isinstance(snap, dict)
+        ]
+        lines.append(format_table(headers, rows))
+    tenants = stats.get("tenants")
+    if isinstance(tenants, dict) and tenants:
+        headers = ["tenant", "admitted", "rejected", "in flight", "backlog"]
+        rows = [
+            [name, _fmt_num(snap.get("admitted")),
+             _fmt_num(snap.get("rejected", snap.get("rejections"))),
+             _fmt_num(snap.get("in_flight")), _fmt_num(snap.get("backlog"))]
+            for name, snap in sorted(tenants.items())
+            if isinstance(snap, dict)
+        ]
+        lines.append(format_table(headers, rows))
+    return "\n".join(lines)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.client import ServiceClient
+
+    async def fetch() -> Dict[str, object]:
+        client = await ServiceClient.connect(args.host, args.port)
+        try:
+            return await client.stats()
+        finally:
+            await client.close()
+
+    try:
+        stats = asyncio.run(fetch())
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(_render_stats(stats))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.client import ServiceClient
+
+    async def run() -> None:
+        client = await ServiceClient.connect(args.host, args.port)
+        try:
+            remaining = args.iterations
+            while True:
+                stats = await client.stats()
+                body = _render_stats(stats)
+                if not args.no_clear:
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                print(f"repro top — {args.host}:{args.port} "
+                      f"(refresh {args.interval:g}s, ctrl-c to quit)")
+                print(body)
+                sys.stdout.flush()
+                if args.iterations:
+                    remaining -= 1
+                    if remaining <= 0:
+                        return
+                await asyncio.sleep(args.interval)
+        finally:
+            await client.close()
+
+    try:
+        asyncio.run(run())
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.client import ServiceClient
+
+    async def fetch() -> list:
+        client = await ServiceClient.connect(args.host, args.port)
+        try:
+            return await client.trace_dump(
+                trace_id=args.trace_id, clear=args.clear
+            )
+        finally:
+            await client.close()
+
+    try:
+        spans = asyncio.run(fetch())
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    text = "\n".join(json.dumps(span, sort_keys=True) for span in spans)
+    if args.output:
+        Path(args.output).write_text(text + ("\n" if text else ""))
+        print(f"wrote {len(spans)} spans to {args.output}", file=sys.stderr)
+    elif text:
+        print(text)
     return 0
 
 
@@ -753,6 +990,17 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--default-tenant", default=None, metavar="NAME",
                      help="tenant charged for requests that name none "
                           "(requires --tenants; otherwise such requests are rejected)")
+    srv.add_argument("--trace", action="store_true",
+                     help="record request trace spans (bounded in-process ring, "
+                          "dumped via `repro trace dump` or the `trace` wire op)")
+    srv.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                     help="serve Prometheus text exposition over HTTP on this "
+                          "port (0 picks a free one) and enable live "
+                          "latency-histogram recording")
+    srv.add_argument("--slow-request-threshold", type=float, default=None,
+                     metavar="SECONDS",
+                     help="log one structured line for every request slower "
+                          "than this many seconds")
     srv.set_defaults(func=_cmd_serve)
 
     clu = sub.add_parser(
@@ -818,7 +1066,54 @@ def build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--default-tenant", default=None, metavar="NAME",
                      help="tenant charged for requests that name none "
                           "(requires --tenants; otherwise such requests are rejected)")
+    clu.add_argument("--trace", action="store_true",
+                     help="record trace spans at the router and every shard "
+                          "(one trace id covers route -> shard -> kernel)")
+    clu.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                     help="serve cluster-wide Prometheus text exposition "
+                          "(router counters merged with every shard's "
+                          "registry) over HTTP on this port")
     clu.set_defaults(func=_cmd_cluster)
+
+    sts = sub.add_parser(
+        "stats",
+        help="fetch and pretty-print a running service/cluster stats snapshot",
+    )
+    sts.add_argument("--host", default="127.0.0.1", help="service/cluster host")
+    sts.add_argument("--port", type=int, required=True, help="service/cluster port")
+    sts.add_argument("--json", action="store_true",
+                     help="print the raw JSON snapshot instead of tables")
+    sts.set_defaults(func=_cmd_stats)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view of a running service/cluster (like top(1))",
+    )
+    top.add_argument("--host", default="127.0.0.1", help="service/cluster host")
+    top.add_argument("--port", type=int, required=True, help="service/cluster port")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="refresh count before exiting (0 = run until ctrl-c)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append refreshes instead of clearing the screen")
+    top.set_defaults(func=_cmd_top)
+
+    trc = sub.add_parser(
+        "trace",
+        help="dump recorded trace spans from a running service/cluster as JSONL",
+    )
+    trc.add_argument("action", choices=["dump"],
+                     help="dump: fetch the span ring over the `trace` wire op")
+    trc.add_argument("--host", default="127.0.0.1", help="service/cluster host")
+    trc.add_argument("--port", type=int, required=True, help="service/cluster port")
+    trc.add_argument("--trace-id", default=None,
+                     help="only spans belonging to this trace id")
+    trc.add_argument("--clear", action="store_true",
+                     help="clear the server-side span ring after dumping")
+    trc.add_argument("--output", default=None, metavar="FILE",
+                     help="write the JSONL here instead of stdout")
+    trc.set_defaults(func=_cmd_trace)
 
     onl = sub.add_parser(
         "online",

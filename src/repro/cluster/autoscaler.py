@@ -44,6 +44,7 @@ from typing import Dict, List, Optional
 from repro.cluster.backend import ShardStartError
 from repro.cluster.config import ClusterConfig
 from repro.cluster.router import ClusterError, ClusterRouter
+from repro.obs.logging import log_event
 
 __all__ = ["Autoscaler", "AutoscalerPolicy"]
 
@@ -142,12 +143,14 @@ class Autoscaler:
     # one observation
     # ------------------------------------------------------------------ #
     def _record(self, action: str, avg: float) -> None:
+        shards = len(self.router.shard_names())
         self.log.append({
             "action": action,
             "avg": avg,
-            "shards": len(self.router.shard_names()),
+            "shards": shards,
         })
         del self.log[:-50]
+        log_event("autoscale", action=action, avg=round(avg, 3), shards=shards)
 
     def pick_victim(self) -> Optional[str]:
         """The shard scale-down retires: fewest pinned sessions, newest on ties.

@@ -38,6 +38,8 @@ import re
 import sys
 from typing import Dict, List, Optional
 
+from repro.obs.logging import log_event
+
 __all__ = [
     "ShardHandle",
     "InprocShard",
@@ -190,6 +192,7 @@ class ProcessShard(ShardHandle):
         auto_timeouts: bool = False,
         host: str = "127.0.0.1",
         stop_timeout: float = 10.0,
+        trace: bool = False,
     ) -> None:
         super().__init__(name)
         # Orderly-shutdown budget (``ClusterConfig.drain_timeout``): bounds
@@ -210,6 +213,8 @@ class ProcessShard(ShardHandle):
             self._argv += ["--cache", str(cache_dir)]
         if auto_timeouts:
             self._argv += ["--auto-timeouts"]
+        if trace:
+            self._argv += ["--trace"]
         self._host = host
         self.port: Optional[int] = None
         self._proc: Optional["asyncio.subprocess.Process"] = None
@@ -259,6 +264,8 @@ class ProcessShard(ShardHandle):
         except OSError as exc:
             await self.kill()
             raise ShardStartError(f"shard {self.name}: connect failed: {exc}") from None
+        log_event("shard_spawned", shard=self.name, port=self.port,
+                  pid=self._proc.pid)
 
     async def _drain_stderr(self) -> None:
         assert self._proc is not None
@@ -340,6 +347,8 @@ class ProcessShard(ShardHandle):
         proc = self._proc  # kept on self: ``alive`` reads its returncode
         if proc is None:
             return
+        log_event("shard_reaped", shard=self.name, graceful=graceful,
+                  returncode=proc.returncode)
         if proc.returncode is None:
             if graceful:
                 self._signal_group(signal.SIGTERM)

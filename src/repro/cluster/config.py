@@ -112,6 +112,11 @@ class ClusterConfig:
         Transport-failure retries per solve request (each retry re-routes
         among the surviving shards); ``None`` retries once per remaining
         shard.
+    trace:
+        Enable span recording (:mod:`repro.obs.trace`) in the router's
+        process at start and in every *inproc* shard (process shards are
+        spawned with ``--trace`` by the backend when set).  Off by
+        default — the wire stays byte-identical.
     tenants / default_tenant / qos_policy:
         Multi-tenant QoS (:mod:`repro.qos`), enforced **at the router**:
         one cluster-wide admission controller whose slot capacity is
@@ -148,6 +153,7 @@ class ClusterConfig:
     hysteresis: int = 3
     drain_timeout: float = 30.0
     solve_retries: Optional[int] = None
+    trace: bool = False
     tenants: object = None
     default_tenant: Optional[str] = None
     qos_policy: str = "wfq"
@@ -261,4 +267,5 @@ class ClusterConfig:
             max_sessions=self.max_sessions,
             max_session_tasks=self.max_session_tasks,
             session_ttl=self.session_ttl,
+            trace=self.trace,
         )

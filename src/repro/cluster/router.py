@@ -76,9 +76,19 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.journal import SessionJournal
 from repro.cluster.routing import rank, request_key
 from repro.cluster.stats import ClusterStats, merge_shard_stats
+from repro.obs.logging import log_event
+from repro.obs.trace import (
+    RECORDER,
+    enable_tracing,
+    new_span_id,
+    new_trace_id,
+    parse_wire_trace,
+    wire_trace,
+)
 from repro.qos.admission import AdmissionController
 from repro.qos.tenants import CLASS_URGENCY, QosError, TenantConfig
 from repro.service.protocol import PROTOCOL_VERSION, error_code_for, solve_request
+from repro.service.server import _metrics_response, _trace_response
 
 __all__ = [
     "ClusterRouter",
@@ -204,6 +214,8 @@ class ClusterRouter:
                     "process backends need a cache *directory* (a path) — an "
                     "in-memory cache object cannot be shared across processes"
                 )
+        if self.config.trace:
+            enable_tracing()
         self._started = True
         try:
             await asyncio.gather(*(self.add_shard() for _ in range(self.config.shards)))
@@ -307,6 +319,7 @@ class ClusterRouter:
             session_ttl=config.session_ttl,
             auto_timeouts=config.auto_timeouts,
             stop_timeout=config.drain_timeout,
+            trace=config.trace,
         )
 
     async def add_shard(self) -> ShardHandle:
@@ -451,6 +464,8 @@ class ClusterRouter:
             del self._shards[shard.name]
             self._counters["shards_lost"] += 1
             self._update_qos_capacity()
+            log_event("shard_dead", shard=shard.name,
+                      remaining=len(self._routable()))
         await shard.kill()
 
     async def reap_dead(self) -> int:
@@ -498,6 +513,10 @@ class ClusterRouter:
             if op == "stats":
                 stats = await self.stats()
                 return {"id": request.get("id"), "ok": True, "stats": stats.to_dict()}
+            if op == "metrics":
+                return await self._metrics(request)
+            if op == "trace":
+                return _trace_response(request)
             if op == "ping":
                 return {"id": request.get("id"), "ok": True, "pong": True,
                         "protocol": PROTOCOL_VERSION, "cluster": True,
@@ -516,8 +535,8 @@ class ClusterRouter:
             raise ClusterError(
                 f"unknown op {op!r}; the cluster front end speaks solve, "
                 f"session_open, session_submit, session_result, session_export, "
-                f"session_restore, session_handoff, session_close, stats, ping, "
-                f"drain, and shutdown"
+                f"session_restore, session_handoff, session_close, stats, "
+                f"metrics, trace, ping, drain, and shutdown"
             )
         except asyncio.CancelledError:
             raise
@@ -606,11 +625,24 @@ class ClusterRouter:
 
     async def _forward_solve(self, request: Dict[str, object]) -> Dict[str, object]:
         key = request_key(request)
+        # Trace context: adopt the client's when the request carries one,
+        # otherwise — the router being the ingress — mint a fresh trace id.
+        # One ``RECORDER.enabled`` check is the whole disabled-path cost;
+        # with recording off an incoming trace field still propagates to
+        # the shard untouched (it is part of ``inner``).
+        tctx: Optional[Tuple[str, Optional[str]]] = None
+        if RECORDER.enabled:
+            tctx = parse_wire_trace(request.get("trace")) or (new_trace_id(), None)
         # Read-through cache tier *before* routing: a hit never touches a
         # shard (and makes no routing decision, so ``routed`` holds still).
         # Sound because solvers are deterministic and results
         # content-addressed by the same key rendezvous routing hashes.
         cached = self._cache_get(key)
+        if tctx is not None:
+            RECORDER.record(
+                "cache_consult", "router", tctx[0], new_span_id(), tctx[1],
+                time.perf_counter(), 0.0, hit=cached is not None,
+            )
         if cached is not None:
             response = dict(cached)
             result = response.get("result")
@@ -642,9 +674,24 @@ class ClusterRouter:
                 )
             name = order[0]
             shard = self._shards[name]
+            route_span = ""
+            route_at = 0.0
+            if tctx is not None:
+                # The route span parents everything the shard records for
+                # this attempt; a retry gets a fresh span (one span per
+                # routing decision, mirroring the counter ledger).
+                route_span = new_span_id()
+                route_at = time.perf_counter()
+                inner["trace"] = wire_trace(tctx[0], route_span)
             try:
                 response = await shard.request(inner)
             except (ConnectionError, OSError):
+                if tctx is not None:
+                    RECORDER.record(
+                        "route", "router", tctx[0], route_span, tctx[1],
+                        route_at, time.perf_counter() - route_at,
+                        shard=name, lost=True,
+                    )
                 tried.add(name)
                 await self._mark_dead(shard)
                 if retries_left is not None and retries_left <= 0:
@@ -660,6 +707,11 @@ class ClusterRouter:
                     retries_left -= 1
                 self._counters["retried"] += 1
                 continue
+            if tctx is not None:
+                RECORDER.record(
+                    "route", "router", tctx[0], route_span, tctx[1],
+                    route_at, time.perf_counter() - route_at, shard=name,
+                )
             self._counters["completed"] += 1
             if response.get("ok"):
                 self._cache_put(key, response)
@@ -711,6 +763,7 @@ class ClusterRouter:
     def _lose_session(self, router_sid: str, reason: str) -> None:
         """Account one unrecoverable session: free the pin, tombstone the id."""
         self._drop_pin(router_sid)
+        log_event("session_lost", session=router_sid, reason=reason)
         self._counters["sessions_lost"] += 1
         self._lost_sessions[router_sid] = reason
         while len(self._lost_sessions) > _LOST_SESSION_TOMBSTONES:
@@ -849,6 +902,7 @@ class ClusterRouter:
             self._sessions[router_sid] = (target_name, str(restored["session"]))
             self._session_touch[router_sid] = time.monotonic()
             self._counters["sessions_replayed"] += 1
+            log_event("session_replayed", session=router_sid, shard=target_name)
             return restored
 
     async def _failover_pin(
@@ -1107,6 +1161,8 @@ class ClusterRouter:
             self._sessions[router_sid] = (target_name, str(restored["session"]))
             self._session_touch[router_sid] = time.monotonic()
             self._counters["handoffs"] += 1
+            log_event("session_handoff", session=router_sid,
+                      source=source_name, target=target_name)
             try:
                 await source.request({"op": "session_close", "session": backend_sid})
             except (ConnectionError, OSError):
@@ -1211,4 +1267,32 @@ class ClusterRouter:
             payloads,
             router=self.router_counters(),
             tenants=self._qos.snapshot() if self._qos is not None else None,
+        )
+
+    async def _metrics(self, request: Dict[str, object]) -> Dict[str, object]:
+        """The ``metrics`` op: cluster stats + exact shard histogram merge.
+
+        Shard latency *histograms* are fetched in the mergeable dict form
+        and summed bucket-by-bucket — unlike the count-weighted percentile
+        merge of :func:`repro.cluster.stats.merge_families`, the merged
+        histogram is exactly the histogram of the concatenated samples.
+        """
+        stats = await self.stats()
+        names = self.shard_names()
+        shards = [self._shards[name] for name in names]
+
+        async def one(shard: ShardHandle):
+            try:
+                response = await shard.request({"op": "metrics", "format": "dict"})
+            except (ConnectionError, OSError):
+                await self._mark_dead(shard)
+                return None
+            return response.get("metrics") if response.get("ok") else None
+
+        gathered = await asyncio.gather(*(one(shard) for shard in shards))
+        return _metrics_response(
+            request,
+            stats.to_dict(),
+            router_counters=self.router_counters(),
+            extra_registries=[p for p in gathered if isinstance(p, dict)],
         )

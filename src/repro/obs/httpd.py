@@ -1,0 +1,85 @@
+"""A tiny asyncio HTTP endpoint serving Prometheus text exposition.
+
+``repro serve --metrics-port N`` (and the cluster equivalent) starts
+one of these next to the wire-protocol listener.  It speaks just enough
+HTTP/1.1 for a scraper: any ``GET`` path returns the current exposition
+(conventionally scraped at ``/metrics``), everything else is a 405.
+One registry render per request — no background sampling loop, no
+threads, no third-party dependency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Union
+
+__all__ = ["start_metrics_server", "CONTENT_TYPE"]
+
+#: The Prometheus text exposition content type (format version 0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+Provider = Callable[[], Union[str, Awaitable[str]]]
+
+_MAX_REQUEST_BYTES = 16384
+
+
+async def _handle_scrape(
+    provider: Provider,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        request_line = await reader.readline()
+        # Drain headers until the blank line; scrapers send few and small.
+        consumed = len(request_line)
+        while consumed < _MAX_REQUEST_BYTES:
+            line = await reader.readline()
+            consumed += len(line)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        parts = request_line.decode("latin-1", "replace").split()
+        method = parts[0].upper() if parts else ""
+        if method not in ("GET", "HEAD"):
+            body = b"metrics endpoint: GET only\n"
+            status = "405 Method Not Allowed"
+        else:
+            text = provider()
+            if asyncio.iscoroutine(text):
+                text = await text
+            body = str(text).encode("utf-8")
+            status = "200 OK"
+        head = (
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: {CONTENT_TYPE}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head if method == "HEAD" else head + body)
+        await writer.drain()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def start_metrics_server(
+    provider: Provider,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.AbstractServer:
+    """Serve ``provider()`` (the exposition text) over HTTP on ``host:port``.
+
+    ``provider`` may be sync or async; it is called once per scrape.
+    Returns the listening server (``server.sockets[0].getsockname()[1]``
+    reports the bound port — ``port=0`` picks a free one).
+    """
+
+    async def handler(reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        await _handle_scrape(provider, reader, writer)
+
+    return await asyncio.start_server(handler, host, port)

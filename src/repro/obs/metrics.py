@@ -1,0 +1,490 @@
+"""Unified metrics: Counter / Gauge / Histogram + Prometheus exposition.
+
+The registry holds typed metric families, each optionally labelled::
+
+    reg = MetricsRegistry()
+    reqs = reg.counter("repro_requests_total", "Requests", ("family",))
+    reqs.inc(1, "sbo")
+    lat = reg.histogram("repro_latency_seconds", "Latency", ("family",))
+    lat.observe(0.012, "sbo")
+    print(reg.render())          # Prometheus text exposition
+
+Histograms use **fixed boundaries**, so merging two histograms is exact
+bucket-count addition: the merge of per-shard histograms equals the
+histogram of the concatenated samples — the guarantee the old
+count-weighted percentile merge in :mod:`repro.cluster.stats` could not
+make (that path is kept for the legacy ``stats`` op; the ``metrics`` op
+uses this one).  Quantiles are then *estimated* from bucket boundaries
+(upper-bound-of-bucket rule), which is the standard Prometheus
+trade-off: exact merge, approximate quantile — the reverse of the old
+one.
+
+``to_dict`` / ``from_dict`` / ``merge`` give the structured wire form
+the cluster router uses to fold shard registries into one.
+
+The process-global :data:`REGISTRY` is what live serving code records
+into; it is **disabled by default** and hot paths guard on the single
+``REGISTRY.enabled`` attribute.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Default latency bucket upper bounds (seconds): 100 µs .. 30 s.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_LabelKey = Tuple[str, ...]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # nan
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labelnames: Sequence[str], labelvalues: _LabelKey,
+               extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = [f'{name}="{_escape_label_value(str(value))}"'
+             for name, value in zip(labelnames, labelvalues)]
+    pairs.extend(f'{name}="{_escape_label_value(value)}"' for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class _Metric:
+    """Common shape: a named family of label-keyed series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labelvalues: Tuple[object, ...]) -> _LabelKey:
+        if len(labelvalues) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected {len(self.labelnames)} label value(s) "
+                f"{self.labelnames}, got {len(labelvalues)}"
+            )
+        return tuple(str(v) for v in labelvalues)
+
+    def _header(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(_Metric):
+    """Monotonically increasing value (per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, *labelvalues: object) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only increase, got {amount}")
+        key = self._key(labelvalues)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set_total(self, value: float, *labelvalues: object) -> None:
+        """Overwrite the total — for adapters mirroring an external counter."""
+        key = self._key(labelvalues)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def value(self, *labelvalues: object) -> float:
+        with self._lock:
+            return self._values.get(self._key(labelvalues), 0.0)
+
+    def collect(self) -> Dict[_LabelKey, float]:
+        with self._lock:
+            return dict(self._values)
+
+    def render(self) -> List[str]:
+        values = self.collect()
+        lines = self._header()
+        for key in sorted(values):
+            lines.append(
+                f"{self.name}{_label_str(self.labelnames, key)} "
+                f"{_format_value(values[key])}"
+            )
+        return lines
+
+
+class Gauge(_Metric):
+    """Instantaneous value that can go up or down (per label set)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def set(self, value: float, *labelvalues: object) -> None:
+        key = self._key(labelvalues)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, *labelvalues: object) -> None:
+        key = self._key(labelvalues)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, *labelvalues: object) -> None:
+        self.inc(-amount, *labelvalues)
+
+    def value(self, *labelvalues: object) -> float:
+        with self._lock:
+            return self._values.get(self._key(labelvalues), 0.0)
+
+    def collect(self) -> Dict[_LabelKey, float]:
+        with self._lock:
+            return dict(self._values)
+
+    def render(self) -> List[str]:
+        values = self.collect()
+        lines = self._header()
+        for key in sorted(values):
+            lines.append(
+                f"{self.name}{_label_str(self.labelnames, key)} "
+                f"{_format_value(values[key])}"
+            )
+        return lines
+
+
+class _HistogramSeries:
+    __slots__ = ("buckets", "total", "count")
+
+    def __init__(self, nbuckets: int) -> None:
+        self.buckets = [0] * nbuckets   # one per boundary + one overflow
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-boundary histogram; merging is exact bucket addition.
+
+    ``boundaries`` are the inclusive upper bounds of the finite buckets
+    (Prometheus ``le`` semantics); one implicit ``+Inf`` bucket catches
+    the overflow.  Two histograms with identical boundaries merge by
+    adding bucket counts, counts, and sums — exactly the histogram the
+    concatenated sample stream would have produced.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError(f"{name}: at least one bucket boundary required")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"{name}: boundaries must be strictly increasing")
+        if any(b != b or b == math.inf for b in bounds):
+            raise ValueError(f"{name}: boundaries must be finite (got {bounds})")
+        self.boundaries: Tuple[float, ...] = bounds
+        self._series: Dict[_LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, *labelvalues: object) -> None:
+        key = self._key(labelvalues)
+        index = bisect.bisect_left(self.boundaries, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.boundaries) + 1)
+            series.buckets[index] += 1
+            series.total += value
+            series.count += 1
+
+    def collect(self) -> Dict[_LabelKey, Dict[str, object]]:
+        with self._lock:
+            return {
+                key: {"buckets": list(s.buckets), "sum": s.total, "count": s.count}
+                for key, s in self._series.items()
+            }
+
+    def quantile(self, q: float, *labelvalues: object) -> float:
+        """Estimated ``q``-quantile (0..1): upper bound of the covering bucket.
+
+        ``nan`` when the series is empty; ``+Inf``-bucket hits report the
+        largest finite boundary (the standard Prometheus convention).
+        """
+        key = self._key(labelvalues)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None or series.count == 0:
+                return math.nan
+            buckets, count = list(series.buckets), series.count
+        rank = max(1, math.ceil(q * count))
+        cumulative = 0
+        for index, bucket_count in enumerate(buckets):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                return self.boundaries[min(index, len(self.boundaries) - 1)]
+        return self.boundaries[-1]
+
+    def merge_series(self, key: _LabelKey, buckets: Sequence[int],
+                     total: float, count: int) -> None:
+        """Fold one external series (same boundaries) into this histogram."""
+        if len(buckets) != len(self.boundaries) + 1:
+            raise ValueError(
+                f"{self.name}: cannot merge series with {len(buckets)} buckets "
+                f"into {len(self.boundaries) + 1}"
+            )
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.boundaries) + 1)
+            for index, bucket_count in enumerate(buckets):
+                series.buckets[index] += int(bucket_count)
+            series.total += float(total)
+            series.count += int(count)
+
+    def render(self) -> List[str]:
+        collected = self.collect()
+        lines = self._header()
+        for key in sorted(collected):
+            data = collected[key]
+            cumulative = 0
+            for boundary, bucket_count in zip(self.boundaries, data["buckets"]):
+                cumulative += bucket_count
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_label_str(self.labelnames, key, (('le', f'{boundary:g}'),))} "
+                    f"{cumulative}"
+                )
+            cumulative += data["buckets"][-1]
+            lines.append(
+                f"{self.name}_bucket"
+                f"{_label_str(self.labelnames, key, (('le', '+Inf'),))} {cumulative}"
+            )
+            lines.append(
+                f"{self.name}_sum{_label_str(self.labelnames, key)} "
+                f"{_format_value(data['sum'])}"
+            )
+            lines.append(
+                f"{self.name}_count{_label_str(self.labelnames, key)} {data['count']}"
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create accessors.
+
+    ``enabled`` gates *recording* on the process-global instance — the
+    registry object itself always works (adapters build throwaway
+    registries from stats snapshots regardless of the flag).
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labelnames: Sequence[str], **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}{existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "", labelnames: Sequence[str] = (),
+                  boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, boundaries=boundaries
+        )  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def render(self) -> str:
+        """Prometheus text exposition (format version 0.0.4)."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # ------------------------------------------------------------------ #
+    # structured wire form (the `metrics` op payload; exact cross-shard
+    # merge happens on these dicts)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: Dict[str, object] = {}
+        for name, metric in sorted(metrics.items()):
+            entry: Dict[str, object] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labels": list(metric.labelnames),
+            }
+            if isinstance(metric, Histogram):
+                entry["boundaries"] = list(metric.boundaries)
+            entry["series"] = {
+                "\t".join(key): value for key, value in metric.collect().items()
+            }
+            out[name] = entry
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(payload)
+        return registry
+
+    def merge(self, payload: Mapping[str, object]) -> None:
+        """Fold a :meth:`to_dict` payload into this registry.
+
+        Counters and histogram series **add**; gauges add too (the
+        cluster reading of a gauge like queue depth is the sum over
+        shards).  Histogram addition is exact: same boundaries, bucket
+        counts summed.
+        """
+        for name, entry in payload.items():
+            if not isinstance(entry, Mapping):
+                continue
+            kind = entry.get("kind")
+            help_text = str(entry.get("help", ""))
+            labelnames = tuple(str(n) for n in entry.get("labels", ()))
+            series = entry.get("series", {})
+            if not isinstance(series, Mapping):
+                continue
+            if kind == "histogram":
+                boundaries = tuple(
+                    float(b) for b in entry.get("boundaries", DEFAULT_LATENCY_BUCKETS)
+                )
+                metric = self.histogram(name, help_text, labelnames, boundaries)
+                for packed, data in series.items():
+                    if not isinstance(data, Mapping):
+                        continue
+                    key = tuple(str(packed).split("\t")) if labelnames else ()
+                    metric.merge_series(
+                        key,
+                        [int(c) for c in data.get("buckets", [])],
+                        float(data.get("sum", 0.0)),
+                        int(data.get("count", 0)),
+                    )
+            elif kind == "gauge":
+                metric = self.gauge(name, help_text, labelnames)
+                for packed, value in series.items():
+                    key = tuple(str(packed).split("\t")) if labelnames else ()
+                    metric.inc(float(value), *key)
+            elif kind == "counter":
+                metric = self.counter(name, help_text, labelnames)
+                for packed, value in series.items():
+                    key = tuple(str(packed).split("\t")) if labelnames else ()
+                    metric.inc(float(value), *key)
+
+
+#: The process-wide live registry serving code records into (off by default).
+REGISTRY = MetricsRegistry()
+
+#: Live request-latency histograms recorded by the service hot path when
+#: :data:`REGISTRY` is enabled.  Families are the solver registry entry
+#: names; phases mirror the ``phases`` stats breakdown.
+REQUEST_LATENCY = REGISTRY.histogram(
+    "repro_request_latency_seconds",
+    "End-to-end request latency by solver family",
+    ("family",),
+)
+PHASE_LATENCY = REGISTRY.histogram(
+    "repro_phase_latency_seconds",
+    "Unique-job phase latency (queue_wait / exec) by solver family",
+    ("phase", "family"),
+)
+
+
+def enable_metrics() -> None:
+    """Turn live metric recording on process-wide."""
+    REGISTRY.enabled = True
+
+
+def disable_metrics() -> None:
+    REGISTRY.enabled = False
+
+
+def metrics_enabled() -> bool:
+    return REGISTRY.enabled
+
+
+def merge_registry_dicts(payloads: Iterable[Mapping[str, object]]) -> MetricsRegistry:
+    """One registry holding the exact sum of several ``to_dict`` payloads."""
+    merged = MetricsRegistry()
+    for payload in payloads:
+        merged.merge(payload)
+    return merged
+
+
+__all__.append("merge_registry_dicts")
+__all__.extend(["REQUEST_LATENCY", "PHASE_LATENCY"])

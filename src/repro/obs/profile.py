@@ -1,0 +1,116 @@
+"""Opt-in phase profiling: where does a solve spend its time?
+
+:data:`PROFILER` accumulates ``(family, phase)`` wall-time totals; the
+solver facade (:mod:`repro.solvers.api`) reports its phases into it —
+``validation`` (spec parse + capability checks), ``hashing`` (content
+hash / cache key), ``kernel`` (the placement kernel itself), and
+``serialization`` (cache store round-trips).  The split answers the
+profile-guided-speed question the ROADMAP asks ("is the time in the
+kernel or around it?") per solver family, without an external profiler.
+
+Everything is off by default: :class:`ProfileScope` costs one attribute
+check when disabled, and the facade guards its explicit ``add`` calls
+the same way.
+
+::
+
+    from repro.obs.profile import PROFILER, ProfileScope
+
+    PROFILER.enabled = True
+    with ProfileScope("sbo", "kernel"):
+        run_kernel()
+    PROFILER.snapshot()
+    # {"sbo": {"kernel": {"seconds": ..., "count": 1}}}
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "Profiler",
+    "ProfileScope",
+    "PROFILER",
+    "enable_profiling",
+    "disable_profiling",
+    "PROFILE_PHASES",
+]
+
+#: The phase taxonomy the solver facade reports (free-form names are
+#: accepted; these are the documented ones).
+PROFILE_PHASES = ("validation", "hashing", "kernel", "serialization")
+
+
+class Profiler:
+    """Thread-safe ``(family, phase) -> (total seconds, count)`` ledger."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._data: Dict[Tuple[str, str], List[float]] = {}
+        self._lock = threading.Lock()
+
+    def add(self, family: str, phase: str, seconds: float) -> None:
+        """Account ``seconds`` to ``(family, phase)`` (call when enabled)."""
+        key = (family, phase)
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self._data[key] = [seconds, 1]
+            else:
+                entry[0] += seconds
+                entry[1] += 1
+
+    def snapshot(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """``{family: {phase: {"seconds": total, "count": n}}}``."""
+        with self._lock:
+            items = list(self._data.items())
+        out: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for (family, phase), (seconds, count) in sorted(items):
+            out.setdefault(family, {})[phase] = {
+                "seconds": seconds, "count": int(count),
+            }
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+#: The process-wide profiler (off by default).
+PROFILER = Profiler()
+
+
+class ProfileScope:
+    """Context manager charging a ``with`` block to ``(family, phase)``.
+
+    Checks :data:`PROFILER` ``enabled`` once on entry; when off, entry
+    and exit are each a single attribute check.
+    """
+
+    __slots__ = ("family", "phase", "_start")
+
+    def __init__(self, family: str, phase: str) -> None:
+        self.family = family
+        self.phase = phase
+        self._start = -1.0
+
+    def __enter__(self) -> "ProfileScope":
+        if PROFILER.enabled:
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start >= 0.0:
+            PROFILER.add(self.family, self.phase, time.perf_counter() - self._start)
+
+
+def enable_profiling() -> None:
+    PROFILER.enabled = True
+
+
+def disable_profiling(reset: bool = False) -> None:
+    PROFILER.enabled = False
+    if reset:
+        PROFILER.reset()

@@ -32,8 +32,10 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from typing import Dict, Optional, Type
 
+from repro.obs.trace import RECORDER, new_span_id, new_trace_id, wire_trace
 from repro.service.protocol import (
     DEFAULT_FRAMING,
     FRAME_HEADER,
@@ -126,7 +128,12 @@ def rejection_class(code: Optional[str]) -> Type[ServiceProtocolError]:
 class ServiceClient:
     """One multiplexed client connection to a ``repro serve`` TCP server."""
 
-    def __init__(self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter") -> None:
+    def __init__(
+        self,
+        reader: "asyncio.StreamReader",
+        writer: "asyncio.StreamWriter",
+        trace: Optional[bool] = None,
+    ) -> None:
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count(1)
@@ -135,12 +142,21 @@ class ServiceClient:
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
         self._closed = False
         self._dead = False
+        # Trace-context injection on solve(): True forces it, False forbids
+        # it, None (default) follows the process-wide recorder switch — so
+        # an untraced process keeps the wire byte-identical.
+        self._trace = trace
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 8373) -> "ServiceClient":
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 8373,
+        trace: Optional[bool] = None,
+    ) -> "ServiceClient":
         """Open a connection to a running server."""
         reader, writer = await asyncio.open_connection(host, port, limit=READER_LIMIT)
-        return cls(reader, writer)
+        return cls(reader, writer, trace=trace)
 
     @property
     def framing(self) -> str:
@@ -295,10 +311,29 @@ class ServiceClient:
         params: Optional[Dict[str, object]] = None,
         tenant: Optional[str] = None,
     ) -> Dict[str, object]:
-        """Solve one instance; returns the result payload dict."""
+        """Solve one instance; returns the result payload dict.
+
+        When tracing is active (``trace=True`` on this client, or the
+        process recorder enabled with ``trace`` unset) a fresh trace id is
+        generated here — the ingress — and propagated on the wire; the
+        end-to-end ``request`` span is recorded client-side.
+        """
+        tfield = None
+        start = 0.0
+        if self._trace if self._trace is not None else RECORDER.enabled:
+            tfield = wire_trace(new_trace_id(), new_span_id())
+            start = time.perf_counter()
         response = await self.request(
-            solve_request(instance, spec, timeout=timeout, params=params, tenant=tenant)
+            solve_request(
+                instance, spec, timeout=timeout, params=params, tenant=tenant,
+                trace=tfield,
+            )
         )
+        if tfield is not None and RECORDER.enabled:
+            RECORDER.record(
+                "request", "client", tfield["id"], tfield["span"], None,
+                start, time.perf_counter() - start, spec=str(spec),
+            )
         return response["result"]  # type: ignore[return-value]
 
     async def ping(self) -> Dict[str, object]:
@@ -307,6 +342,32 @@ class ServiceClient:
     async def stats(self) -> Dict[str, object]:
         response = await self.request({"op": "stats"})
         return response["stats"]  # type: ignore[return-value]
+
+    async def metrics(self, format: str = "text"):
+        """Unified metrics from the server (``metrics`` op).
+
+        ``format="text"`` returns the Prometheus exposition text;
+        ``format="dict"`` returns the mergeable registry dict
+        (:meth:`repro.obs.metrics.MetricsRegistry.to_dict`).
+        """
+        response = await self.request({"op": "metrics", "format": format})
+        return response["text" if format == "text" else "metrics"]
+
+    async def trace_dump(
+        self, trace_id: Optional[str] = None, clear: bool = False
+    ) -> list:
+        """Spans recorded in the server process (``trace`` op).
+
+        ``trace_id`` filters to one trace; ``clear`` empties the server's
+        span ring after the snapshot.
+        """
+        payload: Dict[str, object] = {"op": "trace"}
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        if clear:
+            payload["clear"] = True
+        response = await self.request(payload)
+        return response["spans"]  # type: ignore[return-value]
 
     async def shutdown(self) -> None:
         """Ask the server to stop (the connection closes afterwards)."""

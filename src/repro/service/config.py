@@ -111,6 +111,23 @@ class ServiceConfig:
         Dequeue policy arbitrating admission slots between backlogged
         tenants: ``"wfq"`` (weighted-fair, the default) or ``"fifo"``
         (weight-blind baseline).
+    latency_families_max:
+        Bound on distinct solver families tracked by the latency
+        breakdowns (least-recently-recorded eviction beyond it) — family
+        names are client-influenced via runtime-registered solvers, so
+        the breakdown must not be a memory leak.
+    trace:
+        Enable span recording (:mod:`repro.obs.trace`) in this process
+        when the service starts.  Off by default; with it off the wire
+        format and hot-path cost are identical to an obs-less build.
+    metrics:
+        Enable live metric recording (:mod:`repro.obs.metrics`) — the
+        mergeable per-family latency histograms behind the ``metrics``
+        op and the Prometheus scrape endpoint.  Off by default.
+    slow_request_threshold:
+        Seconds above which a completed request emits one structured
+        ``slow_request`` log line (with its trace id when traced);
+        ``None`` (default) disables the slow-request log.
     """
 
     workers: int = 2
@@ -133,6 +150,10 @@ class ServiceConfig:
     tenants: object = None
     default_tenant: Optional[str] = None
     qos_policy: str = "wfq"
+    latency_families_max: int = 64
+    trace: bool = False
+    metrics: bool = False
+    slow_request_threshold: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -168,6 +189,15 @@ class ServiceConfig:
         if self.auto_timeout_min_samples < 1:
             raise ValueError(
                 f"auto_timeout_min_samples must be >= 1, got {self.auto_timeout_min_samples}"
+            )
+        if self.latency_families_max < 1:
+            raise ValueError(
+                f"latency_families_max must be >= 1, got {self.latency_families_max}"
+            )
+        if self.slow_request_threshold is not None and self.slow_request_threshold <= 0:
+            raise ValueError(
+                f"slow_request_threshold must be > 0 or None, "
+                f"got {self.slow_request_threshold}"
             )
         if self.max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {self.max_sessions}")

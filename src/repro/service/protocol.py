@@ -16,6 +16,17 @@ the response so clients can multiplex) and an ``op``:
     optional seconds.
 ``stats``
     ``{"op": "stats"}`` — returns the service stats snapshot.
+``metrics``
+    ``{"op": "metrics", "format": "text"|"dict"}`` — the unified
+    metrics registry (:mod:`repro.obs`): Prometheus text exposition
+    (``"text"``, the default) or the structured registry dict
+    (``"dict"``, what the cluster router merges shard registries from).
+``trace``
+    ``{"op": "trace", "trace_id": "...", "clear": false}`` — dump the
+    process's recorded spans (optionally one trace, optionally clearing
+    the ring) as ``{"spans": [...], "enabled": ..., "dropped": ...}``;
+    empty unless tracing is enabled.  The router fans this out and
+    merges shard rings.
 ``ping``
     ``{"op": "ping"}`` — liveness probe.
 ``drain``
@@ -65,6 +76,12 @@ one open scheduler per session, tasks placed as they arrive):
     unacknowledged-submission failure is not lost: it rides along as a
     ``window_error`` field in the (successful) close response.
 
+Distributed tracing (:mod:`repro.obs.trace`): every request may carry
+an optional ``"trace": {"id": "...", "span": "..."}`` context field.
+It is generated at the ingress (client or router) only when tracing is
+enabled there and propagated downstream otherwise untouched — a request
+without the field is byte-identical to the pre-tracing wire format.
+
 Multi-tenant QoS (:mod:`repro.qos`): ``solve`` and ``session_open``
 accept an optional ``"tenant": "name"`` field attributing the request;
 servers without tenants configured ignore it.  QoS rejections (and the
@@ -87,7 +104,12 @@ non-string, so the assignment is not a JSON object).
 Non-finite floats (``inf`` guarantees of unbounded objectives) are
 serialized as the JSON-extension literals ``Infinity``/``NaN`` that
 Python's ``json`` emits and parses natively — a non-Python client must
-tolerate them.
+tolerate them.  **Exception:** ``stats`` and ``metrics`` payloads are
+sanitized with :func:`sanitize_non_finite` before encoding — an idle
+service's percentile snapshot is ``nan``-filled, and emitting the
+``NaN`` literal there broke strict-JSON consumers (and round-tripped as
+``null`` on the orjson framing anyway); monitoring payloads use plain
+``null`` on every framing instead.
 """
 
 from __future__ import annotations
@@ -112,6 +134,7 @@ __all__ = [
     "error_code_for",
     "encode_message",
     "decode_message",
+    "sanitize_non_finite",
     "Framing",
     "register_framing",
     "get_framing",
@@ -192,6 +215,27 @@ def _has_non_finite(value: object) -> bool:
     if isinstance(value, (list, tuple)):
         return any(_has_non_finite(v) for v in value)
     return False
+
+
+def sanitize_non_finite(value: object) -> object:
+    """Copy ``value`` with every non-finite float replaced by ``None``.
+
+    Applied to ``stats``/``metrics`` payloads at the protocol boundary:
+    an idle service's latency snapshot is legitimately ``nan``-filled,
+    but stdlib ``json`` would emit the non-standard ``NaN`` literal
+    while the orjson framing nullifies non-finite floats — the same
+    snapshot serialized differently per framing, and invalid strict
+    JSON on one of them.  Monitoring consumers read ``null`` instead,
+    identically on every framing.  Containers are copied only as needed;
+    scalars pass through.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: sanitize_non_finite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_non_finite(item) for item in value]
+    return value
 
 
 def encode_message(payload: Dict[str, object]) -> bytes:
@@ -541,8 +585,14 @@ def solve_request(
     timeout: Optional[float] = None,
     params: Optional[Dict[str, object]] = None,
     tenant: Optional[str] = None,
+    trace: Optional[Dict[str, str]] = None,
 ) -> Dict[str, object]:
-    """Build a ``solve`` request payload for an instance/spec pair."""
+    """Build a ``solve`` request payload for an instance/spec pair.
+
+    ``trace`` is an optional trace context in wire form
+    (:func:`repro.obs.trace.wire_trace`); omitted, the payload is
+    byte-identical to the pre-tracing protocol.
+    """
     payload: Dict[str, object] = {"op": "solve", "instance": instance.to_dict(), "spec": spec}
     if request_id is not None:
         payload["id"] = request_id
@@ -552,6 +602,8 @@ def solve_request(
         payload["params"] = dict(params)
     if tenant is not None:
         payload["tenant"] = tenant
+    if trace is not None:
+        payload["trace"] = dict(trace)
     return payload
 
 

@@ -31,9 +31,12 @@ from __future__ import annotations
 
 import asyncio
 import sys
+import time
 from functools import partial
-from typing import Awaitable, Callable, Dict, Optional, Set
+from typing import Awaitable, Callable, Dict, Optional, Set, Tuple
 
+from repro.obs.logging import log_event
+from repro.obs.trace import RECORDER, new_span_id, parse_wire_trace
 from repro.service.protocol import (
     DEFAULT_FRAMING,
     FRAME_HEADER,
@@ -47,6 +50,7 @@ from repro.service.protocol import (
     result_to_payload,
     instance_from_payload,
     error_code_for,
+    sanitize_non_finite,
     task_from_payload,
 )
 from repro.service.service import SolverService
@@ -107,6 +111,53 @@ def _submit_tasks(request: Dict[str, object]) -> list:
     raise ProtocolError("'session_submit' needs a 'task' or 'tasks' field")
 
 
+def _metrics_response(
+    request: Dict[str, object],
+    stats_payload: Dict[str, object],
+    router_counters: Optional[Dict[str, object]] = None,
+    extra_registries: Optional[list] = None,
+) -> Dict[str, object]:
+    """Build the ``metrics`` op response (shared by service and router).
+
+    The registry is assembled fresh per request: snapshot-mirrored
+    counters/gauges, the live histograms, the profiler ledger, plus any
+    ``extra_registries`` dict payloads (the router passes its shards'
+    ``metrics`` dicts here — the exact histogram merge).
+    """
+    from repro.obs.adapters import build_metrics_registry
+    from repro.obs.httpd import CONTENT_TYPE
+
+    fmt = request.get("format", "text")
+    if fmt not in ("text", "dict"):
+        raise ProtocolError(f"'format' must be 'text' or 'dict', got {fmt!r}")
+    registry = build_metrics_registry(stats_payload, router_counters)
+    for payload in extra_registries or ():
+        if isinstance(payload, dict):
+            registry.merge(payload)
+    request_id = request.get("id")
+    if fmt == "dict":
+        return {"id": request_id, "ok": True,
+                "metrics": sanitize_non_finite(registry.to_dict())}
+    return {"id": request_id, "ok": True, "content_type": CONTENT_TYPE,
+            "text": registry.render()}
+
+
+def _trace_response(request: Dict[str, object]) -> Dict[str, object]:
+    """Build the ``trace`` op response: this process's span ring as JSON."""
+    trace_id = request.get("trace_id")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise ProtocolError("'trace_id' must be a string when given")
+    clear = request.get("clear", False)
+    if not isinstance(clear, bool):
+        raise ProtocolError("'clear' must be a JSON boolean when given")
+    dropped = RECORDER.dropped
+    spans = RECORDER.snapshot(trace_id)
+    if clear:
+        RECORDER.clear()
+    return {"id": request.get("id"), "ok": True, "spans": spans,
+            "enabled": RECORDER.enabled, "dropped": dropped}
+
+
 async def handle_request(
     service: SolverService, request: Dict[str, object]
 ) -> Optional[Dict[str, object]]:
@@ -149,6 +200,9 @@ async def handle_request(
                 kwargs["timeout"] = float(timeout)
             if tenant is not None:
                 kwargs["tenant"] = tenant
+            trace_ctx = request.get("trace")
+            if trace_ctx is not None:
+                kwargs["trace"] = trace_ctx
             result = await service.solve(instance, spec, **kwargs)
             return {"id": request_id, "ok": True, "result": result_to_payload(result)}
         if op == "session_open":
@@ -242,7 +296,14 @@ async def handle_request(
                 response["window_error"] = window_error
             return response
         if op == "stats":
-            return {"id": request_id, "ok": True, "stats": service.stats().to_dict()}
+            # Idle windows report nan percentiles; the wire carries null
+            # (identically on every framing) instead of the NaN literal.
+            return {"id": request_id, "ok": True,
+                    "stats": sanitize_non_finite(service.stats().to_dict())}
+        if op == "metrics":
+            return _metrics_response(request, service.stats().to_dict())
+        if op == "trace":
+            return _trace_response(request)
         if op == "ping":
             # Pings double as cluster health probes: the ``load`` summary
             # is O(1) gauges, cheap enough to poll every couple of seconds.
@@ -264,7 +325,7 @@ async def handle_request(
         raise ProtocolError(
             f"unknown op {op!r}; expected solve, session_open, session_submit, "
             f"session_result, session_export, session_restore, session_close, "
-            f"stats, ping, drain, or shutdown"
+            f"stats, metrics, trace, ping, drain, or shutdown"
         )
     except asyncio.CancelledError:
         raise
@@ -308,10 +369,22 @@ async def serve_connection(
     tasks: Set["asyncio.Task"] = set()
     framing: Framing = get_framing(DEFAULT_FRAMING)
 
-    async def respond(payload: Dict[str, object]) -> None:
+    async def respond(
+        payload: Dict[str, object],
+        tctx: Optional[Tuple[str, Optional[str]]] = None,
+    ) -> None:
         async with write_lock:
             try:
-                writer.write(framing.encode(payload))
+                if tctx is not None:
+                    start = time.perf_counter()
+                    data = framing.encode(payload)
+                    RECORDER.record(
+                        "encode", "wire", tctx[0], new_span_id(), tctx[1],
+                        start, time.perf_counter() - start, nbytes=len(data),
+                    )
+                else:
+                    data = framing.encode(payload)
+                writer.write(data)
                 await writer.drain()
             except (ConnectionError, OSError):
                 # Peer went away before reading its response; the request's
@@ -319,6 +392,7 @@ async def serve_connection(
                 pass
 
     async def process(raw: bytes, frame_framing: Framing) -> None:
+        start = time.perf_counter()
         try:
             if len(raw) >= INLINE_DECODE_LIMIT:
                 request = await asyncio.get_running_loop().run_in_executor(
@@ -330,13 +404,22 @@ async def serve_connection(
             await respond({"id": None, "ok": False,
                            "error": {"type": "ProtocolError", "message": str(exc)}})
             return
+        if RECORDER.enabled:
+            tctx = parse_wire_trace(request.get("trace"))
+            if tctx is not None:
+                RECORDER.record(
+                    "recv", "wire", tctx[0], new_span_id(), tctx[1],
+                    start, time.perf_counter() - start, nbytes=len(raw),
+                )
         await dispatch(request)
 
     async def dispatch(request: Dict[str, object]) -> None:
+        tctx = (parse_wire_trace(request.get("trace"))
+                if RECORDER.enabled else None)
         response = await handler(request)
         if response is None:  # unacknowledged op: no response line
             return
-        await respond(response)
+        await respond(response, tctx)
         if response.get("shutdown") and shutdown is not None:
             shutdown.set()
 
@@ -424,6 +507,9 @@ async def serve_connection(
                                    "framing": chosen.name,
                                    "framings": available_framings(),
                                    "protocol": PROTOCOL_VERSION})
+                    log_event("framing_negotiated",
+                              requested=request.get("framings"),
+                              chosen=chosen.name, previous=framing.name)
                     framing = chosen
                     continue
                 if request is not None:

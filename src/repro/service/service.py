@@ -51,6 +51,9 @@ from typing import Dict, Optional, Set, Union
 
 from repro.core.instance import DAGInstance, Instance
 from repro.core.task import Task
+from repro.obs.logging import log_event
+from repro.obs.metrics import PHASE_LATENCY, REGISTRY, REQUEST_LATENCY, enable_metrics
+from repro.obs.trace import RECORDER, enable_tracing, new_span_id, parse_wire_trace
 from repro.qos.admission import AdmissionController
 from repro.qos.tenants import QosError, TenantConfig
 from repro.service.config import ServiceConfig
@@ -113,7 +116,7 @@ class _Job:
     """One unique in-flight computation and its fan-out future."""
 
     __slots__ = ("key", "cache_key", "future", "waiters", "task", "pool_future",
-                 "tenant")
+                 "tenant", "trace")
 
     def __init__(
         self,
@@ -131,6 +134,11 @@ class _Job:
         # The tenant whose admission slot this job holds (None on the flat
         # path): _conclude must return the slot to the same ledger.
         self.tenant = tenant
+        # Trace context of the submitter that created this job:
+        # ``(trace_id, dispatch_span_id, parent_span_id, dispatch_start)``
+        # or None.  Coalesced joiners share the creator's spans — one
+        # unique job is one dispatch/queue_wait/kernel chain.
+        self.trace: Optional[tuple] = None
 
 
 class SolverService:
@@ -166,12 +174,18 @@ class SolverService:
         self._tasks: Set["asyncio.Task"] = set()
         self._qos: Optional[AdmissionController] = None
         self._latency = LatencyWindow(config.latency_window)
-        self._family_latency = FamilyLatency(config.latency_window)
+        self._family_latency = FamilyLatency(
+            config.latency_window, config.latency_families_max
+        )
         # Phase breakdown of unique jobs: time queued for a worker slot vs
         # time executing in the pool (end-to-end latency alone cannot show
         # whether a slow family is compute-bound or queue-bound).
-        self._phase_queue_wait = FamilyLatency(config.latency_window)
-        self._phase_exec = FamilyLatency(config.latency_window)
+        self._phase_queue_wait = FamilyLatency(
+            config.latency_window, config.latency_families_max
+        )
+        self._phase_exec = FamilyLatency(
+            config.latency_window, config.latency_families_max
+        )
         self._sessions = SessionManager(
             max_sessions=config.max_sessions,
             max_session_tasks=config.max_session_tasks,
@@ -214,6 +228,13 @@ class SolverService:
                 policy=self.config.qos_policy,
                 window=self.config.latency_window,
             )
+        # Observability is process-global and opt-in: flip the recorders on
+        # only when this service asked for them (never off — another
+        # service or the CLI may have enabled them first).
+        if self.config.trace:
+            enable_tracing()
+        if self.config.metrics:
+            enable_metrics()
         self._started = True
         return self
 
@@ -285,6 +306,7 @@ class SolverService:
         *,
         timeout: object = _UNSET,
         tenant: Optional[str] = None,
+        trace: object = None,
         **params: object,
     ):
         """Solve one request through the shared worker fleet.
@@ -294,7 +316,11 @@ class SolverService:
         per-spec/default timeout for this request — pass ``None`` to wait
         indefinitely.  ``tenant`` attributes the request for QoS when the
         service has tenants configured (``None`` maps to the default
-        tenant); without tenants it is ignored.  Raises
+        tenant); without tenants it is ignored.  ``trace`` is an optional
+        wire trace context (``{"id": ..., "span": ...}``) — when span
+        recording is enabled in this process the request's admission /
+        cache / dispatch / kernel phases are recorded under that trace id
+        (:mod:`repro.obs.trace`); otherwise it is ignored.  Raises
         :class:`ServiceTimeoutError`, :class:`ServiceOverloadedError`,
         :class:`ServiceClosedError`, a :class:`repro.qos.tenants.QosError`
         rejection (unknown tenant / rate limit / quota / backpressure), or
@@ -317,6 +343,14 @@ class SolverService:
                 self._counters["rejected"] += 1
                 raise
         started = time.perf_counter()
+        # ``tctx`` is ``(trace_id, parent_span_id)`` or None; the single
+        # ``RECORDER.enabled`` check keeps the disabled path at one
+        # attribute read per request.
+        tctx = (
+            parse_wire_trace(trace)
+            if (trace is not None and RECORDER.enabled)
+            else None
+        )
 
         if instance.n >= _OFFLOAD_TASK_COUNT:
             # Hashing a very large instance is multi-millisecond CPU work;
@@ -334,12 +368,19 @@ class SolverService:
         )
 
         if content_key is not None:
+            consult_at = time.perf_counter() if tctx is not None else 0.0
             hit = await self._cache_get(content_key)
+            if tctx is not None:
+                RECORDER.record(
+                    "cache_consult", "service", tctx[0], new_span_id(), tctx[1],
+                    consult_at, time.perf_counter() - consult_at,
+                    hit=hit is not None, family=prepared.entry.name,
+                )
             if hit is not None:
                 self._counters["cache_hits"] += 1
                 if tenant_cfg is not None:
                     self._qos.admit_fast(tenant_cfg, "cache_hits")
-                self._record_latency(prepared.entry.name, started)
+                self._record_latency(prepared.entry.name, started, tctx)
                 return replace(hit, provenance={**hit.provenance, "cache": "hit"})
             self._counters["cache_misses"] += 1
 
@@ -349,16 +390,25 @@ class SolverService:
             if tenant_cfg is not None:
                 self._qos.admit_fast(tenant_cfg, "coalesced")
         else:
+            admit_at = time.perf_counter() if tctx is not None else 0.0
             admitted = await self._admit_job(
-                coalesce_key, content_key, instance, prepared, tenant_cfg
+                coalesce_key, content_key, instance, prepared, tenant_cfg, tctx
             )
+            if tctx is not None:
+                RECORDER.record(
+                    "admission", "service", tctx[0], new_span_id(), tctx[1],
+                    admit_at, time.perf_counter() - admit_at,
+                    family=prepared.entry.name,
+                )
             if not isinstance(admitted, _Job):
                 # Late cache hit: the identical job finished while this
                 # submitter waited for admission.
-                self._record_latency(prepared.entry.name, started)
+                self._record_latency(prepared.entry.name, started, tctx)
                 return admitted
             job = admitted
-        return await self._await_job(job, timeout_s, started, family=prepared.entry.name)
+        return await self._await_job(
+            job, timeout_s, started, family=prepared.entry.name, tctx=tctx
+        )
 
     async def _admit_job(
         self,
@@ -367,6 +417,7 @@ class SolverService:
         instance: AnyInstance,
         prepared: PreparedSolve,
         tenant_cfg: Optional[TenantConfig] = None,
+        tctx: Optional[tuple] = None,
     ):
         """Acquire a pending slot (honouring backpressure) and start the job.
 
@@ -435,6 +486,10 @@ class SolverService:
                 return existing
         loop = asyncio.get_running_loop()
         job = _Job(key, content_key, loop.create_future(), tenant=tenant_cfg)
+        if tctx is not None:
+            # The dispatch span (recorded at conclusion) parents the job's
+            # queue_wait and kernel spans.
+            job.trace = (tctx[0], new_span_id(), tctx[1], time.perf_counter())
         if tenant_cfg is not None:
             self._qos.job_admitted(tenant_cfg)
         # Always consume the outcome so an abandoned job (every waiter gone)
@@ -459,21 +514,44 @@ class SolverService:
             assert self._qos is not None
             self._qos.release_slot(tenant_cfg)
 
-    def _record_latency(self, family: str, started: float) -> None:
+    def _record_latency(
+        self, family: str, started: float, tctx: Optional[tuple] = None
+    ) -> None:
         """Record one successful request latency globally and per family."""
         elapsed = time.perf_counter() - started
         self._latency.record(elapsed)
         self._family_latency.record(family, elapsed)
+        if REGISTRY.enabled:
+            REQUEST_LATENCY.observe(elapsed, family)
+        threshold = self.config.slow_request_threshold
+        if threshold is not None and elapsed >= threshold:
+            log_event(
+                "slow_request", _force=True, family=family,
+                seconds=round(elapsed, 6),
+                trace=tctx[0] if tctx is not None else None,
+            )
 
     def _record_exec(self, job: _Job, family: str, exec_at: float) -> None:
         """Record one pool execution: phase percentile + tenant usage."""
         elapsed = time.perf_counter() - exec_at
         self._phase_exec.record(family, elapsed)
+        if REGISTRY.enabled:
+            PHASE_LATENCY.observe(elapsed, "exec", family)
+        if job.trace is not None:
+            RECORDER.record(
+                "kernel", "service", job.trace[0], new_span_id(), job.trace[1],
+                exec_at, elapsed, family=family,
+            )
         if job.tenant is not None and self._qos is not None:
             self._qos.charge_usage(job.tenant, elapsed)
 
     async def _await_job(
-        self, job: _Job, timeout_s: Optional[float], started: float, family: str = "?"
+        self,
+        job: _Job,
+        timeout_s: Optional[float],
+        started: float,
+        family: str = "?",
+        tctx: Optional[tuple] = None,
     ):
         """Wait on a job's fan-out future with waiter-scoped timeout/cancel."""
         job.waiters += 1
@@ -499,7 +577,7 @@ class SolverService:
             job.waiters -= 1
             raise
         job.waiters -= 1
-        self._record_latency(family, started)
+        self._record_latency(family, started, tctx)
         return result
 
     def _maybe_abandon(self, job: _Job) -> None:
@@ -527,7 +605,15 @@ class SolverService:
             raise
         self._queued -= 1
         self._running += 1
-        self._phase_queue_wait.record(prepared.entry.name, time.perf_counter() - queued_at)
+        waited_s = time.perf_counter() - queued_at
+        self._phase_queue_wait.record(prepared.entry.name, waited_s)
+        if REGISTRY.enabled:
+            PHASE_LATENCY.observe(waited_s, "queue_wait", prepared.entry.name)
+        if job.trace is not None:
+            RECORDER.record(
+                "queue_wait", "service", job.trace[0], new_span_id(),
+                job.trace[1], queued_at, waited_s, family=prepared.entry.name,
+            )
 
         try:
             job.pool_future = self._submit(instance, prepared)
@@ -652,6 +738,14 @@ class SolverService:
             del self._inflight[job.key]
         self._pending -= 1
         self._release_admission(job.tenant)
+        if job.trace is not None:
+            trace_id, span_id, parent_id, dispatch_at = job.trace
+            job.trace = None  # a job can be concluded at most once per span
+            RECORDER.record(
+                "dispatch", "service", trace_id, span_id, parent_id,
+                dispatch_at, time.perf_counter() - dispatch_at,
+                cancelled=cancelled, failed=error is not None,
+            )
         if cancelled:
             self._counters["abandoned"] += 1
         if job.tenant is not None:

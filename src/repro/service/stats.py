@@ -82,20 +82,45 @@ class FamilyLatency:
     variant), so the breakdown answers "which solver family is slow"
     without exploding cardinality across parameterisations.  Thread-safe
     like the windows it owns; families appear on first use.
+
+    The family *count* is bounded by ``max_families`` with
+    least-recently-recorded eviction: runtime-registered solvers make
+    family names client-controlled, so without a cap a client cycling
+    spec names grows service/router memory without bound.  The built-in
+    registry has ~a dozen families — the default cap of 64 never evicts
+    in healthy operation.
     """
 
-    def __init__(self, window: int = 2048) -> None:
+    DEFAULT_MAX_FAMILIES = 64
+
+    def __init__(self, window: int = 2048,
+                 max_families: int = DEFAULT_MAX_FAMILIES) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
+        if max_families < 1:
+            raise ValueError(f"max_families must be >= 1, got {max_families}")
         self._window = window
+        self._max_families = max_families
         self._families: Dict[str, LatencyWindow] = {}
         self._lock = threading.Lock()
+        self._evicted = 0
+
+    @property
+    def evicted(self) -> int:
+        """Families dropped by the ``max_families`` bound (cumulative)."""
+        return self._evicted
 
     def record(self, family: str, seconds: float) -> None:
         with self._lock:
-            bucket = self._families.get(family)
+            bucket = self._families.pop(family, None)
             if bucket is None:
-                bucket = self._families[family] = LatencyWindow(self._window)
+                bucket = LatencyWindow(self._window)
+                while len(self._families) >= self._max_families:
+                    self._families.pop(next(iter(self._families)))
+                    self._evicted += 1
+            # Re-insert at the back: dict order is recency-of-record, so
+            # the eviction above always drops the least recently recorded.
+            self._families[family] = bucket
         bucket.record(seconds)
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:

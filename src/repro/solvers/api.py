@@ -35,6 +35,7 @@ from typing import Union
 
 from repro.core.instance import DAGInstance, Instance
 from repro.core.objectives import ObjectiveValues, evaluate
+from repro.obs.profile import PROFILER
 from repro.solvers.cache import CacheLike, cache_key, resolve_cache
 from repro.solvers.registry import (
     SolverEntry,
@@ -173,9 +174,15 @@ def solve(
         The instance has precedence edges and the solver cannot handle
         them.
     """
+    # Opt-in phase accounting (:mod:`repro.obs.profile`): one boolean read
+    # when disabled; timings attributed per solver family when enabled.
+    profiling = PROFILER.enabled
+    t0 = time.perf_counter() if profiling else 0.0
     prepared = prepare(instance, spec, **params)
     parsed, entry, bound = prepared.spec, prepared.entry, prepared.bound
     canonical = prepared.canonical
+    if profiling:
+        PROFILER.add(parsed.name, "validation", time.perf_counter() - t0)
 
     cache_obj = resolve_cache(cache)
     if cache_obj is not None and not prepared.cacheable:
@@ -185,8 +192,16 @@ def solve(
         cache_obj = None
     key = None
     if cache_obj is not None:
-        key = cache_key(instance, canonical)
-        hit = cache_obj.get(key)
+        if profiling:
+            t0 = time.perf_counter()
+            key = cache_key(instance, canonical)
+            t1 = time.perf_counter()
+            hit = cache_obj.get(key)
+            PROFILER.add(parsed.name, "hashing", t1 - t0)
+            PROFILER.add(parsed.name, "serialization", time.perf_counter() - t1)
+        else:
+            key = cache_key(instance, canonical)
+            hit = cache_obj.get(key)
         if hit is not None:
             return replace(hit, provenance={**hit.provenance, "cache": "hit"})
 
@@ -212,6 +227,8 @@ def solve(
     start = time.perf_counter()
     schedule, guarantee, raw, extras = entry.run(run_instance, bound)
     wall_time = time.perf_counter() - start
+    if profiling:
+        PROFILER.add(parsed.name, "kernel", wall_time)
     extras = {**unroll_extras, **extras}
 
     if schedule is not None:
@@ -238,6 +255,11 @@ def solve(
         raw=raw,
     )
     if cache_obj is not None and key is not None:
-        cache_obj.put(key, result)
+        if profiling:
+            t0 = time.perf_counter()
+            cache_obj.put(key, result)
+            PROFILER.add(parsed.name, "serialization", time.perf_counter() - t0)
+        else:
+            cache_obj.put(key, result)
         result = replace(result, provenance={**provenance, "cache": "miss"})
     return result
